@@ -1,0 +1,63 @@
+"""Ablation — finite cache capacity (LRU eviction) at the DSSP.
+
+The paper's prototype caches everything; a production DSSP shares its
+memory across many applications.  This ablation sweeps the view-cache
+capacity and reports the hit rate knee, showing how much cache the
+bookstore workload actually needs before invalidation (not eviction)
+becomes the binding constraint.
+"""
+
+import random
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer, StrategyClass
+from repro.simulation import measure_cache_behavior
+from repro.workloads import get_application
+
+from benchmarks.conftest import BENCH_PAGES, BENCH_SCALE, once
+
+CAPACITIES = (25, 50, 100, 200, 400, None)
+
+
+def _run(capacity):
+    app = get_application("bookstore")
+    instance = app.instantiate(scale=BENCH_SCALE, seed=1)
+    policy = ExposurePolicy.uniform(
+        app.registry, StrategyClass.MVIS.exposure_level
+    )
+    home = HomeServer(
+        "bookstore", instance.database, app.registry, policy, Keyring("bookstore")
+    )
+    node = DsspNode(cache_capacity=capacity)
+    node.register_application(home)
+    behavior = measure_cache_behavior(
+        node, home, instance.sampler, pages=BENCH_PAGES, seed=5
+    )
+    return behavior.hit_rate, len(node.cache)
+
+
+def test_ablation_cache_capacity(benchmark, emit):
+    def experiment():
+        return {capacity: _run(capacity) for capacity in CAPACITIES}
+
+    results = once(benchmark, experiment)
+    lines = [
+        f"{'capacity':>9} {'hit rate':>9} {'resident views':>15}",
+        "-" * 37,
+    ]
+    for capacity, (hit_rate, resident) in results.items():
+        label = "inf" if capacity is None else str(capacity)
+        lines.append(f"{label:>9} {hit_rate:>9.3f} {resident:>15}")
+    emit("ablation_cache_capacity", "\n".join(lines))
+
+    rates = [results[c][0] for c in CAPACITIES]
+    # Hit rate is monotone (non-strictly) in capacity.
+    for smaller, larger in zip(rates, rates[1:]):
+        assert smaller <= larger + 0.02
+    # A tiny cache visibly hurts; an unbounded one is the ceiling.
+    assert results[25][0] < results[None][0]
+    # Residency respects the cap.
+    for capacity in CAPACITIES:
+        if capacity is not None:
+            assert results[capacity][1] <= capacity

@@ -1,0 +1,68 @@
+"""Ablation — integrity-constraint refinement (paper Section 4.5) on vs off.
+
+The primary-key and foreign-key rules force A = 0 for additional
+update/query template pairs.  This benchmark quantifies their effect on
+(a) the Table 7 zero-pair counts and (b) runtime hit rate / scalability
+under MTIS, where template-level decisions are all the DSSP has.
+"""
+
+from repro.analysis import characterize_application, summarize_characterization
+from repro.dssp import StrategyClass
+from repro.simulation import find_scalability, measure_cache_behavior
+from repro.workloads import APPLICATIONS, get_application
+
+from benchmarks.conftest import BENCH_PAGES, deploy, once
+
+
+def test_ablation_integrity_constraints(benchmark, emit, sim_params):
+    def experiment():
+        static = {}
+        for name in APPLICATIONS:
+            registry = get_application(name).registry
+            with_c = summarize_characterization(
+                name, characterize_application(registry, True)
+            )
+            without_c = summarize_characterization(
+                name, characterize_application(registry, False)
+            )
+            static[name] = (with_c.zero, without_c.zero, with_c.total_pairs)
+
+        runtime = {}
+        for use_constraints in (True, False):
+            node, home, sampler = deploy(
+                "bookstore",
+                strategy=StrategyClass.MTIS,
+                use_integrity_constraints=use_constraints,
+            )
+            behavior = measure_cache_behavior(
+                node, home, sampler, pages=BENCH_PAGES, seed=5
+            )
+            runtime[use_constraints] = (
+                behavior.hit_rate,
+                find_scalability(sim_params, behavior=behavior),
+            )
+        return static, runtime
+
+    static, runtime = once(benchmark, experiment)
+
+    lines = [
+        f"{'application':<12} {'zero pairs (with)':>18} {'zero pairs (w/o)':>17} "
+        f"{'total':>7}",
+        "-" * 58,
+    ]
+    for name, (with_c, without_c, total) in static.items():
+        lines.append(f"{name:<12} {with_c:>18} {without_c:>17} {total:>7}")
+    lines.append("")
+    lines.append("bookstore under MTIS:")
+    for flag, (hit_rate, users) in runtime.items():
+        label = "with constraints" if flag else "without constraints"
+        lines.append(f"  {label:<22} hit rate {hit_rate:.3f}, scalability {users}")
+    emit("ablation_integrity_constraints", "\n".join(lines))
+
+    for name, (with_c, without_c, _) in static.items():
+        assert with_c >= without_c, name
+    # The rules must matter somewhere (the paper's toystore examples are
+    # bookstore-shaped: key-selected reads + insert-heavy order flow).
+    assert any(w > wo for w, wo, _ in static.values())
+    assert runtime[True][0] >= runtime[False][0]  # hit rate
+    assert runtime[True][1] >= runtime[False][1]  # scalability

@@ -1,0 +1,48 @@
+"""Ablation — Zipf vs uniform book popularity (the paper's TPC-W change).
+
+The paper replaces TPC-W's uniform book popularity with the Brynjolfsson
+et al. Zipf law.  Skew concentrates queries on few parameters, which raises
+cache hit rates and therefore scalability; this ablation quantifies that by
+re-running the bookstore with the popularity exponent forced to 0
+(uniform).
+"""
+
+from repro.dssp import StrategyClass
+from repro.simulation import find_scalability, measure_cache_behavior
+from repro.workloads.zipf import BRYNJOLFSSON_EXPONENT, ZipfSampler
+
+from benchmarks.conftest import BENCH_PAGES, deploy, once
+
+
+def test_ablation_zipf_popularity(benchmark, emit, sim_params):
+    def run(exponent: float):
+        node, home, sampler = deploy("bookstore", strategy=StrategyClass.MVIS)
+        sampler.zipf = ZipfSampler(sampler.zipf.n, exponent)
+        behavior = measure_cache_behavior(
+            node, home, sampler, pages=BENCH_PAGES, seed=5
+        )
+        return behavior.hit_rate, find_scalability(sim_params, behavior=behavior)
+
+    def experiment():
+        return {
+            "zipf (0.871)": run(BRYNJOLFSSON_EXPONENT),
+            "strong zipf (1.5)": run(1.5),
+            "uniform (0.0)": run(0.0),
+        }
+
+    results = once(benchmark, experiment)
+    lines = [
+        f"{'popularity':<18} {'hit rate':>9} {'scalability':>12}",
+        "-" * 42,
+    ]
+    for label, (hit, users) in results.items():
+        lines.append(f"{label:<18} {hit:>9.3f} {users:>12}")
+    emit("ablation_zipf_popularity", "\n".join(lines))
+
+    zipf_hit, zipf_users = results["zipf (0.871)"]
+    strong_hit, strong_users = results["strong zipf (1.5)"]
+    uniform_hit, uniform_users = results["uniform (0.0)"]
+    assert zipf_hit > uniform_hit
+    assert strong_hit > zipf_hit
+    assert zipf_users >= uniform_users
+    assert strong_users >= zipf_users

@@ -1,0 +1,88 @@
+"""Paper Figure 7 — exposure levels before and after the static analysis.
+
+For each application, plots (as text) every query and update template's
+exposure level: the *initial* level mandated by compulsory encryption of
+highly-sensitive data (the dashed lines — California SB 1386 requires only
+a little encryption), and the *final* level after Step 2b's free reductions
+(the solid lines).  The area between them is the security gained for free.
+"""
+
+from repro.analysis.exposure import ExposureLevel
+from repro.analysis.methodology import design_exposure_policy
+from repro.workloads import APPLICATIONS, get_application
+
+from benchmarks.conftest import once
+
+_LEVEL_ORDER = ["blind", "template", "stmt", "view"]
+
+
+def _render_app(name: str, registry, result) -> str:
+    lines = [f"--- {name} ---"]
+    for kind, templates in (
+        ("query", registry.queries),
+        ("update", registry.updates),
+    ):
+        rows = []
+        for template in templates:
+            if kind == "query":
+                initial = result.initial.query_level(template.name)
+                final = result.final.query_level(template.name)
+            else:
+                initial = result.initial.update_level(template.name)
+                final = result.final.update_level(template.name)
+            rows.append((template.name, initial, final))
+        # Figure 7 sorts templates by increasing exposure.
+        rows.sort(key=lambda row: (row[2], row[1], row[0]))
+        lines.append(f"  {kind} templates (initial -> final):")
+        for template_name, initial, final in rows:
+            arrow = "  == " if initial == final else "  -> "
+            lines.append(
+                f"    {template_name:<28} {initial.label:>8}{arrow}{final.label}"
+            )
+        reduced = sum(1 for _, i, f in rows if f < i)
+        lines.append(f"  ({reduced} of {len(rows)} {kind} templates reduced)")
+    return "\n".join(lines)
+
+
+def test_fig7_exposure_reduction(benchmark, emit):
+    def experiment():
+        out = {}
+        for name in APPLICATIONS:
+            registry = get_application(name).registry
+            out[name] = (registry, design_exposure_policy(registry))
+        return out
+
+    results = once(benchmark, experiment)
+    text = "\n\n".join(
+        _render_app(name, registry, result)
+        for name, (registry, result) in results.items()
+    )
+    emit("fig7_exposure_reduction", text)
+
+    for name, (registry, result) in results.items():
+        # Step 1 touches only a few templates (little compulsory encryption).
+        initial_reduced = sum(
+            1
+            for q in registry.queries
+            if result.initial.query_level(q.name) < ExposureLevel.VIEW
+        )
+        assert initial_reduced <= len(registry.queries) / 3, name
+
+        # Step 2b achieves a substantial additional reduction.
+        final_reduced = sum(
+            1
+            for q in registry.queries
+            if result.final.query_level(q.name) < ExposureLevel.VIEW
+        )
+        assert final_reduced >= len(registry.queries) / 2, name
+        assert final_reduced > initial_reduced, name
+
+        # Levels never increase.
+        for q in registry.queries:
+            assert result.final.query_level(q.name) <= result.initial.query_level(
+                q.name
+            )
+        for u in registry.updates:
+            assert result.final.update_level(
+                u.name
+            ) <= result.initial.update_level(u.name)

@@ -1,0 +1,72 @@
+"""Paper Figure 8 — scalability vs coarse-grain invalidation strategy.
+
+For each application and each uniform strategy class (MVIS, MSIS, MTIS,
+MBS), measures the real DSSP's cache behaviour and finds the maximum user
+count meeting the 2 s / 90% SLA.
+
+Paper shape to reproduce: for every application
+``MVIS >= MSIS >= MTIS >= MBS``, with bboard (≈10 DB requests per page)
+collapsing to (near) zero under MTIS and MBS.
+"""
+
+from repro.simulation import find_scalability, measure_cache_behavior
+from repro.workloads import APPLICATIONS
+
+from benchmarks.conftest import BENCH_PAGES, STRATEGY_ORDER, deploy, once
+
+
+def _figure8(sim_params):
+    results = {}
+    for name in APPLICATIONS:
+        per_strategy = {}
+        for strategy in STRATEGY_ORDER:
+            node, home, sampler = deploy(name, strategy=strategy)
+            behavior = measure_cache_behavior(
+                node, home, sampler, pages=BENCH_PAGES, seed=5
+            )
+            users = find_scalability(sim_params, behavior=behavior)
+            per_strategy[strategy] = (users, behavior)
+        results[name] = per_strategy
+    return results
+
+
+def _render(results) -> str:
+    lines = [
+        f"{'application':<12} {'strategy':<6} {'scalability':>12} "
+        f"{'hit rate':>9} {'inval/upd':>10}",
+        "-" * 56,
+    ]
+    for name, per_strategy in results.items():
+        for strategy, (users, behavior) in per_strategy.items():
+            lines.append(
+                f"{name:<12} {strategy.name:<6} {users:>12} "
+                f"{behavior.hit_rate:>9.3f} "
+                f"{behavior.invalidations_per_update:>10.2f}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig8_strategy_scalability(benchmark, emit, sim_params):
+    results = once(benchmark, lambda: _figure8(sim_params))
+    emit("fig8_strategy_scalability", _render(results))
+
+    for name, per_strategy in results.items():
+        users = [per_strategy[s][0] for s in STRATEGY_ORDER]
+        assert users == sorted(users, reverse=True), (
+            f"{name}: gradient violated: {users}"
+        )
+        hit_rates = [per_strategy[s][1].hit_rate for s in STRATEGY_ORDER]
+        assert hit_rates == sorted(hit_rates, reverse=True), name
+
+    # Blanket encryption badly hurts scalability (paper Section 5.3).
+    for name, per_strategy in results.items():
+        best = per_strategy[STRATEGY_ORDER[0]][0]
+        worst = per_strategy[STRATEGY_ORDER[-1]][0]
+        assert worst < best, name
+
+    # bboard collapses under template-level and blind strategies.
+    from repro.dssp import StrategyClass
+
+    bboard = results["bboard"]
+    assert bboard[StrategyClass.MTIS][0] <= 0.2 * bboard[StrategyClass.MVIS][0]
+    assert bboard[StrategyClass.MBS][0] <= 0.2 * bboard[StrategyClass.MVIS][0]

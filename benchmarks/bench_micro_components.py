@@ -1,0 +1,174 @@
+"""Component micro-benchmarks (throughput of the building blocks).
+
+Unlike the table/figure benchmarks (which run an experiment once), these
+time the hot paths repeatedly, giving honest ops/sec numbers for the SQL
+front end, the executor, the crypto, and the invalidation decision — the
+costs the simulator's service-time constants abstract.
+"""
+
+import random
+
+from repro.analysis.independence import statement_independent
+from repro.crypto.cipher import decrypt, encrypt
+from repro.sql.formatter import to_sql
+from repro.sql.parser import parse
+from repro.templates.binding import bind
+from repro.workloads import get_application
+
+from benchmarks.conftest import deploy
+
+_SQL = (
+    "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE i_a_id = a_id AND i_subject = ? ORDER BY i_title LIMIT 50"
+)
+
+
+def test_micro_parse(benchmark):
+    result = benchmark(parse, _SQL)
+    assert result.tables
+
+
+def test_micro_format(benchmark):
+    statement = parse(_SQL)
+    text = benchmark(to_sql, statement)
+    assert text.startswith("SELECT")
+
+
+def test_micro_bind(benchmark):
+    statement = parse(_SQL)
+    bound = benchmark(bind, statement, ["history"])
+    assert bound.where
+
+
+def test_micro_execute_point_query(benchmark):
+    app = get_application("bookstore")
+    instance = app.instantiate(scale=0.2, seed=1)
+    query = bind(parse("SELECT i_stock FROM item WHERE i_id = ?"), [7])
+    result = benchmark(instance.database.execute, query)
+    assert len(result) == 1
+
+
+def test_micro_execute_join_query(benchmark):
+    app = get_application("bookstore")
+    instance = app.instantiate(scale=0.2, seed=1)
+    query = bind(parse(_SQL), ["history"])
+    result = benchmark(instance.database.execute, query)
+    assert result.columns
+
+
+def test_micro_encrypt_decrypt(benchmark):
+    key = b"0123456789abcdef0123456789abcdef"
+    payload = b"x" * 2000
+
+    def round_trip():
+        return decrypt(key, encrypt(key, payload))
+
+    assert benchmark(round_trip) == payload
+
+
+def test_micro_statement_independence(benchmark):
+    app = get_application("bookstore")
+    schema = app.registry.schema
+    update = bind(
+        parse("UPDATE item SET i_stock = ? WHERE i_id = ?"), [10, 5]
+    )
+    query = bind(parse("SELECT i_stock FROM item WHERE i_id = ?"), [9])
+    assert benchmark(statement_independent, schema, update, query)
+
+
+def test_micro_end_to_end_cached_query(benchmark):
+    from repro.dssp import StrategyClass
+
+    node, home, sampler = deploy("bookstore", strategy=StrategyClass.MVIS)
+    bound = home.registry.query("getStock").bind([3])
+    envelope = home.codec.seal_query(
+        bound, home.policy.query_level("getStock")
+    )
+    node.query(envelope)  # warm the entry
+
+    outcome = benchmark(node.query, envelope)
+    assert outcome.cache_hit
+
+
+def test_micro_invalidation_cost_by_strategy(benchmark, emit):
+    """The runtime price of precision: per-update invalidation latency.
+
+    Populates identical caches under each uniform exposure level and times
+    one representative update's invalidation pass.  Precision costs CPU at
+    the DSSP (per-entry statement/view checks) but saves WAN round trips;
+    the simulator's ``dssp_invalidation_s`` constant abstracts exactly this
+    number.
+    """
+    import time
+
+    from repro.dssp import StrategyClass
+
+    timings = {}
+    for strategy in (
+        StrategyClass.MBS,
+        StrategyClass.MTIS,
+        StrategyClass.MSIS,
+        StrategyClass.MVIS,
+    ):
+        node, home, sampler = deploy("bookstore", strategy=strategy)
+        rng = random.Random(0)
+        for _ in range(200):
+            for operation in sampler.sample_page(rng):
+                if not operation.is_update:
+                    level = home.policy.query_level(operation.bound.template.name)
+                    node.query(home.codec.seal_query(operation.bound, level))
+        entries_before = len(node.cache)
+        bound = home.registry.update("setStock").bind([10, 5])
+        envelope = home.codec.seal_update(
+            bound, home.policy.update_level("setStock")
+        )
+        node.forward_update(envelope)
+        started = time.perf_counter()
+        invalidated = node.invalidate_for(envelope)
+        elapsed = time.perf_counter() - started
+        timings[strategy.name] = (entries_before, invalidated, elapsed)
+
+    lines = [
+        f"{'strategy':<8} {'cached views':>13} {'invalidated':>12} "
+        f"{'decision time':>14}",
+        "-" * 52,
+    ]
+    for name, (entries, invalidated, elapsed) in timings.items():
+        lines.append(
+            f"{name:<8} {entries:>13} {invalidated:>12} {elapsed * 1e6:>11.0f} us"
+        )
+    emit("micro_invalidation_cost", "\n".join(lines))
+
+    def measured():
+        return timings
+
+    benchmark.pedantic(measured, rounds=1, iterations=1)
+    # Blind wipes everything it sees; precise strategies keep most views.
+    assert timings["MBS"][1] == timings["MBS"][0]
+    assert timings["MVIS"][1] <= timings["MTIS"][1]
+
+
+def test_micro_update_with_invalidation(benchmark):
+    from repro.dssp import StrategyClass
+
+    node, home, sampler = deploy("bookstore", strategy=StrategyClass.MSIS)
+    rng = random.Random(0)
+    # Populate a realistic cache to give the engine buckets to scan.
+    for _ in range(300):
+        for operation in sampler.sample_page(rng):
+            if not operation.is_update:
+                level = home.policy.query_level(operation.bound.template.name)
+                node.query(home.codec.seal_query(operation.bound, level))
+
+    counter = [1000]
+
+    def one_update():
+        counter[0] += 1
+        bound = home.registry.update("setStock").bind([counter[0] % 400, 5])
+        envelope = home.codec.seal_update(
+            bound, home.policy.update_level("setStock")
+        )
+        return node.update(envelope)
+
+    outcome = benchmark(one_update)
+    assert outcome.rows_affected >= 0

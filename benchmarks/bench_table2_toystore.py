@@ -1,0 +1,83 @@
+"""Paper Table 2 — invalidations under the four information regimes.
+
+Seeds the DSSP cache with Q1('toy5'), Q2(5), Q2(7), Q3(1) of the
+simple-toystore application, applies update U1(5), and reports which
+cached results each regime invalidates.  Expected (paper Table 2)::
+
+    blind    -> all of Q1, Q2, Q3            (4 invalidations)
+    template -> all Q1, all Q2               (3)
+    stmt     -> all Q1, Q2 if toy_id = 5     (2)
+    view     -> Q1/Q2 only if they involve 5 (2 here; 0 for U1(3))
+"""
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+from repro.workloads import simple_toystore_spec
+
+from benchmarks.conftest import once
+
+LEVELS = (
+    ExposureLevel.BLIND,
+    ExposureLevel.TEMPLATE,
+    ExposureLevel.STMT,
+    ExposureLevel.VIEW,
+)
+
+
+def _run_regime(level: ExposureLevel, update_param: int) -> tuple[int, list[str]]:
+    spec = simple_toystore_spec()
+    instance = spec.instantiate(scale=0.5, seed=7)
+    policy = ExposurePolicy.uniform(spec.registry, level)
+    home = HomeServer(
+        "toystore", instance.database, spec.registry, policy, Keyring("toystore")
+    )
+    node = DsspNode()
+    node.register_application(home)
+    seeds = [
+        spec.registry.query("Q1").bind(["toy5"]),
+        spec.registry.query("Q2").bind([5]),
+        spec.registry.query("Q2").bind([7]),
+        spec.registry.query("Q3").bind([1]),
+    ]
+    for bound in seeds:
+        node.query(
+            home.codec.seal_query(bound, policy.query_level(bound.template.name))
+        )
+    update = spec.registry.update("U1").bind([update_param])
+    outcome = node.update(
+        home.codec.seal_update(update, policy.update_level("U1"))
+    )
+    survivors = sorted(
+        entry.template_name or "<blind>"
+        for entry in node.cache.entries_for_app("toystore")
+    )
+    return outcome.invalidated, survivors
+
+
+def test_table2_invalidation_regimes(benchmark, emit):
+    def experiment():
+        lines = [
+            f"{'regime':<10} {'invalidated':>12}  surviving cached views",
+            "-" * 60,
+        ]
+        counts = {}
+        for level in LEVELS:
+            invalidated, survivors = _run_regime(level, update_param=5)
+            counts[level] = invalidated
+            lines.append(
+                f"{level.label:<10} {invalidated:>12}  {', '.join(survivors) or '-'}"
+            )
+        invalidated, survivors = _run_regime(ExposureLevel.VIEW, update_param=3)
+        lines.append(
+            f"{'view U1(3)':<10} {invalidated:>12}  {', '.join(survivors) or '-'}"
+        )
+        return counts, "\n".join(lines)
+
+    counts, table = once(benchmark, experiment)
+    emit("table2_invalidation_regimes", table)
+
+    assert counts[ExposureLevel.BLIND] == 4
+    assert counts[ExposureLevel.TEMPLATE] == 3
+    assert counts[ExposureLevel.STMT] == 2
+    assert counts[ExposureLevel.VIEW] <= 2

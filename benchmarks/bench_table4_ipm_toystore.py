@@ -1,0 +1,37 @@
+"""Paper Table 4 — IPM characterization of the elaborate toystore.
+
+Regenerates the full characterization matrix and checks every cell against
+the paper's published values.
+"""
+
+from repro.analysis import characterize_application, format_ipm_table
+from repro.workloads import toystore_spec
+
+from benchmarks.conftest import once
+
+#: (update, query) -> (a_is_zero, b_equals_a, c_equals_b), from Table 4.
+PAPER_TABLE_4 = {
+    ("U1", "Q1"): (False, True, False),  # A=1, B=A, C<B
+    ("U1", "Q2"): (False, False, True),  # A=1, B<A, C=B
+    ("U1", "Q3"): (True, True, True),  # A=0
+    ("U2", "Q1"): (True, True, True),
+    ("U2", "Q2"): (True, True, True),
+    ("U2", "Q3"): (False, False, True),  # A=1, B<A, C=B
+}
+
+
+def test_table4_ipm_characterization(benchmark, emit):
+    registry = toystore_spec().registry
+
+    def experiment():
+        characterization = characterize_application(registry)
+        return characterization, format_ipm_table(characterization)
+
+    characterization, table = once(benchmark, experiment)
+    emit("table4_ipm_toystore", table)
+
+    for (update, query), expected in PAPER_TABLE_4.items():
+        pair = characterization.pair(update, query)
+        assert (pair.a_is_zero, pair.b_equals_a, pair.c_equals_b) == expected, (
+            f"{update}/{query} diverges from paper Table 4"
+        )

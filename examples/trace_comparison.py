@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Apples-to-apples strategy comparison over a recorded workload trace.
+
+Records one bookstore workload trace, replays the *identical* operation
+stream against a deployment per invalidation-strategy class, and emits the
+comparison both as a table and as CSV (via :mod:`repro.export`) — the
+workflow a practitioner would use to decide how much encryption their own
+application can afford.
+
+Run:  python examples/trace_comparison.py
+"""
+
+from repro import (
+    DsspNode,
+    ExposurePolicy,
+    HomeServer,
+    Keyring,
+    SimulationParams,
+    StrategyClass,
+    find_scalability,
+    get_application,
+)
+from repro.export import cache_behavior_to_csv
+from repro.simulation.scalability import CacheBehavior
+from repro.workloads import Trace, record_trace
+
+PAGES = 800
+
+
+def replay(trace_json: str, strategy: StrategyClass) -> CacheBehavior:
+    spec = get_application("bookstore")
+    instance = spec.instantiate(scale=0.2, seed=1)
+    policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    home = HomeServer(
+        "bookstore", instance.database, spec.registry, policy, Keyring("bookstore")
+    )
+    node = DsspNode()
+    node.register_application(home)
+
+    trace = Trace.from_json(trace_json).bind(spec.registry)
+    queries = updates = 0
+    for _ in range(len(trace)):
+        for operation in trace.sample_page():
+            bound = operation.bound
+            if operation.is_update:
+                level = policy.update_level(bound.template.name)
+                node.update(home.codec.seal_update(bound, level))
+                updates += 1
+            else:
+                level = policy.query_level(bound.template.name)
+                node.query(home.codec.seal_query(bound, level))
+                queries += 1
+    pages = len(trace)
+    return CacheBehavior(
+        pages=pages,
+        queries_per_page=queries / pages,
+        hits_per_page=node.stats.hits / pages,
+        misses_per_page=node.stats.misses / pages,
+        updates_per_page=updates / pages,
+        invalidations_per_update=(
+            node.stats.invalidations / updates if updates else 0.0
+        ),
+    )
+
+
+def main() -> None:
+    spec = get_application("bookstore")
+    recorder = spec.instantiate(scale=0.2, seed=1)
+    print(f"Recording a {PAGES}-page bookstore trace...")
+    trace = record_trace(recorder.sampler, PAGES, seed=11, application="bookstore")
+    trace_json = trace.to_json()
+    print(f"  trace: {len(trace)} pages, {len(trace_json)} bytes as JSON")
+
+    params = SimulationParams()
+    behaviors = {}
+    print(f"\n{'strategy':<8} {'hit rate':>9} {'inval/upd':>10} {'max users':>10}")
+    for strategy in (
+        StrategyClass.MVIS,
+        StrategyClass.MSIS,
+        StrategyClass.MTIS,
+        StrategyClass.MBS,
+    ):
+        behavior = replay(trace_json, strategy)
+        behaviors[strategy.name] = behavior
+        users = find_scalability(params, behavior=behavior)
+        print(
+            f"{strategy.name:<8} {behavior.hit_rate:>9.3f} "
+            f"{behavior.invalidations_per_update:>10.2f} {users:>10}"
+        )
+
+    print("\nCSV (feed to your plotting tool):\n")
+    print(cache_behavior_to_csv(behaviors))
+
+
+if __name__ == "__main__":
+    main()

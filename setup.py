@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools predates built-in ``bdist_wheel``
+(legacy ``setup.py develop`` needs no wheel package).
+"""
+
+from setuptools import setup
+
+setup()

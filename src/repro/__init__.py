@@ -1,0 +1,105 @@
+"""repro — a reproduction of *Simultaneous Scalability and Security for
+Data-Intensive Web Applications* (Manjhi et al., SIGMOD 2006).
+
+The library implements, from scratch:
+
+* the paper's SQL dialect, an in-memory relational engine, and a template
+  system (:mod:`repro.sql`, :mod:`repro.storage`, :mod:`repro.templates`);
+* the **static security/scalability analysis** — IPM characterization and
+  the scalability-conscious security design methodology
+  (:mod:`repro.analysis`);
+* a **Database Scalability Service Provider** runtime with the four
+  minimal invalidation strategy classes and deterministic encryption
+  (:mod:`repro.dssp`, :mod:`repro.crypto`);
+* the evaluation harness: three benchmark applications (auction / bboard /
+  bookstore) and the scalability simulator (:mod:`repro.workloads`,
+  :mod:`repro.simulation`).
+
+Quickstart::
+
+    from repro import get_application, design_exposure_policy
+
+    app = get_application("bookstore")
+    result = design_exposure_policy(app.registry)
+    print(result.encrypted_result_count(), "of",
+          len(app.registry.queries), "query results encryptable for free")
+"""
+
+from repro.analysis import (
+    ExposureLevel,
+    ExposurePolicy,
+    IpmCharacterization,
+    PairCharacterization,
+    characterize_application,
+    characterize_pair,
+    design_exposure_policy,
+    format_ipm_table,
+    format_summary_table,
+    summarize_characterization,
+)
+from repro.analysis.diagnostics import check_runtime_assumptions
+from repro.crypto import EnvelopeCodec, Keyring
+from repro.dssp import (
+    DsspNode,
+    HomeServer,
+    InvalidationEngine,
+    StrategyClass,
+    verify_invalidation_correctness,
+)
+from repro.errors import ReproError
+from repro.schema import Attribute, Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.simulation import (
+    SimulationParams,
+    find_scalability,
+    measure_cache_behavior,
+    predict_p90,
+    simulate_users,
+)
+from repro.sql import parse, to_sql
+from repro.storage import Database, ResultSet
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.workloads import APPLICATIONS, get_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPLICATIONS",
+    "Attribute",
+    "Column",
+    "ColumnType",
+    "Database",
+    "DsspNode",
+    "EnvelopeCodec",
+    "ExposureLevel",
+    "ExposurePolicy",
+    "ForeignKey",
+    "HomeServer",
+    "InvalidationEngine",
+    "IpmCharacterization",
+    "Keyring",
+    "PairCharacterization",
+    "QueryTemplate",
+    "ReproError",
+    "ResultSet",
+    "Schema",
+    "SimulationParams",
+    "StrategyClass",
+    "TableSchema",
+    "TemplateRegistry",
+    "UpdateTemplate",
+    "characterize_application",
+    "characterize_pair",
+    "check_runtime_assumptions",
+    "design_exposure_policy",
+    "find_scalability",
+    "format_ipm_table",
+    "format_summary_table",
+    "get_application",
+    "measure_cache_behavior",
+    "parse",
+    "predict_p90",
+    "simulate_users",
+    "summarize_characterization",
+    "to_sql",
+    "verify_invalidation_correctness",
+]

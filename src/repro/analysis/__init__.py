@@ -1,0 +1,58 @@
+"""Static security/scalability analysis — the paper's core contribution.
+
+* :mod:`~repro.analysis.exposure` — per-template exposure levels
+  (``blind < template < stmt < view``, paper Figure 5) and the exposure →
+  IPM-entry mapping (Figure 6).
+* :mod:`~repro.analysis.ipm` — the Invalidation Probability Matrix
+  characterization (Section 4): decides statically, per update/query
+  template pair, whether A = 1 vs 0, B = A, and C = B.
+* :mod:`~repro.analysis.constraints` — integrity-constraint refinement
+  (Section 4.5): primary-key and foreign-key rules that force A = 0.
+* :mod:`~repro.analysis.methodology` — the scalability-conscious security
+  design methodology (Section 3.1): compulsory encryption (Step 1), then
+  the greedy maximal exposure reduction that provably leaves every IPM
+  entry unchanged (Step 2b).
+* :mod:`~repro.analysis.report` — Table 4 / Table 7 / Figure 7 renderings.
+"""
+
+from repro.analysis.exposure import (
+    ExposureLevel,
+    ExposurePolicy,
+    IpmEntryKind,
+    ipm_entry_kind,
+)
+from repro.analysis.ipm import (
+    IpmCharacterization,
+    PairCharacterization,
+    characterize_application,
+    characterize_pair,
+)
+from repro.analysis.methodology import (
+    MethodologyResult,
+    apply_compulsory_encryption,
+    design_exposure_policy,
+    reduce_exposure_levels,
+)
+from repro.analysis.report import (
+    format_ipm_table,
+    format_summary_table,
+    summarize_characterization,
+)
+
+__all__ = [
+    "ExposureLevel",
+    "ExposurePolicy",
+    "IpmCharacterization",
+    "IpmEntryKind",
+    "MethodologyResult",
+    "PairCharacterization",
+    "apply_compulsory_encryption",
+    "characterize_application",
+    "characterize_pair",
+    "design_exposure_policy",
+    "format_ipm_table",
+    "format_summary_table",
+    "ipm_entry_kind",
+    "reduce_exposure_levels",
+    "summarize_characterization",
+]

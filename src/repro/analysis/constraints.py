@@ -1,0 +1,143 @@
+"""Integrity-constraint refinement of the IPM (paper Section 4.5).
+
+Two rules let the DSSP conclude A_ij = 0 (hence B = C = 0 by Property 3)
+for insertion templates even when the pair is not ignorable:
+
+1. **Primary-key rule.**  If every occurrence of the inserted-into table in
+   the query is pinned by an equality predicate covering the table's full
+   primary key (against a constant or parameter), then an insertion cannot
+   affect any cached instance: the cached instance selected key value(s)
+   that — under the paper's non-empty-result assumption — already exist,
+   and the primary key forbids inserting a duplicate.
+
+2. **Foreign-key rule.**  If every occurrence of the inserted-into (parent)
+   table in the query is joined, via equality, to a child table's
+   foreign-key column referencing the parent's key, then an insertion
+   cannot affect any instance: the fresh parent key is new (PK uniqueness),
+   and FK integrity means no child row references it yet.
+
+Both rules assume the constraints themselves are visible to the DSSP — the
+paper argues (footnote 4) that integrity constraints are insensitive data
+for all three benchmark applications.
+"""
+
+from __future__ import annotations
+
+from repro.schema.schema import Schema
+from repro.sql.ast import (
+    ColumnRef,
+    ComparisonOp,
+    Delete,
+    Insert,
+    Select,
+    Update,
+)
+
+__all__ = ["constraint_implies_no_effect"]
+
+
+def constraint_implies_no_effect(
+    schema: Schema, update: Insert | Delete | Update, query: Select
+) -> bool:
+    """Return True if integrity constraints prove the update cannot affect
+    any instance of the query (A_ij = 0).
+
+    Only insertion templates benefit from the Section 4.5 rules; deletions
+    and modifications return False here (ignorability may still apply via
+    Lemma 1, which the caller checks separately).
+    """
+    if not isinstance(update, Insert):
+        return False
+    table = schema.table(update.table)
+    scope = {ref.binding: ref.name for ref in query.tables}
+    target_bindings = [
+        binding for binding, base in scope.items() if base == table.name
+    ]
+    if not target_bindings:
+        # The query never reads the table; Lemma 1 (ignorability) covers it.
+        return False
+    return all(
+        _binding_pinned_by_key(table, query, scope, binding)
+        or _binding_joined_via_foreign_key(schema, table, query, scope, binding)
+        for binding in target_bindings
+    )
+
+
+def _refers_to(ref: ColumnRef, binding: str, scope: dict[str, str]) -> bool:
+    """True if ``ref`` resolves to the given binding.
+
+    Template registration already guarantees every reference resolves
+    uniquely, so an unqualified reference whose column belongs to the
+    binding's base table can only mean that binding (a self-join would have
+    made it ambiguous and been rejected).
+    """
+    if ref.table is not None:
+        return ref.table == binding
+    return True
+
+
+def _binding_pinned_by_key(
+    table, query: Select, scope: dict[str, str], binding: str
+) -> bool:
+    """Primary-key rule: equality on the full PK against constants/params."""
+    if not table.primary_key:
+        return False
+    pinned: set[str] = set()
+    for comparison in query.where:
+        if comparison.op is not ComparisonOp.EQ or comparison.is_join():
+            continue
+        for ref in comparison.column_refs():
+            if not table.has_column(ref.column):
+                continue
+            if not _refers_to(ref, binding, scope):
+                continue
+            if table.is_key_column(ref.column):
+                pinned.add(ref.column)
+    return set(table.primary_key) <= pinned
+
+
+def _binding_joined_via_foreign_key(
+    schema: Schema, table, query: Select, scope: dict[str, str], binding: str
+) -> bool:
+    """Foreign-key rule: equality join child.fk = parent.pk pins the parent."""
+    if len(table.primary_key) != 1:
+        return False
+    key_column = table.primary_key[0]
+    for comparison in query.where:
+        if comparison.op is not ComparisonOp.EQ or not comparison.is_join():
+            continue
+        left, right = comparison.left, comparison.right
+        assert isinstance(left, ColumnRef) and isinstance(right, ColumnRef)
+        for parent_ref, child_ref in ((left, right), (right, left)):
+            if parent_ref.column != key_column:
+                continue
+            if parent_ref.table is not None and parent_ref.table != binding:
+                continue
+            if parent_ref.table is None and scope.get(binding) != table.name:
+                continue
+            child_base = _resolve_base(schema, scope, child_ref)
+            if child_base is None or child_base == table.name:
+                continue
+            child_table = schema.table(child_base)
+            for foreign_key in child_table.foreign_keys:
+                if (
+                    foreign_key.column == child_ref.column
+                    and foreign_key.ref_table == table.name
+                    and foreign_key.ref_column == key_column
+                ):
+                    return True
+    return False
+
+
+def _resolve_base(
+    schema: Schema, scope: dict[str, str], ref: ColumnRef
+) -> str | None:
+    if ref.table is not None:
+        return scope.get(ref.table)
+    # Unqualified: registration guarantees unique ownership across scope.
+    owners = {
+        base for base in scope.values() if schema.table(base).has_column(ref.column)
+    }
+    if len(owners) == 1:
+        return owners.pop()
+    return None

@@ -1,0 +1,126 @@
+"""Diagnostics: validate the analysis preconditions on a live application.
+
+The static analysis is sound under assumptions the paper spells out in
+Section 2.1.1 — some purely syntactic (checked automatically during
+characterization), two about *execution*:
+
+1. no query whose result is subject to invalidation by an insertion or a
+   deletion returns an empty result set (this underwrites the primary-key
+   constraint rule of Section 4.5);
+2. each update has some effect on the database (``D != D + U``).
+
+The paper verified both held throughout its benchmark runs.  This module
+gives an administrator the same check for their own application: stream a
+sample workload and report every violation, so assumption drift is caught
+before it silently degrades the analysis' precision.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.storage.database import Database
+from repro.templates.template import BoundQuery, BoundUpdate
+
+__all__ = ["AssumptionReport", "check_runtime_assumptions"]
+
+
+@dataclass
+class AssumptionReport:
+    """Outcome of a runtime-assumption check over a sampled workload.
+
+    Attributes:
+        pages: Pages streamed.
+        queries: Query instances executed.
+        updates: Update instances applied.
+        empty_result_count: Queries that returned empty results
+            (assumption-1 candidates).
+        ineffective_update_count: Updates that changed nothing
+            (assumption-2 violations).
+        empty_result_examples: Up to ``max_recorded`` offending
+            (template, params) pairs.
+        ineffective_update_examples: Likewise for updates.
+    """
+
+    pages: int = 0
+    queries: int = 0
+    updates: int = 0
+    empty_result_count: int = 0
+    ineffective_update_count: int = 0
+    empty_result_examples: list[tuple[str, tuple]] = field(default_factory=list)
+    ineffective_update_examples: list[tuple[str, tuple]] = field(
+        default_factory=list
+    )
+
+    @property
+    def empty_result_rate(self) -> float:
+        """Fraction of queries with empty results."""
+        if not self.queries:
+            return 0.0
+        return self.empty_result_count / self.queries
+
+    @property
+    def ineffective_update_rate(self) -> float:
+        """Fraction of updates that changed nothing."""
+        if not self.updates:
+            return 0.0
+        return self.ineffective_update_count / self.updates
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        return (
+            f"{self.pages} pages: {self.queries} queries "
+            f"({self.empty_result_count} empty results, "
+            f"{self.empty_result_rate:.1%}), {self.updates} updates "
+            f"({self.ineffective_update_count} ineffective, "
+            f"{self.ineffective_update_rate:.1%})"
+        )
+
+
+def check_runtime_assumptions(
+    database: Database,
+    sampler,
+    pages: int = 500,
+    seed: int = 0,
+    max_recorded: int = 50,
+) -> AssumptionReport:
+    """Stream ``pages`` sampled pages directly against a database clone.
+
+    Runs without a DSSP in the loop (the assumptions are about the
+    application, not the cache).  The database is cloned, so the caller's
+    instance is untouched.
+
+    Args:
+        database: The application's populated database.
+        sampler: A page sampler (``sample_page(rng) -> operations``).
+        pages: How many pages to stream.
+        seed: Workload RNG seed.
+        max_recorded: Cap on *recorded examples* per category; the counts
+            and rates always cover the full stream.
+    """
+    db = database.clone()
+    rng = random.Random(seed)
+    report = AssumptionReport()
+    for _ in range(pages):
+        report.pages += 1
+        for operation in sampler.sample_page(rng):
+            bound = operation.bound
+            if isinstance(bound, BoundQuery):
+                report.queries += 1
+                if db.execute(bound.select).empty:
+                    report.empty_result_count += 1
+                    if len(report.empty_result_examples) < max_recorded:
+                        report.empty_result_examples.append(
+                            (bound.template.name, bound.params)
+                        )
+            else:
+                assert isinstance(bound, BoundUpdate)
+                report.updates += 1
+                if db.apply(bound.statement) == 0:
+                    report.ineffective_update_count += 1
+                    if len(report.ineffective_update_examples) < max_recorded:
+                        report.ineffective_update_examples.append(
+                            (bound.template.name, bound.params)
+                        )
+    return report

@@ -1,0 +1,198 @@
+"""The scalability-conscious security design methodology (paper Section 3).
+
+Three steps:
+
+1. **Compulsory encryption** — starting from maximum exposure, reduce the
+   exposure of templates that touch highly-sensitive data (e.g. credit-card
+   information under California SB 1386) to ``template`` level, hiding
+   parameters and results while keeping the template visible.
+2. **Free reductions** — using the IPM characterization (Step 2a), greedily
+   reduce every template's exposure as far as possible *without changing
+   any pair's invalidation probability* (Step 2b).  The greedy loop is
+   order-independent: a reduction is taken only when provably free, and
+   freeness is monotone in the other templates' levels only through the
+   symbolic entry tokens, which the loop re-checks until fixpoint.
+3. **Manual tradeoff** — whatever remains above its floor is reported for
+   the administrator to weigh (we surface it; deciding is policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.analysis.ipm import IpmCharacterization, characterize_application
+from repro.templates.registry import TemplateRegistry
+from repro.templates.template import Sensitivity
+
+__all__ = [
+    "MethodologyResult",
+    "apply_compulsory_encryption",
+    "design_exposure_policy",
+    "reduce_exposure_levels",
+]
+
+
+@dataclass(frozen=True)
+class MethodologyResult:
+    """Outcome of the three-step methodology for one application.
+
+    Attributes:
+        initial: Exposure levels after Step 1 (compulsory encryption only)
+            — the dashed lines of Figure 7.
+        final: Exposure levels after Step 2b — the solid lines of Figure 7.
+        characterization: The Step 2a IPM characterization used.
+        residual_queries: Query templates still above ``blind`` whose
+            further reduction would change some invalidation probability —
+            the Step 3 worklist.
+        residual_updates: Likewise for update templates.
+    """
+
+    initial: ExposurePolicy
+    final: ExposurePolicy
+    characterization: IpmCharacterization
+    residual_queries: tuple[str, ...] = ()
+    residual_updates: tuple[str, ...] = ()
+
+    def encrypted_result_count(self) -> int:
+        """Query templates whose results end up encrypted (Figure 3 metric)."""
+        return self.final.encrypted_result_count()
+
+    def exposure_reduction_summary(self) -> dict[str, tuple[str, str]]:
+        """Template name → (initial level, final level) for reporting."""
+        summary: dict[str, tuple[str, str]] = {}
+        for name, level in self.initial.query_levels.items():
+            summary[name] = (level.label, self.final.query_level(name).label)
+        for name, level in self.initial.update_levels.items():
+            summary[name] = (level.label, self.final.update_level(name).label)
+        return summary
+
+
+def apply_compulsory_encryption(
+    registry: TemplateRegistry,
+    compulsory_level: ExposureLevel = ExposureLevel.TEMPLATE,
+) -> ExposurePolicy:
+    """Step 1: reduce highly-sensitive templates to ``compulsory_level``.
+
+    Sensitivity is declared on the templates themselves (the benchmark
+    applications label credit-card-touching templates ``HIGH``, mirroring
+    the paper's use of the California data privacy law).
+    """
+    policy = ExposurePolicy.maximum_exposure(registry)
+    for query in registry.queries:
+        if query.sensitivity is Sensitivity.HIGH:
+            level = min(policy.query_level(query.name), compulsory_level)
+            policy = policy.with_query_level(query.name, ExposureLevel(level))
+    for update in registry.updates:
+        if update.sensitivity is Sensitivity.HIGH:
+            level = min(policy.update_level(update.name), compulsory_level)
+            policy = policy.with_update_level(update.name, ExposureLevel(level))
+    return policy
+
+
+def reduce_exposure_levels(
+    characterization: IpmCharacterization,
+    initial: ExposurePolicy,
+    order: list[tuple[str, str]] | None = None,
+) -> ExposurePolicy:
+    """Step 2b: greedy maximal exposure reduction at zero scalability cost.
+
+    Repeatedly try to lower each template one notch; accept the reduction
+    iff every IPM entry's symbolic value is unchanged.  Terminates at a
+    fixpoint; the paper notes the outcome is order-independent (the test
+    suite verifies this by passing shuffled ``order`` values — a list of
+    ``("query"|"update", name)`` pairs controlling the visit sequence).
+    """
+    registry = characterization.registry
+    if order is None:
+        order = [("query", q.name) for q in registry.queries] + [
+            ("update", u.name) for u in registry.updates
+        ]
+    policy = initial
+    changed = True
+    while changed:
+        changed = False
+        for kind, name in order:
+            if kind == "query":
+                current = policy.query_level(name)
+                if current is ExposureLevel.BLIND:
+                    continue
+                candidate = ExposureLevel(current - 1)
+                if _query_reduction_is_free(
+                    characterization, policy, name, current, candidate
+                ):
+                    policy = policy.with_query_level(name, candidate)
+                    changed = True
+            else:
+                current = policy.update_level(name)
+                if current is ExposureLevel.BLIND:
+                    continue
+                candidate = ExposureLevel(current - 1)
+                if _update_reduction_is_free(
+                    characterization, policy, name, current, candidate
+                ):
+                    policy = policy.with_update_level(name, candidate)
+                    changed = True
+    return policy
+
+
+def _query_reduction_is_free(
+    characterization: IpmCharacterization,
+    policy: ExposurePolicy,
+    query_name: str,
+    current: ExposureLevel,
+    candidate: ExposureLevel,
+) -> bool:
+    for pair in characterization.pairs_for_query(query_name):
+        update_level = policy.update_level(pair.update_name)
+        before = pair.symbolic_value(update_level, current)
+        after = pair.symbolic_value(update_level, candidate)
+        if before != after:
+            return False
+    return True
+
+
+def _update_reduction_is_free(
+    characterization: IpmCharacterization,
+    policy: ExposurePolicy,
+    update_name: str,
+    current: ExposureLevel,
+    candidate: ExposureLevel,
+) -> bool:
+    for pair in characterization.pairs_for_update(update_name):
+        query_level = policy.query_level(pair.query_name)
+        before = pair.symbolic_value(current, query_level)
+        after = pair.symbolic_value(candidate, query_level)
+        if before != after:
+            return False
+    return True
+
+
+def design_exposure_policy(
+    registry: TemplateRegistry,
+    use_integrity_constraints: bool = True,
+    compulsory_level: ExposureLevel = ExposureLevel.TEMPLATE,
+) -> MethodologyResult:
+    """Run the full methodology (Steps 1, 2a, 2b) on an application."""
+    initial = apply_compulsory_encryption(registry, compulsory_level)
+    characterization = characterize_application(
+        registry, use_integrity_constraints
+    )
+    final = reduce_exposure_levels(characterization, initial)
+    residual_queries = tuple(
+        q.name
+        for q in registry.queries
+        if final.query_level(q.name) > ExposureLevel.BLIND
+    )
+    residual_updates = tuple(
+        u.name
+        for u in registry.updates
+        if final.update_level(u.name) > ExposureLevel.BLIND
+    )
+    return MethodologyResult(
+        initial=initial,
+        final=final,
+        characterization=characterization,
+        residual_queries=residual_queries,
+        residual_updates=residual_updates,
+    )

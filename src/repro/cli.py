@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``apps`` — list the built-in benchmark applications.
+* ``templates APP`` — print an application's query/update templates.
+* ``ipm APP`` — print the full IPM characterization matrix (Table 4 style).
+* ``analyze APP`` — print the Table 7 style summary and the free-encryption
+  count.
+* ``methodology APP`` — run the three-step design methodology and print
+  initial → final exposure levels (Figure 7 style).
+* ``scalability APP`` — measure cache behaviour per strategy class and
+  report max users within the SLA (Figure 8 style).
+* ``simulate APP --users N`` — one discrete-event simulation run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    characterize_application,
+    design_exposure_policy,
+    format_ipm_table,
+    format_summary_table,
+    summarize_characterization,
+)
+from repro.analysis.exposure import ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer, StrategyClass
+from repro.simulation import (
+    SimulationParams,
+    find_scalability,
+    measure_cache_behavior,
+    simulate_users,
+)
+from repro.workloads import APPLICATIONS, get_application
+
+__all__ = ["main"]
+
+
+def _add_app_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "app",
+        choices=sorted(APPLICATIONS),
+        help="benchmark application name",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Simultaneous Scalability and Security for "
+            "Data-Intensive Web Applications' (SIGMOD 2006)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("apps", help="list benchmark applications")
+
+    templates = commands.add_parser(
+        "templates", help="print an application's templates"
+    )
+    _add_app_argument(templates)
+
+    ipm = commands.add_parser("ipm", help="print the IPM characterization")
+    _add_app_argument(ipm)
+    ipm.add_argument(
+        "--no-constraints",
+        action="store_true",
+        help="disable the Section 4.5 integrity-constraint rules",
+    )
+
+    analyze = commands.add_parser("analyze", help="Table 7 style summary")
+    _add_app_argument(analyze)
+    analyze.add_argument("--no-constraints", action="store_true")
+
+    methodology = commands.add_parser(
+        "methodology", help="run the security design methodology"
+    )
+    _add_app_argument(methodology)
+
+    scalability = commands.add_parser(
+        "scalability", help="Figure 8 style scalability per strategy"
+    )
+    _add_app_argument(scalability)
+    scalability.add_argument(
+        "--pages", type=int, default=1500, help="measurement length"
+    )
+    scalability.add_argument(
+        "--scale", type=float, default=0.2, help="data-size multiplier"
+    )
+    scalability.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        help="DSSP fleet size (clients partitioned; invalidation fans out)",
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="one discrete-event simulation run"
+    )
+    _add_app_argument(simulate)
+    simulate.add_argument("--users", type=int, default=25)
+    simulate.add_argument("--duration", type=float, default=120.0)
+    simulate.add_argument(
+        "--strategy",
+        choices=[s.name for s in StrategyClass],
+        default="MVIS",
+    )
+    simulate.add_argument("--scale", type=float, default=0.2)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="check the paper's runtime assumptions on a sampled workload",
+    )
+    _add_app_argument(diagnose)
+    diagnose.add_argument("--pages", type=int, default=300)
+    diagnose.add_argument("--scale", type=float, default=0.2)
+    diagnose.add_argument("--seed", type=int, default=0)
+
+    export = commands.add_parser(
+        "export", help="emit analysis results as CSV on stdout"
+    )
+    _add_app_argument(export)
+    export.add_argument(
+        "what",
+        choices=["characterization", "methodology", "policy"],
+        help="which artifact to export",
+    )
+    return parser
+
+
+# -- command implementations ---------------------------------------------------------
+
+
+def _cmd_apps(args, out) -> int:
+    for name in sorted(APPLICATIONS):
+        registry = get_application(name).registry
+        print(
+            f"{name:<12} {len(registry.queries):>3} query templates, "
+            f"{len(registry.updates):>3} update templates",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_templates(args, out) -> int:
+    registry = get_application(args.app).registry
+    print(f"# {args.app}: query templates", file=out)
+    for template in registry.queries:
+        print(f"{template.name:<28} {template.sql}", file=out)
+    print(f"\n# {args.app}: update templates", file=out)
+    for template in registry.updates:
+        print(f"{template.name:<28} {template.sql}", file=out)
+    return 0
+
+
+def _cmd_ipm(args, out) -> int:
+    registry = get_application(args.app).registry
+    characterization = characterize_application(
+        registry, use_integrity_constraints=not args.no_constraints
+    )
+    print(format_ipm_table(characterization), file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    registry = get_application(args.app).registry
+    characterization = characterize_application(
+        registry, use_integrity_constraints=not args.no_constraints
+    )
+    summary = summarize_characterization(args.app, characterization)
+    print(format_summary_table([summary]), file=out)
+    result = design_exposure_policy(registry)
+    print(
+        f"\nquery results encryptable at zero scalability cost: "
+        f"{result.encrypted_result_count()} of {len(registry.queries)}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_methodology(args, out) -> int:
+    registry = get_application(args.app).registry
+    result = design_exposure_policy(registry)
+    print(f"# {args.app}: exposure levels (initial -> final)", file=out)
+    for name, (initial, final) in sorted(
+        result.exposure_reduction_summary().items()
+    ):
+        marker = "   [reduced]" if initial != final else ""
+        print(f"{name:<28} {initial:>8} -> {final}{marker}", file=out)
+    print(
+        f"\nresidual (Step 3) queries: {', '.join(result.residual_queries)}",
+        file=out,
+    )
+    return 0
+
+
+def _deploy(app_name: str, strategy: StrategyClass, scale: float, seed: int = 1):
+    spec = get_application(app_name)
+    instance = spec.instantiate(scale=scale, seed=seed)
+    policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    home = HomeServer(
+        app_name, instance.database, spec.registry, policy, Keyring(app_name)
+    )
+    node = DsspNode()
+    node.register_application(home)
+    return node, home, instance.sampler
+
+
+def _cmd_scalability(args, out) -> int:
+    params = SimulationParams()
+    print(
+        f"{'strategy':<8} {'hit rate':>9} {'inval/upd':>10} {'max users':>10}",
+        file=out,
+    )
+    for strategy in StrategyClass:
+        if args.nodes > 1:
+            behavior = _cluster_behavior(args, strategy)
+        else:
+            node, home, sampler = _deploy(args.app, strategy, args.scale)
+            behavior = measure_cache_behavior(
+                node, home, sampler, pages=args.pages, seed=5
+            )
+        users = find_scalability(params, behavior=behavior)
+        print(
+            f"{strategy.name:<8} {behavior.hit_rate:>9.3f} "
+            f"{behavior.invalidations_per_update:>10.2f} {users:>10}",
+            file=out,
+        )
+    return 0
+
+
+def _cluster_behavior(args, strategy: StrategyClass):
+    from repro.dssp.cluster import DsspCluster, measure_cluster_behavior
+
+    spec = get_application(args.app)
+    instance = spec.instantiate(scale=args.scale, seed=1)
+    policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    home = HomeServer(
+        args.app, instance.database, spec.registry, policy, Keyring(args.app)
+    )
+    cluster = DsspCluster(nodes=args.nodes)
+    cluster.register_application(home)
+    return measure_cluster_behavior(
+        cluster, home, instance.sampler, pages=args.pages, seed=5
+    )
+
+
+def _cmd_simulate(args, out) -> int:
+    strategy = StrategyClass[args.strategy]
+    node, home, sampler = _deploy(args.app, strategy, args.scale, args.seed)
+    params = SimulationParams(duration_s=args.duration)
+    report = simulate_users(
+        node, home, sampler, args.users, params, seed=args.seed
+    )
+    print(
+        f"app={args.app} strategy={strategy.name} users={args.users} "
+        f"duration={args.duration:.0f}s",
+        file=out,
+    )
+    print(
+        f"pages={report.pages_completed} p90={report.p90:.3f}s "
+        f"mean={report.latency.mean:.3f}s hit_rate={report.dssp.hit_rate:.3f}",
+        file=out,
+    )
+    print(
+        f"home_utilization={report.home_utilization:.2f} "
+        f"dssp_utilization={report.dssp_utilization:.2f} "
+        f"sla_met={report.meets_sla(params)}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_diagnose(args, out) -> int:
+    from repro.analysis.diagnostics import check_runtime_assumptions
+
+    spec = get_application(args.app)
+    instance = spec.instantiate(scale=args.scale, seed=args.seed)
+    report = check_runtime_assumptions(
+        instance.database, instance.sampler, pages=args.pages, seed=args.seed
+    )
+    print(report.summary(), file=out)
+    if report.ineffective_update_examples:
+        print("ineffective update examples:", file=out)
+        for name, params in report.ineffective_update_examples[:10]:
+            print(f"  {name}{params}", file=out)
+    if report.empty_result_examples:
+        print("empty result examples:", file=out)
+        for name, params in report.empty_result_examples[:10]:
+            print(f"  {name}{params}", file=out)
+    return 0
+
+
+def _cmd_export(args, out) -> int:
+    from repro.export import (
+        characterization_to_csv,
+        exposure_policy_to_csv,
+        methodology_to_csv,
+    )
+
+    registry = get_application(args.app).registry
+    if args.what == "characterization":
+        print(
+            characterization_to_csv(characterize_application(registry)),
+            file=out,
+            end="",
+        )
+    elif args.what == "methodology":
+        print(
+            methodology_to_csv(design_exposure_policy(registry)),
+            file=out,
+            end="",
+        )
+    else:
+        print(
+            exposure_policy_to_csv(design_exposure_policy(registry).final),
+            file=out,
+            end="",
+        )
+    return 0
+
+
+_COMMANDS = {
+    "apps": _cmd_apps,
+    "templates": _cmd_templates,
+    "ipm": _cmd_ipm,
+    "analyze": _cmd_analyze,
+    "methodology": _cmd_methodology,
+    "scalability": _cmd_scalability,
+    "simulate": _cmd_simulate,
+    "diagnose": _cmd_diagnose,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)

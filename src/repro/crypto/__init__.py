@@ -1,0 +1,38 @@
+"""Encryption for data passing through the DSSP.
+
+The DSSP must be able to *look up* encrypted queries in its cache without
+reading them, which requires **deterministic** encryption (paper footnote
+3).  We implement an SIV-style deterministic authenticated scheme from the
+standard library: the synthetic IV is an HMAC-SHA256 of the plaintext, and
+the body is XORed with a SHA-256 counter-mode keystream.  Determinism gives
+``enc(m1) == enc(m2) ⇔ m1 == m2`` under one key — exactly the cache-key
+property — and the SIV check authenticates on decryption.
+
+This is a faithful functional stand-in, not a production cipher; the paper
+itself excludes encryption cost from its measurements (footnote 6).
+
+Key management is per-application (:class:`~repro.crypto.keyring.Keyring`):
+the DSSP serves many applications and must not let them read each other's
+data, so every application derives independent purpose-keys for templates,
+parameters, statements, and results.
+"""
+
+from repro.crypto.cipher import decrypt, encrypt
+from repro.crypto.keyring import Keyring, Purpose
+from repro.crypto.envelope import (
+    EnvelopeCodec,
+    QueryEnvelope,
+    ResultEnvelope,
+    UpdateEnvelope,
+)
+
+__all__ = [
+    "EnvelopeCodec",
+    "Keyring",
+    "Purpose",
+    "QueryEnvelope",
+    "ResultEnvelope",
+    "UpdateEnvelope",
+    "decrypt",
+    "encrypt",
+]

@@ -1,0 +1,73 @@
+"""Deterministic authenticated encryption (SIV construction, stdlib only).
+
+Layout of a token::
+
+    siv (16 bytes) || ciphertext (len(plaintext) bytes)
+
+* ``siv = HMAC-SHA256(mac_key, plaintext)[:16]`` — deterministic, so equal
+  plaintexts yield equal tokens under one key (the DSSP cache-key property).
+* ``ciphertext = plaintext XOR keystream(enc_key, siv)`` where the
+  keystream is SHA-256 in counter mode seeded by the SIV.
+* Decryption recomputes the SIV and rejects mismatches (tamper evidence).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+__all__ = ["encrypt", "decrypt", "SIV_LEN"]
+
+SIV_LEN = 16
+_BLOCK = hashlib.sha256().digest_size
+
+
+def _split_key(key: bytes) -> tuple[bytes, bytes]:
+    if len(key) < 16:
+        raise CryptoError("key must be at least 16 bytes")
+    mac_key = hmac.new(key, b"mac", hashlib.sha256).digest()
+    enc_key = hmac.new(key, b"enc", hashlib.sha256).digest()
+    return mac_key, enc_key
+
+
+def _keystream(enc_key: bytes, siv: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while length > 0:
+        block = hashlib.sha256(
+            enc_key + siv + counter.to_bytes(8, "big")
+        ).digest()
+        blocks.append(block[: min(_BLOCK, length)])
+        length -= _BLOCK
+        counter += 1
+    return b"".join(blocks)
+
+
+def encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """Deterministically encrypt ``plaintext`` under ``key``."""
+    mac_key, enc_key = _split_key(key)
+    siv = hmac.new(mac_key, plaintext, hashlib.sha256).digest()[:SIV_LEN]
+    stream = _keystream(enc_key, siv, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    return siv + ciphertext
+
+
+def decrypt(key: bytes, token: bytes) -> bytes:
+    """Decrypt and authenticate a token produced by :func:`encrypt`.
+
+    Raises:
+        CryptoError: if the token is malformed or fails authentication
+            (wrong key or tampered ciphertext).
+    """
+    if len(token) < SIV_LEN:
+        raise CryptoError("token too short")
+    mac_key, enc_key = _split_key(key)
+    siv, ciphertext = token[:SIV_LEN], token[SIV_LEN:]
+    stream = _keystream(enc_key, siv, len(ciphertext))
+    plaintext = bytes(c ^ s for c, s in zip(ciphertext, stream))
+    expected = hmac.new(mac_key, plaintext, hashlib.sha256).digest()[:SIV_LEN]
+    if not hmac.compare_digest(siv, expected):
+        raise CryptoError("authentication failed: wrong key or tampered token")
+    return plaintext

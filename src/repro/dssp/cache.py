@@ -1,0 +1,163 @@
+"""The DSSP's cache of (possibly encrypted) query results.
+
+Entries are keyed by the envelope's cache key (paper footnote 3):
+
+* plaintext statement SQL at ``stmt``/``view`` exposure,
+* template name + deterministically-encrypted parameters at ``template``,
+* deterministically-encrypted statement at ``blind``.
+
+Each entry remembers the *visible* metadata of the query that produced it —
+never more than its exposure level allows — because that is all the
+invalidation engine may consult.  Entries are additionally bucketed by
+visible template name so template-level invalidation decisions apply to a
+whole bucket in one step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto.envelope import QueryEnvelope, ResultEnvelope
+from repro.errors import CacheError
+from repro.sql.ast import Select
+from repro.storage.rows import ResultSet
+
+__all__ = ["CacheEntry", "ViewCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached view with its DSSP-visible metadata.
+
+    Attributes:
+        key: The envelope cache key.
+        app_id: Owning application.
+        level: The query's exposure level when cached.
+        result: Sealed (or plaintext, at ``view``) result envelope.
+        template_name: Visible at ``template`` exposure and above.
+        statement: Bound SELECT AST, visible at ``stmt`` and above.
+        view_rows: Plaintext result rows, visible only at ``view``.
+    """
+
+    key: str
+    app_id: str
+    level: ExposureLevel
+    result: ResultEnvelope
+    template_name: str | None = None
+    statement: Select | None = None
+    view_rows: ResultSet | None = None
+
+
+class ViewCache:
+    """In-memory materialized-view cache with template-name buckets."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._entries: dict[str, CacheEntry] = {}
+        self._buckets: dict[tuple[str, str | None], set[str]] = {}
+        self._capacity = capacity
+        self._lru: dict[str, int] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # -- read path ----------------------------------------------------------
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Look up an entry; None on miss.  Refreshes LRU position."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._clock += 1
+            self._lru[key] = self._clock
+        return entry
+
+    def entries_for_app(self, app_id: str) -> list[CacheEntry]:
+        """All entries belonging to one application."""
+        return [e for e in self._entries.values() if e.app_id == app_id]
+
+    def bucket(self, app_id: str, template_name: str | None) -> tuple[CacheEntry, ...]:
+        """Entries of one app with the given visible template name.
+
+        ``template_name=None`` selects the blind bucket (template hidden).
+        """
+        keys = self._buckets.get((app_id, template_name), ())
+        return tuple(self._entries[k] for k in keys)
+
+    def bucket_names(self, app_id: str) -> tuple[str | None, ...]:
+        """Visible template names (and possibly None) with live entries."""
+        return tuple(
+            name
+            for (app, name), keys in self._buckets.items()
+            if app == app_id and keys
+        )
+
+    # -- write path -----------------------------------------------------------
+
+    def put(self, envelope: QueryEnvelope, result: ResultEnvelope) -> CacheEntry:
+        """Insert (or refresh) the cached result for a query envelope."""
+        if result.app_id != envelope.app_id:
+            raise CacheError("result/query envelope application mismatch")
+        view_rows = result.plaintext if envelope.level is ExposureLevel.VIEW else None
+        entry = CacheEntry(
+            key=envelope.cache_key,
+            app_id=envelope.app_id,
+            level=envelope.level,
+            result=result,
+            template_name=envelope.template_name,
+            statement=envelope.statement,
+            view_rows=view_rows,
+        )
+        if entry.key not in self._entries:
+            self._buckets.setdefault(
+                (entry.app_id, entry.template_name), set()
+            ).add(entry.key)
+        self._entries[entry.key] = entry
+        self._clock += 1
+        self._lru[entry.key] = self._clock
+        self._maybe_evict()
+        return entry
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._lru.pop(key, None)
+        bucket = self._buckets.get((entry.app_id, entry.template_name))
+        if bucket is not None:
+            bucket.discard(key)
+        return True
+
+    def invalidate_many(self, keys: Iterable[str]) -> int:
+        """Drop several entries; returns how many existed."""
+        return sum(1 for key in list(keys) if self.invalidate(key))
+
+    def invalidate_bucket(self, app_id: str, template_name: str | None) -> int:
+        """Drop a whole template bucket; returns the number of entries."""
+        keys = self._buckets.get((app_id, template_name))
+        if not keys:
+            return 0
+        return self.invalidate_many(tuple(keys))
+
+    def invalidate_app(self, app_id: str) -> int:
+        """Drop every entry of one application (blind strategy)."""
+        keys = [k for k, e in self._entries.items() if e.app_id == app_id]
+        return self.invalidate_many(keys)
+
+    def clear(self) -> None:
+        """Empty the cache entirely (cold start)."""
+        self._entries.clear()
+        self._buckets.clear()
+        self._lru.clear()
+
+    def _maybe_evict(self) -> None:
+        if self._capacity is None:
+            return
+        while len(self._entries) > self._capacity:
+            victim = min(self._lru, key=self._lru.get)  # least recently used
+            self.invalidate(victim)

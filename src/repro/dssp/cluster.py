@@ -1,0 +1,166 @@
+"""Multi-node DSSP deployment (extension of the paper's evaluation).
+
+The paper's architecture (Figure 1) places *many* DSSP nodes near clients —
+"a DSSP node (because there are many of them) is close to the clients" —
+but its evaluation uses a single node.  This module implements the
+multi-node deployment the architecture implies:
+
+* clients are partitioned across nodes by a stable hash (CDN-style
+  affinity), so each node caches only its own clients' working set;
+* queries are served by the client's node;
+* updates are forwarded to the home server once, then the invalidation
+  stream **fans out to every node** — each node runs its own invalidation
+  engine over its own cache, exactly as the single-node DSSP does.
+
+The interesting (and measured — see ``bench_extension_cluster.py``)
+consequence: partitioning *dilutes* each node's cache, so total home-server
+load rises with node count whenever the home server, not the DSSP, is the
+bottleneck.  Sharing one logical cache is what the paper's scalability
+argument actually relies on.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.envelope import QueryEnvelope, UpdateEnvelope
+from repro.dssp.homeserver import HomeServer
+from repro.dssp.proxy import DsspNode, QueryOutcome, UpdateOutcome
+from repro.dssp.stats import DsspStats
+from repro.errors import CacheError
+
+__all__ = ["DsspCluster"]
+
+
+class DsspCluster:
+    """A fleet of DSSP nodes serving one client population.
+
+    Args:
+        nodes: Number of DSSP nodes.
+        cache_capacity: Per-node cache capacity (None = unbounded).
+        use_integrity_constraints: Passed through to every node's engine.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        cache_capacity: int | None = None,
+        use_integrity_constraints: bool = True,
+    ) -> None:
+        if nodes < 1:
+            raise CacheError("a cluster needs at least one node")
+        self.nodes = [
+            DsspNode(
+                cache_capacity=cache_capacity,
+                use_integrity_constraints=use_integrity_constraints,
+            )
+            for _ in range(nodes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- tenancy -------------------------------------------------------------
+
+    def register_application(self, home: HomeServer) -> None:
+        """Attach an application to every node."""
+        for node in self.nodes:
+            node.register_application(home)
+
+    # -- routing ---------------------------------------------------------------
+
+    def node_for(self, client_id: int) -> DsspNode:
+        """The node a client's requests land on (stable affinity)."""
+        return self.nodes[client_id % len(self.nodes)]
+
+    def query(self, envelope: QueryEnvelope, client_id: int = 0) -> QueryOutcome:
+        """Serve a query at the client's node."""
+        return self.node_for(client_id).query(envelope)
+
+    def update(
+        self, envelope: UpdateEnvelope, client_id: int = 0
+    ) -> UpdateOutcome:
+        """Apply an update once; invalidate on every node.
+
+        The client's node forwards to the home server; the completed update
+        is then observed by all nodes (the paper's invalidation stream),
+        each invalidating its own cache.
+        """
+        origin = self.node_for(client_id)
+        rows = origin.forward_update(envelope)
+        invalidated = 0
+        for node in self.nodes:
+            invalidated += node.invalidate_for(envelope)
+        return UpdateOutcome(rows_affected=rows, invalidated=invalidated)
+
+    # -- aggregate bookkeeping ---------------------------------------------------
+
+    def aggregate_stats(self) -> DsspStats:
+        """Sum per-node counters into one fleet-wide view."""
+        total = DsspStats()
+        for node in self.nodes:
+            total.hits += node.stats.hits
+            total.misses += node.stats.misses
+            total.updates += node.stats.updates
+            total.invalidations += node.stats.invalidations
+            total.invalidation_checks += node.stats.invalidation_checks
+            for name, count in node.stats.per_query_invalidations.items():
+                total.per_query_invalidations[name] = (
+                    total.per_query_invalidations.get(name, 0) + count
+                )
+        return total
+
+    def total_cached_views(self) -> int:
+        """Number of views resident across the fleet."""
+        return sum(len(node.cache) for node in self.nodes)
+
+    def cold_start(self) -> None:
+        """Cold-start every node."""
+        for node in self.nodes:
+            node.cold_start()
+
+
+def measure_cluster_behavior(
+    cluster: DsspCluster,
+    home: HomeServer,
+    sampler,
+    pages: int = 1500,
+    clients: int = 64,
+    seed: int = 0,
+):
+    """Cluster counterpart of ``measure_cache_behavior``.
+
+    Pages are attributed to ``clients`` distinct client identities (round
+    affinity decided per page, as a CDN request router would), so each
+    node's cache warms only with its own share of the population.
+    Returns a :class:`~repro.simulation.scalability.CacheBehavior` whose
+    miss counts aggregate the whole fleet — the home server sees them all.
+    """
+    import random
+
+    from repro.simulation.scalability import CacheBehavior
+
+    cluster.cold_start()
+    rng = random.Random(seed)
+    queries = updates = 0
+    for _ in range(pages):
+        client_id = rng.randrange(clients)
+        for operation in sampler.sample_page(rng):
+            bound = operation.bound
+            if operation.is_update:
+                level = home.policy.update_level(bound.template.name)
+                cluster.update(home.codec.seal_update(bound, level), client_id)
+                updates += 1
+            else:
+                level = home.policy.query_level(bound.template.name)
+                cluster.query(home.codec.seal_query(bound, level), client_id)
+                queries += 1
+    stats = cluster.aggregate_stats()
+    return CacheBehavior(
+        pages=pages,
+        queries_per_page=queries / pages,
+        hits_per_page=stats.hits / pages,
+        misses_per_page=stats.misses / pages,
+        updates_per_page=updates / pages,
+        invalidations_per_update=(
+            stats.invalidations / updates if updates else 0.0
+        ),
+    )

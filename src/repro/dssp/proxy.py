@@ -1,0 +1,145 @@
+"""The DSSP node: cache + invalidation + home forwarding (paper Figure 2).
+
+One :class:`DsspNode` serves many applications; each application registers
+with its (public) template registry and its home server.  Clients talk to
+the node through sealed envelopes produced by their application's
+:class:`~repro.crypto.envelope.EnvelopeCodec`; the node itself never holds
+keys.
+
+The ``query``/``update`` methods also report *where* the work happened
+(cache hit vs home round trip) so the scalability simulator can attach
+realistic service times and network delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.envelope import QueryEnvelope, ResultEnvelope, UpdateEnvelope
+from repro.dssp.cache import ViewCache
+from repro.dssp.homeserver import HomeServer
+from repro.dssp.invalidation import InvalidationEngine
+from repro.dssp.stats import DsspStats
+from repro.errors import CacheError
+from repro.templates.registry import TemplateRegistry
+
+__all__ = ["DsspNode", "QueryOutcome", "UpdateOutcome"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of a query through the DSSP, with provenance for the simulator."""
+
+    result: ResultEnvelope
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """Result of an update through the DSSP."""
+
+    rows_affected: int
+    invalidated: int
+
+
+@dataclass
+class _Tenant:
+    home: HomeServer
+    engine: InvalidationEngine
+
+
+class DsspNode:
+    """A shared third-party cache node serving multiple applications."""
+
+    def __init__(
+        self,
+        cache_capacity: int | None = None,
+        use_integrity_constraints: bool = True,
+        equality_only_independence: bool = False,
+    ) -> None:
+        self.cache = ViewCache(capacity=cache_capacity)
+        self.stats = DsspStats()
+        self._use_constraints = use_integrity_constraints
+        self._equality_only = equality_only_independence
+        self._tenants: dict[str, _Tenant] = {}
+
+    # -- tenancy -------------------------------------------------------------
+
+    def register_application(
+        self, home: HomeServer, registry: TemplateRegistry | None = None
+    ) -> None:
+        """Attach an application: its home server and public template set."""
+        if home.app_id in self._tenants:
+            raise CacheError(f"application {home.app_id!r} already registered")
+        engine = InvalidationEngine(
+            registry or home.registry,
+            use_integrity_constraints=self._use_constraints,
+            equality_only_independence=self._equality_only,
+        )
+        self._tenants[home.app_id] = _Tenant(home=home, engine=engine)
+
+    def _tenant(self, app_id: str) -> _Tenant:
+        try:
+            return self._tenants[app_id]
+        except KeyError:
+            raise CacheError(f"unknown application {app_id!r}") from None
+
+    # -- client-facing API -----------------------------------------------------
+
+    def query(self, envelope: QueryEnvelope) -> QueryOutcome:
+        """Serve a query: cache lookup, else forward to the home server."""
+        cached = self.lookup(envelope)
+        if cached is not None:
+            return QueryOutcome(result=cached, cache_hit=True)
+        return QueryOutcome(result=self.fill(envelope), cache_hit=False)
+
+    def update(self, envelope: UpdateEnvelope) -> UpdateOutcome:
+        """Route an update to the home server, then invalidate.
+
+        Matches the paper's flow: all updates go to the home organization
+        via the DSSP; the DSSP monitors completed updates and invalidates
+        cached results as needed — the home organization plays no part in
+        invalidation decisions.
+        """
+        rows = self.forward_update(envelope)
+        invalidated = self.invalidate_for(envelope)
+        return UpdateOutcome(rows_affected=rows, invalidated=invalidated)
+
+    # -- split-phase API (used by the discrete-event simulator) ---------------------
+    #
+    # The simulator needs to attach distinct delays to the lookup, the WAN
+    # hop, the home service, and the invalidation pass, so it drives these
+    # phases separately.  ``query`` / ``update`` above compose them.
+
+    def lookup(self, envelope: QueryEnvelope) -> ResultEnvelope | None:
+        """Phase 1 of a query: cache probe.  None means miss (go to home)."""
+        self._tenant(envelope.app_id)  # validate tenancy
+        entry = self.cache.get(envelope.cache_key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry.result
+        self.stats.misses += 1
+        return None
+
+    def fill(self, envelope: QueryEnvelope) -> ResultEnvelope:
+        """Phase 2 of a missed query: home round trip + cache admission."""
+        tenant = self._tenant(envelope.app_id)
+        result = tenant.home.serve_query(envelope)
+        self.cache.put(envelope, result)
+        return result
+
+    def forward_update(self, envelope: UpdateEnvelope) -> int:
+        """Phase 1 of an update: application at the home server."""
+        return self._tenant(envelope.app_id).home.apply_update(envelope)
+
+    def invalidate_for(self, envelope: UpdateEnvelope) -> int:
+        """Phase 2 of an update: the DSSP-side invalidation pass."""
+        tenant = self._tenant(envelope.app_id)
+        return tenant.engine.process_update(envelope, self.cache, self.stats)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def cold_start(self) -> None:
+        """Drop all cached data and counters (each experiment starts cold)."""
+        self.cache.clear()
+        self.stats.reset()

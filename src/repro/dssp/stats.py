@@ -1,0 +1,52 @@
+"""Counters the DSSP keeps for evaluation and the scalability simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DsspStats"]
+
+
+@dataclass
+class DsspStats:
+    """Operational counters of one DSSP node.
+
+    ``hits``/``misses`` drive the scalability experiments: a miss costs a
+    WAN round trip and home-server work, a hit is served locally.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    updates: int = 0
+    invalidations: int = 0
+    invalidation_checks: int = 0
+    per_query_invalidations: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when idle)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def record_invalidation(self, template_name: str | None, count: int = 1) -> None:
+        """Count invalidated entries, attributed to a query template."""
+        self.invalidations += count
+        key = template_name or "<blind>"
+        self.per_query_invalidations[key] = (
+            self.per_query_invalidations.get(key, 0) + count
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between benchmark phases)."""
+        self.hits = 0
+        self.misses = 0
+        self.updates = 0
+        self.invalidations = 0
+        self.invalidation_checks = 0
+        self.per_query_invalidations.clear()

@@ -1,0 +1,156 @@
+"""The four view-invalidation strategy classes as first-class objects.
+
+Paper Section 2.2 defines a *view invalidation strategy* as a function
+``S(U, Q, ...) → {I, DNI}`` whose arguments are limited by the information
+class it belongs to:
+
+* :class:`BlindStrategy` — sees nothing: always ``I``;
+* :class:`TemplateInspectionStrategy` — sees the templates;
+* :class:`StatementInspectionStrategy` — sees the bound statements;
+* :class:`ViewInspectionStrategy` — additionally sees the cached result.
+
+These are the *minimal-in-class* implementations this library realizes
+(truly minimal strategies are uncomputable in general — the query/update
+independence problem is undecidable, per Levy & Sagiv).  The production
+cache path uses :class:`~repro.dssp.invalidation.InvalidationEngine`, which
+fuses the same decision procedures with bucket-level short cuts; the test
+suite asserts the engine's decisions coincide with these reference objects.
+
+The class hierarchy realizes the paper's Figure 4 containments: each
+strategy consults the weaker ones first and can only *refine* an ``I`` into
+a ``DNI``, so invalidation sets shrink monotonically with information.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.constraints import constraint_implies_no_effect
+from repro.analysis.independence import statement_independent
+from repro.dssp.view_checks import view_allows_skip
+from repro.schema.schema import Schema
+from repro.sql.ast import Delete, Insert, Select, Update
+from repro.storage.rows import ResultSet
+from repro.templates.classify import is_ignorable
+
+__all__ = [
+    "BlindStrategy",
+    "Decision",
+    "InvalidationInput",
+    "StatementInspectionStrategy",
+    "TemplateInspectionStrategy",
+    "ViewInspectionStrategy",
+]
+
+
+class Decision(enum.Enum):
+    """The two outcomes of a view invalidation strategy."""
+
+    INVALIDATE = "I"
+    DO_NOT_INVALIDATE = "DNI"
+
+
+@dataclass(frozen=True)
+class InvalidationInput:
+    """Everything a (maximally informed) strategy could be given.
+
+    Strategies read only the fields their class permits; constructing the
+    full record is the caller's job, access discipline is the strategy's.
+
+    Attributes:
+        update_template: The update's template statement (with parameters).
+        query_template: The query's template statement (with parameters).
+        update_statement: The bound update (parameters substituted).
+        query_statement: The bound query.
+        view: The cached plaintext result of ``query_statement``.
+    """
+
+    update_template: Insert | Delete | Update
+    query_template: Select
+    update_statement: Insert | Delete | Update | None = None
+    query_statement: Select | None = None
+    view: ResultSet | None = None
+
+
+class BlindStrategy:
+    """Sees nothing; correctness forces invalidating everything.
+
+    This is the (unique, hence minimal) correct blind strategy the paper
+    describes: "invalidate all cached query results on any update".
+    """
+
+    name = "MBS"
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def decide(self, item: InvalidationInput) -> Decision:
+        """Always ``I``."""
+        return Decision.INVALIDATE
+
+
+class TemplateInspectionStrategy(BlindStrategy):
+    """Sees the templates; skips pairs provably independent at that level.
+
+    Uses Lemma 1 (ignorability) and, optionally, the Section 4.5
+    integrity-constraint rules — which the paper treats as insensitive and
+    therefore available to the DSSP.
+    """
+
+    name = "MTIS"
+
+    def __init__(self, schema: Schema, use_integrity_constraints: bool = True):
+        super().__init__(schema)
+        self.use_integrity_constraints = use_integrity_constraints
+
+    def decide(self, item: InvalidationInput) -> Decision:
+        """``DNI`` iff no instance of U can ever affect an instance of Q."""
+        if is_ignorable(self.schema, item.update_template, item.query_template):
+            return Decision.DO_NOT_INVALIDATE
+        if self.use_integrity_constraints and constraint_implies_no_effect(
+            self.schema, item.update_template, item.query_template
+        ):
+            return Decision.DO_NOT_INVALIDATE
+        return super().decide(item)
+
+
+class StatementInspectionStrategy(TemplateInspectionStrategy):
+    """Additionally sees parameters; refines via interval independence."""
+
+    name = "MSIS"
+
+    def decide(self, item: InvalidationInput) -> Decision:
+        """``DNI`` if templates or bound statements prove independence."""
+        if super().decide(item) is Decision.DO_NOT_INVALIDATE:
+            return Decision.DO_NOT_INVALIDATE
+        if item.update_statement is not None and item.query_statement is not None:
+            if statement_independent(
+                self.schema, item.update_statement, item.query_statement
+            ):
+                return Decision.DO_NOT_INVALIDATE
+        return Decision.INVALIDATE
+
+
+class ViewInspectionStrategy(StatementInspectionStrategy):
+    """Additionally sees the cached result; refines via view checks."""
+
+    name = "MVIS"
+
+    def decide(self, item: InvalidationInput) -> Decision:
+        """``DNI`` if any weaker level, or the view contents, prove safety."""
+        if super().decide(item) is Decision.DO_NOT_INVALIDATE:
+            return Decision.DO_NOT_INVALIDATE
+        if (
+            item.update_statement is not None
+            and item.query_statement is not None
+            and item.view is not None
+        ):
+            if view_allows_skip(
+                self.schema,
+                item.update_statement,
+                item.query_statement,
+                item.view,
+            ):
+                return Decision.DO_NOT_INVALIDATE
+        return Decision.INVALIDATE

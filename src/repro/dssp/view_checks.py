@@ -1,0 +1,285 @@
+"""View-inspection refinements (the VIS extra over SIS).
+
+Given a bound update, a cached query's bound statement, and the *plaintext*
+cached result (visible only at ``view`` exposure), these checks soundly
+refine an "invalidate" decision to "do not invalidate" in exactly the
+situations the paper's Section 4.4 counter-examples describe:
+
+* **Deletion** — the result preserves all of the deletion's predicate
+  columns, and no result row satisfies the predicate: nothing cached
+  derives from a deleted row.  (Sound for top-k too: removing rows outside
+  the retained prefix cannot change the prefix.)
+* **Modification** — the result preserves the update's key columns, no
+  result row matches the key, and the SET values falsify one of the
+  query's local predicates on a modified column: the row was absent and
+  cannot enter.
+* **Insertion vs MIN/MAX** — a single-table ``MIN``/``MAX`` view bounds
+  the inserted value away from changing the aggregate.
+* **Insertion vs top-k** — the view is full (k rows) and the inserted
+  row's order-by key falls strictly beyond the boundary row.
+
+Every check errs toward invalidation; a ``False`` answer never implies the
+view actually changed.
+"""
+
+from __future__ import annotations
+
+from repro.schema.schema import Schema
+from repro.sql.ast import (
+    Aggregate,
+    AggregateFunc,
+    ColumnRef,
+    Comparison,
+    Delete,
+    Insert,
+    Literal,
+    Select,
+    Star,
+    Update,
+)
+from repro.storage.rows import ResultSet
+
+__all__ = ["view_allows_skip"]
+
+
+def view_allows_skip(
+    schema: Schema,
+    update: Insert | Delete | Update,
+    query: Select,
+    view: ResultSet,
+) -> bool:
+    """True if inspecting the cached result proves no invalidation is needed."""
+    if isinstance(update, Delete):
+        return _deletion_skip(schema, update, query, view)
+    if isinstance(update, Update):
+        return _modification_skip(schema, update, query, view)
+    return _insertion_skip(schema, update, query, view)
+
+
+# -- column mapping ---------------------------------------------------------------
+
+
+def _result_positions_for(
+    schema: Schema, query: Select, table: str
+) -> dict[str, int] | None:
+    """Map ``column name → result position`` for the given base table.
+
+    Returns None when the mapping is unreliable (aggregated results, or the
+    table bound more than once).
+    """
+    if query.has_aggregate() or query.group_by:
+        return None
+    bindings = [ref for ref in query.tables if ref.name == table]
+    if len(bindings) != 1:
+        return None
+    binding = bindings[0].binding
+    multi = len(query.tables) > 1
+    positions: dict[str, int] = {}
+    index = 0
+    for item in query.items:
+        if isinstance(item, Star):
+            for table_ref in query.tables:
+                for column in schema.table(table_ref.name).columns:
+                    if table_ref.binding == binding:
+                        positions.setdefault(column.name, index)
+                    index += 1
+        elif isinstance(item, ColumnRef):
+            owner = item.table
+            if owner is None and not multi:
+                owner = binding
+            if owner is None:
+                owner = _owning_binding(schema, query, item)
+            if owner == binding:
+                positions.setdefault(item.column, index)
+            index += 1
+        else:  # pragma: no cover - aggregates excluded above
+            index += 1
+    return positions
+
+
+def _owning_binding(schema: Schema, query: Select, ref: ColumnRef) -> str | None:
+    owners = [
+        table_ref.binding
+        for table_ref in query.tables
+        if schema.table(table_ref.name).has_column(ref.column)
+    ]
+    if len(owners) == 1:
+        return owners[0]
+    return None
+
+
+def _predicate_columns(where: tuple[Comparison, ...]) -> set[str] | None:
+    """Columns used in attribute-vs-constant conjuncts; None if joins appear."""
+    columns: set[str] = set()
+    for comparison in where:
+        if comparison.is_join():
+            return None
+        for ref in comparison.column_refs():
+            columns.add(ref.column)
+    return columns
+
+
+_MISSING = object()
+
+
+def _project_side(value, positions: dict[str, int], row: tuple):
+    if isinstance(value, Literal):
+        return value.value
+    if isinstance(value, ColumnRef):
+        position = positions.get(value.column)
+        if position is None:
+            return _MISSING
+        return row[position]
+    return _MISSING  # pragma: no cover - parameters are bound by now
+
+
+# -- deletion ------------------------------------------------------------------------
+
+
+def _deletion_skip(
+    schema: Schema, update: Delete, query: Select, view: ResultSet
+) -> bool:
+    needed = _predicate_columns(update.where)
+    if needed is None:
+        return False
+    positions = _result_positions_for(schema, query, update.table)
+    if positions is None or not needed <= positions.keys():
+        return False
+    return not any(
+        _strictly_satisfies(update.where, positions, row) for row in view.rows
+    )
+
+
+def _strictly_satisfies(
+    where: tuple[Comparison, ...], positions: dict[str, int], row: tuple
+) -> bool:
+    """Like :func:`_row_satisfies` but requires evaluability of every side."""
+    for comparison in where:
+        left = _project_side(comparison.left, positions, row)
+        right = _project_side(comparison.right, positions, row)
+        if left is _MISSING or right is _MISSING:
+            return True  # conservative: might satisfy
+        if not comparison.op.holds(left, right):
+            return False
+    return True
+
+
+# -- modification ----------------------------------------------------------------------
+
+
+def _modification_skip(
+    schema: Schema, update: Update, query: Select, view: ResultSet
+) -> bool:
+    needed = _predicate_columns(update.where)
+    if needed is None:
+        return False
+    positions = _result_positions_for(schema, query, update.table)
+    if positions is None or not needed <= positions.keys():
+        return False
+    touched = any(
+        _strictly_satisfies(update.where, positions, row) for row in view.rows
+    )
+    if touched:
+        return False  # the modified row contributes to the view: invalidate
+    # Absent row can only enter if its post-update values satisfy the
+    # query's local predicates on the modified columns.
+    new_values = {
+        column: value.value  # type: ignore[union-attr]
+        for column, value in update.assignments
+    }
+    for comparison in query.where:
+        if comparison.is_join():
+            continue
+        verdict = _evaluates_false_under(comparison, new_values)
+        if verdict:
+            return True
+    return False
+
+
+def _evaluates_false_under(comparison: Comparison, values: dict[str, object]) -> bool:
+    left = _value_under(comparison.left, values)
+    right = _value_under(comparison.right, values)
+    if left is _MISSING or right is _MISSING:
+        return False
+    return not comparison.op.holds(left, right)  # type: ignore[arg-type]
+
+
+def _value_under(value, assignments: dict[str, object]):
+    if isinstance(value, Literal):
+        return value.value
+    if isinstance(value, ColumnRef) and value.column in assignments:
+        return assignments[value.column]
+    return _MISSING
+
+
+# -- insertion ---------------------------------------------------------------------------
+
+
+def _insertion_skip(
+    schema: Schema, update: Insert, query: Select, view: ResultSet
+) -> bool:
+    if len(query.tables) != 1 or query.tables[0].name != update.table:
+        return False
+    row_values = dict(
+        zip(update.columns, (v.value for v in update.values))  # type: ignore[union-attr]
+    )
+    if _aggregate_bound_skip(query, view, row_values):
+        return True
+    return _top_k_skip(query, view, row_values)
+
+
+def _aggregate_bound_skip(
+    query: Select, view: ResultSet, row_values: dict
+) -> bool:
+    """MIN/MAX views bound the inserted value away from mattering."""
+    if query.group_by or len(query.items) != 1 or not view.rows:
+        return False
+    item = query.items[0]
+    if not isinstance(item, Aggregate) or isinstance(item.argument, Star):
+        return False
+    if item.func not in (AggregateFunc.MIN, AggregateFunc.MAX):
+        return False
+    column = item.argument.column
+    if column not in row_values:
+        return False
+    inserted = row_values[column]
+    bound = view.rows[0][0]
+    if inserted is None:
+        return True  # NULLs are ignored by MIN/MAX
+    if bound is None:
+        return False  # aggregate over empty/NULL data: anything may change it
+    if type(inserted) is str and type(bound) is not str:
+        return False
+    if item.func is AggregateFunc.MAX:
+        return inserted <= bound  # type: ignore[operator]
+    return inserted >= bound  # type: ignore[operator]
+
+
+def _top_k_skip(query: Select, view: ResultSet, row_values: dict) -> bool:
+    """A full top-k view whose boundary strictly dominates the new row."""
+    if query.limit is None or not query.order_by or len(query.order_by) != 1:
+        return False
+    if query.has_aggregate() or query.group_by:
+        return False
+    if not isinstance(query.limit, int) or len(view.rows) < query.limit:
+        return False
+    order = query.order_by[0]
+    column = order.column.column
+    if column not in row_values:
+        return False
+    try:
+        position = list(view.columns).index(order.column.qualified())
+    except ValueError:
+        try:
+            position = list(view.columns).index(column)
+        except ValueError:
+            return False
+    inserted = row_values[column]
+    boundary = view.rows[-1][position]
+    if inserted is None or boundary is None:
+        return False
+    if isinstance(inserted, str) != isinstance(boundary, str):
+        return False
+    if order.descending:
+        return inserted < boundary  # type: ignore[operator]
+    return inserted > boundary  # type: ignore[operator]

@@ -1,0 +1,156 @@
+"""Exception hierarchy for the DSSP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SqlError",
+    "TokenizeError",
+    "ParseError",
+    "UnsupportedSqlError",
+    "SchemaError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "ConstraintViolation",
+    "PrimaryKeyViolation",
+    "ForeignKeyViolation",
+    "NotNullViolation",
+    "ExecutionError",
+    "TypeMismatchError",
+    "BindingError",
+    "TemplateError",
+    "AnalysisError",
+    "CryptoError",
+    "CacheError",
+    "SimulationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# SQL front end
+# --------------------------------------------------------------------------
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class TokenizeError(SqlError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedSqlError(SqlError):
+    """Raised for SQL that is valid but outside the paper's dialect."""
+
+
+# --------------------------------------------------------------------------
+# Schema / storage
+# --------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """Base class for schema definition and resolution errors."""
+
+
+class UnknownTableError(SchemaError):
+    """Raised when a statement references a table absent from the schema."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class UnknownColumnError(SchemaError):
+    """Raised when a statement references a column absent from its table."""
+
+    def __init__(self, column: str, table: str | None = None) -> None:
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column: {column!r}{where}")
+        self.column = column
+        self.table = table
+
+
+class ConstraintViolation(ReproError):
+    """Base class for integrity-constraint violations during DML."""
+
+
+class PrimaryKeyViolation(ConstraintViolation):
+    """A DML statement would duplicate a primary-key value."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """A DML statement would dangle or orphan a foreign-key reference."""
+
+
+class NotNullViolation(ConstraintViolation):
+    """A DML statement would store NULL into a NOT NULL column."""
+
+
+class ExecutionError(ReproError):
+    """Raised when query execution fails (bad plan, missing binding...)."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Raised when a value's type is incompatible with its column type."""
+
+
+# --------------------------------------------------------------------------
+# Templates and analysis
+# --------------------------------------------------------------------------
+
+
+class TemplateError(ReproError):
+    """Base class for template definition problems."""
+
+
+class BindingError(TemplateError):
+    """Raised when template parameters are bound with the wrong arity."""
+
+
+class AnalysisError(ReproError):
+    """Raised when static analysis receives inputs it cannot handle."""
+
+
+# --------------------------------------------------------------------------
+# Runtime subsystems
+# --------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Raised on encryption/decryption failures (bad key, tamper...)."""
+
+
+class CacheError(ReproError):
+    """Raised on DSSP cache protocol violations."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation is misconfigured."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a benchmark application/workload is misconfigured."""

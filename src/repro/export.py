@@ -1,0 +1,133 @@
+"""CSV export of analysis and evaluation artifacts.
+
+Every benchmark artifact in this library is also wanted as plain data —
+for plotting Figures 3/7/8, or for feeding the characterization into a
+spreadsheet while deciding the Step-3 tradeoffs.  These helpers render the
+core result objects as CSV text (no filesystem side effects; callers decide
+where bytes go).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Mapping
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.analysis.ipm import IpmCharacterization
+from repro.analysis.methodology import MethodologyResult
+from repro.simulation.scalability import CacheBehavior
+
+__all__ = [
+    "characterization_to_csv",
+    "exposure_policy_to_csv",
+    "methodology_to_csv",
+    "scalability_sweep_to_csv",
+    "cache_behavior_to_csv",
+]
+
+
+def _render(header: list[str], rows: Iterable[list]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def characterization_to_csv(characterization: IpmCharacterization) -> str:
+    """One row per update/query template pair with the static claims."""
+    rows = [
+        [
+            pair.update_name,
+            pair.query_name,
+            pair.a_value,
+            int(pair.b_equals_a),
+            int(pair.c_equals_b),
+            int(pair.assumptions_hold),
+            pair.reason,
+        ]
+        for pair in characterization
+    ]
+    return _render(
+        [
+            "update_template",
+            "query_template",
+            "a_value",
+            "b_equals_a",
+            "c_equals_b",
+            "assumptions_hold",
+            "reason",
+        ],
+        rows,
+    )
+
+
+def exposure_policy_to_csv(policy: ExposurePolicy) -> str:
+    """One row per template with its exposure level."""
+    rows = [
+        ["query", name, level.label]
+        for name, level in sorted(policy.query_levels.items())
+    ] + [
+        ["update", name, level.label]
+        for name, level in sorted(policy.update_levels.items())
+    ]
+    return _render(["kind", "template", "exposure_level"], rows)
+
+
+def methodology_to_csv(result: MethodologyResult) -> str:
+    """One row per template: initial level, final level, reduced flag.
+
+    This is the Figure 7 data series.
+    """
+    rows = []
+    for name, (initial, final) in sorted(
+        result.exposure_reduction_summary().items()
+    ):
+        rows.append([name, initial, final, int(initial != final)])
+    return _render(["template", "initial_level", "final_level", "reduced"], rows)
+
+
+def scalability_sweep_to_csv(
+    sweep: Mapping[str, Mapping[str, int]]
+) -> str:
+    """Figure 8 data: application × strategy → max users."""
+    rows = []
+    for application, per_strategy in sweep.items():
+        for strategy, users in per_strategy.items():
+            rows.append([application, strategy, users])
+    return _render(["application", "strategy", "scalability_users"], rows)
+
+
+def cache_behavior_to_csv(
+    behaviors: Mapping[str, CacheBehavior]
+) -> str:
+    """Per-configuration cache-behaviour profile (label → behavior)."""
+    rows = []
+    for label, behavior in behaviors.items():
+        rows.append(
+            [
+                label,
+                behavior.pages,
+                f"{behavior.queries_per_page:.4f}",
+                f"{behavior.hits_per_page:.4f}",
+                f"{behavior.misses_per_page:.4f}",
+                f"{behavior.updates_per_page:.4f}",
+                f"{behavior.hit_rate:.4f}",
+                f"{behavior.invalidations_per_update:.4f}",
+            ]
+        )
+    return _render(
+        [
+            "label",
+            "pages",
+            "queries_per_page",
+            "hits_per_page",
+            "misses_per_page",
+            "updates_per_page",
+            "hit_rate",
+            "invalidations_per_update",
+        ],
+        rows,
+    )

@@ -1,0 +1,26 @@
+"""Relational schema: tables, typed columns, integrity constraints.
+
+The analysis layer works at *attribute* granularity (paper Table 5), so this
+package also defines :class:`~repro.schema.attribute.Attribute` — a fully
+qualified ``table.column`` identity used as the common currency between the
+template classifiers, the IPM characterization, and the storage engine.
+
+Integrity constraints (primary key, foreign key) matter twice: the storage
+engine enforces them on DML, and the static analysis exploits them to refine
+invalidation probabilities (paper Section 4.5).
+"""
+
+from repro.schema.attribute import Attribute
+from repro.schema.column import Column, ColumnType
+from repro.schema.constraints import ForeignKey
+from repro.schema.schema import Schema
+from repro.schema.table import TableSchema
+
+__all__ = [
+    "Attribute",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "TableSchema",
+]

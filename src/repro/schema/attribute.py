@@ -1,0 +1,24 @@
+"""Fully qualified attribute identity.
+
+The paper's static analysis is defined over *attributes* — columns named
+with their base table, e.g. ``toys.toy_id``.  Aliases used inside a
+statement (``toys AS t1``) are resolved away before analysis, so two
+statements touching the same base column always agree on the attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Attribute"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Attribute:
+    """A base-table column, the unit of the paper's attribute-set analysis."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"

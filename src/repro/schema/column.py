@@ -1,0 +1,60 @@
+"""Column definitions and value types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TypeMismatchError
+
+__all__ = ["Column", "ColumnType"]
+
+
+class ColumnType(enum.Enum):
+    """Storage types of the engine.
+
+    The dialect needs only three: integers, floats (prices, ratings), and
+    text.  NULL is representable in any nullable column.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+
+    def accepts(self, value: object) -> bool:
+        """Return True if ``value`` (non-NULL) is storable in this type."""
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+    def coerce(self, value: object) -> int | float | str:
+        """Coerce a compatible value to the canonical Python type.
+
+        Raises:
+            TypeMismatchError: if the value is not storable in this type.
+        """
+        if not self.accepts(value):
+            raise TypeMismatchError(
+                f"value {value!r} is not storable in a {self.value} column"
+            )
+        if self is ColumnType.FLOAT:
+            return float(value)  # type: ignore[arg-type]
+        return value  # type: ignore[return-value]
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A named, typed column.
+
+    Attributes:
+        name: Lowercase column name.
+        type: Storage type.
+        nullable: Whether SQL NULL may be stored.  Primary-key columns are
+            implicitly NOT NULL regardless of this flag.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True

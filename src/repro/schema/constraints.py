@@ -1,0 +1,33 @@
+"""Declarative integrity constraints.
+
+Primary keys live on :class:`~repro.schema.table.TableSchema` directly
+(``primary_key`` column tuple); this module defines the cross-table foreign
+key.  Both constraint kinds are enforced by the storage engine and exploited
+by the static analysis (paper Section 4.5):
+
+* *Primary key*: an insertion cannot duplicate an existing key, so a query
+  that selects on an equality over the full key cannot gain new matches from
+  insertions into that table.
+* *Foreign key*: a fresh insertion into the *referenced* table introduces a
+  key value no referencing row can yet join with, so such insertions cannot
+  affect queries that join the two tables on the foreign key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ForeignKey"]
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """``column`` of the owning table references ``ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def describe(self, table: str) -> str:
+        """Human-readable rendering for error messages and reports."""
+        return f"{table}.{self.column} -> {self.ref_table}.{self.ref_column}"

@@ -1,0 +1,96 @@
+"""Per-table schema definition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.schema.attribute import Attribute
+from repro.schema.column import Column
+from repro.schema.constraints import ForeignKey
+
+__all__ = ["TableSchema"]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one base relation.
+
+    Attributes:
+        name: Lowercase table name.
+        columns: Ordered column definitions.
+        primary_key: Names of the key columns (non-empty for every table in
+            the paper's model — modifications select rows via the key).
+        foreign_keys: Outgoing references to other tables.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in index:
+                raise SchemaError(
+                    f"table {self.name!r} defines column {column.name!r} twice"
+                )
+            index[column.name] = position
+        object.__setattr__(self, "_index", index)
+        for key_column in self.primary_key:
+            if key_column not in index:
+                raise SchemaError(
+                    f"primary key column {key_column!r} is not a column "
+                    f"of table {self.name!r}"
+                )
+        for foreign_key in self.foreign_keys:
+            if foreign_key.column not in index:
+                raise SchemaError(
+                    f"foreign key column {foreign_key.column!r} is not a "
+                    f"column of table {self.name!r}"
+                )
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Names of all columns, in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Return True if ``name`` is a column of this table."""
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        """Return the column definition for ``name``.
+
+        Raises:
+            UnknownColumnError: if the column does not exist.
+        """
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise UnknownColumnError(name, self.name) from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column ``name`` in a stored row."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(name, self.name) from None
+
+    def attribute(self, column: str) -> Attribute:
+        """Return the fully qualified :class:`Attribute` for a column."""
+        if column not in self._index:
+            raise UnknownColumnError(column, self.name)
+        return Attribute(self.name, column)
+
+    def attributes(self) -> frozenset[Attribute]:
+        """Return the set of all attributes of this table."""
+        return frozenset(Attribute(self.name, c.name) for c in self.columns)
+
+    def is_key_column(self, name: str) -> bool:
+        """Return True if ``name`` is part of the primary key."""
+        return name in self.primary_key

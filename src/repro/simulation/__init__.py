@@ -1,0 +1,51 @@
+"""Scalability simulation (paper Section 5.2's testbed, reproduced in software).
+
+The paper measures scalability as *the maximum number of concurrent users
+supported while 90% of HTTP requests complete within two seconds*, on an
+Emulab deployment with
+
+* client ↔ DSSP links of 5 ms latency / 20 Mbps,
+* a DSSP ↔ home link of 100 ms latency / 2 Mbps,
+* clients with negative-exponential think time (mean 7 s),
+* a cold DSSP cache at the start of every run.
+
+We reproduce that harness two ways, both driving the **real** DSSP code
+(cache, strategies, encryption) rather than a model of it:
+
+* :mod:`~repro.simulation.events` + :mod:`~repro.simulation.client` — a
+  discrete-event simulation with queueing stations for the home server and
+  DSSP node; faithful but O(events).
+* :mod:`~repro.simulation.scalability` — the benchmark path: measure cache
+  behaviour (hit/miss/update mix) by streaming a sample workload through
+  the real DSSP, then locate the SLA-crossing user count with an M/M/1
+  fixed-point model of the two stations.  Fast enough for the full
+  parameter sweeps of Figures 3 and 8; validated against the DES in tests.
+"""
+
+from repro.simulation.events import Simulator
+from repro.simulation.metrics import LatencyStats, percentile
+from repro.simulation.network import Link
+from repro.simulation.params import SimulationParams
+from repro.simulation.servers import Station
+from repro.simulation.client import SimulationReport, simulate_users
+from repro.simulation.scalability import (
+    CacheBehavior,
+    find_scalability,
+    measure_cache_behavior,
+    predict_p90,
+)
+
+__all__ = [
+    "CacheBehavior",
+    "LatencyStats",
+    "Link",
+    "SimulationParams",
+    "SimulationReport",
+    "Simulator",
+    "Station",
+    "find_scalability",
+    "measure_cache_behavior",
+    "percentile",
+    "predict_p90",
+    "simulate_users",
+]

@@ -1,0 +1,223 @@
+"""Closed-loop client simulation over the real DSSP (the DES harness).
+
+Each emulated client mirrors the TPC-W browser model the paper uses: issue
+a page request, wait for the response, think for Exp(mean 7 s), repeat.  A
+page request fans out into the application's database operations, each of
+which traverses the simulated network and queueing stations while the
+*real* DSSP code decides hits, misses, and invalidations.
+
+The operations come from a *page sampler* — any object with
+``sample_page(rng) -> list`` of operations, where an operation exposes
+``is_update`` and ``bound`` (see :mod:`repro.workloads.base`).
+
+Consistency note: like the paper's prototype ("non-transactional
+invalidation of cached query results", Section 5.2), the DES models real
+invalidation latency — an update is applied at the home server first and
+the DSSP-side invalidation completes after a WAN hop plus queueing, so a
+concurrent query can briefly observe the pre-update view.  The functional
+path (:meth:`repro.dssp.proxy.DsspNode.update`) is atomic; only the timed
+simulation exhibits the window, exactly as the real deployment would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dssp.homeserver import HomeServer
+from repro.dssp.proxy import DsspNode
+from repro.dssp.stats import DsspStats
+from repro.simulation.events import Simulator
+from repro.simulation.metrics import LatencyStats
+from repro.simulation.params import SimulationParams
+from repro.simulation.servers import Station
+
+__all__ = ["SimulationReport", "simulate_users"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of one DES run at a fixed number of concurrent users."""
+
+    users: int
+    duration_s: float
+    pages_completed: int
+    latency: LatencyStats
+    dssp: DsspStats
+    home_utilization: float
+    dssp_utilization: float
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile page response time."""
+        return self.latency.quantile(0.90)
+
+    def meets_sla(self, params: SimulationParams) -> bool:
+        """Whether this run satisfies the paper's SLA."""
+        return self.latency.meets_sla(params.sla_seconds, params.sla_quantile)
+
+
+class _ClientDriver:
+    """Shared machinery: stations, links, and the per-operation pipeline."""
+
+    def __init__(
+        self,
+        node: DsspNode,
+        home: HomeServer,
+        params: SimulationParams,
+        sim: Simulator,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.node = node
+        self.home = home
+        self.params = params
+        self.sim = sim
+        self.rng = rng or random.Random(0)
+        self.dssp_station = Station(sim, params.dssp_workers, "dssp")
+        self.home_station = Station(sim, params.home_workers, "home")
+        self.latency = LatencyStats()
+        self.pages_completed = 0
+
+    def service_time(self, mean_s: float) -> float:
+        """One service-time draw (exponential or deterministic)."""
+        if self.params.stochastic_service:
+            return self.rng.expovariate(1.0 / mean_s) if mean_s > 0 else 0.0
+        return mean_s
+
+    # -- one operation ------------------------------------------------------
+
+    def perform_operation(self, operation, done) -> None:
+        """Run one DB operation through network + stations; call done()."""
+        params = self.params
+        to_dssp = params.client_dssp.one_way(params.request_bytes)
+        if operation.is_update:
+            self.sim.schedule(to_dssp, lambda: self._update_at_dssp(operation, done))
+        else:
+            self.sim.schedule(to_dssp, lambda: self._query_at_dssp(operation, done))
+
+    def _seal_query(self, bound):
+        level = self.home.policy.query_level(bound.template.name)
+        return self.home.codec.seal_query(bound, level)
+
+    def _seal_update(self, bound):
+        level = self.home.policy.update_level(bound.template.name)
+        return self.home.codec.seal_update(bound, level)
+
+    def _query_at_dssp(self, operation, done) -> None:
+        params = self.params
+        envelope = self._seal_query(operation.bound)
+
+        def after_lookup() -> None:
+            cached = self.node.lookup(envelope)
+            if cached is not None:
+                self.sim.schedule(
+                    params.client_dssp.one_way(params.response_bytes), done
+                )
+                return
+            # Miss: WAN to home, queue at the home server, WAN back.
+            wan_out = params.dssp_home.one_way(params.request_bytes)
+
+            def at_home() -> None:
+                def served() -> None:
+                    self.node.fill(envelope)
+                    back = params.dssp_home.one_way(
+                        params.response_bytes
+                    ) + params.client_dssp.one_way(params.response_bytes)
+                    self.sim.schedule(back, done)
+
+                self.home_station.submit(self.service_time(params.home_query_s), served)
+
+            self.sim.schedule(wan_out, at_home)
+
+        self.dssp_station.submit(self.service_time(params.dssp_lookup_s), after_lookup)
+
+    def _update_at_dssp(self, operation, done) -> None:
+        params = self.params
+        envelope = self._seal_update(operation.bound)
+        wan_out = params.dssp_home.one_way(params.request_bytes)
+
+        def at_home() -> None:
+            def applied() -> None:
+                self.node.forward_update(envelope)
+                back = params.dssp_home.one_way(params.request_bytes)
+                self.sim.schedule(back, at_dssp_again)
+
+            self.home_station.submit(self.service_time(params.home_update_s), applied)
+
+        def at_dssp_again() -> None:
+            def invalidated() -> None:
+                self.node.invalidate_for(envelope)
+                self.sim.schedule(
+                    params.client_dssp.one_way(params.request_bytes), done
+                )
+
+            self.dssp_station.submit(self.service_time(params.dssp_invalidation_s), invalidated)
+
+        self.sim.schedule(wan_out, at_home)
+
+
+class _Client:
+    """One closed-loop emulated browser."""
+
+    def __init__(
+        self, index: int, driver: _ClientDriver, sampler, rng: random.Random
+    ) -> None:
+        self.driver = driver
+        self.sampler = sampler
+        self.rng = rng
+        # Stagger arrivals across one think period to avoid a thundering herd.
+        start = rng.uniform(0, driver.params.think_time_mean_s)
+        driver.sim.schedule(start, self.start_page)
+
+    def start_page(self) -> None:
+        driver = self.driver
+        if driver.sim.now >= driver.params.duration_s:
+            return
+        operations = list(self.sampler.sample_page(self.rng))
+        began = driver.sim.now
+
+        def next_operation() -> None:
+            if not operations:
+                self.finish_page(began)
+                return
+            operation = operations.pop(0)
+            driver.perform_operation(operation, next_operation)
+
+        next_operation()
+
+    def finish_page(self, began: float) -> None:
+        driver = self.driver
+        elapsed = driver.sim.now - began
+        if began >= driver.params.warmup_s:
+            driver.latency.record(elapsed)
+        driver.pages_completed += 1
+        think = self.rng.expovariate(1.0 / driver.params.think_time_mean_s)
+        driver.sim.schedule(think, self.start_page)
+
+
+def simulate_users(
+    node: DsspNode,
+    home: HomeServer,
+    sampler,
+    users: int,
+    params: SimulationParams | None = None,
+    seed: int = 0,
+) -> SimulationReport:
+    """Run the DES with ``users`` concurrent clients; cold cache start."""
+    params = params or SimulationParams()
+    sim = Simulator()
+    node.cold_start()
+    rng = random.Random(seed)
+    driver = _ClientDriver(node, home, params, sim, random.Random(rng.getrandbits(64)))
+    for index in range(users):
+        _Client(index, driver, sampler, random.Random(rng.getrandbits(64)))
+    sim.run_until(params.duration_s)
+    return SimulationReport(
+        users=users,
+        duration_s=params.duration_s,
+        pages_completed=driver.pages_completed,
+        latency=driver.latency,
+        dssp=node.stats,
+        home_utilization=driver.home_station.utilization(params.duration_s),
+        dssp_utilization=driver.dssp_station.utilization(params.duration_s),
+    )

@@ -1,0 +1,44 @@
+"""A minimal discrete-event simulator (calendar heap)."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Virtual clock + event heap.
+
+    Events are ``(time, sequence, callback)``; the sequence number breaks
+    ties FIFO so simultaneous events run in scheduling order, which keeps
+    runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in time order until the clock reaches ``end_time``."""
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback()
+        self.now = end_time
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

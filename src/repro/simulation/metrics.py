@@ -1,0 +1,59 @@
+"""Latency statistics for the scalability metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyStats", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The q-quantile (0..1) of samples by linear interpolation.
+
+    Returns 0.0 for an empty sample list (an idle run meets any SLA).
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    if ordered[low] == ordered[high]:
+        return ordered[low]  # avoids float round-off in the interpolation
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates page response times."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Add one page's response time."""
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        """Number of pages recorded."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean response time (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of recorded response times."""
+        return percentile(self.samples, q)
+
+    def meets_sla(self, threshold_s: float, quantile: float) -> bool:
+        """True if the q-quantile response time is within the threshold."""
+        return self.quantile(quantile) <= threshold_s

@@ -1,0 +1,42 @@
+"""Network links with latency + bandwidth (the paper's Emulab settings)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A duplex link: one-way delay = latency + size / bandwidth.
+
+    The paper's deployment uses a high-latency low-bandwidth DSSP↔home link
+    (100 ms, 2 Mbps) and low-latency high-bandwidth client↔DSSP links
+    (5 ms, 20 Mbps), modelling DSSP nodes near the clients and far from the
+    single home server.
+    """
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def one_way(self, payload_bytes: float = 0.0) -> float:
+        """Seconds for one message of ``payload_bytes`` to cross the link."""
+        return self.latency_s + payload_bytes / self.bandwidth_bytes_per_s
+
+    def round_trip(
+        self, request_bytes: float = 0.0, response_bytes: float = 0.0
+    ) -> float:
+        """Seconds for a request/response exchange."""
+        return self.one_way(request_bytes) + self.one_way(response_bytes)
+
+
+#: Paper Section 5.2 link parameters.
+def client_link() -> Link:
+    """Client ↔ DSSP: 5 ms, 20 Mbps."""
+    return Link(latency_s=0.005, bandwidth_bytes_per_s=20e6 / 8)
+
+
+def wan_link() -> Link:
+    """DSSP ↔ home server: 100 ms, 2 Mbps."""
+    return Link(latency_s=0.100, bandwidth_bytes_per_s=2e6 / 8)

@@ -1,0 +1,58 @@
+"""Simulation parameters, defaulted to the paper's experimental setup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.network import Link, client_link, wan_link
+
+__all__ = ["SimulationParams"]
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """Knobs of the scalability harness (paper Section 5.2).
+
+    Network and client-behaviour defaults follow the paper exactly; service
+    times are calibrated stand-ins for the paper's hardware (P-III 850 MHz
+    home server, Xeon DSSP node) — scalability *shapes* depend on their
+    ratios, not their absolute values.
+
+    Attributes:
+        think_time_mean_s: Mean of the negative-exponential think time.
+        sla_seconds: Response-time threshold of the scalability metric.
+        sla_quantile: Fraction of requests that must meet the threshold.
+        client_dssp: Client ↔ DSSP link.
+        dssp_home: DSSP ↔ home link.
+        dssp_lookup_s: DSSP service time per cache lookup (hit or miss).
+        dssp_invalidation_s: DSSP service time per invalidation decision.
+        home_query_s: Home-server service time per query (miss service).
+        home_update_s: Home-server service time per update.
+        dssp_workers: Concurrency of the DSSP node.
+        home_workers: Concurrency of the home server.
+        request_bytes: Size of a query/update request on the wire.
+        response_bytes: Size of a query response on the wire.
+        duration_s: Virtual seconds simulated per run.
+        warmup_s: Initial span excluded from latency statistics (cold cache
+            still applies — the paper's runs start cold, so keep this 0 to
+            match; raise it to study steady state).
+    """
+
+    think_time_mean_s: float = 7.0
+    sla_seconds: float = 2.0
+    sla_quantile: float = 0.90
+    client_dssp: Link = field(default_factory=client_link)
+    dssp_home: Link = field(default_factory=wan_link)
+    dssp_lookup_s: float = 0.0015
+    dssp_invalidation_s: float = 0.0002
+    home_query_s: float = 0.018
+    home_update_s: float = 0.010
+    dssp_workers: int = 8
+    home_workers: int = 2
+    request_bytes: float = 400.0
+    response_bytes: float = 4000.0
+    duration_s: float = 600.0
+    warmup_s: float = 0.0
+    #: Draw service times from an exponential with the configured mean
+    #: (matching the analytic M/M/1 model); False = deterministic times.
+    stochastic_service: bool = True

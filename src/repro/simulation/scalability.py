@@ -1,0 +1,242 @@
+"""Scalability search: the paper's "max users within SLA" metric.
+
+Two evaluation paths share the SLA search:
+
+* **DES** — run :func:`~repro.simulation.client.simulate_users` per probe.
+  Faithful but costly: use for spot checks and validation.
+* **Analytic** (default for the benchmark sweeps) — stream a sample
+  workload through the *real* DSSP once to measure per-page cache
+  behaviour (:func:`measure_cache_behavior`), then predict the p90 page
+  time at any user count with an M/M/1-style fixed point over the two
+  stations (:func:`predict_p90`) and binary-search the SLA crossing.
+
+The analytic model intentionally keeps only the effects the paper's
+experiments turn on: WAN round trips paid per miss/update, home-server
+queueing as the bottleneck, and the hit rate set by the invalidation
+strategy.  Absolute user counts are calibration-dependent; orderings and
+ratios between strategies are not.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.dssp.homeserver import HomeServer
+from repro.dssp.proxy import DsspNode
+from repro.simulation.params import SimulationParams
+
+__all__ = [
+    "CacheBehavior",
+    "find_scalability",
+    "measure_cache_behavior",
+    "predict_p90",
+]
+
+
+@dataclass(frozen=True)
+class CacheBehavior:
+    """Per-page workload profile measured on the real DSSP.
+
+    Attributes:
+        pages: Pages streamed during measurement.
+        queries_per_page: Mean DB queries per page.
+        hits_per_page: Mean cache hits per page.
+        misses_per_page: Mean misses (home round trips) per page.
+        updates_per_page: Mean updates per page.
+        invalidations_per_update: Mean cache entries dropped per update.
+    """
+
+    pages: int
+    queries_per_page: float
+    hits_per_page: float
+    misses_per_page: float
+    updates_per_page: float
+    invalidations_per_update: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from cache."""
+        if self.queries_per_page <= 0:
+            return 0.0
+        return self.hits_per_page / self.queries_per_page
+
+
+def measure_cache_behavior(
+    node: DsspNode,
+    home: HomeServer,
+    sampler,
+    pages: int = 2000,
+    seed: int = 0,
+    cold_start: bool = True,
+) -> CacheBehavior:
+    """Stream ``pages`` sampled pages through the DSSP; return the profile.
+
+    The stream is functional (no virtual time): with a single closed-loop
+    population the interleaving of queries and updates is the same as in a
+    timed run, so hit/invalidation statistics transfer.
+    Starts from a cold cache (like every paper experiment) unless
+    ``cold_start=False``, which keeps the cache warm and only resets the
+    counters — used by the warm-cache ablation.
+    """
+    if cold_start:
+        node.cold_start()
+    else:
+        node.stats.reset()
+    rng = random.Random(seed)
+    queries = updates = 0
+    for _ in range(pages):
+        for operation in sampler.sample_page(rng):
+            if operation.is_update:
+                level = home.policy.update_level(operation.bound.template.name)
+                node.update(home.codec.seal_update(operation.bound, level))
+                updates += 1
+            else:
+                level = home.policy.query_level(operation.bound.template.name)
+                node.query(home.codec.seal_query(operation.bound, level))
+                queries += 1
+    stats = node.stats
+    return CacheBehavior(
+        pages=pages,
+        queries_per_page=queries / pages,
+        hits_per_page=stats.hits / pages,
+        misses_per_page=stats.misses / pages,
+        updates_per_page=updates / pages,
+        invalidations_per_update=(
+            stats.invalidations / stats.updates if stats.updates else 0.0
+        ),
+    )
+
+
+# -- analytic model --------------------------------------------------------------------
+
+
+def _station_response(arrival_rate: float, service_s: float, workers: int) -> float:
+    """Mean response time (wait + service) of an M/M/c-approximated station.
+
+    Uses the standard M/M/1 form with pooled capacity; returns ``inf`` at
+    or beyond saturation.
+    """
+    utilization = arrival_rate * service_s / workers
+    if utilization >= 1.0:
+        return math.inf
+    return service_s / (1.0 - utilization)
+
+
+def predict_p90(
+    users: int, params: SimulationParams, behavior: CacheBehavior
+) -> float:
+    """Predicted p90 page response time at ``users`` concurrent clients."""
+    client_rt = params.client_dssp.round_trip(
+        params.request_bytes, params.response_bytes
+    )
+    wan_rt = params.dssp_home.round_trip(
+        params.request_bytes, params.response_bytes
+    )
+    ops_per_page = behavior.queries_per_page + behavior.updates_per_page
+    if ops_per_page == 0:
+        return 0.0
+
+    # Invalidation work rides on the DSSP station, proportional to the
+    # entries each update drops.
+    invalidation_s = params.dssp_invalidation_s * max(
+        1.0, behavior.invalidations_per_update
+    )
+
+    page_time = 0.5  # initial guess; fixed point converges quickly
+    for _ in range(50):
+        cycle = params.think_time_mean_s + page_time
+        page_rate = users / cycle
+        home_rate = page_rate * (
+            behavior.misses_per_page + behavior.updates_per_page
+        )
+        dssp_rate = page_rate * (
+            behavior.queries_per_page + behavior.updates_per_page
+        )
+
+        # Weighted average service at each station.
+        home_service = _weighted_service(
+            (behavior.misses_per_page, params.home_query_s),
+            (behavior.updates_per_page, params.home_update_s),
+        )
+        dssp_service = _weighted_service(
+            (behavior.queries_per_page, params.dssp_lookup_s),
+            (behavior.updates_per_page, invalidation_s),
+        )
+        home_t = _station_response(home_rate, home_service, params.home_workers)
+        dssp_t = _station_response(dssp_rate, dssp_service, params.dssp_workers)
+        if math.isinf(home_t) or math.isinf(dssp_t):
+            return math.inf
+
+        hit_t = client_rt + dssp_t
+        miss_t = client_rt + dssp_t + wan_rt + home_t
+        update_t = client_rt + dssp_t + wan_rt + home_t
+
+        mean = (
+            behavior.hits_per_page * hit_t
+            + behavior.misses_per_page * miss_t
+            + behavior.updates_per_page * update_t
+        )
+        # Treat each op time as exponential-ish for a dispersion estimate.
+        variance = (
+            behavior.hits_per_page * hit_t**2
+            + behavior.misses_per_page * miss_t**2
+            + behavior.updates_per_page * update_t**2
+        )
+        new_page_time = mean
+        if abs(new_page_time - page_time) < 1e-6:
+            page_time = new_page_time
+            break
+        page_time = new_page_time
+
+    return mean + 1.282 * math.sqrt(variance)
+
+
+def _weighted_service(*pairs: tuple[float, float]) -> float:
+    total_weight = sum(weight for weight, _ in pairs)
+    if total_weight <= 0:
+        return 0.0
+    return sum(weight * service for weight, service in pairs) / total_weight
+
+
+# -- the search --------------------------------------------------------------------------
+
+
+def find_scalability(
+    params: SimulationParams,
+    behavior: CacheBehavior | None = None,
+    des_probe=None,
+    max_users: int = 200_000,
+) -> int:
+    """Max users meeting the SLA (p90 ≤ threshold); 0 if even one user misses.
+
+    Exactly one of ``behavior`` (analytic mode) or ``des_probe`` (a
+    callable ``users -> SimulationReport``) must be given.
+    """
+    if (behavior is None) == (des_probe is None):
+        raise ValueError("provide exactly one of behavior / des_probe")
+
+    def meets(users: int) -> bool:
+        if users == 0:
+            return True
+        if behavior is not None:
+            return predict_p90(users, params, behavior) <= params.sla_seconds
+        report = des_probe(users)
+        return report.meets_sla(params)
+
+    if not meets(1):
+        return 0
+    # Exponential growth to bracket, then binary search.
+    low, high = 1, 2
+    while high <= max_users and meets(high):
+        low, high = high, high * 2
+    if high > max_users:
+        return max_users
+    while high - low > 1:
+        middle = (low + high) // 2
+        if meets(middle):
+            low = middle
+        else:
+            high = middle
+    return low

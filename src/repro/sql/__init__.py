@@ -1,0 +1,67 @@
+"""SQL front end for the paper's restricted dialect.
+
+The dialect (paper Section 2.1) covers:
+
+* **Queries** — select-project-join (SPJ) statements with conjunctive
+  selection predicates built from the five comparison operators
+  ``< <= > >= =``, optional ``ORDER BY`` and top-k (``LIMIT k``), plus the
+  aggregation / ``GROUP BY`` extension the paper's evaluation uses
+  (``MIN MAX COUNT SUM AVG``).
+* **Updates** — fully-specified ``INSERT`` statements, predicate ``DELETE``
+  statements, and ``UPDATE`` statements that modify non-key attributes of
+  rows selected by an equality predicate on the primary key.
+* **Parameters** — ``?`` placeholders bound at execution time, which is what
+  turns a statement into a *template* (see :mod:`repro.templates`).
+
+The public surface is :func:`parse` (text → AST) and :func:`to_sql`
+(AST → canonical text).  ``parse(to_sql(ast)) == ast`` holds for every AST
+the parser can produce; the property-based tests rely on it.
+"""
+
+from repro.sql.ast import (
+    Aggregate,
+    AggregateFunc,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Delete,
+    Insert,
+    Literal,
+    OrderByItem,
+    Parameter,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableRef,
+    Update,
+)
+from repro.sql.formatter import to_sql
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_query, parse_update
+
+__all__ = [
+    "Aggregate",
+    "AggregateFunc",
+    "ColumnRef",
+    "Comparison",
+    "ComparisonOp",
+    "Delete",
+    "Insert",
+    "Literal",
+    "OrderByItem",
+    "Parameter",
+    "Select",
+    "SelectItem",
+    "Star",
+    "Statement",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "Update",
+    "parse",
+    "parse_query",
+    "parse_update",
+    "to_sql",
+    "tokenize",
+]

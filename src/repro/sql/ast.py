@@ -1,0 +1,253 @@
+"""Abstract syntax tree for the paper's SQL dialect.
+
+All nodes are immutable (frozen dataclasses with tuple-valued collections) so
+that statements and templates can be hashed, compared, and used directly as
+cache keys — a property the DSSP cache relies on.
+
+Terminology used throughout the analysis code (paper Table 5):
+
+* *selection predicates* of a statement are the conjuncts of its WHERE
+  clause, each either attribute-vs-constant/parameter or attribute-vs-
+  attribute (a join condition);
+* a :class:`Select` is an SPJ query, optionally with ORDER BY, top-k
+  (``limit``), and aggregation/GROUP BY;
+* :class:`Insert` / :class:`Delete` / :class:`Update` are the three update
+  statement kinds (classes I, D, M).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "AggregateFunc",
+    "Aggregate",
+    "ColumnRef",
+    "Comparison",
+    "ComparisonOp",
+    "Delete",
+    "Insert",
+    "Literal",
+    "OrderByItem",
+    "Parameter",
+    "Select",
+    "SelectItem",
+    "Star",
+    "Statement",
+    "TableRef",
+    "Update",
+    "Value",
+    "Scalar",
+]
+
+#: Python types a literal may carry.  ``None`` encodes SQL NULL.
+Scalar = Union[int, float, str, None]
+
+
+class ComparisonOp(enum.Enum):
+    """The five comparison operators of the dialect (paper Section 2.1)."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+
+    def flip(self) -> "ComparisonOp":
+        """Return the operator with sides swapped (e.g. ``<`` → ``>``)."""
+        return _FLIPPED[self]
+
+    def holds(self, left: Scalar, right: Scalar) -> bool:
+        """Evaluate ``left op right`` with SQL NULL semantics (NULL → False)."""
+        if left is None or right is None:
+            return False
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.LT:
+            return left < right  # type: ignore[operator]
+        if self is ComparisonOp.LE:
+            return left <= right  # type: ignore[operator]
+        if self is ComparisonOp.GT:
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]
+
+
+_FLIPPED = {
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.EQ,
+}
+
+
+class AggregateFunc(enum.Enum):
+    """Aggregation functions of the evaluation extension (paper Section 5.1)."""
+
+    MIN = "min"
+    MAX = "max"
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A (possibly table-qualified) column reference, e.g. ``toys.qty``."""
+
+    column: str
+    table: str | None = None
+
+    def qualified(self) -> str:
+        """Return the display form, ``table.column`` or bare ``column``."""
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant value embedded in a statement."""
+
+    value: Scalar
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """A ``?`` placeholder, numbered left-to-right from 0 within a statement."""
+
+    index: int
+
+
+#: Either side of a comparison, a VALUES entry, or a SET right-hand side.
+Value = Union[ColumnRef, Literal, Parameter]
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A single conjunct ``left op right`` of a WHERE clause."""
+
+    left: Value
+    op: ComparisonOp
+    right: Value
+
+    def is_join(self) -> bool:
+        """True if both sides are column references (a join condition)."""
+        return isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef)
+
+    def column_refs(self) -> tuple[ColumnRef, ...]:
+        """Return the column references appearing on either side."""
+        refs = []
+        if isinstance(self.left, ColumnRef):
+            refs.append(self.left)
+        if isinstance(self.right, ColumnRef):
+            refs.append(self.right)
+        return tuple(refs)
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    """``*`` in a select list or inside ``COUNT(*)``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """An aggregate select item such as ``MAX(qty)`` or ``COUNT(*)``."""
+
+    func: AggregateFunc
+    argument: ColumnRef | Star
+    distinct: bool = False
+
+
+#: An entry of the select list.
+SelectItem = Union[ColumnRef, Aggregate, Star]
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A FROM-clause entry, with optional alias (``toys AS t1``)."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is known by inside the statement."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True, slots=True)
+class OrderByItem:
+    """One ORDER BY key with direction."""
+
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    """An SPJ query with optional order-by, top-k, aggregation, group-by.
+
+    ``where`` is a conjunction; the dialect has no OR / NOT.  ``limit`` is
+    the top-k construct — an integer, a parameter, or None for no limit.
+    """
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: tuple[Comparison, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderByItem, ...] = ()
+    limit: int | Parameter | None = None
+
+    def has_aggregate(self) -> bool:
+        """True if any select item is an aggregate function."""
+        return any(isinstance(item, Aggregate) for item in self.items)
+
+    def has_top_k(self) -> bool:
+        """True if the query has a top-k (LIMIT) construct."""
+        return self.limit is not None
+
+    def join_conditions(self) -> tuple[Comparison, ...]:
+        """Return the WHERE conjuncts that compare two columns."""
+        return tuple(c for c in self.where if c.is_join())
+
+    def only_equality_joins(self) -> bool:
+        """True if every join condition uses ``=`` (query class E)."""
+        return all(c.op is ComparisonOp.EQ for c in self.join_conditions())
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    """``INSERT INTO table (col, ...) VALUES (v, ...)`` — fully specified row."""
+
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Union[Literal, Parameter], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    """``DELETE FROM table WHERE pred`` — rows matching an arithmetic predicate."""
+
+    table: str
+    where: tuple[Comparison, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """``UPDATE table SET col=v, ... WHERE pk = v`` — modification statement.
+
+    The paper restricts modifications to non-key attributes of the row
+    matching an equality predicate on the primary key; the schema layer
+    enforces that restriction (the parser alone cannot know the keys).
+    """
+
+    table: str
+    assignments: tuple[tuple[str, Union[Literal, Parameter]], ...]
+    where: tuple[Comparison, ...] = ()
+
+
+#: Any parsed statement.
+Statement = Union[Select, Insert, Delete, Update]

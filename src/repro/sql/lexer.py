@@ -1,0 +1,191 @@
+"""Tokenizer for the paper's SQL dialect.
+
+The lexer is deliberately small: identifiers, keywords, integer and float
+literals, single-quoted string literals (with ``''`` escaping), the five
+comparison operators, punctuation, and the ``?`` parameter marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TokenizeError
+
+__all__ = ["Token", "TokenType", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"  # one of < <= > >= =
+    PUNCT = "punct"  # ( ) , . *
+    PARAMETER = "parameter"  # ?
+    EOF = "eof"
+
+
+#: Reserved words of the dialect.  Matched case-insensitively; identifiers
+#: may not collide with these.
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "and",
+        "order",
+        "group",
+        "by",
+        "asc",
+        "desc",
+        "limit",
+        "insert",
+        "into",
+        "values",
+        "delete",
+        "update",
+        "set",
+        "null",
+        "min",
+        "max",
+        "count",
+        "sum",
+        "avg",
+        "as",
+        "distinct",
+    }
+)
+
+_PUNCT_CHARS = frozenset("(),.*")
+_OPERATOR_STARTS = frozenset("<>=!")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: Lexical category.
+        value: Normalized text.  Keywords and identifiers are lowercased;
+            string literals hold the *unescaped* content; numbers hold the
+            literal digits.
+        position: Byte offset of the token's first character in the input.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Return True if this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens, ending with a single EOF token.
+
+    Raises:
+        TokenizeError: on characters outside the dialect (e.g. ``;``) or an
+            unterminated string literal.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", i))
+            i += 1
+        elif ch in _PUNCT_CHARS:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+        elif ch in _OPERATOR_STARTS:
+            i = _lex_operator(sql, i, tokens)
+        elif ch == "'":
+            i = _lex_string(sql, i, tokens)
+        elif ch.isdigit():
+            i = _lex_number(sql, i, tokens)
+        elif ch == "-" and sql[i + 1 : i + 2].isdigit():
+            # The dialect has no arithmetic, so '-' can only introduce a
+            # negative numeric literal.
+            i = _lex_number(sql, i, tokens, negative=True)
+        elif ch.isalpha() or ch == "_":
+            i = _lex_word(sql, i, tokens)
+        else:
+            raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _lex_operator(sql: str, i: int, tokens: list[Token]) -> int:
+    """Lex a comparison operator starting at ``i``; return the next offset."""
+    two = sql[i : i + 2]
+    if two in ("<=", ">="):
+        tokens.append(Token(TokenType.OPERATOR, two, i))
+        return i + 2
+    if two in ("<>", "!="):
+        # Valid SQL, but the paper's language has only {<, <=, >, >=, =}.
+        raise TokenizeError(
+            f"operator {two!r} is outside the paper's dialect "
+            "(only < <= > >= = are supported)",
+            i,
+        )
+    ch = sql[i]
+    if ch == "!":
+        raise TokenizeError("unexpected character '!'", i)
+    tokens.append(Token(TokenType.OPERATOR, ch, i))
+    return i + 1
+
+
+def _lex_string(sql: str, i: int, tokens: list[Token]) -> int:
+    """Lex a single-quoted string literal with ``''`` escapes."""
+    start = i
+    i += 1  # skip opening quote
+    parts: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == "'":
+            if sql[i + 1 : i + 2] == "'":  # escaped quote
+                parts.append("'")
+                i += 2
+                continue
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            return i + 1
+        parts.append(ch)
+        i += 1
+    raise TokenizeError("unterminated string literal", start)
+
+
+def _lex_number(sql: str, i: int, tokens: list[Token], negative: bool = False) -> int:
+    """Lex an integer or float literal, optionally led by a minus sign."""
+    start = i
+    if negative:
+        i += 1
+    while i < len(sql) and sql[i].isdigit():
+        i += 1
+    is_float = False
+    if i < len(sql) and sql[i] == "." and sql[i + 1 : i + 2].isdigit():
+        is_float = True
+        i += 1
+        while i < len(sql) and sql[i].isdigit():
+            i += 1
+    kind = TokenType.FLOAT if is_float else TokenType.INTEGER
+    tokens.append(Token(kind, sql[start:i], start))
+    return i
+
+
+def _lex_word(sql: str, i: int, tokens: list[Token]) -> int:
+    """Lex a keyword or identifier (letters, digits, underscores)."""
+    start = i
+    while i < len(sql) and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    word = sql[start:i].lower()
+    kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENTIFIER
+    tokens.append(Token(kind, word, start))
+    return i

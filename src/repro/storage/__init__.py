@@ -1,0 +1,16 @@
+"""In-memory multiset relational engine.
+
+This is the substrate under both the home server (master copies) and the
+correctness oracle used by the tests: a small but complete executor for the
+paper's dialect — SPJ queries with conjunctive predicates, order-by, top-k,
+aggregation and group-by — plus DML application with primary-key,
+foreign-key, NOT NULL, and modification-statement enforcement.
+
+Entry point: :class:`~repro.storage.database.Database`.
+"""
+
+from repro.storage.database import Database
+from repro.storage.executor import QueryExecutor
+from repro.storage.rows import ResultSet, Row
+
+__all__ = ["Database", "QueryExecutor", "ResultSet", "Row"]

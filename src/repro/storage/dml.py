@@ -1,0 +1,298 @@
+"""Application of update statements (INSERT / DELETE / UPDATE) to table data.
+
+Enforces the paper's update model (Section 2.1):
+
+* insertions fully specify a row;
+* deletions select rows by an arithmetic predicate over one relation;
+* modifications change only **non-key** attributes of the row selected by an
+  **equality predicate over the full primary key** (strict mode).
+
+Integrity constraints enforced: primary-key uniqueness, NOT NULL (and
+implicit NOT NULL of key columns), and foreign-key existence on insert and
+on parent delete (restrict semantics, optional).
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ExecutionError,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    UnsupportedSqlError,
+)
+from repro.schema.schema import Schema
+from repro.schema.table import TableSchema
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Delete,
+    Insert,
+    Literal,
+    Parameter,
+    Scalar,
+    Update,
+)
+from repro.storage.rows import Row
+
+__all__ = ["apply_insert", "apply_delete", "apply_update"]
+
+
+def _literal_value(value: Literal | Parameter, context: str) -> Scalar:
+    if isinstance(value, Parameter):
+        raise ExecutionError(f"unbound parameter in {context}")
+    return value.value
+
+
+def _key_of(table: TableSchema, row: Row) -> tuple[Scalar, ...]:
+    return tuple(row[table.position(column)] for column in table.primary_key)
+
+
+def apply_insert(
+    schema: Schema,
+    data: dict[str, list[Row]],
+    insert: Insert,
+    enforce_foreign_keys: bool = True,
+    indexes=None,
+) -> int:
+    """Insert one fully-specified row; returns 1 (rows affected).
+
+    With ``indexes`` (a :class:`~repro.storage.indexes.DatabaseIndexes`),
+    duplicate-key and parent-existence checks are O(1) instead of scans,
+    and all index structures are maintained.
+
+    Raises:
+        PrimaryKeyViolation: duplicate key.
+        ForeignKeyViolation: referenced parent row missing.
+        NotNullViolation: NULL in a NOT NULL or key column.
+    """
+    table = schema.table(insert.table)
+    provided = dict(zip(insert.columns, insert.values))
+    unknown = set(insert.columns) - set(table.column_names)
+    if unknown:
+        raise UnsupportedSqlError(
+            f"INSERT into {table.name!r} names unknown columns {sorted(unknown)}"
+        )
+    missing = set(table.column_names) - set(insert.columns)
+    if missing:
+        raise UnsupportedSqlError(
+            f"INSERT must fully specify a row; missing columns {sorted(missing)} "
+            f"of table {table.name!r}"
+        )
+
+    row_values: list[Scalar] = []
+    for column in table.columns:
+        value = _literal_value(provided[column.name], "INSERT VALUES")
+        if value is None:
+            if not column.nullable or table.is_key_column(column.name):
+                raise NotNullViolation(
+                    f"column {table.name}.{column.name} cannot be NULL"
+                )
+            row_values.append(None)
+        else:
+            row_values.append(column.type.coerce(value))
+    row = tuple(row_values)
+
+    if table.primary_key:
+        new_key = _key_of(table, row)
+        if indexes is not None and indexes.primary.indexes_table(table.name):
+            duplicate = indexes.primary.contains(table.name, new_key)
+        else:
+            duplicate = any(
+                _key_of(table, existing) == new_key
+                for existing in data.get(table.name, ())
+            )
+        if duplicate:
+            raise PrimaryKeyViolation(
+                f"duplicate primary key {new_key!r} in table {table.name!r}"
+            )
+
+    if enforce_foreign_keys:
+        _check_outgoing_foreign_keys(schema, data, table, row, indexes)
+
+    data.setdefault(table.name, []).append(row)
+    if indexes is not None:
+        indexes.add(table.name, row)
+    return 1
+
+
+def _check_outgoing_foreign_keys(
+    schema: Schema,
+    data: dict[str, list[Row]],
+    table: TableSchema,
+    row: Row,
+    indexes=None,
+) -> None:
+    for foreign_key in table.foreign_keys:
+        value = row[table.position(foreign_key.column)]
+        if value is None:
+            continue  # NULL FK is permitted
+        target = schema.table(foreign_key.ref_table)
+        if (
+            indexes is not None
+            and indexes.primary.indexes_table(target.name)
+            and indexes.primary.single_column_key(target.name)
+        ):
+            # FKs reference single-column primary keys (schema-validated).
+            exists = indexes.primary.contains_value(
+                target.name, foreign_key.ref_column, value
+            )
+        else:
+            position = target.position(foreign_key.ref_column)
+            exists = any(
+                parent[position] == value
+                for parent in data.get(target.name, ())
+            )
+        if not exists:
+            raise ForeignKeyViolation(
+                f"{foreign_key.describe(table.name)}: no parent row with "
+                f"{foreign_key.ref_column} = {value!r}"
+            )
+
+
+def apply_delete(
+    schema: Schema,
+    data: dict[str, list[Row]],
+    delete: Delete,
+    enforce_foreign_keys: bool = False,
+    indexes=None,
+) -> int:
+    """Delete rows matching the predicate; returns the number removed.
+
+    With ``enforce_foreign_keys`` (restrict semantics), refuses to remove a
+    row that is still referenced by a child table.
+    """
+    table = schema.table(delete.table)
+    rows = data.get(table.name, [])
+    check = _compile_predicate(table, delete.where)
+    keep: list[Row] = []
+    removed: list[Row] = []
+    for row in rows:
+        (removed if check(row) else keep).append(row)
+    if not removed:
+        return 0
+    if enforce_foreign_keys:
+        incoming = schema.foreign_keys_into(table.name)
+        for row in removed:
+            _check_no_children(schema, data, table, row, incoming)
+    data[table.name] = keep
+    if indexes is not None:
+        for row in removed:
+            indexes.remove(table.name, row)
+    return len(removed)
+
+
+def _check_no_children(
+    schema: Schema,
+    data: dict[str, list[Row]],
+    table: TableSchema,
+    row: Row,
+    incoming,
+) -> None:
+    for owner_name, foreign_key in incoming:
+        owner = schema.table(owner_name)
+        position = owner.position(foreign_key.column)
+        value = row[table.position(foreign_key.ref_column)]
+        if any(child[position] == value for child in data.get(owner_name, ())):
+            raise ForeignKeyViolation(
+                f"cannot delete {table.name} row: still referenced via "
+                f"{foreign_key.describe(owner_name)}"
+            )
+
+
+def apply_update(
+    schema: Schema,
+    data: dict[str, list[Row]],
+    update: Update,
+    strict_model: bool = True,
+    indexes=None,
+) -> int:
+    """Apply a modification; returns the number of rows changed.
+
+    In strict mode (the paper's model), requires the WHERE clause to be an
+    equality over the full primary key and forbids assignments to key
+    columns.
+    """
+    table = schema.table(update.table)
+    if strict_model:
+        _check_modification_model(table, update)
+
+    assignments: list[tuple[int, Scalar]] = []
+    for column_name, value in update.assignments:
+        column = table.column(column_name)
+        scalar = _literal_value(value, "SET clause")
+        if scalar is None:
+            if not column.nullable or table.is_key_column(column_name):
+                raise NotNullViolation(
+                    f"column {table.name}.{column_name} cannot be NULL"
+                )
+        else:
+            scalar = column.type.coerce(scalar)
+        assignments.append((table.position(column_name), scalar))
+
+    check = _compile_predicate(table, update.where)
+    rows = data.get(table.name, [])
+    changed = 0
+    for index, row in enumerate(rows):
+        if not check(row):
+            continue
+        new_row = list(row)
+        for position, scalar in assignments:
+            new_row[position] = scalar
+        if tuple(new_row) != row:
+            replacement = tuple(new_row)
+            rows[index] = replacement
+            if indexes is not None:
+                indexes.replace(table.name, row, replacement)
+            changed += 1
+    return changed
+
+
+def _check_modification_model(table: TableSchema, update: Update) -> None:
+    """Enforce: equality predicate over the full primary key, non-key SETs."""
+    for column_name, _ in update.assignments:
+        if table.is_key_column(column_name):
+            raise UnsupportedSqlError(
+                f"modification of key column {table.name}.{column_name} is "
+                "outside the paper's update model"
+            )
+    matched: set[str] = set()
+    for comparison in update.where:
+        if comparison.op is not ComparisonOp.EQ or comparison.is_join():
+            raise UnsupportedSqlError(
+                "modifications must select rows via equality on the primary key"
+            )
+        for ref in comparison.column_refs():
+            matched.add(ref.column)
+    if set(table.primary_key) - matched:
+        raise UnsupportedSqlError(
+            f"modification WHERE clause must cover the full primary key "
+            f"{table.primary_key} of {table.name!r}"
+        )
+
+
+def _compile_predicate(table: TableSchema, where: tuple[Comparison, ...]):
+    """Compile a single-table predicate into a row → bool callable."""
+
+    def side(value):
+        if isinstance(value, Literal):
+            constant = value.value
+            return lambda row: constant
+        if isinstance(value, Parameter):
+            raise ExecutionError("unbound parameter in update predicate")
+        if isinstance(value, ColumnRef):
+            if value.table is not None and value.table != table.name:
+                raise UnsupportedSqlError(
+                    f"update predicate references foreign table {value.table!r}"
+                )
+            position = table.position(value.column)
+            return lambda row: row[position]
+        raise ExecutionError(f"bad predicate operand {value!r}")
+
+    compiled = [(c.op, side(c.left), side(c.right)) for c in where]
+
+    def check(row: Row) -> bool:
+        return all(op.holds(l(row), r(row)) for op, l, r in compiled)
+
+    return check

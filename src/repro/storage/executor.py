@@ -1,0 +1,623 @@
+"""Query executor for the paper's dialect.
+
+Executes a fully-bound :class:`~repro.sql.ast.Select` against table data.
+The pipeline is the classic one:
+
+1. resolve names (aliases → base tables, bare columns → unique binding);
+2. filter each base table with its single-binding predicates;
+3. join bindings left-to-right, preferring hash joins on equality join
+   conditions and falling back to filtered nested loops;
+4. sort (ORDER BY), aggregate / group, project, and apply top-k (LIMIT).
+
+Multiset semantics throughout: projection never deduplicates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import (
+    ExecutionError,
+    SchemaError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.schema.schema import Schema
+from repro.sql.ast import (
+    Aggregate,
+    AggregateFunc,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+    Parameter,
+    Scalar,
+    Select,
+    Star,
+    Value,
+)
+from repro.storage.rows import ResultSet, Row, sort_key
+
+__all__ = ["QueryExecutor"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Slot:
+    """Resolved location of a column: binding index and in-row position."""
+
+    binding: int
+    position: int
+
+
+class _Scope:
+    """Name-resolution context for one SELECT statement."""
+
+    def __init__(self, schema: Schema, select: Select) -> None:
+        self.schema = schema
+        self.bindings: list[str] = []  # binding names, in FROM order
+        self.tables: list[str] = []  # base-table names, aligned
+        seen: set[str] = set()
+        for table_ref in select.tables:
+            if table_ref.name not in schema:
+                raise UnknownTableError(table_ref.name)
+            binding = table_ref.binding
+            if binding in seen:
+                raise SchemaError(f"duplicate binding {binding!r} in FROM clause")
+            seen.add(binding)
+            self.bindings.append(binding)
+            self.tables.append(table_ref.name)
+
+    def resolve(self, ref: ColumnRef) -> _Slot:
+        """Resolve a column reference to a (binding, position) slot."""
+        if ref.table is not None:
+            for index, binding in enumerate(self.bindings):
+                if binding == ref.table:
+                    table = self.schema.table(self.tables[index])
+                    return _Slot(index, table.position(ref.column))
+            raise UnknownTableError(ref.table)
+        matches = []
+        for index, table_name in enumerate(self.tables):
+            table = self.schema.table(table_name)
+            if table.has_column(ref.column):
+                matches.append(_Slot(index, table.position(ref.column)))
+        if not matches:
+            raise UnknownColumnError(ref.column)
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column {ref.column!r}")
+        return matches[0]
+
+
+#: A partial join result: one row tuple per already-joined binding.
+_JoinedRow = tuple[Row, ...]
+
+
+class QueryExecutor:
+    """Executes SELECT statements against in-memory table data."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    def execute(
+        self, select: Select, data: dict[str, list[Row]], indexes=None
+    ) -> ResultSet:
+        """Run ``select`` over ``data`` (table name → rows) and return rows.
+
+        ``indexes`` (a :class:`~repro.storage.indexes.DatabaseIndexes`)
+        enables hash access paths: an O(1) point read when equality
+        constants pin a binding's full primary key, and equality buckets
+        for single-column predicates — the dominant query shapes in the
+        benchmark workloads.
+
+        Raises:
+            ExecutionError: if the statement still contains ``?`` parameters.
+        """
+        if select.limit is not None and isinstance(select.limit, Parameter):
+            raise ExecutionError("unbound parameter in LIMIT")
+        scope = _Scope(self._schema, select)
+        single, joins = self._partition_predicates(scope, select.where)
+
+        joined = self._join_all(scope, data, single, joins, indexes)
+
+        if select.has_aggregate() or select.group_by:
+            return self._execute_aggregate(scope, select, joined)
+
+        if select.order_by:
+            joined = self._sort_joined(scope, select, joined)
+        columns, rows = self._project(scope, select, joined)
+        ordered = bool(select.order_by) or select.limit is not None
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return ResultSet(columns=columns, rows=tuple(rows), ordered=ordered)
+
+    # -- predicate handling -------------------------------------------------
+
+    def _partition_predicates(
+        self, scope: _Scope, where: tuple[Comparison, ...]
+    ) -> tuple[dict[int, list[Comparison]], list[Comparison]]:
+        """Split WHERE conjuncts into per-binding filters and join conditions."""
+        single: dict[int, list[Comparison]] = defaultdict(list)
+        joins: list[Comparison] = []
+        for comparison in where:
+            bindings = {
+                scope.resolve(ref).binding for ref in comparison.column_refs()
+            }
+            self._check_bound(comparison)
+            if len(bindings) == 0:
+                # Constant predicate (e.g. 1 = 1): evaluate once; a false
+                # constant predicate empties the result via binding 0.
+                if not self._constant_holds(comparison):
+                    single[0].append(comparison)  # re-checked per row → false
+                continue
+            if len(bindings) == 1:
+                single[bindings.pop()].append(comparison)
+            else:
+                joins.append(comparison)
+        return single, joins
+
+    @staticmethod
+    def _check_bound(comparison: Comparison) -> None:
+        for side in (comparison.left, comparison.right):
+            if isinstance(side, Parameter):
+                raise ExecutionError(
+                    "unbound parameter in WHERE clause; bind the template first"
+                )
+
+    @staticmethod
+    def _constant_holds(comparison: Comparison) -> bool:
+        left = comparison.left.value  # type: ignore[union-attr]
+        right = comparison.right.value  # type: ignore[union-attr]
+        return comparison.op.holds(left, right)
+
+    def _evaluate_side(
+        self, scope: _Scope, value: Value, joined_row: _JoinedRow
+    ) -> Scalar:
+        if isinstance(value, Literal):
+            return value.value
+        if isinstance(value, ColumnRef):
+            slot = scope.resolve(value)
+            return joined_row[slot.binding][slot.position]
+        raise ExecutionError("unbound parameter")
+
+    # -- join pipeline --------------------------------------------------------
+
+    def _filtered_base(
+        self,
+        scope: _Scope,
+        data: dict[str, list[Row]],
+        binding_index: int,
+        predicates: list[Comparison],
+        indexes=None,
+    ) -> list[Row]:
+        """Rows of one binding's base table that pass its local predicates."""
+        candidates = self._index_probe(scope, binding_index, predicates, indexes)
+        rows = (
+            candidates
+            if candidates is not None
+            else data.get(scope.tables[binding_index], [])
+        )
+        if not predicates:
+            return list(rows)
+        compiled = []
+        for comparison in predicates:
+            compiled.append(self._compile_local(scope, binding_index, comparison))
+        return [row for row in rows if all(check(row) for check in compiled)]
+
+    def _index_probe(
+        self,
+        scope: _Scope,
+        binding_index: int,
+        predicates: list[Comparison],
+        indexes,
+    ) -> list[Row] | None:
+        """Hash-index candidate lookup for equality predicates.
+
+        Prefers the primary-key map (at most one candidate) when equality
+        constants pin the full key; otherwise falls back to a secondary
+        equality bucket on any single constant-pinned column.  Returns
+        None when no access path applies.  The caller still re-applies
+        every predicate, so this is purely an access-path optimization.
+        """
+        if indexes is None:
+            return None
+        table_name = scope.tables[binding_index]
+        table = self._schema.table(table_name)
+        pinned: dict[str, object] = {}
+        for comparison in predicates:
+            if comparison.op is not ComparisonOp.EQ or comparison.is_join():
+                continue
+            left, right = comparison.left, comparison.right
+            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+                pinned.setdefault(left.column, right.value)
+            elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+                pinned.setdefault(right.column, left.value)
+        if not pinned:
+            return None
+        primary = indexes.primary
+        if primary.indexes_table(table_name) and all(
+            column in pinned for column in table.primary_key
+        ):
+            key = tuple(pinned[column] for column in table.primary_key)
+            row = primary.lookup(table_name, key)
+            return [row] if row is not None else []
+        for column, value in pinned.items():
+            bucket = indexes.probe(table_name, column, value)
+            if bucket is not None:
+                return bucket
+        return None
+
+    def _compile_local(
+        self, scope: _Scope, binding_index: int, comparison: Comparison
+    ):
+        """Compile a single-binding predicate into a row → bool callable."""
+
+        def side(value: Value):
+            if isinstance(value, Literal):
+                constant = value.value
+                return lambda row: constant
+            slot = scope.resolve(value)  # type: ignore[arg-type]
+            if slot.binding != binding_index:
+                raise ExecutionError("predicate misrouted to wrong binding")
+            position = slot.position
+            return lambda row: row[position]
+
+        left = side(comparison.left)
+        right = side(comparison.right)
+        op = comparison.op
+        return lambda row: op.holds(left(row), right(row))
+
+    def _join_all(
+        self,
+        scope: _Scope,
+        data: dict[str, list[Row]],
+        single: dict[int, list[Comparison]],
+        joins: list[Comparison],
+        indexes=None,
+    ) -> list[_JoinedRow]:
+        """Join every binding, applying join predicates as early as possible."""
+        n = len(scope.bindings)
+        base = [
+            self._filtered_base(
+                scope, data, index, single.get(index, []), indexes
+            )
+            for index in range(n)
+        ]
+        pending = list(range(n))
+        remaining = list(joins)
+        placed: list[int] = []
+        current: list[_JoinedRow] = []
+
+        while pending:
+            choice = self._pick_next(scope, pending, placed, remaining)
+            pending.remove(choice)
+            if not placed:
+                current = [(row,) for row in base[choice]]
+                placed.append(choice)
+                continue
+            applicable, remaining = self._split_applicable(
+                scope, remaining, placed, choice
+            )
+            current = self._join_one(
+                scope, current, placed, choice, base[choice], applicable
+            )
+            placed.append(choice)
+
+        if remaining:  # pragma: no cover - defensive; all joins get applied
+            raise ExecutionError("unapplied join predicates remain")
+        return self._reorder(current, placed, n)
+
+    def _pick_next(
+        self,
+        scope: _Scope,
+        pending: list[int],
+        placed: list[int],
+        joins: list[Comparison],
+    ) -> int:
+        """Prefer a pending binding connected by a join to the placed set."""
+        if not placed:
+            return pending[0]
+        placed_set = set(placed)
+        for comparison in joins:
+            bindings = {
+                scope.resolve(ref).binding for ref in comparison.column_refs()
+            }
+            touching = bindings & placed_set
+            outside = bindings - placed_set
+            if touching and len(outside) == 1:
+                candidate = next(iter(outside))
+                if candidate in pending:
+                    return candidate
+        return pending[0]
+
+    def _split_applicable(
+        self,
+        scope: _Scope,
+        joins: list[Comparison],
+        placed: list[int],
+        choice: int,
+    ) -> tuple[list[Comparison], list[Comparison]]:
+        """Split join predicates into those decidable once ``choice`` joins."""
+        available = set(placed) | {choice}
+        applicable, remaining = [], []
+        for comparison in joins:
+            bindings = {
+                scope.resolve(ref).binding for ref in comparison.column_refs()
+            }
+            if bindings <= available:
+                applicable.append(comparison)
+            else:
+                remaining.append(comparison)
+        return applicable, remaining
+
+    def _join_one(
+        self,
+        scope: _Scope,
+        current: list[_JoinedRow],
+        placed: list[int],
+        choice: int,
+        new_rows: list[Row],
+        predicates: list[Comparison],
+    ) -> list[_JoinedRow]:
+        """Join ``new_rows`` for binding ``choice`` onto ``current``."""
+        position_of = {binding: index for index, binding in enumerate(placed)}
+
+        plan = self._find_hashable_equality(scope, predicates, position_of, choice)
+        rest = [
+            p for p in predicates if plan is None or p is not plan.comparison
+        ]
+        check = self._compile_cross(scope, rest, position_of, choice)
+
+        if plan is not None:
+            probe_slot, build_position = plan.probe, plan.build_position
+            buckets: dict[Scalar, list[Row]] = defaultdict(list)
+            for row in new_rows:
+                key = row[build_position]
+                if key is not None:
+                    buckets[key].append(row)
+            joined = []
+            for partial in current:
+                key = partial[position_of[probe_slot.binding]][probe_slot.position]
+                if key is None:
+                    continue
+                for row in buckets.get(key, ()):
+                    candidate = partial + (row,)
+                    if check(candidate):
+                        joined.append(candidate)
+            return joined
+
+        joined = []
+        for partial in current:
+            for row in new_rows:
+                candidate = partial + (row,)
+                if check(candidate):
+                    joined.append(candidate)
+        return joined
+
+    def _find_hashable_equality(
+        self,
+        scope: _Scope,
+        predicates: list[Comparison],
+        position_of: dict[int, int],
+        choice: int,
+    ):
+        """Find one equality join usable for a hash join, pre-resolved.
+
+        Returns ``(probe_slot, build_position)`` — the placed side's slot and
+        the new side's in-row position — or None.
+        """
+        for comparison in predicates:
+            if comparison.op is not ComparisonOp.EQ or not comparison.is_join():
+                continue
+            left = scope.resolve(comparison.left)  # type: ignore[arg-type]
+            right = scope.resolve(comparison.right)  # type: ignore[arg-type]
+            if left.binding in position_of and right.binding == choice:
+                return _EqualityPlan(comparison, left, right.position)
+            if right.binding in position_of and left.binding == choice:
+                return _EqualityPlan(comparison, right, left.position)
+        return None
+
+    def _compile_cross(
+        self,
+        scope: _Scope,
+        predicates: list[Comparison],
+        position_of: dict[int, int],
+        choice: int,
+    ):
+        """Compile cross-binding predicates over a candidate joined row."""
+        slots_of = dict(position_of)
+        slots_of[choice] = len(position_of)
+
+        def side(value: Value):
+            if isinstance(value, Literal):
+                constant = value.value
+                return lambda joined: constant
+            slot = scope.resolve(value)  # type: ignore[arg-type]
+            row_index = slots_of[slot.binding]
+            position = slot.position
+            return lambda joined: joined[row_index][position]
+
+        compiled = [
+            (self._op_of(p), side(p.left), side(p.right)) for p in predicates
+        ]
+
+        def check(joined: _JoinedRow) -> bool:
+            return all(op.holds(l(joined), r(joined)) for op, l, r in compiled)
+
+        return check
+
+    @staticmethod
+    def _op_of(comparison: Comparison):
+        return comparison.op
+
+    @staticmethod
+    def _reorder(
+        current: list[_JoinedRow], placed: list[int], n: int
+    ) -> list[_JoinedRow]:
+        """Re-align joined rows to FROM-clause binding order."""
+        if placed == list(range(n)):
+            return current
+        order = [placed.index(i) for i in range(n)]
+        return [tuple(row[j] for j in order) for row in current]
+
+    # -- ORDER BY / projection / aggregation -----------------------------------
+
+    def _sort_joined(
+        self, scope: _Scope, select: Select, joined: list[_JoinedRow]
+    ) -> list[_JoinedRow]:
+        result = list(joined)
+        for item in reversed(select.order_by):
+            slot = scope.resolve(item.column)
+
+            def key(row: _JoinedRow, slot=slot):
+                return sort_key((row[slot.binding][slot.position],))
+
+            result.sort(key=key, reverse=item.descending)
+        return result
+
+    def _project(
+        self, scope: _Scope, select: Select, joined: list[_JoinedRow]
+    ) -> tuple[tuple[str, ...], list[Row]]:
+        columns: list[str] = []
+        slots: list[_Slot] = []
+        multi = len(scope.bindings) > 1
+        for item in select.items:
+            if isinstance(item, Star):
+                for index, table_name in enumerate(scope.tables):
+                    table = self._schema.table(table_name)
+                    for position, column in enumerate(table.columns):
+                        name = (
+                            f"{scope.bindings[index]}.{column.name}"
+                            if multi
+                            else column.name
+                        )
+                        columns.append(name)
+                        slots.append(_Slot(index, position))
+            elif isinstance(item, ColumnRef):
+                columns.append(item.qualified())
+                slots.append(scope.resolve(item))
+            else:
+                raise ExecutionError(
+                    "aggregate in non-aggregate projection path"
+                )  # pragma: no cover - guarded by caller
+        rows = [
+            tuple(row[slot.binding][slot.position] for slot in slots)
+            for row in joined
+        ]
+        return tuple(columns), rows
+
+    def _execute_aggregate(
+        self, scope: _Scope, select: Select, joined: list[_JoinedRow]
+    ) -> ResultSet:
+        group_slots = [scope.resolve(column) for column in select.group_by]
+        for item in select.items:
+            if isinstance(item, Star):
+                raise ExecutionError("SELECT * cannot mix with aggregation")
+            if isinstance(item, ColumnRef):
+                slot = scope.resolve(item)
+                if slot not in group_slots:
+                    raise ExecutionError(
+                        f"non-aggregate column {item.qualified()!r} must "
+                        "appear in GROUP BY"
+                    )
+
+        groups: dict[tuple, list[_JoinedRow]] = defaultdict(list)
+        if group_slots:
+            for row in joined:
+                key = tuple(
+                    row[slot.binding][slot.position] for slot in group_slots
+                )
+                groups[key].append(row)
+        else:
+            groups[()] = list(joined)
+
+        columns = tuple(self._aggregate_column_name(item) for item in select.items)
+        out_rows: list[Row] = []
+        for key, members in groups.items():
+            out_rows.append(
+                tuple(
+                    self._aggregate_value(scope, item, key, group_slots, members)
+                    for item in select.items
+                )
+            )
+
+        ordered = bool(select.order_by) or select.limit is not None
+        if select.order_by:
+            out_rows = self._sort_output(select, columns, out_rows)
+        elif group_slots:
+            out_rows.sort(key=sort_key)  # deterministic group order
+        if select.limit is not None:
+            out_rows = out_rows[: select.limit]
+        return ResultSet(columns=columns, rows=tuple(out_rows), ordered=ordered)
+
+    @staticmethod
+    def _aggregate_column_name(item) -> str:
+        if isinstance(item, ColumnRef):
+            return item.qualified()
+        arg = "*" if isinstance(item.argument, Star) else item.argument.qualified()
+        if item.distinct:
+            arg = f"DISTINCT {arg}"
+        return f"{item.func.value.upper()}({arg})"
+
+    def _aggregate_value(
+        self,
+        scope: _Scope,
+        item,
+        key: tuple,
+        group_slots: list[_Slot],
+        members: list[_JoinedRow],
+    ) -> Scalar:
+        if isinstance(item, ColumnRef):
+            slot = scope.resolve(item)
+            return key[group_slots.index(slot)]
+        func: AggregateFunc = item.func
+        if isinstance(item.argument, Star):
+            return len(members)
+        slot = scope.resolve(item.argument)
+        values = [
+            row[slot.binding][slot.position]
+            for row in members
+            if row[slot.binding][slot.position] is not None
+        ]
+        if item.distinct:
+            values = list(dict.fromkeys(values))
+        if func is AggregateFunc.COUNT:
+            return len(values)
+        if not values:
+            return None
+        if func is AggregateFunc.MIN:
+            return min(values)
+        if func is AggregateFunc.MAX:
+            return max(values)
+        if func is AggregateFunc.SUM:
+            return sum(values)
+        return sum(values) / len(values)  # AVG
+
+    def _sort_output(
+        self, select: Select, columns: tuple[str, ...], rows: list[Row]
+    ) -> list[Row]:
+        """ORDER BY over aggregated output: keys must be output columns."""
+        result = list(rows)
+        for item in reversed(select.order_by):
+            name = item.column.qualified()
+            try:
+                position = columns.index(name)
+            except ValueError:
+                raise ExecutionError(
+                    f"ORDER BY column {name!r} must appear in the "
+                    "aggregate select list"
+                ) from None
+
+            def key(row: Row, position=position):
+                return sort_key((row[position],))
+
+            result.sort(key=key, reverse=item.descending)
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class _EqualityPlan:
+    """A resolved equality join: probe side slot + build side position."""
+
+    comparison: Comparison
+    probe: _Slot
+    build_position: int

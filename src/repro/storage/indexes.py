@@ -1,0 +1,208 @@
+"""Hash indexes: primary-key maps and secondary equality buckets.
+
+The benchmark workloads are dominated by equality lookups — ``WHERE pk =
+?`` point reads, and ``WHERE fk = ?`` / ``WHERE attribute = ?`` selections
+(comments of a story, items of a subject).  Two structures cover them:
+
+* :class:`PrimaryKeyIndex` — ``key tuple → row`` per table.  Gives O(1)
+  duplicate-key detection on INSERT, O(1) foreign-key parent checks, and a
+  point-read fast path in the executor.
+* :class:`DatabaseIndexes` — the facade a
+  :class:`~repro.storage.database.Database` maintains: the primary index
+  plus per-``(table, column)`` equality buckets (``value → rows``) over
+  every column, used by the executor to replace full scans for
+  single-column equality predicates.
+
+Rows are immutable tuples; modifications never touch key columns (the
+paper's update model), so primary maps mutate only on insert/delete/load,
+while secondary buckets also follow modified columns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ExecutionError
+from repro.schema.schema import Schema
+from repro.storage.rows import Row
+
+__all__ = ["DatabaseIndexes", "PrimaryKeyIndex"]
+
+
+class PrimaryKeyIndex:
+    """Per-table ``primary key tuple → row`` maps for one database."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._positions: dict[str, tuple[int, ...]] = {}
+        self._maps: dict[str, dict[tuple, Row]] = {}
+        for table in schema:
+            if table.primary_key:
+                self._positions[table.name] = tuple(
+                    table.position(column) for column in table.primary_key
+                )
+                self._maps[table.name] = {}
+
+    def indexes_table(self, table: str) -> bool:
+        """True if the table has a primary key (hence an index)."""
+        return table in self._maps
+
+    def key_of(self, table: str, row: Row) -> tuple:
+        """Extract the key tuple of a row."""
+        return tuple(row[position] for position in self._positions[table])
+
+    # -- maintenance --------------------------------------------------------
+
+    def add(self, table: str, row: Row) -> None:
+        """Register a row (caller has already verified uniqueness)."""
+        if table in self._maps:
+            self._maps[table][self.key_of(table, row)] = row
+
+    def remove(self, table: str, row: Row) -> None:
+        """Forget a row."""
+        if table in self._maps:
+            self._maps[table].pop(self.key_of(table, row), None)
+
+    def replace(self, table: str, old: Row, new: Row) -> None:
+        """Swap a row in place (keys never change in the paper's model)."""
+        if table in self._maps:
+            old_key = self.key_of(table, old)
+            new_key = self.key_of(table, new)
+            if old_key != new_key:  # pragma: no cover - model forbids this
+                raise ExecutionError("primary key mutation through replace()")
+            self._maps[table][new_key] = new
+
+    def rebuild(self, table: str, rows: list[Row]) -> None:
+        """Re-derive the table's map from scratch (bulk load / restore)."""
+        if table in self._maps:
+            self._maps[table] = {self.key_of(table, row): row for row in rows}
+
+    def rebuild_all(self, data: dict[str, list[Row]]) -> None:
+        """Re-derive every table's map."""
+        for table in self._maps:
+            self.rebuild(table, data.get(table, []))
+
+    # -- queries --------------------------------------------------------------
+
+    def contains(self, table: str, key: tuple) -> bool:
+        """O(1): does a row with this key exist?"""
+        return key in self._maps[table]
+
+    def lookup(self, table: str, key: tuple) -> Row | None:
+        """O(1): the row with this key, or None."""
+        return self._maps[table].get(key)
+
+    def contains_value(self, table: str, column: str, value) -> bool:
+        """Existence check for a single-column key value."""
+        return (value,) in self._maps[table]
+
+    def single_column_key(self, table: str) -> bool:
+        """True if the table's primary key is one column."""
+        return len(self._positions.get(table, ())) == 1
+
+
+class DatabaseIndexes:
+    """Primary index + equality buckets over every column of every table.
+
+    This is the object a :class:`Database` owns and threads through DML
+    (for maintenance and constraint checks) and the executor (for access
+    paths).  ``probe(table, column, value)`` answers single-column equality
+    predicates in O(matching rows).
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self.primary = PrimaryKeyIndex(schema)
+        # (table, column) -> value -> list of rows.  NULLs are not indexed:
+        # a comparison with NULL never holds, so no probe wants them.
+        self._buckets: dict[tuple[str, str], dict[object, list[Row]]] = {}
+        self._columns: dict[str, tuple[tuple[str, int], ...]] = {}
+        for table in schema:
+            columns = tuple(
+                (column.name, position)
+                for position, column in enumerate(table.columns)
+            )
+            self._columns[table.name] = columns
+            for name, _ in columns:
+                self._buckets[(table.name, name)] = defaultdict(list)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def add(self, table: str, row: Row) -> None:
+        """Register a freshly inserted/loaded row everywhere."""
+        self.primary.add(table, row)
+        for column, position in self._columns[table]:
+            value = row[position]
+            if value is not None:
+                self._buckets[(table, column)][value].append(row)
+
+    def remove(self, table: str, row: Row) -> None:
+        """Forget a deleted row everywhere."""
+        self.primary.remove(table, row)
+        for column, position in self._columns[table]:
+            value = row[position]
+            if value is None:
+                continue
+            bucket = self._buckets[(table, column)].get(value)
+            if bucket is not None:
+                try:
+                    bucket.remove(row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del self._buckets[(table, column)][value]
+
+    def replace(self, table: str, old: Row, new: Row) -> None:
+        """Track a modification: re-bucket only the changed columns."""
+        self.primary.replace(table, old, new)
+        for column, position in self._columns[table]:
+            old_value, new_value = old[position], new[position]
+            buckets = self._buckets[(table, column)]
+            if old_value == new_value:
+                # Same bucket; swap the row object in place.
+                if old_value is not None:
+                    bucket = buckets.get(old_value)
+                    if bucket is not None:
+                        for i, candidate in enumerate(bucket):
+                            if candidate is old or candidate == old:
+                                bucket[i] = new
+                                break
+                continue
+            if old_value is not None:
+                bucket = buckets.get(old_value)
+                if bucket is not None:
+                    try:
+                        bucket.remove(old)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    if not bucket:
+                        del buckets[old_value]
+            if new_value is not None:
+                buckets[new_value].append(new)
+
+    def rebuild_all(self, data: dict[str, list[Row]]) -> None:
+        """Re-derive everything from raw table contents."""
+        self.primary.rebuild_all(data)
+        for key in self._buckets:
+            self._buckets[key] = defaultdict(list)
+        for table, rows in data.items():
+            columns = self._columns.get(table, ())
+            for row in rows:
+                for column, position in columns:
+                    value = row[position]
+                    if value is not None:
+                        self._buckets[(table, column)][value].append(row)
+
+    # -- probes ---------------------------------------------------------------
+
+    def probe(self, table: str, column: str, value) -> list[Row] | None:
+        """Rows with ``column == value``; None if the column is unindexed.
+
+        ``value=None`` returns [] — NULL never satisfies an equality.
+        """
+        bucket_map = self._buckets.get((table, column))
+        if bucket_map is None:
+            return None
+        if value is None:
+            return []
+        return bucket_map.get(value, [])

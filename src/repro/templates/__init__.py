@@ -1,0 +1,52 @@
+"""Query and update templates.
+
+A *template* is a statement with zero or more ``?`` parameters (paper
+Section 2.1): ``Q = Q_T(Q_P)`` and ``U = U_T(U_P)``.  This package provides:
+
+* :class:`~repro.templates.template.QueryTemplate` /
+  :class:`~repro.templates.template.UpdateTemplate` — named templates with
+  late binding;
+* :mod:`~repro.templates.binding` — substitute parameters into an AST;
+* :mod:`~repro.templates.attributes` — the paper's attribute sets S(U),
+  M(U), S(Q), P(Q) (Table 5), alias-resolved to base-table attributes;
+* :mod:`~repro.templates.classify` — query/update classes E, N, I, D, M and
+  the pair relations G (ignorable) and H (result-unhelpful) (Table 6);
+* :class:`~repro.templates.registry.TemplateRegistry` — the fixed template
+  sets that define an application's database component.
+"""
+
+from repro.templates.attributes import (
+    modified_attributes,
+    preserved_attributes,
+    selection_attributes,
+)
+from repro.templates.binding import bind, count_parameters
+from repro.templates.classify import (
+    UpdateKind,
+    is_ignorable,
+    is_result_unhelpful,
+    query_is_equality_join_only,
+    query_has_no_top_k,
+    update_kind,
+)
+from repro.templates.registry import TemplateRegistry
+from repro.templates.template import BoundQuery, BoundUpdate, QueryTemplate, UpdateTemplate
+
+__all__ = [
+    "BoundQuery",
+    "BoundUpdate",
+    "QueryTemplate",
+    "TemplateRegistry",
+    "UpdateKind",
+    "UpdateTemplate",
+    "bind",
+    "count_parameters",
+    "is_ignorable",
+    "is_result_unhelpful",
+    "modified_attributes",
+    "preserved_attributes",
+    "query_has_no_top_k",
+    "query_is_equality_join_only",
+    "selection_attributes",
+    "update_kind",
+]

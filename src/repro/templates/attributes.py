@@ -1,0 +1,156 @@
+"""Attribute-set extraction — the paper's Table 5.
+
+For a schema-resolved statement:
+
+* ``S(U)`` — attributes in any selection predicate of an update template
+  (empty for insertions);
+* ``M(U)`` — attributes modified: the SET columns of a modification, or
+  *all* attributes of the target table for insertions and deletions;
+* ``S(Q)`` — attributes in selection predicates **or order-by constructs**
+  of a query template;
+* ``P(Q)`` — attributes preserved (retained) in the query result.  For the
+  aggregation extension, aggregate arguments and group-by columns count as
+  preserved (conservative: they influence and partially appear in the
+  result).
+
+All sets contain base-table :class:`~repro.schema.attribute.Attribute`
+values — aliases are resolved, so a self-join contributes one attribute per
+base column, as the paper's analysis expects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.schema.attribute import Attribute
+from repro.schema.schema import Schema
+from repro.sql.ast import (
+    Aggregate,
+    ColumnRef,
+    Delete,
+    Insert,
+    Select,
+    Star,
+    Statement,
+    Update,
+)
+
+__all__ = [
+    "modified_attributes",
+    "preserved_attributes",
+    "selection_attributes",
+    "resolve_query_column",
+]
+
+
+def _query_scope(select: Select) -> dict[str, str]:
+    """Map binding name → base table name for a query."""
+    return {ref.binding: ref.name for ref in select.tables}
+
+
+def resolve_query_column(
+    schema: Schema, select: Select, ref: ColumnRef
+) -> Attribute:
+    """Resolve a column reference inside a query to a base-table attribute.
+
+    Raises:
+        AnalysisError: on unknown bindings/columns or ambiguity.
+    """
+    scope = _query_scope(select)
+    if ref.table is not None:
+        base = scope.get(ref.table)
+        if base is None:
+            raise AnalysisError(
+                f"column {ref.qualified()!r} references unknown binding "
+                f"{ref.table!r}"
+            )
+        return schema.attribute(base, ref.column)
+    matches = [
+        base
+        for base in scope.values()
+        if schema.table(base).has_column(ref.column)
+    ]
+    if not matches:
+        raise AnalysisError(f"unknown column {ref.column!r} in query")
+    if len(set(matches)) > 1:
+        raise AnalysisError(f"ambiguous column {ref.column!r} in query")
+    return Attribute(matches[0], ref.column)
+
+
+def selection_attributes(schema: Schema, statement: Statement) -> frozenset[Attribute]:
+    """Return S(Q) or S(U): attributes in selection predicates (+ order-by).
+
+    Insertions have no selection predicate: ``S(U) = {}``.
+    """
+    if isinstance(statement, Insert):
+        return frozenset()
+    if isinstance(statement, Select):
+        attributes: set[Attribute] = set()
+        for comparison in statement.where:
+            for ref in comparison.column_refs():
+                attributes.add(resolve_query_column(schema, statement, ref))
+        # Table 5: S(Q) includes order-by columns — reordering is an
+        # observable change of an ordered result.
+        for item in statement.order_by:
+            attributes.add(resolve_query_column(schema, statement, item.column))
+        return frozenset(attributes)
+    if isinstance(statement, (Delete, Update)):
+        table = schema.table(statement.table)
+        attributes = set()
+        for comparison in statement.where:
+            for ref in comparison.column_refs():
+                if ref.table is not None and ref.table != statement.table:
+                    raise AnalysisError(
+                        f"update predicate references foreign table {ref.table!r}"
+                    )
+                attributes.add(table.attribute(ref.column))
+        return frozenset(attributes)
+    raise AnalysisError(f"cannot analyze {type(statement).__name__}")
+
+
+def modified_attributes(
+    schema: Schema, statement: Insert | Delete | Update
+) -> frozenset[Attribute]:
+    """Return M(U): attributes an update template may modify.
+
+    Insertions and deletions modify (add/remove values of) *every* attribute
+    of the target table; modifications touch only the SET columns.
+    """
+    table = schema.table(statement.table)
+    if isinstance(statement, (Insert, Delete)):
+        return table.attributes()
+    if isinstance(statement, Update):
+        return frozenset(
+            table.attribute(column) for column, _ in statement.assignments
+        )
+    raise AnalysisError(f"cannot analyze {type(statement).__name__}")
+
+
+def preserved_attributes(schema: Schema, select: Select) -> frozenset[Attribute]:
+    """Return P(Q): attributes retained in the query result.
+
+    ``*`` preserves every attribute of every FROM table.  Aggregates
+    conservatively preserve their argument (and ``COUNT(*)`` preserves all
+    attributes of all tables, since any column's values determine the
+    count's grouping behaviour only via group-by — the count itself depends
+    on row multiplicity, which every attribute witnesses).
+    """
+    scope = _query_scope(select)
+    attributes: set[Attribute] = set()
+    for item in select.items:
+        if isinstance(item, Star):
+            for base in scope.values():
+                attributes |= schema.table(base).attributes()
+        elif isinstance(item, ColumnRef):
+            attributes.add(resolve_query_column(schema, select, item))
+        elif isinstance(item, Aggregate):
+            if isinstance(item.argument, Star):
+                # COUNT(*): the result reflects raw row multiplicity.
+                for base in scope.values():
+                    attributes |= schema.table(base).attributes()
+            else:
+                attributes.add(
+                    resolve_query_column(schema, select, item.argument)
+                )
+    for column in select.group_by:
+        attributes.add(resolve_query_column(schema, select, column))
+    return frozenset(attributes)

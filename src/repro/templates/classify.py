@@ -1,0 +1,88 @@
+"""Query/update classes and pair relations — the paper's Table 6.
+
+* Query classes: ``E`` (only equality joins or no joins) and ``N`` (no
+  top-k construct).
+* Update classes: ``I`` insertion, ``D`` deletion, ``M`` modification.
+* Pair relations:
+
+  - ``G`` — **ignorable**: ``M(U) ∩ (P(Q) ∪ S(Q)) = ∅``.  No instance of
+    the update template can ever affect the result of any instance of the
+    query template (Lemma 1 direction A = 0).
+  - ``H`` — **result-unhelpful**: ``S(U) ∩ P(Q) = ∅``.  The cached result
+    carries no attribute the update selects on, so inspecting the view
+    cannot refine invalidation decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.schema.schema import Schema
+from repro.sql.ast import Delete, Insert, Select, Update
+from repro.templates.attributes import (
+    modified_attributes,
+    preserved_attributes,
+    selection_attributes,
+)
+
+__all__ = [
+    "UpdateKind",
+    "is_ignorable",
+    "is_result_unhelpful",
+    "query_is_equality_join_only",
+    "query_has_no_top_k",
+    "update_kind",
+]
+
+
+class UpdateKind(enum.Enum):
+    """The three update statement classes (paper Table 6)."""
+
+    INSERTION = "insertion"
+    DELETION = "deletion"
+    MODIFICATION = "modification"
+
+
+def update_kind(statement: Insert | Delete | Update) -> UpdateKind:
+    """Classify an update statement as I, D, or M."""
+    if isinstance(statement, Insert):
+        return UpdateKind.INSERTION
+    if isinstance(statement, Delete):
+        return UpdateKind.DELETION
+    return UpdateKind.MODIFICATION
+
+
+def query_is_equality_join_only(select: Select) -> bool:
+    """Query class E: every join condition uses ``=`` (or no joins at all)."""
+    return select.only_equality_joins()
+
+
+def query_has_no_top_k(select: Select) -> bool:
+    """Query class N: the query has no top-k (LIMIT) construct."""
+    return not select.has_top_k()
+
+
+def is_ignorable(
+    schema: Schema, update: Insert | Delete | Update, query: Select
+) -> bool:
+    """Pair relation G: ``M(U) ∩ (P(Q) ∪ S(Q)) = ∅``.
+
+    If the update modifies no attribute the query either preserves or
+    selects on, no instance of the update can change any instance's result.
+    """
+    modified = modified_attributes(schema, update)
+    used = preserved_attributes(schema, query) | selection_attributes(schema, query)
+    return not (modified & used)
+
+
+def is_result_unhelpful(
+    schema: Schema, update: Insert | Delete | Update, query: Select
+) -> bool:
+    """Pair relation H: ``S(U) ∩ P(Q) = ∅``.
+
+    The view preserves none of the update's selection attributes, so seeing
+    the cached result cannot help decide whether the update touches it.
+    """
+    return not (
+        selection_attributes(schema, update) & preserved_attributes(schema, query)
+    )

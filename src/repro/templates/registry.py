@@ -1,0 +1,110 @@
+"""Template registry: the fixed template sets of one application.
+
+A Web application's database component is a fixed set of query templates
+``Q_T = {Q_T1..Q_Tn}`` and update templates ``U_T = {U_T1..U_Tm}`` (paper
+Section 2.1).  The registry validates every template against the schema at
+registration time so downstream analysis never sees unresolvable names.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TemplateError
+from repro.schema.schema import Schema
+from repro.templates.attributes import (
+    modified_attributes,
+    preserved_attributes,
+    selection_attributes,
+)
+from repro.templates.template import QueryTemplate, UpdateTemplate
+
+__all__ = ["TemplateRegistry"]
+
+
+class TemplateRegistry:
+    """Holds and validates an application's query and update templates."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        queries: Iterable[QueryTemplate] = (),
+        updates: Iterable[UpdateTemplate] = (),
+    ) -> None:
+        self.schema = schema
+        self._queries: dict[str, QueryTemplate] = {}
+        self._updates: dict[str, UpdateTemplate] = {}
+        for query in queries:
+            self.add_query(query)
+        for update in updates:
+            self.add_update(update)
+
+    # -- registration --------------------------------------------------------
+
+    def add_query(self, template: QueryTemplate) -> None:
+        """Register a query template, validating it against the schema.
+
+        Raises:
+            TemplateError: on name collisions.
+        """
+        if template.name in self._queries or template.name in self._updates:
+            raise TemplateError(f"duplicate template name {template.name!r}")
+        # Force full resolution now: these raise on unknown names.
+        selection_attributes(self.schema, template.select)
+        preserved_attributes(self.schema, template.select)
+        self._queries[template.name] = template
+
+    def add_update(self, template: UpdateTemplate) -> None:
+        """Register an update template, validating it against the schema.
+
+        Raises:
+            TemplateError: on name collisions.
+        """
+        if template.name in self._updates or template.name in self._queries:
+            raise TemplateError(f"duplicate template name {template.name!r}")
+        selection_attributes(self.schema, template.statement)
+        modified_attributes(self.schema, template.statement)
+        self._updates[template.name] = template
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def queries(self) -> tuple[QueryTemplate, ...]:
+        """All query templates, in registration order."""
+        return tuple(self._queries.values())
+
+    @property
+    def updates(self) -> tuple[UpdateTemplate, ...]:
+        """All update templates, in registration order."""
+        return tuple(self._updates.values())
+
+    def query(self, name: str) -> QueryTemplate:
+        """Return the query template named ``name``.
+
+        Raises:
+            TemplateError: if absent.
+        """
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise TemplateError(f"no query template named {name!r}") from None
+
+    def update(self, name: str) -> UpdateTemplate:
+        """Return the update template named ``name``.
+
+        Raises:
+            TemplateError: if absent.
+        """
+        try:
+            return self._updates[name]
+        except KeyError:
+            raise TemplateError(f"no update template named {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._queries) + len(self._updates)
+
+    def pairs(self) -> Iterator[tuple[UpdateTemplate, QueryTemplate]]:
+        """Iterate over every (update template, query template) pair."""
+        for update in self._updates.values():
+            for query in self._queries.values():
+                yield update, query

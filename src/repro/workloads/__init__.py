@@ -1,0 +1,61 @@
+"""Benchmark applications and workload generation.
+
+The paper evaluates three publicly-available Web benchmarks (Section 5.1):
+
+* **auction** — RUBiS, an eBay-style auction site;
+* **bboard** — RUBBoS, a Slashdot-style bulletin board (≈10 DB requests
+  per HTTP request, making it the most cache-sensitive of the three);
+* **bookstore** — TPC-W, an online bookstore, with book popularity changed
+  from uniform to a Zipf distribution following Brynjolfsson et al.
+
+We re-create each as a schema + template set + synthetic data generator +
+page mix.  The template sets are modelled on the published benchmark
+implementations (same relations, same interaction classes); counts and mix
+weights are documented per application.  Sensitivity labels on templates
+(HIGH for credit-card data, MODERATE for bid history / ratings / purchase
+associations, LOW otherwise) mirror the paper's discussion in Sections 1.2
+and 5.4.
+
+Entry point: :func:`get_application` / :data:`APPLICATIONS`.
+"""
+
+from repro.workloads.base import AppInstance, AppSpec, Operation, PageSampler
+from repro.workloads.apps.auction import auction_spec
+from repro.workloads.apps.bboard import bboard_spec
+from repro.workloads.apps.bookstore import bookstore_spec
+from repro.workloads.apps.toystore import simple_toystore_spec, toystore_spec
+from repro.workloads.trace import Trace, record_trace
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "APPLICATIONS",
+    "AppInstance",
+    "AppSpec",
+    "Operation",
+    "PageSampler",
+    "Trace",
+    "ZipfSampler",
+    "record_trace",
+    "auction_spec",
+    "bboard_spec",
+    "bookstore_spec",
+    "get_application",
+    "simple_toystore_spec",
+    "toystore_spec",
+]
+
+#: The paper's three evaluation applications, by name.
+APPLICATIONS = {
+    "auction": auction_spec,
+    "bboard": bboard_spec,
+    "bookstore": bookstore_spec,
+}
+
+
+def get_application(name: str) -> AppSpec:
+    """Build the named benchmark application's spec.
+
+    Raises:
+        KeyError: for names other than auction / bboard / bookstore.
+    """
+    return APPLICATIONS[name]()

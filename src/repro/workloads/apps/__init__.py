@@ -1,0 +1,14 @@
+"""Benchmark application definitions (one module per application)."""
+
+from repro.workloads.apps.auction import auction_spec
+from repro.workloads.apps.bboard import bboard_spec
+from repro.workloads.apps.bookstore import bookstore_spec
+from repro.workloads.apps.toystore import simple_toystore_spec, toystore_spec
+
+__all__ = [
+    "auction_spec",
+    "bboard_spec",
+    "bookstore_spec",
+    "simple_toystore_spec",
+    "toystore_spec",
+]

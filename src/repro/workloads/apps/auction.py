@@ -1,0 +1,484 @@
+"""The auction application — a RUBiS-style auction site (eBay model).
+
+Relations, template set and interaction mix modelled on RUBiS: browsing by
+category/region, item views with bid history, bidding, selling, and
+user-to-user comments.
+
+Sensitivity labels follow the paper's Section 5.4 example for the auction
+application: the **historical record of user bids** ("user A bid B dollars
+on item C at time D") is moderately sensitive; passwords are highly
+sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.storage.database import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.templates.template import Sensitivity
+from repro.workloads import datagen
+from repro.workloads.base import AppSpec, PageClass, PageSampler
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["auction_spec", "auction_schema", "CATEGORY_COUNT", "REGION_COUNT"]
+
+CATEGORY_COUNT = 20
+REGION_COUNT = 12
+
+_INT = ColumnType.INTEGER
+_TXT = ColumnType.TEXT
+_FLT = ColumnType.FLOAT
+
+
+def auction_schema() -> Schema:
+    """RUBiS relations: regions, categories, users, items, bids, comments."""
+    return Schema(
+        [
+            TableSchema(
+                "regions",
+                (Column("r_id", _INT), Column("r_name", _TXT)),
+                primary_key=("r_id",),
+            ),
+            TableSchema(
+                "categories",
+                (Column("cat_id", _INT), Column("cat_name", _TXT)),
+                primary_key=("cat_id",),
+            ),
+            TableSchema(
+                "users",
+                (
+                    Column("u_id", _INT),
+                    Column("nickname", _TXT),
+                    Column("password", _TXT),
+                    Column("rating", _INT),
+                    Column("balance", _FLT),
+                    Column("region", _INT),
+                ),
+                primary_key=("u_id",),
+                foreign_keys=(ForeignKey("region", "regions", "r_id"),),
+            ),
+            TableSchema(
+                "items",
+                (
+                    Column("item_id", _INT),
+                    Column("item_name", _TXT),
+                    Column("description", _TXT),
+                    Column("initial_price", _FLT),
+                    Column("max_bid", _FLT),
+                    Column("nb_of_bids", _INT),
+                    Column("end_date", _INT),
+                    Column("seller", _INT),
+                    Column("category", _INT),
+                ),
+                primary_key=("item_id",),
+                foreign_keys=(
+                    ForeignKey("seller", "users", "u_id"),
+                    ForeignKey("category", "categories", "cat_id"),
+                ),
+            ),
+            TableSchema(
+                "bids",
+                (
+                    Column("bid_id", _INT),
+                    Column("bidder", _INT),
+                    Column("bid_item", _INT),
+                    Column("bid", _FLT),
+                    Column("qty", _INT),
+                    Column("bid_date", _INT),
+                ),
+                primary_key=("bid_id",),
+                foreign_keys=(
+                    ForeignKey("bidder", "users", "u_id"),
+                    ForeignKey("bid_item", "items", "item_id"),
+                ),
+            ),
+            TableSchema(
+                "comments",
+                (
+                    Column("comment_id", _INT),
+                    Column("from_user", _INT),
+                    Column("to_user", _INT),
+                    Column("comment_item", _INT),
+                    Column("c_rating", _INT),
+                    Column("c_text", _TXT),
+                ),
+                primary_key=("comment_id",),
+                foreign_keys=(
+                    ForeignKey("from_user", "users", "u_id"),
+                    ForeignKey("to_user", "users", "u_id"),
+                    ForeignKey("comment_item", "items", "item_id"),
+                ),
+            ),
+        ]
+    )
+
+
+def _query_templates() -> list[QueryTemplate]:
+    low, moderate, high = Sensitivity.LOW, Sensitivity.MODERATE, Sensitivity.HIGH
+    q = QueryTemplate.from_sql
+    return [
+        q("getCategories", "SELECT cat_id, cat_name FROM categories", low),
+        q("getRegions", "SELECT r_id, r_name FROM regions", low),
+        q(
+            "getCategoryName",
+            "SELECT cat_name FROM categories WHERE cat_id = ?",
+            low,
+        ),
+        q("getRegionName", "SELECT r_name FROM regions WHERE r_id = ?", low),
+        q(
+            "searchItemsByCategory",
+            "SELECT item_id, item_name, initial_price, max_bid, nb_of_bids, "
+            "end_date FROM items WHERE category = ? "
+            "ORDER BY end_date LIMIT 25",
+            low,
+        ),
+        q(
+            "searchItemsByRegion",
+            "SELECT item_id, item_name, initial_price FROM items, users "
+            "WHERE seller = u_id AND region = ? AND category = ? "
+            "ORDER BY item_id LIMIT 25",
+            low,
+        ),
+        q(
+            "getItem",
+            "SELECT item_name, description, initial_price, max_bid, "
+            "nb_of_bids, end_date, seller FROM items WHERE item_id = ?",
+            low,
+        ),
+        q(
+            "getUserInfo",
+            "SELECT nickname, rating, region FROM users WHERE u_id = ?",
+            moderate,
+        ),
+        q(
+            "getAuthUser",
+            "SELECT u_id, password FROM users WHERE nickname = ?",
+            high,
+        ),
+        q(
+            "getBidHistory",
+            "SELECT bidder, bid, bid_date FROM bids WHERE bid_item = ?",
+            moderate,  # Sec 5.4: the historical record of user bids
+        ),
+        q(
+            "getItemBids",
+            "SELECT nickname, bid FROM bids, users "
+            "WHERE bidder = u_id AND bid_item = ?",
+            moderate,
+        ),
+        q(
+            "getMaxBid",
+            "SELECT MAX(bid) FROM bids WHERE bid_item = ?",
+            low,
+        ),
+        q(
+            "getBidCount",
+            "SELECT COUNT(*) FROM bids WHERE bid_item = ?",
+            low,
+        ),
+        q(
+            "getUserBids",
+            "SELECT bid_item, bid, qty FROM bids WHERE bidder = ?",
+            moderate,
+        ),
+        q(
+            "getUserComments",
+            "SELECT from_user, c_rating, c_text FROM comments WHERE to_user = ?",
+            moderate,
+        ),
+        q(
+            "getItemsSoldByUser",
+            "SELECT item_id, item_name, end_date FROM items WHERE seller = ?",
+            low,
+        ),
+    ]
+
+
+def _update_templates() -> list[UpdateTemplate]:
+    low, moderate, high = Sensitivity.LOW, Sensitivity.MODERATE, Sensitivity.HIGH
+    u = UpdateTemplate.from_sql
+    return [
+        u(
+            "registerUser",
+            "INSERT INTO users (u_id, nickname, password, rating, balance, "
+            "region) VALUES (?, ?, ?, ?, ?, ?)",
+            high,  # carries the password
+        ),
+        u(
+            "registerItem",
+            "INSERT INTO items (item_id, item_name, description, "
+            "initial_price, max_bid, nb_of_bids, end_date, seller, category) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            low,
+        ),
+        u(
+            "storeBid",
+            "INSERT INTO bids (bid_id, bidder, bid_item, bid, qty, bid_date) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            moderate,  # a bid record
+        ),
+        u(
+            "updateItemBids",
+            "UPDATE items SET max_bid = ?, nb_of_bids = ? WHERE item_id = ?",
+            low,
+        ),
+        u(
+            "storeComment",
+            "INSERT INTO comments (comment_id, from_user, to_user, "
+            "comment_item, c_rating, c_text) VALUES (?, ?, ?, ?, ?, ?)",
+            moderate,
+        ),
+        u(
+            "updateUserRating",
+            "UPDATE users SET rating = ? WHERE u_id = ?",
+            moderate,
+        ),
+    ]
+
+
+def _registry(schema: Schema) -> TemplateRegistry:
+    return TemplateRegistry(
+        schema, queries=_query_templates(), updates=_update_templates()
+    )
+
+
+class _AuctionSampler(PageSampler):
+    """RUBiS bidding mix (browse-heavy with ~15% write interactions)."""
+
+    def __init__(self, registry, database: Database, scale: float, rng):
+        self.user_count = max(30, int(200 * scale))
+        self.item_count = max(50, int(300 * scale))
+        bid_count = max(60, int(400 * scale))
+        comment_count = max(20, int(100 * scale))
+        _load_data(self, database, bid_count, comment_count, rng)
+        self.zipf = ZipfSampler(self.item_count)
+        pages = [
+            PageClass("browse-categories", 0.12, _browse_categories_page),
+            PageClass("browse-items", 0.26, _browse_items_page),
+            PageClass("view-item", 0.28, _view_item_page),
+            PageClass("view-user", 0.10, _view_user_page),
+            PageClass("bid", 0.12, _bid_page),
+            PageClass("sell", 0.05, _sell_page),
+            PageClass("comment", 0.04, _comment_page),
+            PageClass("register", 0.03, _register_page),
+        ]
+        super().__init__(registry, pages)
+
+    def popular_item(self, rng) -> int:
+        return self.zipf.sample_rank(rng)
+
+    def random_user(self, rng) -> int:
+        return rng.randint(1, self.user_count)
+
+    def next_user(self) -> int:
+        self.user_count += 1
+        return self.user_count
+
+    def next_item(self) -> int:
+        self._next_item += 1
+        return self._next_item
+
+    def next_bid(self) -> int:
+        self._next_bid += 1
+        return self._next_bid
+
+    def next_comment(self) -> int:
+        self._next_comment += 1
+        return self._next_comment
+
+
+def _load_data(
+    sampler: _AuctionSampler, database: Database, bid_count, comment_count, rng
+) -> None:
+    database.load(
+        "regions", [(i, f"region{i}") for i in range(1, REGION_COUNT + 1)]
+    )
+    database.load(
+        "categories", [(i, f"category{i}") for i in range(1, CATEGORY_COUNT + 1)]
+    )
+    database.load(
+        "users",
+        [
+            (
+                i,
+                f"bidder{i}",
+                f"pw{i}",
+                rng.randint(-5, 20),
+                round(rng.random() * 500, 2),
+                1 + i % REGION_COUNT,
+            )
+            for i in range(1, sampler.user_count + 1)
+        ],
+    )
+    database.load(
+        "items",
+        [
+            (
+                i,
+                f"item {i}",
+                datagen.random_text(rng, 5),
+                round(1 + rng.random() * 100, 2),
+                round(1 + rng.random() * 200, 2),
+                rng.randint(0, 30),
+                datagen.random_date_int(rng),
+                1 + i % sampler.user_count,
+                1 + i % CATEGORY_COUNT,
+            )
+            for i in range(1, sampler.item_count + 1)
+        ],
+    )
+    zipf = ZipfSampler(sampler.item_count)
+    database.load(
+        "bids",
+        [
+            (
+                i,
+                1 + rng.randrange(sampler.user_count),
+                zipf.sample_rank(rng),
+                round(1 + rng.random() * 200, 2),
+                1,
+                datagen.random_date_int(rng),
+            )
+            for i in range(1, bid_count + 1)
+        ],
+    )
+    database.load(
+        "comments",
+        [
+            (
+                i,
+                1 + rng.randrange(sampler.user_count),
+                1 + rng.randrange(sampler.user_count),
+                1 + rng.randrange(sampler.item_count),
+                rng.randint(-1, 5),
+                datagen.random_text(rng, 8),
+            )
+            for i in range(1, comment_count + 1)
+        ],
+    )
+    sampler._next_item = sampler.item_count
+    sampler._next_bid = bid_count
+    sampler._next_comment = comment_count
+
+
+# -- page builders -------------------------------------------------------------------
+
+
+def _browse_categories_page(s: _AuctionSampler, rng) -> list:
+    return [s.query("getCategories"), s.query("getRegions")]
+
+
+def _browse_items_page(s: _AuctionSampler, rng) -> list:
+    category = rng.randint(1, CATEGORY_COUNT)
+    if rng.random() < 0.7:
+        return [
+            s.query("getCategoryName", category),
+            s.query("searchItemsByCategory", category),
+        ]
+    region = rng.randint(1, REGION_COUNT)
+    return [
+        s.query("getRegionName", region),
+        s.query("searchItemsByRegion", region, category),
+    ]
+
+
+def _view_item_page(s: _AuctionSampler, rng) -> list:
+    item = s.popular_item(rng)
+    return [
+        s.query("getItem", item),
+        s.query("getMaxBid", item),
+        s.query("getBidCount", item),
+        s.query("getBidHistory", item),
+    ]
+
+
+def _view_user_page(s: _AuctionSampler, rng) -> list:
+    user = s.random_user(rng)
+    return [
+        s.query("getUserInfo", user),
+        s.query("getUserComments", user),
+        s.query("getItemsSoldByUser", user),
+    ]
+
+
+def _bid_page(s: _AuctionSampler, rng) -> list:
+    item = s.popular_item(rng)
+    bidder = s.random_user(rng)
+    amount = round(1 + rng.random() * 300, 2)
+    return [
+        s.query("getItem", item),
+        s.query("getMaxBid", item),
+        s.update(
+            "storeBid",
+            s.next_bid(),
+            bidder,
+            item,
+            amount,
+            1,
+            datagen.random_date_int(rng),
+        ),
+        s.update("updateItemBids", amount, rng.randint(1, 40), item),
+    ]
+
+
+def _sell_page(s: _AuctionSampler, rng) -> list:
+    seller = s.random_user(rng)
+    item = s.next_item()
+    return [
+        s.query("getCategories"),
+        s.update(
+            "registerItem",
+            item,
+            f"item {item}",
+            datagen.random_text(rng, 5),
+            round(1 + rng.random() * 100, 2),
+            0.0,
+            0,
+            datagen.random_date_int(rng),
+            seller,
+            rng.randint(1, CATEGORY_COUNT),
+        ),
+    ]
+
+
+def _comment_page(s: _AuctionSampler, rng) -> list:
+    target = s.random_user(rng)
+    rating = rng.randint(-1, 5)
+    return [
+        s.query("getUserInfo", target),
+        s.update(
+            "storeComment",
+            s.next_comment(),
+            s.random_user(rng),
+            target,
+            s.popular_item(rng),
+            rating,
+            datagen.random_text(rng, 8),
+        ),
+        s.update("updateUserRating", rng.randint(-5, 25), target),
+    ]
+
+
+def _register_page(s: _AuctionSampler, rng) -> list:
+    user = s.next_user()
+    return [
+        s.query("getRegions"),
+        s.update(
+            "registerUser",
+            user,
+            f"bidder{user}",
+            f"pw{user}",
+            0,
+            0.0,
+            rng.randint(1, REGION_COUNT),
+        ),
+        s.query("getAuthUser", f"bidder{user}"),
+    ]
+
+
+def auction_spec() -> AppSpec:
+    """The RUBiS-style auction application."""
+    schema = auction_schema()
+    return AppSpec(
+        name="auction", registry=_registry(schema), _factory=_AuctionSampler
+    )

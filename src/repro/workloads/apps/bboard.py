@@ -1,0 +1,433 @@
+"""The bboard application — a RUBBoS-style bulletin board (Slashdot model).
+
+The paper highlights bboard as the workload where cheap strategies
+collapse: **each HTTP request issues about ten database requests**, so with
+the poor cache behaviour of a blind or template-inspection strategy "not
+even a small number of clients can be supported" (Section 5.3).  The page
+builders here deliberately preserve that ~10 requests/page footprint.
+
+Sensitivity labels follow Section 5.4's bboard example: the **ratings users
+give one another** based on posting quality ("user A gave user B a rating
+of C") are moderately sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.storage.database import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.templates.template import Sensitivity
+from repro.workloads import datagen
+from repro.workloads.base import AppSpec, PageClass, PageSampler
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["bboard_spec", "bboard_schema", "CATEGORIES"]
+
+CATEGORIES = (
+    "science", "technology", "games", "politics", "books", "movies",
+    "hardware", "security",
+)
+
+_INT = ColumnType.INTEGER
+_TXT = ColumnType.TEXT
+
+
+def bboard_schema() -> Schema:
+    """RUBBoS relations: users, stories, comments, moderation ratings."""
+    return Schema(
+        [
+            TableSchema(
+                "users",
+                (
+                    Column("u_id", _INT),
+                    Column("nickname", _TXT),
+                    Column("password", _TXT),
+                    Column("u_rating", _INT),
+                ),
+                primary_key=("u_id",),
+            ),
+            TableSchema(
+                "stories",
+                (
+                    Column("s_id", _INT),
+                    Column("s_title", _TXT),
+                    Column("s_body", _TXT),
+                    Column("s_author", _INT),
+                    Column("s_date", _INT),
+                    Column("s_category", _TXT),
+                ),
+                primary_key=("s_id",),
+                foreign_keys=(ForeignKey("s_author", "users", "u_id"),),
+            ),
+            TableSchema(
+                "comments",
+                (
+                    Column("c_id", _INT),
+                    Column("c_story", _INT),
+                    Column("c_writer", _INT),
+                    Column("c_subject", _TXT),
+                    Column("c_body", _TXT),
+                    Column("c_date", _INT),
+                    Column("c_rating", _INT),
+                ),
+                primary_key=("c_id",),
+                foreign_keys=(
+                    ForeignKey("c_story", "stories", "s_id"),
+                    ForeignKey("c_writer", "users", "u_id"),
+                ),
+            ),
+            TableSchema(
+                "ratings",
+                (
+                    Column("rt_id", _INT),
+                    Column("rt_rater", _INT),
+                    Column("rt_comment", _INT),
+                    Column("rt_value", _INT),
+                ),
+                primary_key=("rt_id",),
+                foreign_keys=(
+                    ForeignKey("rt_rater", "users", "u_id"),
+                    ForeignKey("rt_comment", "comments", "c_id"),
+                ),
+            ),
+        ]
+    )
+
+
+def _query_templates() -> list[QueryTemplate]:
+    low, moderate, high = Sensitivity.LOW, Sensitivity.MODERATE, Sensitivity.HIGH
+    q = QueryTemplate.from_sql
+    return [
+        q(
+            "getStoriesOfTheDay",
+            "SELECT s_id, s_title, s_date FROM stories WHERE s_date >= ? "
+            "ORDER BY s_date DESC LIMIT 10",
+            low,
+        ),
+        q(
+            "getStoriesByCategory",
+            "SELECT s_id, s_title, s_date FROM stories WHERE s_category = ? "
+            "ORDER BY s_date DESC LIMIT 10",
+            low,
+        ),
+        q(
+            "getStory",
+            "SELECT s_title, s_body, s_author, s_date FROM stories "
+            "WHERE s_id = ?",
+            low,
+        ),
+        q("getUser", "SELECT nickname, u_rating FROM users WHERE u_id = ?", moderate),
+        q(
+            "getAuthUser",
+            "SELECT u_id, password FROM users WHERE nickname = ?",
+            high,
+        ),
+        q(
+            "getCommentsForStory",
+            "SELECT c_id, c_writer, c_subject, c_rating, c_date FROM comments "
+            "WHERE c_story = ? ORDER BY c_date LIMIT 50",
+            low,
+        ),
+        q(
+            "getComment",
+            "SELECT c_subject, c_body, c_rating FROM comments WHERE c_id = ?",
+            low,
+        ),
+        q(
+            "getCommentCount",
+            "SELECT COUNT(*) FROM comments WHERE c_story = ?",
+            low,
+        ),
+        q(
+            "getUserComments",
+            "SELECT c_id, c_story, c_subject FROM comments WHERE c_writer = ? "
+            "ORDER BY c_date DESC LIMIT 20",
+            moderate,
+        ),
+        q(
+            "getCommentRatings",
+            "SELECT rt_rater, rt_value FROM ratings WHERE rt_comment = ?",
+            moderate,  # Sec 5.4: user-to-user ratings
+        ),
+        q(
+            "getCommentRatingSum",
+            "SELECT SUM(rt_value) FROM ratings WHERE rt_comment = ?",
+            moderate,
+        ),
+        q(
+            "getRatingsByUser",
+            "SELECT rt_comment, rt_value FROM ratings WHERE rt_rater = ?",
+            moderate,
+        ),
+        q(
+            "getStoryAuthorName",
+            "SELECT nickname FROM users, stories "
+            "WHERE u_id = s_author AND s_id = ?",
+            low,
+        ),
+    ]
+
+
+def _update_templates() -> list[UpdateTemplate]:
+    low, moderate, high = Sensitivity.LOW, Sensitivity.MODERATE, Sensitivity.HIGH
+    u = UpdateTemplate.from_sql
+    return [
+        u(
+            "registerUser",
+            "INSERT INTO users (u_id, nickname, password, u_rating) "
+            "VALUES (?, ?, ?, ?)",
+            high,
+        ),
+        u(
+            "submitStory",
+            "INSERT INTO stories (s_id, s_title, s_body, s_author, s_date, "
+            "s_category) VALUES (?, ?, ?, ?, ?, ?)",
+            low,
+        ),
+        u(
+            "postComment",
+            "INSERT INTO comments (c_id, c_story, c_writer, c_subject, "
+            "c_body, c_date, c_rating) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            low,
+        ),
+        u(
+            "rateComment",
+            "INSERT INTO ratings (rt_id, rt_rater, rt_comment, rt_value) "
+            "VALUES (?, ?, ?, ?)",
+            moderate,
+        ),
+        u(
+            "updateCommentRating",
+            "UPDATE comments SET c_rating = ? WHERE c_id = ?",
+            moderate,
+        ),
+        u(
+            "updateUserRating",
+            "UPDATE users SET u_rating = ? WHERE u_id = ?",
+            moderate,
+        ),
+    ]
+
+
+def _registry(schema: Schema) -> TemplateRegistry:
+    return TemplateRegistry(
+        schema, queries=_query_templates(), updates=_update_templates()
+    )
+
+
+class _BboardSampler(PageSampler):
+    """RUBBoS mix: ~10 DB requests per page, comment-heavy."""
+
+    def __init__(self, registry, database: Database, scale: float, rng):
+        self.user_count = max(30, int(150 * scale))
+        self.story_count = max(25, int(120 * scale))
+        comment_count = max(100, int(600 * scale))
+        rating_count = max(50, int(300 * scale))
+        _load_data(self, database, comment_count, rating_count, rng)
+        self.story_zipf = ZipfSampler(self.story_count)
+        pages = [
+            PageClass("front-page", 0.30, _front_page),
+            PageClass("view-story", 0.33, _view_story_page),
+            PageClass("view-comment", 0.12, _view_comment_page),
+            PageClass("post-comment", 0.12, _post_comment_page),
+            PageClass("moderate", 0.07, _moderate_page),
+            PageClass("submit-story", 0.04, _submit_story_page),
+            PageClass("register", 0.02, _register_page),
+        ]
+        super().__init__(registry, pages)
+
+    def popular_story(self, rng) -> int:
+        return self.story_zipf.sample_rank(rng)
+
+    def random_user(self, rng) -> int:
+        return rng.randint(1, self.user_count)
+
+    def random_comment(self, rng) -> int:
+        return rng.randint(1, self._next_comment)
+
+    def next_user(self) -> int:
+        self.user_count += 1
+        return self.user_count
+
+    def next_story(self) -> int:
+        self._next_story += 1
+        return self._next_story
+
+    def next_comment_id(self) -> int:
+        self._next_comment += 1
+        return self._next_comment
+
+    def next_rating(self) -> int:
+        self._next_rating += 1
+        return self._next_rating
+
+
+def _load_data(
+    sampler: _BboardSampler, database: Database, comment_count, rating_count, rng
+) -> None:
+    database.load(
+        "users",
+        [
+            (i, f"reader{i}", f"pw{i}", rng.randint(-5, 30))
+            for i in range(1, sampler.user_count + 1)
+        ],
+    )
+    database.load(
+        "stories",
+        [
+            (
+                i,
+                f"story {i}",
+                datagen.random_text(rng, 12),
+                1 + rng.randrange(sampler.user_count),
+                datagen.random_date_int(rng),
+                rng.choice(CATEGORIES),
+            )
+            for i in range(1, sampler.story_count + 1)
+        ],
+    )
+    story_zipf = ZipfSampler(sampler.story_count)
+    database.load(
+        "comments",
+        [
+            (
+                i,
+                story_zipf.sample_rank(rng),
+                1 + rng.randrange(sampler.user_count),
+                datagen.random_text(rng, 4),
+                datagen.random_text(rng, 10),
+                datagen.random_date_int(rng),
+                rng.randint(-1, 5),
+            )
+            for i in range(1, comment_count + 1)
+        ],
+    )
+    database.load(
+        "ratings",
+        [
+            (
+                i,
+                1 + rng.randrange(sampler.user_count),
+                1 + rng.randrange(comment_count),
+                rng.choice((-1, 1)),
+            )
+            for i in range(1, rating_count + 1)
+        ],
+    )
+    sampler._next_story = sampler.story_count
+    sampler._next_comment = comment_count
+    sampler._next_rating = rating_count
+
+
+# -- page builders (each ≈10 DB requests, the bboard signature) -----------------------
+
+
+def _front_page(s: _BboardSampler, rng) -> list:
+    """Stories of the day + per-story author and comment count."""
+    operations = [
+        s.query("getStoriesOfTheDay", datagen.random_date_int(rng, 20060101)),
+    ]
+    for _ in range(3):
+        story = s.popular_story(rng)
+        operations.append(s.query("getStoryAuthorName", story))
+        operations.append(s.query("getCommentCount", story))
+    operations.append(s.query("getStoriesByCategory", rng.choice(CATEGORIES)))
+    return operations  # 8 requests
+
+
+def _view_story_page(s: _BboardSampler, rng) -> list:
+    story = s.popular_story(rng)
+    operations = [
+        s.query("getStory", story),
+        s.query("getStoryAuthorName", story),
+        s.query("getCommentsForStory", story),
+        s.query("getCommentCount", story),
+    ]
+    for _ in range(3):
+        comment = s.random_comment(rng)
+        operations.append(s.query("getComment", comment))
+        operations.append(s.query("getCommentRatingSum", comment))
+    return operations  # 10 requests
+
+
+def _view_comment_page(s: _BboardSampler, rng) -> list:
+    comment = s.random_comment(rng)
+    writer = s.random_user(rng)
+    return [
+        s.query("getComment", comment),
+        s.query("getCommentRatings", comment),
+        s.query("getCommentRatingSum", comment),
+        s.query("getUser", writer),
+        s.query("getUserComments", writer),
+    ]
+
+
+def _post_comment_page(s: _BboardSampler, rng) -> list:
+    story = s.popular_story(rng)
+    writer = s.random_user(rng)
+    return [
+        s.query("getAuthUser", f"reader{writer}"),
+        s.query("getStory", story),
+        s.update(
+            "postComment",
+            s.next_comment_id(),
+            story,
+            writer,
+            datagen.random_text(rng, 4),
+            datagen.random_text(rng, 10),
+            datagen.random_date_int(rng),
+            0,
+        ),
+        s.query("getCommentsForStory", story),
+        s.query("getCommentCount", story),
+    ]
+
+
+def _moderate_page(s: _BboardSampler, rng) -> list:
+    comment = s.random_comment(rng)
+    rater = s.random_user(rng)
+    target = s.random_user(rng)
+    value = rng.choice((-1, 1))
+    return [
+        s.query("getAuthUser", f"reader{rater}"),
+        s.query("getComment", comment),
+        s.update("rateComment", s.next_rating(), rater, comment, value),
+        s.update("updateCommentRating", rng.randint(-1, 5), comment),
+        s.update("updateUserRating", rng.randint(-5, 30), target),
+        s.query("getCommentRatingSum", comment),
+    ]
+
+
+def _submit_story_page(s: _BboardSampler, rng) -> list:
+    author = s.random_user(rng)
+    story = s.next_story()
+    return [
+        s.query("getAuthUser", f"reader{author}"),
+        s.update(
+            "submitStory",
+            story,
+            f"story {story}",
+            datagen.random_text(rng, 12),
+            author,
+            datagen.random_date_int(rng),
+            rng.choice(CATEGORIES),
+        ),
+        s.query("getStoriesOfTheDay", datagen.random_date_int(rng, 20060101)),
+    ]
+
+
+def _register_page(s: _BboardSampler, rng) -> list:
+    user = s.next_user()
+    return [
+        s.update("registerUser", user, f"reader{user}", f"pw{user}", 0),
+        s.query("getAuthUser", f"reader{user}"),
+        s.query("getUser", user),
+    ]
+
+
+def bboard_spec() -> AppSpec:
+    """The RUBBoS-style bulletin-board application."""
+    schema = bboard_schema()
+    return AppSpec(
+        name="bboard", registry=_registry(schema), _factory=_BboardSampler
+    )

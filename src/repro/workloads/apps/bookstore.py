@@ -1,0 +1,728 @@
+"""The bookstore application — a TPC-W-style online book store.
+
+Modelled on the TPC-W benchmark the paper evaluates (Section 5.1): the
+standard ten relations, 28 query templates and 12 update templates spanning
+the browsing and ordering interaction classes, with book popularity drawn
+from the Brynjolfsson et al. Zipf law instead of TPC-W's uniform
+distribution (the paper's modification).
+
+Sensitivity labels follow the paper:
+
+* HIGH — credit-card templates (``getCCXact``, ``enterCCXact``): the
+  California SB 1386 compulsory-encryption set;
+* MODERATE — purchase associations ("customers who purchase book A often
+  also purchase book B", Section 5.4's bookstore example), order history,
+  stock levels;
+* LOW — catalogue browsing (public anyway).
+"""
+
+from __future__ import annotations
+
+from repro.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.storage.database import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.templates.template import Sensitivity
+from repro.workloads import datagen
+from repro.workloads.base import AppSpec, PageClass, PageSampler
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["bookstore_spec", "bookstore_schema", "SUBJECTS"]
+
+SUBJECTS = (
+    "arts", "biography", "business", "children", "computers", "cooking",
+    "health", "history", "home", "humor", "literature", "mystery",
+    "non-fiction", "parenting", "politics", "reference", "religion",
+    "romance", "self-help", "science", "sports", "travel", "youth",
+)
+
+_INT = ColumnType.INTEGER
+_TXT = ColumnType.TEXT
+_FLT = ColumnType.FLOAT
+
+
+def bookstore_schema() -> Schema:
+    """The TPC-W relations (scaled-down column sets)."""
+    return Schema(
+        [
+            TableSchema(
+                "country",
+                (Column("co_id", _INT), Column("co_name", _TXT)),
+                primary_key=("co_id",),
+            ),
+            TableSchema(
+                "address",
+                (
+                    Column("addr_id", _INT),
+                    Column("addr_street", _TXT),
+                    Column("addr_city", _TXT),
+                    Column("addr_zip", _TXT),
+                    Column("addr_co_id", _INT),
+                ),
+                primary_key=("addr_id",),
+                foreign_keys=(ForeignKey("addr_co_id", "country", "co_id"),),
+            ),
+            TableSchema(
+                "customer",
+                (
+                    Column("c_id", _INT),
+                    Column("c_uname", _TXT),
+                    Column("c_passwd", _TXT),
+                    Column("c_fname", _TXT),
+                    Column("c_lname", _TXT),
+                    Column("c_addr_id", _INT),
+                    Column("c_discount", _FLT),
+                    Column("c_since", _INT),
+                ),
+                primary_key=("c_id",),
+                foreign_keys=(ForeignKey("c_addr_id", "address", "addr_id"),),
+            ),
+            TableSchema(
+                "author",
+                (
+                    Column("a_id", _INT),
+                    Column("a_fname", _TXT),
+                    Column("a_lname", _TXT),
+                ),
+                primary_key=("a_id",),
+            ),
+            TableSchema(
+                "item",
+                (
+                    Column("i_id", _INT),
+                    Column("i_title", _TXT),
+                    Column("i_a_id", _INT),
+                    Column("i_subject", _TXT),
+                    Column("i_cost", _FLT),
+                    Column("i_pub_date", _INT),
+                    Column("i_stock", _INT),
+                    Column("i_related1", _INT),
+                ),
+                primary_key=("i_id",),
+                foreign_keys=(ForeignKey("i_a_id", "author", "a_id"),),
+            ),
+            TableSchema(
+                "orders",
+                (
+                    Column("o_id", _INT),
+                    Column("o_c_id", _INT),
+                    Column("o_date", _INT),
+                    Column("o_total", _FLT),
+                    Column("o_status", _TXT),
+                ),
+                primary_key=("o_id",),
+                foreign_keys=(ForeignKey("o_c_id", "customer", "c_id"),),
+            ),
+            TableSchema(
+                "order_line",
+                (
+                    Column("ol_id", _INT),
+                    Column("ol_o_id", _INT),
+                    Column("ol_i_id", _INT),
+                    Column("ol_qty", _INT),
+                    Column("ol_discount", _FLT),
+                ),
+                primary_key=("ol_id",),
+                foreign_keys=(
+                    ForeignKey("ol_o_id", "orders", "o_id"),
+                    ForeignKey("ol_i_id", "item", "i_id"),
+                ),
+            ),
+            TableSchema(
+                "cc_xacts",
+                (
+                    Column("cx_o_id", _INT),
+                    Column("cx_type", _TXT),
+                    Column("cx_num", _TXT),
+                    Column("cx_name", _TXT),
+                    Column("cx_expire", _INT),
+                    Column("cx_amount", _FLT),
+                ),
+                primary_key=("cx_o_id",),
+                foreign_keys=(ForeignKey("cx_o_id", "orders", "o_id"),),
+            ),
+            TableSchema(
+                "shopping_cart",
+                (
+                    Column("sc_id", _INT),
+                    Column("sc_time", _INT),
+                    Column("sc_total", _FLT),
+                ),
+                primary_key=("sc_id",),
+            ),
+            TableSchema(
+                "shopping_cart_line",
+                (
+                    Column("scl_id", _INT),
+                    Column("scl_sc_id", _INT),
+                    Column("scl_i_id", _INT),
+                    Column("scl_qty", _INT),
+                ),
+                primary_key=("scl_id",),
+                foreign_keys=(
+                    ForeignKey("scl_sc_id", "shopping_cart", "sc_id"),
+                    ForeignKey("scl_i_id", "item", "i_id"),
+                ),
+            ),
+        ]
+    )
+
+
+def _query_templates() -> list[QueryTemplate]:
+    low, moderate, high = Sensitivity.LOW, Sensitivity.MODERATE, Sensitivity.HIGH
+    q = QueryTemplate.from_sql
+    return [
+        q("getName", "SELECT c_fname, c_lname FROM customer WHERE c_id = ?", moderate),
+        q(
+            "getBook",
+            "SELECT i_title, i_cost, i_stock, a_fname, a_lname "
+            "FROM item, author WHERE i_a_id = a_id AND i_id = ?",
+            low,
+        ),
+        q(
+            "getCustomer",
+            "SELECT c_id, c_fname, c_lname, c_discount, addr_street, addr_city, "
+            "co_name FROM customer, address, country "
+            "WHERE c_addr_id = addr_id AND addr_co_id = co_id AND c_uname = ?",
+            moderate,
+        ),
+        q(
+            "doSubjectSearch",
+            "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+            "WHERE i_a_id = a_id AND i_subject = ? ORDER BY i_title LIMIT 50",
+            low,
+        ),
+        q(
+            "doTitleSearch",
+            "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+            "WHERE i_a_id = a_id AND i_title = ? ORDER BY i_title LIMIT 50",
+            low,
+        ),
+        q(
+            "doAuthorSearch",
+            "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+            "WHERE i_a_id = a_id AND a_lname = ? ORDER BY i_title LIMIT 50",
+            low,
+        ),
+        q(
+            "getNewProducts",
+            "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+            "WHERE i_a_id = a_id AND i_subject = ? "
+            "ORDER BY i_pub_date DESC LIMIT 50",
+            low,
+        ),
+        q(
+            "getBestSellers",
+            "SELECT i_id, i_title, SUM(ol_qty) FROM item, author, order_line "
+            "WHERE i_id = ol_i_id AND i_a_id = a_id AND i_subject = ? "
+            "GROUP BY i_id, i_title ORDER BY i_id LIMIT 50",
+            low,  # the weekly best-seller list is public anyway (Sec 1.2)
+        ),
+        q("getRelated", "SELECT i_related1 FROM item WHERE i_id = ?", low),
+        q(
+            "adminGetBook",
+            "SELECT i_id, i_title, i_cost, i_stock FROM item WHERE i_id = ?",
+            moderate,
+        ),
+        q("getUserName", "SELECT c_uname FROM customer WHERE c_id = ?", moderate),
+        q(
+            "getPassword",
+            "SELECT c_passwd FROM customer WHERE c_uname = ?",
+            high,
+        ),
+        q(
+            "getMostRecentOrderId",
+            "SELECT o_id FROM orders WHERE o_c_id = ? ORDER BY o_date DESC LIMIT 1",
+            moderate,
+        ),
+        q(
+            "getMostRecentOrderDetails",
+            "SELECT o_id, o_date, o_total, o_status FROM orders WHERE o_id = ?",
+            moderate,
+        ),
+        q(
+            "getMostRecentOrderLines",
+            "SELECT ol_i_id, ol_qty, ol_discount FROM order_line "
+            "WHERE ol_o_id = ?",
+            moderate,
+        ),
+        q(
+            "getCart",
+            "SELECT scl_i_id, scl_qty FROM shopping_cart_line WHERE scl_sc_id = ?",
+            low,
+        ),
+        q(
+            "getCartTotal",
+            "SELECT SUM(scl_qty) FROM shopping_cart_line WHERE scl_sc_id = ?",
+            low,
+        ),
+        q(
+            "getCartItemDetails",
+            "SELECT i_id, i_title, i_cost FROM item, shopping_cart_line "
+            "WHERE i_id = scl_i_id AND scl_sc_id = ?",
+            low,
+        ),
+        q(
+            "getCDiscount",
+            "SELECT c_discount FROM customer WHERE c_id = ?",
+            moderate,
+        ),
+        q("getCAddrId", "SELECT c_addr_id FROM customer WHERE c_id = ?", moderate),
+        q(
+            "getCAddr",
+            "SELECT addr_street, addr_city, addr_zip FROM address "
+            "WHERE addr_id = ?",
+            moderate,
+        ),
+        q("getCountryId", "SELECT co_id FROM country WHERE co_name = ?", low),
+        q("getStock", "SELECT i_stock FROM item WHERE i_id = ?", moderate),
+        q(
+            "getOrderStatus",
+            "SELECT o_status, o_total FROM orders WHERE o_id = ?",
+            moderate,
+        ),
+        q(
+            "getCCXact",
+            "SELECT cx_type, cx_amount FROM cc_xacts WHERE cx_o_id = ?",
+            high,
+        ),
+        q(
+            "getSubjects",
+            "SELECT i_subject, COUNT(*) FROM item GROUP BY i_subject",
+            low,
+        ),
+        q(
+            "getPurchaseAssociations",
+            "SELECT ol2.ol_i_id FROM order_line AS ol1, order_line AS ol2 "
+            "WHERE ol1.ol_o_id = ol2.ol_o_id AND ol1.ol_i_id = ?",
+            moderate,  # Sec 5.4: purchase association rules
+        ),
+        q(
+            "getLatestOrders",
+            "SELECT o_id, o_c_id, o_total FROM orders WHERE o_status = ? "
+            "ORDER BY o_date DESC LIMIT 20",
+            moderate,
+        ),
+    ]
+
+
+def _update_templates() -> list[UpdateTemplate]:
+    low, moderate, high = Sensitivity.LOW, Sensitivity.MODERATE, Sensitivity.HIGH
+    u = UpdateTemplate.from_sql
+    return [
+        u(
+            "enterAddress",
+            "INSERT INTO address (addr_id, addr_street, addr_city, addr_zip, "
+            "addr_co_id) VALUES (?, ?, ?, ?, ?)",
+            moderate,
+        ),
+        u(
+            "createNewCustomer",
+            "INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname, "
+            "c_addr_id, c_discount, c_since) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            high,  # carries the password
+        ),
+        u(
+            "enterOrder",
+            "INSERT INTO orders (o_id, o_c_id, o_date, o_total, o_status) "
+            "VALUES (?, ?, ?, ?, ?)",
+            moderate,
+        ),
+        u(
+            "addOrderLine",
+            "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, "
+            "ol_discount) VALUES (?, ?, ?, ?, ?)",
+            moderate,
+        ),
+        u(
+            "enterCCXact",
+            "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, "
+            "cx_expire, cx_amount) VALUES (?, ?, ?, ?, ?, ?)",
+            high,  # credit-card transaction: SB 1386 compulsory set
+        ),
+        u("setStock", "UPDATE item SET i_stock = ? WHERE i_id = ?", moderate),
+        u(
+            "createCart",
+            "INSERT INTO shopping_cart (sc_id, sc_time, sc_total) "
+            "VALUES (?, ?, ?)",
+            low,
+        ),
+        u(
+            "addCartLine",
+            "INSERT INTO shopping_cart_line (scl_id, scl_sc_id, scl_i_id, "
+            "scl_qty) VALUES (?, ?, ?, ?)",
+            low,
+        ),
+        u(
+            "updateCartLine",
+            "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_id = ?",
+            low,
+        ),
+        u(
+            "clearCart",
+            "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
+            low,
+        ),
+        u(
+            "refreshCartTime",
+            "UPDATE shopping_cart SET sc_time = ? WHERE sc_id = ?",
+            low,
+        ),
+        u(
+            "updateOrderStatus",
+            "UPDATE orders SET o_status = ? WHERE o_id = ?",
+            moderate,
+        ),
+    ]
+
+
+def _registry(schema: Schema) -> TemplateRegistry:
+    return TemplateRegistry(
+        schema, queries=_query_templates(), updates=_update_templates()
+    )
+
+
+class _BookstoreSampler(PageSampler):
+    """TPC-W-style page mix (~80% browsing, ~20% ordering)."""
+
+    def __init__(self, registry, database: Database, scale: float, rng):
+        self.item_count = max(50, int(300 * scale))
+        self.customer_count = max(20, int(200 * scale))
+        self.author_count = max(10, int(50 * scale))
+        self.order_count = max(30, int(150 * scale))
+        _load_data(self, database, rng)
+        self.zipf = ZipfSampler(self.item_count)
+        self.live_carts: list[tuple[int, int]] = []  # (cart id, line id)
+        pages = [
+            PageClass("home", 0.16, _home_page),
+            PageClass("search", 0.19, _search_page),
+            PageClass("product-detail", 0.17, _product_detail_page),
+            PageClass("best-sellers", 0.05, _best_sellers_page),
+            PageClass("new-products", 0.05, _new_products_page),
+            PageClass("shopping-cart", 0.14, _cart_page),
+            PageClass("buy-request", 0.06, _buy_request_page),
+            PageClass("buy-confirm", 0.05, _buy_confirm_page),
+            PageClass("order-inquiry", 0.07, _order_inquiry_page),
+            PageClass("admin", 0.04, _admin_page),
+            PageClass("register", 0.02, _register_page),
+        ]
+        super().__init__(registry, pages)
+
+    # -- parameter pools -------------------------------------------------------
+
+    def popular_item(self, rng) -> int:
+        """A book drawn from the Zipf popularity law (rank = item id)."""
+        return self.zipf.sample_rank(rng)
+
+    def random_customer(self, rng) -> int:
+        return rng.randint(1, self.customer_count)
+
+    def random_subject(self, rng) -> str:
+        return rng.choice(SUBJECTS)
+
+    def next_order(self) -> int:
+        self._next_order += 1
+        return self._next_order
+
+    def next_order_line(self) -> int:
+        self._next_order_line += 1
+        return self._next_order_line
+
+    def next_cart(self) -> int:
+        self._next_cart += 1
+        return self._next_cart
+
+    def next_cart_line(self) -> int:
+        self._next_cart_line += 1
+        return self._next_cart_line
+
+    def next_customer(self) -> int:
+        self._next_customer += 1
+        return self._next_customer
+
+    def next_address(self) -> int:
+        self._next_address += 1
+        return self._next_address
+
+    def recent_order(self, rng) -> int:
+        return rng.randint(1, self._next_order)
+
+
+def _load_data(sampler: _BookstoreSampler, database: Database, rng) -> None:
+    countries = [(i, f"country{i}") for i in range(1, 21)]
+    database.load("country", countries)
+
+    address_count = sampler.customer_count + 10
+    database.load(
+        "address",
+        [
+            (
+                i,
+                f"{i} main st",
+                f"city{i % 40}",
+                f"{10000 + i % 90000}",
+                1 + i % 20,
+            )
+            for i in range(1, address_count + 1)
+        ],
+    )
+
+    customers = []
+    for i in range(1, sampler.customer_count + 1):
+        first, last = datagen.person_name(rng)
+        customers.append(
+            (
+                i,
+                f"user{i}",
+                f"pw{i}",
+                first,
+                last,
+                i,  # address id
+                round(rng.random() * 0.5, 2),
+                datagen.random_date_int(rng),
+            )
+        )
+    database.load("customer", customers)
+
+    database.load(
+        "author",
+        [
+            (i, *datagen.person_name(rng))
+            for i in range(1, sampler.author_count + 1)
+        ],
+    )
+
+    items = []
+    for i in range(1, sampler.item_count + 1):
+        items.append(
+            (
+                i,
+                f"book title {i}",
+                1 + (i % sampler.author_count),
+                SUBJECTS[i % len(SUBJECTS)],
+                round(5 + rng.random() * 95, 2),
+                datagen.random_date_int(rng),
+                rng.randint(0, 500),
+                1 + (i % sampler.item_count),
+            )
+        )
+    database.load("item", items)
+
+    orders, order_lines, cc = [], [], []
+    next_ol = 0
+    zipf = ZipfSampler(sampler.item_count)
+    for o_id in range(1, sampler.order_count + 1):
+        customer = rng.randint(1, sampler.customer_count)
+        orders.append(
+            (
+                o_id,
+                customer,
+                datagen.random_date_int(rng),
+                round(rng.random() * 300, 2),
+                rng.choice(["pending", "shipped", "delivered"]),
+            )
+        )
+        for _ in range(rng.randint(1, 3)):
+            next_ol += 1
+            order_lines.append(
+                (
+                    next_ol,
+                    o_id,
+                    zipf.sample_rank(rng),
+                    rng.randint(1, 5),
+                    round(rng.random() * 0.3, 2),
+                )
+            )
+        cc.append(
+            (
+                o_id,
+                rng.choice(["VISA", "AMEX", "MC"]),
+                f"4111-{o_id:08d}",
+                "card holder",
+                202612,
+                round(rng.random() * 300, 2),
+            )
+        )
+    database.load("orders", orders)
+    database.load("order_line", order_lines)
+    database.load("cc_xacts", cc)
+
+    sampler._next_order = sampler.order_count
+    sampler._next_order_line = next_ol
+    sampler._next_cart = 0
+    sampler._next_cart_line = 0
+    sampler._next_customer = sampler.customer_count
+    sampler._next_address = address_count
+
+
+# -- page builders ---------------------------------------------------------------------
+
+
+def _home_page(s: _BookstoreSampler, rng) -> list:
+    customer = s.random_customer(rng)
+    return [
+        s.query("getName", customer),
+        s.query("getNewProducts", s.random_subject(rng)),
+    ]
+
+
+def _search_page(s: _BookstoreSampler, rng) -> list:
+    kind = rng.random()
+    if kind < 0.5:
+        search = s.query("doSubjectSearch", s.random_subject(rng))
+    elif kind < 0.8:
+        search = s.query("doTitleSearch", f"book title {s.popular_item(rng)}")
+    else:
+        search = s.query("doAuthorSearch", "smith")
+    return [s.query("getSubjects"), search]
+
+
+def _product_detail_page(s: _BookstoreSampler, rng) -> list:
+    item = s.popular_item(rng)
+    return [
+        s.query("getBook", item),
+        s.query("getRelated", item),
+        s.query("getPurchaseAssociations", item),
+    ]
+
+
+def _best_sellers_page(s: _BookstoreSampler, rng) -> list:
+    return [s.query("getBestSellers", s.random_subject(rng))]
+
+
+def _new_products_page(s: _BookstoreSampler, rng) -> list:
+    return [s.query("getNewProducts", s.random_subject(rng))]
+
+
+def _cart_page(s: _BookstoreSampler, rng) -> list:
+    cart = s.next_cart()
+    line = s.next_cart_line()
+    item = s.popular_item(rng)
+    operations = [
+        s.update("createCart", cart, datagen.random_date_int(rng), 0.0),
+        s.update("addCartLine", line, cart, item, rng.randint(1, 3)),
+        s.query("getCart", cart),
+        s.query("getCartTotal", cart),
+        s.query("getCartItemDetails", cart),
+        s.update("refreshCartTime", datagen.random_date_int(rng), cart),
+    ]
+    if rng.random() < 0.3:
+        operations.append(s.update("updateCartLine", rng.randint(1, 5), line))
+    s.live_carts.append((cart, line))
+    return operations
+
+
+def _buy_request_page(s: _BookstoreSampler, rng) -> list:
+    customer = s.random_customer(rng)
+    return [
+        s.query("getCustomer", f"user{customer}"),
+        s.query("getCDiscount", customer),
+        s.query("getCAddrId", customer),
+        s.query("getCAddr", customer),
+    ]
+
+
+def _buy_confirm_page(s: _BookstoreSampler, rng) -> list:
+    customer = s.random_customer(rng)
+    order = s.next_order()
+    item = s.popular_item(rng)
+    operations = [
+        s.update(
+            "enterOrder",
+            order,
+            customer,
+            datagen.random_date_int(rng),
+            round(rng.random() * 300, 2),
+            "pending",
+        ),
+        s.update(
+            "addOrderLine",
+            s.next_order_line(),
+            order,
+            item,
+            rng.randint(1, 5),
+            0.0,
+        ),
+        s.update(
+            "enterCCXact",
+            order,
+            "VISA",
+            f"4111-{order:08d}",
+            "card holder",
+            202712,
+            round(rng.random() * 300, 2),
+        ),
+        s.query("getStock", item),
+        s.update("setStock", rng.randint(0, 500), item),
+    ]
+    if s.live_carts:
+        cart, _ = s.live_carts.pop(0)
+        operations.append(s.update("clearCart", cart))
+    return operations
+
+
+def _register_page(s: _BookstoreSampler, rng) -> list:
+    address = s.next_address()
+    customer = s.next_customer()
+    first, last = datagen.person_name(rng)
+    return [
+        s.query("getCountryId", f"country{rng.randint(1, 20)}"),
+        s.update(
+            "enterAddress",
+            address,
+            f"{address} new st",
+            f"city{address % 40}",
+            f"{10000 + address % 90000}",
+            1 + address % 20,
+        ),
+        s.update(
+            "createNewCustomer",
+            customer,
+            f"user{customer}",
+            f"pw{customer}",
+            first,
+            last,
+            address,
+            0.0,
+            datagen.random_date_int(rng),
+        ),
+        s.query("getUserName", customer),
+    ]
+
+
+def _order_inquiry_page(s: _BookstoreSampler, rng) -> list:
+    customer = s.random_customer(rng)
+    order = s.recent_order(rng)
+    return [
+        s.query("getPassword", f"user{customer}"),
+        s.query("getMostRecentOrderId", customer),
+        s.query("getMostRecentOrderDetails", order),
+        s.query("getMostRecentOrderLines", order),
+        s.query("getCCXact", order),
+    ]
+
+
+def _admin_page(s: _BookstoreSampler, rng) -> list:
+    item = s.popular_item(rng)
+    operations = [
+        s.query("adminGetBook", item),
+        s.query("getLatestOrders", "pending"),
+    ]
+    if rng.random() < 0.5:
+        operations.append(s.update("setStock", rng.randint(0, 500), item))
+    if rng.random() < 0.3:
+        operations.append(
+            s.update(
+                "updateOrderStatus",
+                rng.choice(["shipped", "delivered"]),
+                s.recent_order(rng),
+            )
+        )
+    return operations
+
+
+def bookstore_spec() -> AppSpec:
+    """The TPC-W-style bookstore application."""
+    schema = bookstore_schema()
+    return AppSpec(
+        name="bookstore", registry=_registry(schema), _factory=_BookstoreSampler
+    )

@@ -1,0 +1,244 @@
+"""The paper's running toystore examples (Tables 1 and 3).
+
+Small but complete: used by the quickstart example, the Table 2 / Table 4
+benchmarks, and as a light workload for exercising the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.storage.database import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.templates.template import Sensitivity
+from repro.workloads.base import AppSpec, PageClass, PageSampler
+
+__all__ = ["simple_toystore_spec", "toystore_spec", "toystore_schema"]
+
+
+def toystore_schema() -> Schema:
+    """Schema shared by both toystore variants (paper Table 3)."""
+    return Schema(
+        [
+            TableSchema(
+                "toys",
+                (
+                    Column("toy_id", ColumnType.INTEGER),
+                    Column("toy_name", ColumnType.TEXT),
+                    Column("qty", ColumnType.INTEGER),
+                ),
+                primary_key=("toy_id",),
+            ),
+            TableSchema(
+                "customers",
+                (
+                    Column("cust_id", ColumnType.INTEGER),
+                    Column("cust_name", ColumnType.TEXT),
+                ),
+                primary_key=("cust_id",),
+            ),
+            TableSchema(
+                "credit_card",
+                (
+                    Column("cid", ColumnType.INTEGER),
+                    Column("number", ColumnType.TEXT),
+                    Column("zip_code", ColumnType.TEXT),
+                ),
+                primary_key=("cid",),
+                foreign_keys=(ForeignKey("cid", "customers", "cust_id"),),
+            ),
+        ]
+    )
+
+
+def _simple_registry(schema: Schema) -> TemplateRegistry:
+    return TemplateRegistry(
+        schema,
+        queries=[
+            QueryTemplate.from_sql(
+                "Q1", "SELECT toy_id FROM toys WHERE toy_name = ?"
+            ),
+            QueryTemplate.from_sql("Q2", "SELECT qty FROM toys WHERE toy_id = ?"),
+            QueryTemplate.from_sql(
+                "Q3", "SELECT cust_name FROM customers WHERE cust_id = ?"
+            ),
+        ],
+        updates=[
+            UpdateTemplate.from_sql("U1", "DELETE FROM toys WHERE toy_id = ?"),
+        ],
+    )
+
+
+def _elaborate_registry(schema: Schema) -> TemplateRegistry:
+    return TemplateRegistry(
+        schema,
+        queries=[
+            QueryTemplate.from_sql(
+                "Q1", "SELECT toy_id FROM toys WHERE toy_name = ?"
+            ),
+            QueryTemplate.from_sql(
+                "Q2",
+                "SELECT qty FROM toys WHERE toy_id = ?",
+                sensitivity=Sensitivity.MODERATE,  # inventory levels
+            ),
+            QueryTemplate.from_sql(
+                "Q3",
+                "SELECT cust_name FROM customers, credit_card "
+                "WHERE cust_id = cid AND zip_code = ?",
+                sensitivity=Sensitivity.MODERATE,  # customer demographics
+            ),
+        ],
+        updates=[
+            UpdateTemplate.from_sql("U1", "DELETE FROM toys WHERE toy_id = ?"),
+            UpdateTemplate.from_sql(
+                "U2",
+                "INSERT INTO credit_card (cid, number, zip_code) "
+                "VALUES (?, ?, ?)",
+                sensitivity=Sensitivity.HIGH,  # credit-card data
+            ),
+        ],
+    )
+
+
+class _ToystoreSampler(PageSampler):
+    """Page mix over the elaborate toystore."""
+
+    def __init__(self, registry, database: Database, scale: float, rng):
+        self.toy_count = max(8, int(40 * scale))
+        customer_count = max(4, int(20 * scale))
+        database.load(
+            "toys",
+            [
+                (i, f"toy{i}", rng.randint(0, 50))
+                for i in range(1, self.toy_count + 1)
+            ],
+        )
+        database.load(
+            "customers",
+            [(i, f"customer{i}") for i in range(1, customer_count + 1)],
+        )
+        database.load(
+            "credit_card",
+            [
+                (i, f"4111-{i:04d}", f"{15000 + i}")
+                for i in range(1, customer_count // 2 + 1)
+            ],
+        )
+        self.customer_count = customer_count
+        self._next_card = customer_count // 2 + 1
+        self._live_toys = set(range(1, self.toy_count + 1))
+        pages = [
+            PageClass("browse", 0.70, _browse_page),
+            PageClass("checkout", 0.25, _checkout_page),
+            PageClass("retire-toy", 0.05, _retire_page),
+        ]
+        super().__init__(registry, pages)
+
+    def random_toy(self, rng) -> int:
+        if not self._live_toys:
+            return 1
+        return rng.choice(sorted(self._live_toys))
+
+    def retire_toy(self, rng) -> int:
+        toy = self.random_toy(rng)
+        self._live_toys.discard(toy)
+        return toy
+
+    def new_card_holder(self, rng) -> int:
+        if self._next_card > self.customer_count:
+            return 0  # no more customers without cards
+        holder = self._next_card
+        self._next_card += 1
+        return holder
+
+
+def _browse_page(sampler: _ToystoreSampler, rng) -> list:
+    toy = sampler.random_toy(rng)
+    return [
+        sampler.query("Q1", f"toy{toy}"),
+        sampler.query("Q2", toy),
+    ]
+
+
+def _checkout_page(sampler: _ToystoreSampler, rng) -> list:
+    operations = [
+        sampler.query("Q3", f"{15000 + rng.randint(1, sampler.customer_count)}"),
+    ]
+    holder = sampler.new_card_holder(rng)
+    if holder:
+        operations.append(
+            sampler.update(
+                "U2", holder, f"4111-{holder:04d}", f"{15000 + holder}"
+            )
+        )
+    return operations
+
+
+def _retire_page(sampler: _ToystoreSampler, rng) -> list:
+    return [sampler.update("U1", sampler.retire_toy(rng))]
+
+
+def toystore_spec() -> AppSpec:
+    """The elaborate toystore application (paper Table 3) as a workload."""
+    schema = toystore_schema()
+    return AppSpec(
+        name="toystore",
+        registry=_elaborate_registry(schema),
+        _factory=_ToystoreSampler,
+    )
+
+
+class _SimpleSampler(PageSampler):
+    """Minimal mix over the simple toystore (paper Table 1)."""
+
+    def __init__(self, registry, database: Database, scale: float, rng):
+        toy_count = max(8, int(40 * scale))
+        customer_count = max(4, int(20 * scale))
+        database.load(
+            "toys",
+            [(i, f"toy{i}", rng.randint(0, 50)) for i in range(1, toy_count + 1)],
+        )
+        database.load(
+            "customers",
+            [(i, f"customer{i}") for i in range(1, customer_count + 1)],
+        )
+        self.toy_count = toy_count
+        self.customer_count = customer_count
+        self._live_toys = set(range(1, toy_count + 1))
+        pages = [
+            PageClass("lookup", 0.9, _simple_lookup),
+            PageClass("retire", 0.1, _simple_retire),
+        ]
+        super().__init__(registry, pages)
+
+    def random_toy(self, rng) -> int:
+        if not self._live_toys:
+            return 1
+        return rng.choice(sorted(self._live_toys))
+
+    def retire_toy(self, rng) -> int:
+        toy = self.random_toy(rng)
+        self._live_toys.discard(toy)
+        return toy
+
+
+def _simple_lookup(sampler: _SimpleSampler, rng) -> list:
+    toy = sampler.random_toy(rng)
+    return [
+        sampler.query("Q1", f"toy{toy}"),
+        sampler.query("Q2", toy),
+        sampler.query("Q3", rng.randint(1, sampler.customer_count)),
+    ]
+
+
+def _simple_retire(sampler: _SimpleSampler, rng) -> list:
+    return [sampler.update("U1", sampler.retire_toy(rng))]
+
+
+def simple_toystore_spec() -> AppSpec:
+    """The simple-toystore application (paper Table 1) as a workload."""
+    schema = toystore_schema()
+    return AppSpec(
+        name="simple-toystore",
+        registry=_simple_registry(schema),
+        _factory=_SimpleSampler,
+    )

@@ -1,0 +1,48 @@
+"""Shared synthetic-data helpers for the benchmark generators."""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "person_name",
+    "random_date_int",
+    "random_text",
+    "sequential_ids",
+]
+
+_FIRST = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "niaj", "olivia", "peggy", "rupert", "sybil",
+)
+_LAST = (
+    "smith", "jones", "lee", "patel", "garcia", "kim", "chen", "muller",
+    "rossi", "silva", "sato", "novak", "olsen", "kumar", "ali", "brown",
+)
+_WORDS = (
+    "swift", "quiet", "red", "lucky", "bright", "deep", "grand", "wild",
+    "amber", "noble", "rapid", "solid", "vivid", "young", "zesty", "calm",
+)
+
+
+def person_name(rng: random.Random) -> tuple[str, str]:
+    """A (first, last) name pair."""
+    return rng.choice(_FIRST), rng.choice(_LAST)
+
+
+def random_text(rng: random.Random, words: int) -> str:
+    """A short pseudo-sentence of dictionary words."""
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def random_date_int(rng: random.Random, start: int = 20000101, end: int = 20061231) -> int:
+    """A date encoded as an int YYYYMMDD (ordering-compatible)."""
+    year = rng.randint(start // 10000, end // 10000)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return year * 10000 + month * 100 + day
+
+
+def sequential_ids(count: int, start: int = 1) -> list[int]:
+    """The ids 1..count (or shifted), as a list."""
+    return list(range(start, start + count))

@@ -1,0 +1,136 @@
+"""Workload traces: record a sampled page stream, replay it bit-for-bit.
+
+Comparing two DSSP configurations is only fair if both see *exactly* the
+same operation stream.  Seeded samplers already guarantee that, but a
+recorded trace makes the guarantee explicit, portable (JSON on disk), and
+independent of sampler implementation changes.
+
+A trace stores pages as lists of ``(kind, template, params)`` triples; on
+replay it binds them against a registry, so a trace can be replayed against
+any deployment of the same application.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.templates.registry import TemplateRegistry
+from repro.workloads.base import Operation
+
+__all__ = ["Trace", "record_trace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A recorded sequence of page requests.
+
+    Replays cyclically if asked for more pages than recorded (``sample_page``
+    keeps a cursor), so a short trace can still drive a long measurement —
+    with a warning-free, fully deterministic stream.
+    """
+
+    application: str
+    pages: list[list[tuple[str, str, list]]]
+    _registry: TemplateRegistry | None = field(default=None, repr=False)
+    _cursor: int = field(default=0, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    # -- replay ----------------------------------------------------------------
+
+    def bind(self, registry: TemplateRegistry) -> "Trace":
+        """Attach a registry so the trace can act as a page sampler."""
+        self._registry = registry
+        self._cursor = 0
+        return self
+
+    def sample_page(self, rng: random.Random | None = None) -> list[Operation]:
+        """Next recorded page as bound operations (PageSampler protocol).
+
+        The ``rng`` argument is accepted for interface compatibility and
+        ignored — a trace is deterministic by definition.
+        """
+        if self._registry is None:
+            raise WorkloadError("bind(registry) before replaying a trace")
+        if not self.pages:
+            raise WorkloadError("empty trace")
+        page = self.pages[self._cursor % len(self.pages)]
+        self._cursor += 1
+        operations = []
+        for kind, template_name, params in page:
+            if kind == "query":
+                bound = self._registry.query(template_name).bind(params)
+                operations.append(Operation.query(bound))
+            else:
+                bound = self._registry.update(template_name).bind(params)
+                operations.append(Operation.update(bound))
+        return operations
+
+    def iter_pages(self) -> Iterator[list[tuple[str, str, list]]]:
+        """Iterate over the raw recorded pages."""
+        return iter(self.pages)
+
+    # -- (de)serialization --------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "application": self.application,
+                "pages": self.pages,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Load a trace from :meth:`to_json` output.
+
+        Raises:
+            WorkloadError: on wrong version or malformed payload.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise WorkloadError(f"malformed trace: {error}") from error
+        if payload.get("version") != _FORMAT_VERSION:
+            raise WorkloadError(
+                f"unsupported trace version {payload.get('version')!r}"
+            )
+        pages = [
+            [(kind, name, list(params)) for kind, name, params in page]
+            for page in payload["pages"]
+        ]
+        return cls(application=payload["application"], pages=pages)
+
+
+def record_trace(
+    sampler,
+    pages: int,
+    seed: int = 0,
+    application: str = "",
+) -> Trace:
+    """Sample ``pages`` pages from a live sampler into a trace.
+
+    The sampler's own stateful id-pools advance exactly as they would in a
+    live run, so the recorded stream is constraint-consistent.
+    """
+    rng = random.Random(seed)
+    recorded: list[list[tuple[str, str, list]]] = []
+    for _ in range(pages):
+        page = []
+        for operation in sampler.sample_page(rng):
+            kind = "update" if operation.is_update else "query"
+            page.append(
+                (kind, operation.bound.template.name, list(operation.bound.params))
+            )
+        recorded.append(page)
+    return Trace(application=application, pages=recorded)

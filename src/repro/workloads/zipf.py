@@ -1,0 +1,50 @@
+"""Zipf-distributed popularity sampling.
+
+The paper modifies TPC-W's uniform book popularity to a Zipf distribution,
+citing Brynjolfsson et al.'s measurement of amazon.com sales:
+``log Q = 10.526 - 0.871 log R`` (Q copies sold at sales rank R), i.e. a
+power law with exponent ≈ 0.871.  :class:`ZipfSampler` draws ranks from
+that law over a finite catalogue.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+from repro.errors import WorkloadError
+
+__all__ = ["ZipfSampler", "BRYNJOLFSSON_EXPONENT"]
+
+#: Slope of the Amazon book-sales power law measured by Brynjolfsson et al.
+BRYNJOLFSSON_EXPONENT = 0.871
+
+
+class ZipfSampler:
+    """Samples ranks 1..n with P(rank r) ∝ 1 / r**exponent.
+
+    Precomputes the CDF once; each draw is a binary search.
+    """
+
+    def __init__(self, n: int, exponent: float = BRYNJOLFSSON_EXPONENT) -> None:
+        if n < 1:
+            raise WorkloadError("Zipf support must be at least 1")
+        if exponent < 0:
+            raise WorkloadError("Zipf exponent must be non-negative")
+        self.n = n
+        self.exponent = exponent
+        weights = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+        self._cdf = list(itertools.accumulate(weights))
+        self._total = self._cdf[-1]
+
+    def sample_rank(self, rng: random.Random) -> int:
+        """Draw a rank in 1..n (1 = most popular)."""
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cdf, point) + 1
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of a rank."""
+        if not 1 <= rank <= self.n:
+            raise WorkloadError(f"rank {rank} outside 1..{self.n}")
+        return (1.0 / rank**self.exponent) / self._total

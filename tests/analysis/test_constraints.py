@@ -1,0 +1,88 @@
+"""Unit tests for the integrity-constraint refinement (paper Section 4.5)."""
+
+from repro.analysis.constraints import constraint_implies_no_effect
+from repro.analysis.ipm import characterize_pair
+from repro.sql.parser import parse
+from repro.templates import QueryTemplate, UpdateTemplate
+
+
+class TestPrimaryKeyRule:
+    def test_insert_vs_key_equality_query(self, toystore_schema):
+        """Paper example 1: insertions into toys cannot affect Q2."""
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+        q = parse("SELECT qty FROM toys WHERE toy_id = ?")
+        assert constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_insert_vs_non_key_query_not_covered(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = ?")
+        assert not constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_insert_vs_key_range_query_not_covered(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+        q = parse("SELECT qty FROM toys WHERE toy_id > ?")
+        assert not constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_rule_applies_only_to_insertions(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        q = parse("SELECT qty FROM toys WHERE toy_id = ?")
+        assert not constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_key_pinned_via_constant(self, toystore_schema):
+        # Constants violate the analysis assumptions elsewhere, but the PK
+        # rule itself is sound for them.
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+        q = parse("SELECT qty FROM toys WHERE toy_id = 5")
+        assert constraint_implies_no_effect(toystore_schema, u, q)
+
+
+class TestForeignKeyRule:
+    def test_insert_into_parent_vs_fk_join_query(self, toystore_schema):
+        """Paper example 2: insertions into customers cannot affect Q3."""
+        u = parse("INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)")
+        q = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?"
+        )
+        assert constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_insert_into_child_not_covered(self, toystore_schema):
+        u = parse(
+            "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)"
+        )
+        q = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?"
+        )
+        assert not constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_join_not_on_fk_not_covered(self, toystore_schema):
+        # Join on a non-FK column pair gives no guarantee.
+        u = parse("INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)")
+        q = parse(
+            "SELECT cust_name FROM customers, toys "
+            "WHERE cust_id = toy_id AND qty = ?"
+        )
+        assert not constraint_implies_no_effect(toystore_schema, u, q)
+
+    def test_query_without_target_table_not_covered(self, toystore_schema):
+        u = parse("INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)")
+        q = parse("SELECT qty FROM toys WHERE toy_id = ?")
+        # Handled by ignorability (Lemma 1), not the constraint rule.
+        assert not constraint_implies_no_effect(toystore_schema, u, q)
+
+
+class TestConstraintEffectOnIpm:
+    def test_constraints_turn_a_to_zero(self, toystore_schema):
+        u = UpdateTemplate.from_sql(
+            "ins_cust", "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)"
+        )
+        q = QueryTemplate.from_sql(
+            "q3",
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?",
+        )
+        with_constraints = characterize_pair(toystore_schema, u, q, True)
+        without = characterize_pair(toystore_schema, u, q, False)
+        assert with_constraints.a_is_zero
+        assert not without.a_is_zero

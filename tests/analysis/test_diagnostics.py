@@ -1,0 +1,84 @@
+"""Tests for the runtime-assumption diagnostics."""
+
+from repro.analysis.diagnostics import AssumptionReport, check_runtime_assumptions
+from repro.workloads import get_application, toystore_spec
+
+
+class TestAssumptionReport:
+    def test_rates_with_no_traffic(self):
+        report = AssumptionReport()
+        assert report.empty_result_rate == 0.0
+        assert report.ineffective_update_rate == 0.0
+
+    def test_summary_readable(self):
+        report = AssumptionReport(pages=10, queries=20, updates=5)
+        text = report.summary()
+        assert "10 pages" in text
+        assert "20 queries" in text
+
+
+class TestCheckRuntimeAssumptions:
+    def test_database_untouched(self):
+        instance = toystore_spec().instantiate(scale=0.5, seed=3)
+        before = instance.database.snapshot()
+        check_runtime_assumptions(instance.database, instance.sampler, pages=60)
+        assert instance.database.snapshot() == before
+
+    def test_counts_accumulate(self):
+        instance = toystore_spec().instantiate(scale=0.5, seed=3)
+        report = check_runtime_assumptions(
+            instance.database, instance.sampler, pages=80, seed=1
+        )
+        assert report.pages == 80
+        assert report.queries > 0
+        assert report.updates > 0
+
+    def test_benchmarks_mostly_respect_assumptions(self):
+        """The paper: 'in our experiments ... these assumptions always
+        hold'.  Our synthetic workloads keep violations rare."""
+        for name in ("auction", "bookstore"):
+            instance = get_application(name).instantiate(scale=0.3, seed=2)
+            report = check_runtime_assumptions(
+                instance.database, instance.sampler, pages=150, seed=4
+            )
+            assert report.empty_result_rate < 0.35, (name, report.summary())
+            assert report.ineffective_update_rate < 0.20, (
+                name,
+                report.summary(),
+            )
+
+    def test_examples_capped_but_counts_exact(self):
+        instance = toystore_spec().instantiate(scale=0.5, seed=3)
+        report = check_runtime_assumptions(
+            instance.database,
+            instance.sampler,
+            pages=200,
+            seed=1,
+            max_recorded=2,
+        )
+        assert len(report.empty_result_examples) <= 2
+        assert report.empty_result_count >= len(report.empty_result_examples)
+
+    def test_detects_engineered_violations(self, toystore):
+        """A workload that deletes the same toy twice trips assumption 2."""
+        import random
+
+        instance = toystore_spec().instantiate(scale=0.5, seed=3)
+
+        class DoubleDelete:
+            def __init__(self, registry):
+                self.registry = registry
+
+            def sample_page(self, rng):
+                from repro.workloads.base import Operation
+
+                bound = self.registry.update("U1").bind([1])
+                return [Operation.update(bound), Operation.update(bound)]
+
+        report = check_runtime_assumptions(
+            instance.database,
+            DoubleDelete(instance.spec.registry),
+            pages=1,
+            seed=0,
+        )
+        assert report.ineffective_update_count == 1  # the second delete

@@ -1,0 +1,182 @@
+"""Unit + property tests for statement-level independence (MSIS core)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.independence import statement_independent
+from repro.sql.parser import parse
+from repro.storage import Database
+from repro.templates.binding import bind
+
+
+class TestInsertions:
+    def test_insert_matching_predicate_dependent(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, 'x', 5)")
+        q = parse("SELECT toy_id FROM toys WHERE qty = 5")
+        assert not statement_independent(toystore_schema, u, q)
+
+    def test_insert_failing_predicate_independent(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, 'x', 5)")
+        q = parse("SELECT toy_id FROM toys WHERE qty = 6")
+        assert statement_independent(toystore_schema, u, q)
+
+    def test_insert_failing_range_independent(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, 'x', 5)")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 10")
+        assert statement_independent(toystore_schema, u, q)
+
+    def test_insert_inside_range_dependent(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, 'x', 50)")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 10 AND qty < 100")
+        assert not statement_independent(toystore_schema, u, q)
+
+    def test_insert_other_table_independent(self, toystore_schema):
+        u = parse("INSERT INTO customers (cust_id, cust_name) VALUES (9, 'z')")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 1")
+        assert statement_independent(toystore_schema, u, q)
+
+    def test_paper_zip_code_example(self, toystore_schema):
+        """U2 with zip '15213' vs Q3 selecting zip '94301': independent."""
+        u = parse(
+            "INSERT INTO credit_card (cid, number, zip_code) "
+            "VALUES (3, 'n', '15213')"
+        )
+        q = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = '94301'"
+        )
+        assert statement_independent(toystore_schema, u, q)
+        q_same = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = '15213'"
+        )
+        assert not statement_independent(toystore_schema, u, q_same)
+
+    def test_insert_string_vs_string_predicate(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (9, 'abc', 1)")
+        assert statement_independent(
+            toystore_schema, u, parse("SELECT qty FROM toys WHERE toy_name = 'xyz'")
+        )
+        assert not statement_independent(
+            toystore_schema, u, parse("SELECT qty FROM toys WHERE toy_name = 'abc'")
+        )
+
+
+class TestDeletions:
+    def test_paper_table2_stmt_row(self, toystore_schema):
+        """DELETE toy_id=5: invalidates Q2(5) but not Q2(7)."""
+        u = parse("DELETE FROM toys WHERE toy_id = 5")
+        assert statement_independent(
+            toystore_schema, u, parse("SELECT qty FROM toys WHERE toy_id = 7")
+        )
+        assert not statement_independent(
+            toystore_schema, u, parse("SELECT qty FROM toys WHERE toy_id = 5")
+        )
+
+    def test_delete_cannot_rule_out_different_attribute(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = 5")
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = 'doll'")
+        assert not statement_independent(toystore_schema, u, q)
+
+    def test_delete_range_disjoint_from_query_range(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE qty < 5")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 10")
+        assert statement_independent(toystore_schema, u, q)
+
+    def test_delete_range_overlapping_query_range(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE qty < 50")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 10")
+        assert not statement_independent(toystore_schema, u, q)
+
+    def test_boundary_touching_ranges(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE qty <= 10")
+        assert not statement_independent(
+            toystore_schema, u, parse("SELECT toy_id FROM toys WHERE qty >= 10")
+        )
+        assert statement_independent(
+            toystore_schema, u, parse("SELECT toy_id FROM toys WHERE qty > 10")
+        )
+
+    def test_delete_unconstrained_always_dependent(self, toystore_schema):
+        u = parse("DELETE FROM toys")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 10")
+        assert not statement_independent(toystore_schema, u, q)
+
+
+class TestModifications:
+    def test_key_mismatch_independent(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = 10 WHERE toy_id = 5")
+        q = parse("SELECT qty FROM toys WHERE toy_id = 7")
+        assert statement_independent(toystore_schema, u, q)
+
+    def test_key_match_dependent(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = 10 WHERE toy_id = 5")
+        q = parse("SELECT qty FROM toys WHERE toy_id = 5")
+        assert not statement_independent(toystore_schema, u, q)
+
+    def test_unkeyed_query_conservatively_dependent(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = 10 WHERE toy_id = 5")
+        q = parse("SELECT toy_id FROM toys WHERE qty > 100")
+        # Old row's qty unknown: might have been > 100 before.
+        assert not statement_independent(toystore_schema, u, q)
+
+
+class TestSoundnessProperty:
+    """Random instances: independence claims never mask a real change."""
+
+    # The schema fixture is immutable, so sharing it across examples is safe.
+    @settings(
+        max_examples=150,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ids=st.lists(
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        ),
+        quantities=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=10, max_size=10
+        ),
+        update_kind=st.sampled_from(["insert", "delete", "modify"]),
+        u_param=st.integers(min_value=0, max_value=25),
+        q_param=st.integers(min_value=0, max_value=25),
+    )
+    def test_independent_implies_result_unchanged(
+        self, toystore_schema, ids, quantities, update_kind, u_param, q_param
+    ):
+        db = Database(toystore_schema)
+        db.load(
+            "toys",
+            [(i, f"toy{i}", quantities[n % 10]) for n, i in enumerate(ids)],
+        )
+        if update_kind == "insert":
+            update = bind(
+                parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"),
+                [100, "new", u_param],
+            )
+        elif update_kind == "delete":
+            update = bind(parse("DELETE FROM toys WHERE qty < ?"), [u_param])
+        else:
+            target = ids[0]
+            update = bind(
+                parse("UPDATE toys SET qty = ? WHERE toy_id = ?"),
+                [u_param, target],
+            )
+        query = bind(
+            parse("SELECT toy_id, qty FROM toys WHERE qty > ?"), [q_param]
+        )
+
+        before = db.execute(query)
+        after_db = db.clone()
+        after_db.apply(update)
+        after = after_db.execute(query)
+
+        if statement_independent(toystore_schema, update, query):
+            assert before.equivalent(after), (
+                update_kind,
+                u_param,
+                q_param,
+            )

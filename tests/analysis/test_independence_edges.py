@@ -1,0 +1,163 @@
+"""Edge cases for the interval-constraint reasoning in MSIS."""
+
+import pytest
+
+from repro.analysis.independence import _Constraint, statement_independent
+from repro.sql.ast import ComparisonOp
+from repro.sql.parser import parse
+from repro.templates.binding import bind
+
+
+class TestConstraintDomain:
+    def test_equality_conflict(self):
+        c = _Constraint()
+        c.add(ComparisonOp.EQ, 5)
+        c.add(ComparisonOp.EQ, 6)
+        assert not c.satisfiable()
+
+    def test_equality_consistent(self):
+        c = _Constraint()
+        c.add(ComparisonOp.EQ, 5)
+        c.add(ComparisonOp.EQ, 5)
+        assert c.satisfiable()
+
+    def test_equality_outside_range(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GT, 10)
+        c.add(ComparisonOp.EQ, 5)
+        assert not c.satisfiable()
+
+    def test_empty_interval(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GT, 10)
+        c.add(ComparisonOp.LT, 5)
+        assert not c.satisfiable()
+
+    def test_touching_bounds_closed(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GE, 5)
+        c.add(ComparisonOp.LE, 5)
+        assert c.satisfiable()
+        assert c.allows(5)
+
+    def test_touching_bounds_half_open(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GT, 5)
+        c.add(ComparisonOp.LE, 5)
+        assert not c.satisfiable()
+
+    def test_tighter_bound_wins(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GT, 1)
+        c.add(ComparisonOp.GT, 5)
+        assert not c.allows(3)
+        assert c.allows(6)
+
+    def test_null_constant_is_unsatisfiable(self):
+        c = _Constraint()
+        c.add(ComparisonOp.EQ, None)
+        assert not c.satisfiable()
+
+    def test_allows_null_only_when_unconstrained(self):
+        empty = _Constraint()
+        assert empty.allows(None)
+        c = _Constraint()
+        c.add(ComparisonOp.GT, 0)
+        assert not c.allows(None)
+
+    def test_incomparable_types_unsatisfiable(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GT, 5)
+        c.add(ComparisonOp.LT, "zebra")
+        assert not c.satisfiable()
+
+    def test_string_interval(self):
+        c = _Constraint()
+        c.add(ComparisonOp.GE, "m")
+        assert c.allows("n")
+        assert not c.allows("a")
+        assert not c.allows(5)  # numeric vs string bound
+
+
+class TestStatementEdgeCases:
+    def test_modification_on_unread_table(self, toystore_schema):
+        update = bind(parse("UPDATE toys SET qty = ? WHERE toy_id = ?"), [1, 1])
+        query = bind(parse("SELECT cust_name FROM customers WHERE cust_id = ?"), [1])
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_insert_with_null_value_vs_predicate(self, toystore_schema):
+        update = bind(
+            parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, NULL)"),
+            [99, "x"],
+        )
+        # A NULL qty can never satisfy qty > 5.
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty > ?"), [5])
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_insert_null_vs_unconstrained_query_dependent(self, toystore_schema):
+        update = bind(
+            parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, NULL)"),
+            [99, "x"],
+        )
+        query = bind(parse("SELECT toy_id FROM toys WHERE toy_name = ?"), ["x"])
+        assert not statement_independent(toystore_schema, update, query)
+
+    def test_self_join_query_requires_both_bindings_missed(self, toystore_schema):
+        update = bind(
+            parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"),
+            [99, "zzz", 5],
+        )
+        query = bind(
+            parse(
+                "SELECT t1.toy_id FROM toys AS t1, toys AS t2 "
+                "WHERE t1.toy_name = ? AND t2.toy_name = ? AND t1.qty = t2.qty"
+            ),
+            ["aaa", "bbb"],
+        )
+        # The inserted name 'zzz' fails both bindings' local predicates.
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_self_join_one_binding_hit_is_dependent(self, toystore_schema):
+        update = bind(
+            parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"),
+            [99, "aaa", 5],
+        )
+        query = bind(
+            parse(
+                "SELECT t1.toy_id FROM toys AS t1, toys AS t2 "
+                "WHERE t1.toy_name = ? AND t2.toy_name = ? AND t1.qty = t2.qty"
+            ),
+            ["aaa", "bbb"],
+        )
+        assert not statement_independent(toystore_schema, update, query)
+
+    def test_constant_false_query_predicate(self, toystore_schema):
+        update = bind(parse("DELETE FROM toys WHERE toy_id = ?"), [1])
+        query = bind(
+            parse("SELECT toy_id FROM toys WHERE qty > ? AND qty < ?"), [10, 5]
+        )
+        # The query can never return rows; nothing to invalidate.
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_constant_false_delete_predicate(self, toystore_schema):
+        update = bind(
+            parse("DELETE FROM toys WHERE qty > ? AND qty < ?"), [10, 5]
+        )
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty > ?"), [0])
+        # The delete can never remove rows.
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_equality_only_mode_is_weaker(self, toystore_schema):
+        update = bind(parse("DELETE FROM toys WHERE qty < ?"), [5])
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty > ?"), [10])
+        assert statement_independent(toystore_schema, update, query)
+        assert not statement_independent(
+            toystore_schema, update, query, equality_only=True
+        )
+
+    def test_equality_only_mode_still_sees_equalities(self, toystore_schema):
+        update = bind(parse("DELETE FROM toys WHERE toy_id = ?"), [5])
+        query = bind(parse("SELECT qty FROM toys WHERE toy_id = ?"), [7])
+        assert statement_independent(
+            toystore_schema, update, query, equality_only=True
+        )

@@ -1,0 +1,252 @@
+"""IPM characterization tests, anchored on the paper's Table 4."""
+
+import pytest
+
+from repro.analysis.ipm import characterize_application, characterize_pair
+from repro.analysis.report import (
+    format_ipm_table,
+    format_summary_table,
+    summarize_characterization,
+)
+from repro.templates import QueryTemplate, UpdateTemplate
+
+
+@pytest.fixture
+def table4(toystore):
+    """Characterization of the paper's Table 3 toystore application."""
+    return characterize_application(toystore)
+
+
+class TestPaperTable4:
+    """Every cell of the paper's Table 4, verbatim."""
+
+    def test_u1_q1(self, table4):
+        pair = table4.pair("U1", "Q1")
+        assert not pair.a_is_zero  # A11 = 1
+        assert pair.b_equals_a  # B11 = A11
+        assert not pair.c_equals_b  # C11 < B11
+
+    def test_u1_q2(self, table4):
+        pair = table4.pair("U1", "Q2")
+        assert not pair.a_is_zero  # A12 = 1
+        assert not pair.b_equals_a  # B12 < A12
+        assert pair.c_equals_b  # C12 = B12
+
+    def test_u1_q3(self, table4):
+        pair = table4.pair("U1", "Q3")
+        assert pair.a_is_zero  # A13 = 0
+        assert pair.b_equals_a and pair.c_equals_b  # trivially, Property 3
+
+    def test_u2_q1(self, table4):
+        assert table4.pair("U2", "Q1").a_is_zero  # A21 = 0
+
+    def test_u2_q2(self, table4):
+        assert table4.pair("U2", "Q2").a_is_zero  # A22 = 0
+
+    def test_u2_q3(self, table4):
+        pair = table4.pair("U2", "Q3")
+        assert not pair.a_is_zero  # A23 = 1
+        assert not pair.b_equals_a  # B23 < A23
+        assert pair.c_equals_b  # C23 = B23
+
+
+class TestGradientInvariants:
+    def test_a_zero_forces_all_equal(self, table4):
+        for pair in table4:
+            if pair.a_is_zero:
+                assert pair.b_equals_a
+                assert pair.c_equals_b
+
+    def test_a_value_is_binary(self, table4):
+        for pair in table4:
+            assert pair.a_value in (0, 1)
+
+
+class TestSymbolicValues:
+    """The token function that drives the greedy Step 2b algorithm."""
+
+    def test_blind_always_one(self, table4):
+        from repro.analysis.exposure import ExposureLevel
+
+        pair = table4.pair("U1", "Q3")  # even an A=0 pair
+        assert (
+            pair.symbolic_value(ExposureLevel.BLIND, ExposureLevel.VIEW) == "1"
+        )
+        assert (
+            pair.symbolic_value(ExposureLevel.STMT, ExposureLevel.BLIND) == "1"
+        )
+
+    def test_zero_pair_is_zero_at_template_and_above(self, table4):
+        from repro.analysis.exposure import ExposureLevel
+
+        pair = table4.pair("U1", "Q3")
+        for q in (ExposureLevel.TEMPLATE, ExposureLevel.STMT, ExposureLevel.VIEW):
+            assert pair.symbolic_value(ExposureLevel.STMT, q) == "0"
+
+    def test_b_symbol_distinct_per_pair(self, table4):
+        from repro.analysis.exposure import ExposureLevel
+
+        p12 = table4.pair("U1", "Q2")
+        p23 = table4.pair("U2", "Q3")
+        t12 = p12.symbolic_value(ExposureLevel.STMT, ExposureLevel.STMT)
+        t23 = p23.symbolic_value(ExposureLevel.STMT, ExposureLevel.STMT)
+        assert t12 != t23
+        assert t12.startswith("B:")
+
+    def test_c_equals_b_collapses_tokens(self, table4):
+        from repro.analysis.exposure import ExposureLevel
+
+        pair = table4.pair("U1", "Q2")  # C = B < A
+        b = pair.symbolic_value(ExposureLevel.STMT, ExposureLevel.STMT)
+        c = pair.symbolic_value(ExposureLevel.STMT, ExposureLevel.VIEW)
+        assert b == c
+
+    def test_c_lt_b_distinct_tokens(self, table4):
+        from repro.analysis.exposure import ExposureLevel
+
+        pair = table4.pair("U1", "Q1")  # C < B = A
+        b = pair.symbolic_value(ExposureLevel.STMT, ExposureLevel.STMT)
+        c = pair.symbolic_value(ExposureLevel.STMT, ExposureLevel.VIEW)
+        assert b == "1"  # B = A = 1
+        assert c.startswith("C:")
+
+
+class TestSection44Examples:
+    """The paper's counter-examples where C may be less than B."""
+
+    def test_insertion_with_theta_join_no_c_claim(self, toystore):
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql(
+            "ins", "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"
+        )
+        q = QueryTemplate.from_sql(
+            "theta",
+            "SELECT t1.toy_id, t1.qty, t2.toy_id, t2.qty "
+            "FROM toys AS t1, toys AS t2 "
+            "WHERE t1.toy_name = ? AND t2.toy_name = ? AND t1.qty > t2.qty",
+        )
+        pair = characterize_pair(schema, u, q)
+        assert not pair.a_is_zero
+        assert not pair.c_equals_b  # theta join: view inspection can help
+
+    def test_insertion_with_top_k_no_c_claim(self, toystore):
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql(
+            "ins", "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"
+        )
+        q = QueryTemplate.from_sql(
+            "topk",
+            "SELECT toy_id FROM toys WHERE qty > ? ORDER BY qty DESC LIMIT 5",
+        )
+        pair = characterize_pair(schema, u, q)
+        assert not pair.c_equals_b
+
+    def test_insertion_with_aggregate_no_c_claim(self, toystore):
+        """The MAX(qty) example of Section 4.4."""
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql(
+            "ins", "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"
+        )
+        q = QueryTemplate.from_sql("maxq", "SELECT MAX(qty) FROM toys WHERE qty > ?")
+        pair = characterize_pair(schema, u, q)
+        assert not pair.c_equals_b
+
+    def test_insertion_equality_join_gets_c_claim(self, toystore):
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql(
+            "ins",
+            "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)",
+        )
+        q = QueryTemplate.from_sql(
+            "eq",
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?",
+        )
+        pair = characterize_pair(schema, u, q)
+        assert pair.c_equals_b
+
+    def test_modification_example_no_c_claim(self, toystore):
+        """UPDATE ... SET qty vs SELECT toy_id WHERE qty > 100 (Sec 4.4)."""
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql(
+            "mod", "UPDATE toys SET qty = ? WHERE toy_id = ?"
+        )
+        q = QueryTemplate.from_sql(
+            "scan", "SELECT toy_id FROM toys WHERE qty > ?"
+        )
+        pair = characterize_pair(schema, u, q)
+        assert not pair.a_is_zero
+        assert not pair.c_equals_b
+
+
+class TestAssumptionViolations:
+    def test_embedded_constant_forces_conservative(self, toystore):
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql("del", "DELETE FROM toys WHERE toy_id = ?")
+        q = QueryTemplate.from_sql(
+            "const", "SELECT qty FROM toys WHERE toy_name = 'legos'"
+        )
+        pair = characterize_pair(schema, u, q)
+        assert not pair.assumptions_hold
+        assert not pair.b_equals_a
+        assert not pair.c_equals_b
+
+    def test_same_relation_comparison_forces_conservative(self, toystore):
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql("del", "DELETE FROM toys WHERE toy_id = ?")
+        q = QueryTemplate.from_sql(
+            "selfjoin",
+            "SELECT t1.toy_id FROM toys AS t1, toys AS t2 WHERE t1.qty > t2.qty",
+        )
+        pair = characterize_pair(schema, u, q)
+        assert not pair.assumptions_hold
+
+    def test_cartesian_product_forces_conservative(self, toystore):
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql("del", "DELETE FROM toys WHERE toy_id = ?")
+        q = QueryTemplate.from_sql(
+            "cart",
+            "SELECT toy_id, cust_id FROM toys, customers WHERE qty > ?",
+        )
+        pair = characterize_pair(schema, u, q)
+        assert not pair.assumptions_hold
+
+    def test_ignorability_survives_assumption_violation(self, toystore):
+        """A = 0 claims stay sound even for violating pairs."""
+        schema = toystore.schema
+        u = UpdateTemplate.from_sql(
+            "del", "DELETE FROM credit_card WHERE cid = ?"
+        )
+        q = QueryTemplate.from_sql(
+            "const", "SELECT qty FROM toys WHERE toy_name = 'legos'"
+        )
+        pair = characterize_pair(schema, u, q)
+        assert pair.a_is_zero
+
+
+class TestReports:
+    def test_summary_bins_partition_pairs(self, toystore, table4):
+        summary = summarize_characterization("toystore", table4)
+        assert summary.total_pairs == 6
+        assert (
+            summary.zero
+            + summary.b_lt_a_c_lt_b
+            + summary.b_lt_a_c_eq_b
+            + summary.b_eq_a_c_lt_b
+            + summary.b_eq_a_c_eq_b
+        ) == 6
+        assert summary.zero == 3
+        assert summary.b_lt_a_c_eq_b == 2  # U1/Q2, U2/Q3
+        assert summary.b_eq_a_c_lt_b == 1  # U1/Q1
+
+    def test_format_summary_table(self, table4):
+        text = format_summary_table(
+            [summarize_characterization("toystore", table4)]
+        )
+        assert "toystore" in text
+        assert "A=B=C=0" in text
+
+    def test_format_ipm_table(self, table4):
+        text = format_ipm_table(table4)
+        assert "A=B=C=0" in text
+        assert "A=1 B<A C=B" in text

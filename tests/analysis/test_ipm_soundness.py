@@ -1,0 +1,145 @@
+"""Soundness of the static IPM claims against runtime behaviour.
+
+The characterization's claims have operational meaning:
+
+* ``A = 0``  — no instance of U can ever change any instance of Q's result;
+* ``B = A``  — statement inspection can never skip an invalidation that
+  template inspection performs (so claiming it costs nothing);
+* ``C = B``  — view inspection can never skip beyond statement inspection.
+
+For every template pair in a pool (and randomized instances), we check the
+runtime consequences: results really never change for A = 0 pairs, the
+statement checker never skips on B = A pairs, and the view checker never
+skips past the statement checker on C = B pairs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.independence import statement_independent
+from repro.analysis.ipm import characterize_pair
+from repro.dssp.view_checks import view_allows_skip
+from repro.storage import Database
+from repro.templates import QueryTemplate, UpdateTemplate
+
+# A pool wide enough to hit every characterization branch: point/range/
+# join/aggregate/top-k queries against insert/delete/modify updates.
+QUERY_POOL = [
+    ("q_point", "SELECT qty FROM toys WHERE toy_id = ?"),
+    ("q_byname", "SELECT toy_id FROM toys WHERE toy_name = ?"),
+    ("q_range", "SELECT toy_id FROM toys WHERE qty > ?"),
+    ("q_proj", "SELECT toy_name FROM toys WHERE toy_id = ?"),
+    ("q_max", "SELECT MAX(qty) FROM toys"),
+    ("q_topk", "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 2"),
+    ("q_cust", "SELECT cust_name FROM customers WHERE cust_id = ?"),
+    (
+        "q_join",
+        "SELECT cust_name FROM customers, credit_card "
+        "WHERE cust_id = cid AND zip_code = ?",
+    ),
+]
+
+UPDATE_POOL = [
+    ("u_del", "DELETE FROM toys WHERE toy_id = ?"),
+    ("u_delrange", "DELETE FROM toys WHERE qty < ?"),
+    ("u_ins", "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"),
+    ("u_mod", "UPDATE toys SET qty = ? WHERE toy_id = ?"),
+    ("u_modname", "UPDATE toys SET toy_name = ? WHERE toy_id = ?"),
+    (
+        "u_card",
+        "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)",
+    ),
+]
+
+
+def _bind_query(template, value):
+    if template.parameter_count == 0:
+        return template.bind([])
+    if "toy_name" in template.sql:
+        return template.bind([f"toy{value % 8}"])
+    if "zip_code" in template.sql:
+        return template.bind([f"{15000 + value % 4}"])
+    return template.bind([value % 12 + 1 if "toy_id" in template.sql else value])
+
+
+def _bind_update(template, value, aux):
+    name = template.name
+    if name == "u_del":
+        return template.bind([value % 12 + 1])
+    if name == "u_delrange":
+        return template.bind([value % 15])
+    if name == "u_ins":
+        return template.bind([100 + value, f"toy{aux % 8}", aux % 20])
+    if name == "u_mod":
+        return template.bind([aux % 20, value % 12 + 1])
+    if name == "u_modname":
+        return template.bind([f"toy{aux % 8}", value % 12 + 1])
+    return template.bind([value % 3 + 1, f"4111-{value}", f"{15000 + aux % 4}"])
+
+
+@settings(
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    q_index=st.integers(min_value=0, max_value=len(QUERY_POOL) - 1),
+    u_index=st.integers(min_value=0, max_value=len(UPDATE_POOL) - 1),
+    value=st.integers(min_value=0, max_value=40),
+    aux=st.integers(min_value=0, max_value=40),
+    quantities=st.lists(
+        st.integers(min_value=0, max_value=19), min_size=8, max_size=8
+    ),
+)
+def test_static_claims_have_their_runtime_consequences(
+    toystore_schema, q_index, u_index, value, aux, quantities
+):
+    q_name, q_sql = QUERY_POOL[q_index]
+    u_name, u_sql = UPDATE_POOL[u_index]
+    query_template = QueryTemplate.from_sql(q_name, q_sql)
+    update_template = UpdateTemplate.from_sql(u_name, u_sql)
+    pair = characterize_pair(toystore_schema, update_template, query_template)
+
+    db = Database(toystore_schema)
+    db.load("toys", [(i, f"toy{i % 8}", quantities[i % 8]) for i in range(1, 13)])
+    db.load("customers", [(i, f"cust{i}") for i in range(1, 5)])
+    db.load("credit_card", [(1, "4111", "15001"), (2, "4222", "15002")])
+
+    query = _bind_query(query_template, value)
+    update = _bind_update(update_template, value, aux)
+    before = db.execute(query.select)
+    after_db = db.clone()
+    try:
+        after_db.apply(update.statement)
+    except Exception:
+        return  # constraint-violating instance: nothing to check
+    after = after_db.execute(query.select)
+    changed = not before.equivalent(after)
+
+    # A = 0: the result can never change.
+    if pair.a_is_zero:
+        assert not changed, (u_name, q_name, update.sql, query.sql)
+        return
+
+    independent = statement_independent(
+        toystore_schema, update.statement, query.select
+    )
+
+    # Runtime statement independence must itself be sound.
+    if independent:
+        assert not changed, (u_name, q_name, update.sql, query.sql)
+
+    # B = A: parameters provably cannot help, so the statement checker
+    # must never skip (else reducing exposure to 'template' would lose
+    # precision the analysis promised did not exist).
+    if pair.b_equals_a:
+        assert not independent, (u_name, q_name, update.sql, query.sql)
+
+    # C = B: the view can provably never help beyond the statement, so the
+    # view checker must never skip where the statement checker could not.
+    if pair.c_equals_b and not independent:
+        skipped = view_allows_skip(
+            toystore_schema, update.statement, query.select, before
+        )
+        assert not skipped, (u_name, q_name, update.sql, query.sql)

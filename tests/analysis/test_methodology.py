@@ -1,0 +1,106 @@
+"""Tests for the three-step design methodology (paper Sections 3.1–3.2)."""
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.analysis.ipm import characterize_application
+from repro.analysis.methodology import (
+    apply_compulsory_encryption,
+    design_exposure_policy,
+    reduce_exposure_levels,
+)
+
+
+class TestStep1:
+    def test_high_sensitivity_reduced_to_template(self, toystore):
+        policy = apply_compulsory_encryption(toystore)
+        assert policy.update_level("U2") is ExposureLevel.TEMPLATE  # credit card
+        assert policy.update_level("U1") is ExposureLevel.STMT
+        assert policy.query_level("Q1") is ExposureLevel.VIEW
+
+    def test_custom_compulsory_level(self, toystore):
+        policy = apply_compulsory_encryption(
+            toystore, compulsory_level=ExposureLevel.BLIND
+        )
+        assert policy.update_level("U2") is ExposureLevel.BLIND
+
+
+class TestStep2bPaperExample:
+    """Paper Section 3.2: the exact outcome on the toystore application."""
+
+    @pytest.fixture
+    def result(self, toystore):
+        return design_exposure_policy(toystore)
+
+    def test_q3_reduced_to_template(self, result):
+        assert result.final.query_level("Q3") is ExposureLevel.TEMPLATE
+
+    def test_q2_reduced_to_stmt(self, result):
+        assert result.final.query_level("Q2") is ExposureLevel.STMT
+
+    def test_q1_stays_at_view(self, result):
+        assert result.final.query_level("Q1") is ExposureLevel.VIEW
+
+    def test_u1_stays_at_stmt(self, result):
+        assert result.final.update_level("U1") is ExposureLevel.STMT
+
+    def test_u2_stays_at_template(self, result):
+        assert result.final.update_level("U2") is ExposureLevel.TEMPLATE
+
+    def test_two_query_results_now_encrypted(self, result):
+        assert result.encrypted_result_count() == 2  # Q2 and Q3
+
+    def test_summary_shows_initial_and_final(self, result):
+        summary = result.exposure_reduction_summary()
+        assert summary["Q3"] == ("view", "template")
+        assert summary["Q2"] == ("view", "stmt")
+        assert summary["Q1"] == ("view", "view")
+
+
+class TestGreedyProperties:
+    def test_fixpoint_reached(self, toystore):
+        """Running the reduction twice changes nothing."""
+        characterization = characterize_application(toystore)
+        initial = apply_compulsory_encryption(toystore)
+        once = reduce_exposure_levels(characterization, initial)
+        twice = reduce_exposure_levels(characterization, once)
+        assert once == twice
+
+    def test_reduction_never_increases_exposure(self, toystore):
+        characterization = characterize_application(toystore)
+        initial = apply_compulsory_encryption(toystore)
+        final = reduce_exposure_levels(characterization, initial)
+        for query in toystore.queries:
+            assert final.query_level(query.name) <= initial.query_level(query.name)
+        for update in toystore.updates:
+            assert final.update_level(update.name) <= initial.update_level(
+                update.name
+            )
+
+    def test_reduction_preserves_all_symbolic_entries(self, toystore):
+        """The invariant Step 2b promises: no IPM entry value changes."""
+        characterization = characterize_application(toystore)
+        initial = apply_compulsory_encryption(toystore)
+        final = reduce_exposure_levels(characterization, initial)
+        for pair in characterization:
+            before = pair.symbolic_value(
+                initial.update_level(pair.update_name),
+                initial.query_level(pair.query_name),
+            )
+            after = pair.symbolic_value(
+                final.update_level(pair.update_name),
+                final.query_level(pair.query_name),
+            )
+            assert before == after, (pair.update_name, pair.query_name)
+
+    def test_from_full_exposure_without_step1(self, toystore):
+        """Without compulsory encryption, Step 2b alone still reduces."""
+        characterization = characterize_application(toystore)
+        initial = ExposurePolicy.maximum_exposure(toystore)
+        final = reduce_exposure_levels(characterization, initial)
+        assert final.query_level("Q2") is ExposureLevel.STMT
+
+    def test_residuals_reported(self, toystore):
+        result = design_exposure_policy(toystore)
+        assert "Q1" in result.residual_queries
+        assert "U1" in result.residual_updates

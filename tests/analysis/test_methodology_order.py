@@ -1,0 +1,66 @@
+"""Property test: Step 2b's greedy reduction is order-independent.
+
+The paper (Section 3.1): "The order in which templates are considered does
+not affect the final outcome."  We verify on the toystore and on all three
+benchmark applications with randomly shuffled visit orders.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.analysis.ipm import characterize_application
+from repro.analysis.methodology import (
+    apply_compulsory_encryption,
+    reduce_exposure_levels,
+)
+from repro.workloads import APPLICATIONS, get_application
+
+
+def _order_for(registry):
+    return [("query", q.name) for q in registry.queries] + [
+        ("update", u.name) for u in registry.updates
+    ]
+
+
+class TestOrderIndependence:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_toystore_any_order_same_fixpoint(self, toystore, seed):
+        characterization = characterize_application(toystore)
+        initial = apply_compulsory_encryption(toystore)
+        baseline = reduce_exposure_levels(characterization, initial)
+        order = _order_for(toystore)
+        random.Random(seed).shuffle(order)
+        shuffled = reduce_exposure_levels(characterization, initial, order=order)
+        assert shuffled == baseline
+
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_benchmarks_reversed_order_same_fixpoint(self, name):
+        registry = get_application(name).registry
+        characterization = characterize_application(registry)
+        initial = apply_compulsory_encryption(registry)
+        baseline = reduce_exposure_levels(characterization, initial)
+        order = list(reversed(_order_for(registry)))
+        reversed_result = reduce_exposure_levels(
+            characterization, initial, order=order
+        )
+        assert reversed_result == baseline
+
+    def test_updates_before_queries(self):
+        registry = get_application("bookstore").registry
+        characterization = characterize_application(registry)
+        initial = ExposurePolicy.maximum_exposure(registry)
+        baseline = reduce_exposure_levels(characterization, initial)
+        order = [("update", u.name) for u in registry.updates] + [
+            ("query", q.name) for q in registry.queries
+        ]
+        flipped = reduce_exposure_levels(characterization, initial, order=order)
+        assert flipped == baseline

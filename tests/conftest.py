@@ -1,0 +1,107 @@
+"""Shared fixtures: the paper's toystore applications (Tables 1 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.storage import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.templates.template import Sensitivity
+
+
+@pytest.fixture
+def toystore_schema() -> Schema:
+    """Schema of the elaborate toystore application (paper Table 3)."""
+    toys = TableSchema(
+        "toys",
+        (
+            Column("toy_id", ColumnType.INTEGER),
+            Column("toy_name", ColumnType.TEXT),
+            Column("qty", ColumnType.INTEGER),
+        ),
+        primary_key=("toy_id",),
+    )
+    customers = TableSchema(
+        "customers",
+        (
+            Column("cust_id", ColumnType.INTEGER),
+            Column("cust_name", ColumnType.TEXT),
+        ),
+        primary_key=("cust_id",),
+    )
+    credit_card = TableSchema(
+        "credit_card",
+        (
+            Column("cid", ColumnType.INTEGER),
+            Column("number", ColumnType.TEXT),
+            Column("zip_code", ColumnType.TEXT),
+        ),
+        primary_key=("cid",),
+        foreign_keys=(ForeignKey("cid", "customers", "cust_id"),),
+    )
+    return Schema([toys, customers, credit_card])
+
+
+@pytest.fixture
+def simple_toystore(toystore_schema: Schema) -> TemplateRegistry:
+    """The simple-toystore application of paper Table 1."""
+    return TemplateRegistry(
+        toystore_schema,
+        queries=[
+            QueryTemplate.from_sql(
+                "Q1", "SELECT toy_id FROM toys WHERE toy_name = ?"
+            ),
+            QueryTemplate.from_sql("Q2", "SELECT qty FROM toys WHERE toy_id = ?"),
+            QueryTemplate.from_sql(
+                "Q3", "SELECT cust_name FROM customers WHERE cust_id = ?"
+            ),
+        ],
+        updates=[
+            UpdateTemplate.from_sql("U1", "DELETE FROM toys WHERE toy_id = ?"),
+        ],
+    )
+
+
+@pytest.fixture
+def toystore(toystore_schema: Schema) -> TemplateRegistry:
+    """The elaborate toystore application of paper Table 3."""
+    return TemplateRegistry(
+        toystore_schema,
+        queries=[
+            QueryTemplate.from_sql(
+                "Q1", "SELECT toy_id FROM toys WHERE toy_name = ?"
+            ),
+            QueryTemplate.from_sql("Q2", "SELECT qty FROM toys WHERE toy_id = ?"),
+            QueryTemplate.from_sql(
+                "Q3",
+                "SELECT cust_name FROM customers, credit_card "
+                "WHERE cust_id = cid AND zip_code = ?",
+            ),
+        ],
+        updates=[
+            UpdateTemplate.from_sql("U1", "DELETE FROM toys WHERE toy_id = ?"),
+            UpdateTemplate.from_sql(
+                "U2",
+                "INSERT INTO credit_card (cid, number, zip_code) "
+                "VALUES (?, ?, ?)",
+                sensitivity=Sensitivity.HIGH,
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def toystore_db(toystore_schema: Schema) -> Database:
+    """A populated toystore master database."""
+    db = Database(toystore_schema)
+    db.load(
+        "toys",
+        [(i, f"toy{i}", i * 2) for i in range(1, 9)],
+    )
+    db.load("customers", [(1, "alice"), (2, "bob"), (3, "carol")])
+    db.load(
+        "credit_card",
+        [(1, "4111-1111", "15213"), (2, "4222-2222", "94301")],
+    )
+    return db

@@ -1,0 +1,132 @@
+"""Properties of the DSSP cache keys (paper footnote 3) and binding safety.
+
+Two families of guarantees:
+
+* **key discipline** — distinct (template, parameters) instances get
+  distinct cache keys at every exposure level (a collision would serve one
+  query's result for another), and identical instances get identical keys
+  (else caching would never hit);
+* **injection resistance** — parameter values are data, never syntax: a
+  malicious string parameter cannot change the bound statement's structure,
+  because binding substitutes AST literals and the canonical formatter
+  escapes on the way out.
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto import EnvelopeCodec, Keyring
+from repro.sql.ast import Delete, Literal, Select
+from repro.sql.parser import parse
+from repro.templates import QueryTemplate, UpdateTemplate
+
+LEVELS = [
+    ExposureLevel.BLIND,
+    ExposureLevel.TEMPLATE,
+    ExposureLevel.STMT,
+    ExposureLevel.VIEW,
+]
+
+_params = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(alphabet=string.printable, max_size=30),
+)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return EnvelopeCodec(Keyring("app", b"k" * 32))
+
+
+@pytest.fixture(scope="module")
+def template():
+    return QueryTemplate.from_sql(
+        "byname", "SELECT toy_id FROM toys WHERE toy_name = ?"
+    )
+
+
+class TestKeyDiscipline:
+    @settings(
+        max_examples=150,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(a=_params, b=_params)
+    def test_distinct_params_distinct_keys(self, codec, template, a, b):
+        for level in LEVELS:
+            key_a = codec.seal_query(template.bind([a]), level).cache_key
+            key_b = codec.seal_query(template.bind([b]), level).cache_key
+            assert (key_a == key_b) == (a == b), (level, a, b)
+
+    @settings(
+        max_examples=60,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(value=_params)
+    def test_same_instance_same_key(self, codec, template, value):
+        for level in LEVELS:
+            first = codec.seal_query(template.bind([value]), level).cache_key
+            second = codec.seal_query(template.bind([value]), level).cache_key
+            assert first == second
+
+    def test_distinct_templates_distinct_keys(self, codec):
+        a = QueryTemplate.from_sql("qa", "SELECT qty FROM toys WHERE toy_id = ?")
+        b = QueryTemplate.from_sql(
+            "qb", "SELECT toy_name FROM toys WHERE toy_id = ?"
+        )
+        for level in LEVELS:
+            assert (
+                codec.seal_query(a.bind([1]), level).cache_key
+                != codec.seal_query(b.bind([1]), level).cache_key
+            )
+
+
+class TestInjectionResistance:
+    MALICIOUS = [
+        "'; DELETE FROM toys --",
+        "' OR 1 = 1",
+        "x' AND toy_id = 5",
+        "a||b",
+        'quote " double',
+        "back\\slash",
+        "multi\nline",
+    ]
+
+    @pytest.mark.parametrize("payload", MALICIOUS)
+    def test_bound_statement_structure_is_unchanged(self, template, payload):
+        bound = template.bind([payload])
+        # The bound AST is still the same SELECT with one literal...
+        assert isinstance(bound.select, Select)
+        assert len(bound.select.where) == 1
+        assert bound.select.where[0].right == Literal(payload)
+        # ...and its canonical text re-parses to the identical statement.
+        reparsed = parse(bound.sql)
+        assert reparsed == bound.select
+
+    @pytest.mark.parametrize("payload", MALICIOUS)
+    def test_payload_executes_as_inert_data(self, toystore_db, payload):
+        template = QueryTemplate.from_sql(
+            "byname", "SELECT toy_id FROM toys WHERE toy_name = ?"
+        )
+        before = toystore_db.row_count("toys")
+        result = toystore_db.execute(template.bind([payload]).select)
+        assert result.empty  # no toy has that name
+        assert toystore_db.row_count("toys") == before  # nothing deleted
+
+    @pytest.mark.parametrize("payload", MALICIOUS)
+    def test_update_parameters_equally_inert(self, toystore_db, payload):
+        template = UpdateTemplate.from_sql(
+            "rename", "UPDATE toys SET toy_name = ? WHERE toy_id = ?"
+        )
+        bound = template.bind([payload, 1])
+        assert not isinstance(bound.statement, Delete)  # structure intact
+        assert parse(bound.sql) == bound.statement
+        toystore_db.apply(bound.statement)
+        stored = toystore_db.execute(
+            parse("SELECT toy_name FROM toys WHERE toy_id = 1")
+        )
+        assert stored.rows == ((payload,),)  # stored verbatim, as data
+        assert toystore_db.row_count("toys") == 8

@@ -1,0 +1,79 @@
+"""Unit + property tests for the deterministic cipher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import SIV_LEN, decrypt, encrypt
+from repro.errors import CryptoError
+
+KEY = b"0123456789abcdef0123456789abcdef"
+OTHER = b"fedcba9876543210fedcba9876543210"
+
+
+class TestBasics:
+    def test_round_trip(self):
+        assert decrypt(KEY, encrypt(KEY, b"hello")) == b"hello"
+
+    def test_empty_plaintext(self):
+        assert decrypt(KEY, encrypt(KEY, b"")) == b""
+
+    def test_deterministic(self):
+        assert encrypt(KEY, b"same") == encrypt(KEY, b"same")
+
+    def test_distinct_plaintexts_distinct_tokens(self):
+        assert encrypt(KEY, b"a") != encrypt(KEY, b"b")
+
+    def test_token_length(self):
+        assert len(encrypt(KEY, b"abc")) == SIV_LEN + 3
+
+    def test_long_plaintext_spans_keystream_blocks(self):
+        data = bytes(range(256)) * 10
+        assert decrypt(KEY, encrypt(KEY, data)) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        data = b"secret credit card 4111-1111"
+        assert data not in encrypt(KEY, data)
+
+
+class TestAuthentication:
+    def test_wrong_key_rejected(self):
+        with pytest.raises(CryptoError, match="authentication"):
+            decrypt(OTHER, encrypt(KEY, b"data"))
+
+    def test_tampered_body_rejected(self):
+        token = bytearray(encrypt(KEY, b"data"))
+        token[-1] ^= 0x01
+        with pytest.raises(CryptoError):
+            decrypt(KEY, bytes(token))
+
+    def test_tampered_siv_rejected(self):
+        token = bytearray(encrypt(KEY, b"data"))
+        token[0] ^= 0x01
+        with pytest.raises(CryptoError):
+            decrypt(KEY, bytes(token))
+
+    def test_short_token_rejected(self):
+        with pytest.raises(CryptoError, match="too short"):
+            decrypt(KEY, b"tiny")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError, match="at least 16"):
+            encrypt(b"short", b"data")
+
+
+class TestProperties:
+    @given(st.binary(max_size=500))
+    def test_round_trip_property(self, data):
+        assert decrypt(KEY, encrypt(KEY, data)) == data
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    def test_determinism_iff_equality(self, a, b):
+        """enc(a) == enc(b) exactly when a == b — the cache-key property."""
+        assert (encrypt(KEY, a) == encrypt(KEY, b)) == (a == b)
+
+    @given(st.binary(min_size=1, max_size=100))
+    def test_keys_isolate_applications(self, data):
+        token = encrypt(KEY, data)
+        with pytest.raises(CryptoError):
+            decrypt(OTHER, token)

@@ -1,0 +1,36 @@
+"""Unit tests for per-application key management."""
+
+import pytest
+
+from repro.crypto.keyring import Keyring, Purpose
+from repro.errors import CryptoError
+
+
+class TestKeyring:
+    def test_purpose_keys_differ(self):
+        keyring = Keyring("app", b"m" * 32)
+        keys = {keyring.key_for(p) for p in Purpose}
+        assert len(keys) == len(Purpose)
+
+    def test_derivation_is_stable(self):
+        a = Keyring("app", b"m" * 32)
+        b = Keyring("app", b"m" * 32)
+        assert a.key_for(Purpose.RESULT) == b.key_for(Purpose.RESULT)
+
+    def test_different_apps_different_keys(self):
+        a = Keyring("app-a", b"m" * 32)
+        b = Keyring("app-b", b"m" * 32)
+        assert a.key_for(Purpose.RESULT) != b.key_for(Purpose.RESULT)
+
+    def test_random_master_key_by_default(self):
+        a = Keyring("app")
+        b = Keyring("app")
+        assert a.key_for(Purpose.PARAMS) != b.key_for(Purpose.PARAMS)
+
+    def test_short_master_key_rejected(self):
+        with pytest.raises(CryptoError):
+            Keyring("app", b"short")
+
+    def test_repr_does_not_leak_key(self):
+        keyring = Keyring("app", b"supersecretmasterkey0123456789ab")
+        assert "supersecret" not in repr(keyring)

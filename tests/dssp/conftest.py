@@ -1,0 +1,54 @@
+"""DSSP test fixtures: a wired node + home server for the toystore apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+
+
+@pytest.fixture
+def make_deployment(toystore_db):
+    """Factory: build (node, home) for a registry at a uniform exposure level."""
+
+    def build(registry, level: ExposureLevel, policy: ExposurePolicy | None = None):
+        if policy is None:
+            policy = ExposurePolicy.uniform(registry, level)
+        home = HomeServer(
+            "toystore",
+            toystore_db.clone(),
+            registry,
+            policy,
+            Keyring("toystore", b"k" * 32),
+        )
+        node = DsspNode()
+        node.register_application(home)
+        return node, home
+
+    return build
+
+
+@pytest.fixture
+def seeded(make_deployment, simple_toystore):
+    """Node at a given level with the paper's Table 2 cache seeding."""
+
+    def build(level: ExposureLevel):
+        node, home = make_deployment(simple_toystore, level)
+        policy_level = home.policy.query_level
+        seeds = [
+            simple_toystore.query("Q1").bind(["toy5"]),
+            simple_toystore.query("Q2").bind([5]),
+            simple_toystore.query("Q2").bind([7]),
+            simple_toystore.query("Q3").bind([1]),
+        ]
+        for bound in seeds:
+            envelope = home.codec.seal_query(
+                bound, policy_level(bound.template.name)
+            )
+            node.query(envelope)
+        assert len(node.cache) == 4
+        return node, home
+
+    return build

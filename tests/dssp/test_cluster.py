@@ -1,0 +1,121 @@
+"""Tests for the multi-node DSSP cluster extension."""
+
+import random
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import HomeServer
+from repro.dssp.cluster import DsspCluster, measure_cluster_behavior
+from repro.errors import CacheError
+from repro.workloads import get_application, simple_toystore_spec
+
+
+@pytest.fixture
+def deployment(toystore_db, simple_toystore):
+    policy = ExposurePolicy.uniform(simple_toystore, ExposureLevel.STMT)
+    home = HomeServer(
+        "toystore", toystore_db, simple_toystore, policy, Keyring("toystore")
+    )
+    cluster = DsspCluster(nodes=3)
+    cluster.register_application(home)
+    return cluster, home
+
+
+def seal(home, template, params):
+    bound = home.registry.query(template).bind(params)
+    return home.codec.seal_query(bound, home.policy.query_level(template))
+
+
+class TestRouting:
+    def test_minimum_one_node(self):
+        with pytest.raises(CacheError):
+            DsspCluster(nodes=0)
+
+    def test_affinity_is_stable(self, deployment):
+        cluster, _ = deployment
+        assert cluster.node_for(7) is cluster.node_for(7)
+        assert cluster.node_for(0) is not cluster.node_for(1)
+
+    def test_per_client_caches_are_separate(self, deployment):
+        cluster, home = deployment
+        envelope = seal(home, "Q2", [5])
+        first = cluster.query(envelope, client_id=0)
+        other_node = cluster.query(envelope, client_id=1)
+        same_node = cluster.query(envelope, client_id=0)
+        assert not first.cache_hit
+        assert not other_node.cache_hit  # different node: its own cold cache
+        assert same_node.cache_hit
+
+    def test_total_cached_views(self, deployment):
+        cluster, home = deployment
+        cluster.query(seal(home, "Q2", [5]), client_id=0)
+        cluster.query(seal(home, "Q2", [5]), client_id=1)
+        assert cluster.total_cached_views() == 2
+
+
+class TestInvalidationFanOut:
+    def test_update_invalidates_every_node(self, deployment):
+        cluster, home = deployment
+        for client in range(3):
+            cluster.query(seal(home, "Q2", [5]), client_id=client)
+        assert cluster.total_cached_views() == 3
+        bound = home.registry.update("U1").bind([5])
+        envelope = home.codec.seal_update(
+            bound, home.policy.update_level("U1")
+        )
+        outcome = cluster.update(envelope, client_id=0)
+        assert outcome.rows_affected == 1
+        assert outcome.invalidated == 3  # one view per node
+        assert cluster.total_cached_views() == 0
+
+    def test_update_applied_exactly_once(self, deployment):
+        cluster, home = deployment
+        bound = home.registry.update("U1").bind([2])
+        envelope = home.codec.seal_update(
+            bound, home.policy.update_level("U1")
+        )
+        cluster.update(envelope, client_id=2)
+        assert home.updates_applied == 1
+        assert home.database.row_count("toys") == 7
+
+    def test_consistency_across_nodes(self, deployment):
+        """A client on any node sees fresh data after any client's update."""
+        cluster, home = deployment
+        envelope = seal(home, "Q2", [5])
+        for client in range(3):
+            cluster.query(envelope, client_id=client)
+        bound = home.registry.update("U1").bind([5])
+        cluster.update(
+            home.codec.seal_update(bound, home.policy.update_level("U1")),
+            client_id=1,
+        )
+        for client in range(3):
+            outcome = cluster.query(envelope, client_id=client)
+            assert not outcome.cache_hit
+            assert home.codec.open_result(outcome.result).empty
+
+
+class TestCacheDilution:
+    def test_more_nodes_lower_fleet_hit_rate(self):
+        """Partitioning dilutes caches: the home server pays for it."""
+        spec = get_application("bookstore")
+        rates = {}
+        for nodes in (1, 4):
+            instance = spec.instantiate(scale=0.2, seed=1)
+            policy = ExposurePolicy.uniform(spec.registry, ExposureLevel.VIEW)
+            home = HomeServer(
+                "bookstore",
+                instance.database,
+                spec.registry,
+                policy,
+                Keyring("bookstore"),
+            )
+            cluster = DsspCluster(nodes=nodes)
+            cluster.register_application(home)
+            behavior = measure_cluster_behavior(
+                cluster, home, instance.sampler, pages=500, clients=32, seed=3
+            )
+            rates[nodes] = behavior.hit_rate
+        assert rates[4] < rates[1]

@@ -1,0 +1,194 @@
+"""Property-based correctness of the whole DSSP (paper Section 2.2).
+
+The paper's correctness definition: whenever ``Q[D] != Q[D + U]``, every
+correct invalidation strategy invalidates the cached result of Q.  We check
+the observable consequence on the full system: after any interleaving of
+queries and updates, a cached answer the client receives always equals
+fresh execution against the master database — for every exposure level.
+
+Also checked: the strategy-class gradient (more information → never more
+invalidations), which is Property 3 made operational.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+from repro.schema import Column, ColumnType, Schema, TableSchema
+from repro.storage import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+
+# A compact application exercising all three update kinds and several query
+# shapes (point, range, join-free aggregates, order-by/top-k).
+_SCHEMA = Schema(
+    [
+        TableSchema(
+            "items",
+            (
+                Column("item_id", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("stock", ColumnType.INTEGER),
+            ),
+            primary_key=("item_id",),
+        )
+    ]
+)
+
+_REGISTRY = TemplateRegistry(
+    _SCHEMA,
+    queries=[
+        QueryTemplate.from_sql("point", "SELECT stock FROM items WHERE item_id = ?"),
+        QueryTemplate.from_sql("range", "SELECT item_id FROM items WHERE stock > ?"),
+        QueryTemplate.from_sql(
+            "byname", "SELECT item_id, stock FROM items WHERE name = ?"
+        ),
+        QueryTemplate.from_sql("maxstock", "SELECT MAX(stock) FROM items"),
+        QueryTemplate.from_sql(
+            "top2",
+            "SELECT item_id, stock FROM items WHERE stock >= ? "
+            "ORDER BY stock DESC LIMIT 2",
+        ),
+    ],
+    updates=[
+        UpdateTemplate.from_sql(
+            "ins", "INSERT INTO items (item_id, name, stock) VALUES (?, ?, ?)"
+        ),
+        UpdateTemplate.from_sql("del", "DELETE FROM items WHERE item_id = ?"),
+        UpdateTemplate.from_sql(
+            "setstock", "UPDATE items SET stock = ? WHERE item_id = ?"
+        ),
+    ],
+)
+
+_LEVELS = [
+    ExposureLevel.BLIND,
+    ExposureLevel.TEMPLATE,
+    ExposureLevel.STMT,
+    ExposureLevel.VIEW,
+]
+
+
+def _operations():
+    """Strategy: a list of (kind, payload) workload operations."""
+    query_op = st.one_of(
+        st.tuples(st.just("point"), st.integers(1, 12)),
+        st.tuples(st.just("range"), st.integers(0, 20)),
+        st.tuples(st.just("byname"), st.sampled_from(["a", "b", "c"])),
+        st.tuples(st.just("maxstock"), st.none()),
+        st.tuples(st.just("top2"), st.integers(0, 15)),
+    )
+    update_op = st.one_of(
+        st.tuples(st.just("ins"), st.tuples(st.integers(13, 30), st.sampled_from(["a", "b"]), st.integers(0, 20))),
+        st.tuples(st.just("del"), st.integers(1, 30)),
+        st.tuples(st.just("setstock"), st.tuples(st.integers(0, 20), st.integers(1, 12))),
+    )
+    return st.lists(st.one_of(query_op, update_op), min_size=1, max_size=25)
+
+
+def _build(level: ExposureLevel):
+    db = Database(_SCHEMA)
+    db.load(
+        "items",
+        [(i, "abc"[i % 3], (i * 7) % 20) for i in range(1, 13)],
+    )
+    home = HomeServer(
+        "shop",
+        db,
+        _REGISTRY,
+        ExposurePolicy.uniform(_REGISTRY, level),
+        Keyring("shop", b"s" * 32),
+    )
+    node = DsspNode()
+    node.register_application(home)
+    return node, home
+
+
+def _query_params(kind, payload):
+    if kind == "maxstock":
+        return []
+    return [payload]
+
+
+def _run_workload(level, operations, inserted_ids):
+    """Drive the DSSP and assert every served answer matches the oracle."""
+    node, home = _build(level)
+    oracle = home.database  # same object: home applies updates to it
+    for kind, payload in operations:
+        if kind in ("point", "range", "byname", "maxstock", "top2"):
+            bound = _REGISTRY.query(kind).bind(_query_params(kind, payload))
+            envelope = home.codec.seal_query(
+                bound, home.policy.query_level(kind)
+            )
+            outcome = node.query(envelope)
+            served = home.codec.open_result(outcome.result)
+            fresh = oracle.execute(bound.select)
+            assert served.equivalent(fresh), (
+                f"stale answer at level {level.name} for {bound.sql}: "
+                f"served {served.rows}, fresh {fresh.rows}"
+            )
+        else:
+            if kind == "ins":
+                item_id, name, stock = payload
+                if item_id in inserted_ids:
+                    continue
+                inserted_ids.add(item_id)
+                params = [item_id, name, stock]
+            elif kind == "del":
+                params = [payload]
+                inserted_ids.discard(payload)
+            else:
+                stock, item_id = payload
+                params = [stock, item_id]
+            bound = _REGISTRY.update(kind).bind(params)
+            envelope = home.codec.seal_update(
+                bound, home.policy.update_level(kind)
+            )
+            node.update(envelope)
+    return node
+
+
+class TestCacheConsistency:
+    @pytest.mark.parametrize("level", _LEVELS, ids=lambda l: l.name)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(operations=_operations())
+    def test_served_answers_always_fresh(self, level, operations):
+        _run_workload(level, operations, set())
+
+
+class TestStrategyGradient:
+    @settings(max_examples=40, deadline=None)
+    @given(operations=_operations())
+    def test_more_information_never_more_invalidations(self, operations):
+        counts = {}
+        for level in _LEVELS:
+            node = _run_workload(level, operations, set())
+            counts[level] = node.stats.invalidations
+        assert (
+            counts[ExposureLevel.BLIND]
+            >= counts[ExposureLevel.TEMPLATE]
+            >= counts[ExposureLevel.STMT]
+            >= counts[ExposureLevel.VIEW]
+        ), counts
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations=_operations())
+    def test_hit_rate_monotone_in_information(self, operations):
+        hits = {}
+        for level in _LEVELS:
+            node = _run_workload(level, operations, set())
+            hits[level] = node.stats.hits
+        assert (
+            hits[ExposureLevel.BLIND]
+            <= hits[ExposureLevel.TEMPLATE]
+            <= hits[ExposureLevel.STMT]
+            <= hits[ExposureLevel.VIEW]
+        ), hits

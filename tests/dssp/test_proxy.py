@@ -1,0 +1,162 @@
+"""Tests for the DSSP node: hits, misses, forwarding, multi-tenancy."""
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+from repro.errors import CacheError
+
+
+@pytest.fixture
+def deployment(make_deployment, simple_toystore):
+    return make_deployment(simple_toystore, ExposureLevel.VIEW)
+
+
+def seal(home, template, params):
+    bound = home.registry.query(template).bind(params)
+    return home.codec.seal_query(bound, home.policy.query_level(template))
+
+
+class TestQueryPath:
+    def test_first_query_misses_then_hits(self, deployment):
+        node, home = deployment
+        envelope = seal(home, "Q2", [5])
+        first = node.query(envelope)
+        second = node.query(envelope)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert node.stats.hits == 1
+        assert node.stats.misses == 1
+        assert home.queries_served == 1  # only the miss reached home
+
+    def test_hit_returns_equivalent_result(self, deployment):
+        node, home = deployment
+        envelope = seal(home, "Q2", [5])
+        first = node.query(envelope)
+        second = node.query(envelope)
+        a = home.codec.open_result(first.result)
+        b = home.codec.open_result(second.result)
+        assert a.equivalent(b)
+        assert a.rows == ((10,),)
+
+    def test_different_parameters_are_different_views(self, deployment):
+        node, home = deployment
+        node.query(seal(home, "Q2", [5]))
+        outcome = node.query(seal(home, "Q2", [7]))
+        assert not outcome.cache_hit
+        assert len(node.cache) == 2
+
+    def test_unknown_application_rejected(self, deployment):
+        node, home = deployment
+        envelope = seal(home, "Q2", [5])
+        object.__setattr__(envelope, "app_id", "ghost")
+        with pytest.raises(CacheError):
+            node.query(envelope)
+
+
+class TestUpdatePath:
+    def test_update_reaches_master(self, deployment):
+        node, home = deployment
+        bound = home.registry.update("U1").bind([5])
+        envelope = home.codec.seal_update(bound, home.policy.update_level("U1"))
+        outcome = node.update(envelope)
+        assert outcome.rows_affected == 1
+        assert home.updates_applied == 1
+        assert home.database.row_count("toys") == 7
+
+    def test_update_then_query_sees_fresh_data(self, deployment):
+        node, home = deployment
+        envelope = seal(home, "Q2", [5])
+        node.query(envelope)
+        bound = home.registry.update("U1").bind([5])
+        node.update(
+            home.codec.seal_update(bound, home.policy.update_level("U1"))
+        )
+        outcome = node.query(envelope)
+        assert not outcome.cache_hit  # invalidated
+        result = home.codec.open_result(outcome.result)
+        assert result.empty  # toy 5 deleted
+
+    def test_cold_start_clears_everything(self, deployment):
+        node, home = deployment
+        node.query(seal(home, "Q2", [5]))
+        node.cold_start()
+        assert len(node.cache) == 0
+        assert node.stats.lookups == 0
+
+
+class TestMultiTenancy:
+    def test_two_applications_are_isolated(self, toystore_db, simple_toystore):
+        node = DsspNode()
+        homes = []
+        for app_id in ("app-a", "app-b"):
+            home = HomeServer(
+                app_id,
+                toystore_db.clone(),
+                simple_toystore,
+                ExposurePolicy.uniform(simple_toystore, ExposureLevel.VIEW),
+                Keyring(app_id),
+            )
+            node.register_application(home)
+            homes.append(home)
+        a, b = homes
+        node.query(seal(a, "Q2", [5]))
+        node.query(seal(b, "Q2", [5]))
+        assert len(node.cache) == 2  # same query, different apps: no sharing
+
+        # An update by app A must not touch app B's entries.
+        bound = a.registry.update("U1").bind([5])
+        node.update(a.codec.seal_update(bound, ExposureLevel.STMT))
+        remaining = node.cache.entries_for_app("app-b")
+        assert len(remaining) == 1
+
+    def test_duplicate_registration_rejected(self, deployment):
+        node, home = deployment
+        with pytest.raises(CacheError):
+            node.register_application(home)
+
+    def test_cross_app_cannot_decrypt(self, toystore_db, simple_toystore):
+        node = DsspNode()
+        a = HomeServer(
+            "app-a",
+            toystore_db.clone(),
+            simple_toystore,
+            ExposurePolicy.uniform(simple_toystore, ExposureLevel.BLIND),
+            Keyring("app-a"),
+        )
+        b = HomeServer(
+            "app-b",
+            toystore_db.clone(),
+            simple_toystore,
+            ExposurePolicy.uniform(simple_toystore, ExposureLevel.BLIND),
+            Keyring("app-b"),
+        )
+        node.register_application(a)
+        node.register_application(b)
+        bound = a.registry.query("Q2").bind([5])
+        outcome = node.query(a.codec.seal_query(bound, ExposureLevel.BLIND))
+        from repro.errors import CryptoError
+
+        with pytest.raises(CryptoError):
+            b.codec.open_result(outcome.result)
+
+
+class TestStats:
+    def test_hit_rate(self, deployment):
+        node, home = deployment
+        envelope = seal(home, "Q2", [5])
+        node.query(envelope)
+        node.query(envelope)
+        node.query(envelope)
+        assert node.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidation_attribution(self, deployment):
+        node, home = deployment
+        node.query(seal(home, "Q2", [5]))
+        node.query(seal(home, "Q1", ["toy5"]))
+        bound = home.registry.update("U1").bind([5])
+        node.update(home.codec.seal_update(bound, ExposureLevel.STMT))
+        per_query = node.stats.per_query_invalidations
+        assert per_query.get("Q1") == 1
+        assert per_query.get("Q2") == 1

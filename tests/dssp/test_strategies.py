@@ -1,0 +1,212 @@
+"""Tests for the formal strategy classes (paper Sections 2.2 and Figure 4).
+
+Checks, on random databases and statements:
+
+* **correctness** — whenever Q[D] != Q[D+U], every strategy says I;
+* **Figure 4 containment** — the set of (U, Q) pairs a stronger strategy
+  invalidates is a subset of a weaker strategy's set;
+* the known separating examples: pairs where each stronger class strictly
+  improves on the weaker one.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dssp.strategies import (
+    BlindStrategy,
+    Decision,
+    InvalidationInput,
+    StatementInspectionStrategy,
+    TemplateInspectionStrategy,
+    ViewInspectionStrategy,
+)
+from repro.sql.parser import parse
+from repro.storage import Database
+from repro.templates.binding import bind
+
+I = Decision.INVALIDATE
+DNI = Decision.DO_NOT_INVALIDATE
+
+
+@pytest.fixture
+def strategies(toystore_schema):
+    return (
+        BlindStrategy(toystore_schema),
+        TemplateInspectionStrategy(toystore_schema),
+        StatementInspectionStrategy(toystore_schema),
+        ViewInspectionStrategy(toystore_schema),
+    )
+
+
+def make_input(db, update_sql, u_params, query_sql, q_params):
+    update_template = parse(update_sql)
+    query_template = parse(query_sql)
+    update = bind(update_template, u_params)
+    query = bind(query_template, q_params)
+    view = db.execute(query)
+    return InvalidationInput(
+        update_template=update_template,
+        query_template=query_template,
+        update_statement=update,
+        query_statement=query,
+        view=view,
+    )
+
+
+class TestSeparatingExamples:
+    """Each information level strictly improves on some input."""
+
+    def test_blind_always_invalidates(self, strategies, toystore_db):
+        blind = strategies[0]
+        item = make_input(
+            toystore_db,
+            "DELETE FROM toys WHERE toy_id = ?", [5],
+            "SELECT cust_name FROM customers WHERE cust_id = ?", [1],
+        )
+        assert blind.decide(item) is I
+
+    def test_template_beats_blind_on_ignorable_pair(
+        self, strategies, toystore_db
+    ):
+        _, template, _, _ = strategies
+        item = make_input(
+            toystore_db,
+            "DELETE FROM toys WHERE toy_id = ?", [5],
+            "SELECT cust_name FROM customers WHERE cust_id = ?", [1],
+        )
+        assert template.decide(item) is DNI
+
+    def test_statement_beats_template_on_key_mismatch(
+        self, strategies, toystore_db
+    ):
+        _, template, statement, _ = strategies
+        item = make_input(
+            toystore_db,
+            "DELETE FROM toys WHERE toy_id = ?", [5],
+            "SELECT qty FROM toys WHERE toy_id = ?", [7],
+        )
+        assert template.decide(item) is I
+        assert statement.decide(item) is DNI
+
+    def test_view_beats_statement_on_absent_key(self, strategies, toystore_db):
+        _, _, statement, view = strategies
+        # Q1('toy5') returns toy 5; deleting toy 3 cannot touch it, but only
+        # the view reveals that (paper's C11 < B11 cell).
+        item = make_input(
+            toystore_db,
+            "DELETE FROM toys WHERE toy_id = ?", [3],
+            "SELECT toy_id FROM toys WHERE toy_name = ?", ["toy5"],
+        )
+        assert statement.decide(item) is I
+        assert view.decide(item) is DNI
+
+    def test_view_max_bound_example(self, strategies, toystore_db):
+        """The paper's Section 4.4 MAX(qty) insertion example."""
+        _, _, statement, view = strategies
+        item = make_input(
+            toystore_db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "toyb", 10],
+            "SELECT MAX(qty) FROM toys", [],
+        )
+        # Max is 16 (toy 8); inserting qty 10 cannot change it.
+        assert statement.decide(item) is I
+        assert view.decide(item) is DNI
+
+    def test_view_max_bound_breached(self, strategies, toystore_db):
+        _, _, _, view = strategies
+        item = make_input(
+            toystore_db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "toyb", 1000],
+            "SELECT MAX(qty) FROM toys", [],
+        )
+        assert view.decide(item) is I
+
+    def test_view_top_k_boundary(self, strategies, toystore_db):
+        _, _, statement, view = strategies
+        item = make_input(
+            toystore_db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "toyb", 1],
+            "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT ?", [3],
+        )
+        # Top-3 quantities are 16, 14, 12; qty 1 is strictly beyond.
+        assert statement.decide(item) is I
+        assert view.decide(item) is DNI
+
+
+class TestRandomizedSoundnessAndContainment:
+    @settings(
+        max_examples=120,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        quantities=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=6, max_size=6
+        ),
+        update_case=st.sampled_from(["delete", "insert", "modify"]),
+        u_key=st.integers(min_value=1, max_value=9),
+        q_case=st.sampled_from(["bykey", "byname", "range", "max", "topk"]),
+        q_param=st.integers(min_value=0, max_value=30),
+    )
+    def test_correct_and_monotone(
+        self, toystore_schema, quantities, update_case, u_key, q_case, q_param
+    ):
+        db = Database(toystore_schema)
+        db.load(
+            "toys",
+            [(i, f"toy{i}", quantities[i % 6]) for i in range(1, 7)],
+        )
+        if update_case == "delete":
+            update_sql, u_params = "DELETE FROM toys WHERE toy_id = ?", [u_key]
+        elif update_case == "insert":
+            update_sql = (
+                "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"
+            )
+            u_params = [100 + u_key, f"toy{u_key}", q_param]
+        else:
+            update_sql = "UPDATE toys SET qty = ? WHERE toy_id = ?"
+            u_params = [q_param, u_key]
+        query_sql, q_params = {
+            "bykey": ("SELECT qty FROM toys WHERE toy_id = ?", [u_key % 6 + 1]),
+            "byname": (
+                "SELECT toy_id FROM toys WHERE toy_name = ?",
+                [f"toy{q_param % 8}"],
+            ),
+            "range": ("SELECT toy_id FROM toys WHERE qty > ?", [q_param]),
+            "max": ("SELECT MAX(qty) FROM toys", []),
+            "topk": (
+                "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 2",
+                [],
+            ),
+        }[q_case]
+
+        item = make_input(db, update_sql, u_params, query_sql, q_params)
+        after = db.clone()
+        after.apply(item.update_statement)
+        changed = not item.view.equivalent(after.execute(item.query_statement))
+
+        decisions = [
+            strategy(toystore_schema).decide(item)
+            for strategy in (
+                BlindStrategy,
+                TemplateInspectionStrategy,
+                StatementInspectionStrategy,
+                ViewInspectionStrategy,
+            )
+        ]
+
+        # Correctness: a changed view is invalidated by every strategy.
+        if changed:
+            assert all(d is I for d in decisions), (update_case, q_case)
+
+        # Figure 4 containment: once a weaker strategy says DNI, every
+        # stronger one must also say DNI.
+        seen_dni = False
+        for decision in decisions:
+            if seen_dni:
+                assert decision is DNI
+            seen_dni = seen_dni or decision is DNI

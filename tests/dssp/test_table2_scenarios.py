@@ -1,0 +1,90 @@
+"""End-to-end reproduction of the paper's Table 2.
+
+Table 2 lists, for update U1(toy_id=5) of the simple-toystore application,
+which cached results each information regime invalidates:
+
+=================  ==========================================
+Accessible         Invalidation
+=================  ==========================================
+nothing (blind)    all of Q1, Q2, Q3
+templates          all Q1, all Q2
++ parameters       all Q1, Q2 if toy_id=5
++ query results    Q1 if toy_id=5 (in result), Q2 if toy_id=5
+=================  ==========================================
+"""
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel
+
+
+def surviving(node):
+    return sorted(
+        (e.template_name or "<blind>", e.key)
+        for e in node.cache.entries_for_app("toystore")
+    )
+
+
+def run_update(node, home, params):
+    bound = home.registry.update("U1").bind(params)
+    level = home.policy.update_level("U1")
+    return node.update(home.codec.seal_update(bound, level))
+
+
+class TestTable2:
+    """Cache seeded with Q1('toy5'), Q2(5), Q2(7), Q3(1); then U1(5)."""
+
+    def test_blind_regime_invalidates_everything(self, seeded):
+        node, home = seeded(ExposureLevel.BLIND)
+        outcome = run_update(node, home, [5])
+        assert outcome.invalidated == 4
+        assert len(node.cache) == 0
+
+    def test_template_regime_spares_q3(self, seeded):
+        node, home = seeded(ExposureLevel.TEMPLATE)
+        outcome = run_update(node, home, [5])
+        assert outcome.invalidated == 3
+        names = [name for name, _ in surviving(node)]
+        assert names == ["Q3"]
+
+    def test_stmt_regime_spares_q2_other_key(self, seeded):
+        node, home = seeded(ExposureLevel.STMT)
+        outcome = run_update(node, home, [5])
+        assert outcome.invalidated == 2
+        names = sorted(name for name, _ in surviving(node))
+        assert names == ["Q2", "Q3"]  # Q2(7) survives, Q2(5) and Q1 gone
+
+    def test_view_regime_inspects_q1_result(self, seeded, simple_toystore):
+        # Q1('toy5') returns toy_id 5, so view inspection must invalidate it
+        # for U1(5) — but for U1(3) it can prove Q1('toy5') unaffected.
+        node, home = seeded(ExposureLevel.VIEW)
+        outcome = run_update(node, home, [3])
+        # U1(3): Q1('toy5') survives (result = {5}), Q2(5)/Q2(7) survive
+        # (key mismatch), Q3 survives (ignorable).
+        assert outcome.invalidated == 0
+        assert len(node.cache) == 4
+
+    def test_view_regime_with_matching_result(self, seeded):
+        node, home = seeded(ExposureLevel.VIEW)
+        outcome = run_update(node, home, [5])
+        assert outcome.invalidated == 2  # Q1('toy5') and Q2(5)
+        names = sorted(name for name, _ in surviving(node))
+        assert names == ["Q2", "Q3"]
+
+    def test_monotone_gradient_across_regimes(self, seeded):
+        """Fewer invalidations as more information becomes visible."""
+        counts = {}
+        for level in (
+            ExposureLevel.BLIND,
+            ExposureLevel.TEMPLATE,
+            ExposureLevel.STMT,
+            ExposureLevel.VIEW,
+        ):
+            node, home = seeded(level)
+            counts[level] = run_update(node, home, [5]).invalidated
+        assert (
+            counts[ExposureLevel.BLIND]
+            >= counts[ExposureLevel.TEMPLATE]
+            >= counts[ExposureLevel.STMT]
+            >= counts[ExposureLevel.VIEW]
+        )

@@ -1,0 +1,242 @@
+"""Unit tests for the view-inspection refinements."""
+
+import pytest
+
+from repro.dssp.view_checks import view_allows_skip
+from repro.sql.parser import parse
+from repro.storage import Database
+from repro.templates.binding import bind
+
+
+@pytest.fixture
+def db(toystore_db):
+    return toystore_db
+
+
+def skip(schema, db, update_sql, u_params, query_sql, q_params):
+    update = bind(parse(update_sql), u_params)
+    query = bind(parse(query_sql), q_params)
+    view = db.execute(query)
+    return view_allows_skip(schema, update, query, view)
+
+
+class TestDeletionChecks:
+    def test_skip_when_deleted_key_absent(self, toystore_schema, db):
+        assert skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE toy_id = ?", [3],
+            "SELECT toy_id FROM toys WHERE toy_name = ?", ["toy5"],
+        )
+
+    def test_no_skip_when_deleted_key_present(self, toystore_schema, db):
+        assert not skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE toy_id = ?", [5],
+            "SELECT toy_id FROM toys WHERE toy_name = ?", ["toy5"],
+        )
+
+    def test_no_skip_when_predicate_columns_not_preserved(
+        self, toystore_schema, db
+    ):
+        # Delete selects on toy_id; view preserves only qty.
+        assert not skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE toy_id = ?", [3],
+            "SELECT qty FROM toys WHERE toy_name = ?", ["toy5"],
+        )
+
+    def test_range_deletion_against_view(self, toystore_schema, db):
+        # View shows toys with qty > 12 (rows 14, 16); deleting qty < 5
+        # rows cannot touch it.
+        assert skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE qty < ?", [5],
+            "SELECT qty, toy_id FROM toys WHERE qty > ?", [12],
+        )
+        assert not skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE qty < ?", [15],
+            "SELECT qty, toy_id FROM toys WHERE qty > ?", [12],
+        )
+
+    def test_deletion_below_top_k_cutoff_skips(self, toystore_schema, db):
+        # Top-2 by qty are toys 8 (16) and 7 (14); deleting toy 1 (qty 2)
+        # leaves the prefix intact, and its key is absent from the view.
+        assert skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE toy_id = ?", [1],
+            "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 2", [],
+        )
+
+    def test_deletion_inside_top_k_invalidates(self, toystore_schema, db):
+        assert not skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE toy_id = ?", [8],
+            "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 2", [],
+        )
+
+    def test_aggregated_view_never_skips_deletion(self, toystore_schema, db):
+        assert not skip(
+            toystore_schema, db,
+            "DELETE FROM toys WHERE toy_id = ?", [3],
+            "SELECT COUNT(*) FROM toys", [],
+        )
+
+    def test_join_view_uses_owning_binding_columns(self, toystore_schema, db):
+        # View joins customers/credit_card; deleting an absent customer id
+        # (preserved via cust_id) can be ruled out.
+        assert skip(
+            toystore_schema, db,
+            "DELETE FROM customers WHERE cust_id = ?", [3],
+            "SELECT cust_id, number FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?", ["15213"],
+        )
+
+
+class TestModificationChecks:
+    def test_absent_row_with_falsified_predicate_skips(
+        self, toystore_schema, db
+    ):
+        """The paper's Section 4.4 modification example."""
+        assert skip(
+            toystore_schema, db,
+            "UPDATE toys SET qty = ? WHERE toy_id = ?", [10, 5],
+            "SELECT toy_id FROM toys WHERE qty > ?", [100],
+        )
+
+    def test_absent_row_with_satisfying_set_value_invalidates(
+        self, toystore_schema, db
+    ):
+        assert not skip(
+            toystore_schema, db,
+            "UPDATE toys SET qty = ? WHERE toy_id = ?", [500, 5],
+            "SELECT toy_id FROM toys WHERE qty > ?", [100],
+        )
+
+    def test_present_row_invalidates(self, toystore_schema, db):
+        # toy 5 (qty 10) is in the view for qty > 5.
+        assert not skip(
+            toystore_schema, db,
+            "UPDATE toys SET qty = ? WHERE toy_id = ?", [3, 5],
+            "SELECT toy_id FROM toys WHERE qty > ?", [5],
+        )
+
+    def test_key_columns_not_preserved_conservative(self, toystore_schema, db):
+        assert not skip(
+            toystore_schema, db,
+            "UPDATE toys SET qty = ? WHERE toy_id = ?", [10, 5],
+            "SELECT toy_name FROM toys WHERE qty > ?", [100],
+        )
+
+
+class TestInsertionChecks:
+    def test_max_bound_skips(self, toystore_schema, db):
+        assert skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 10],
+            "SELECT MAX(qty) FROM toys", [],
+        )
+
+    def test_max_bound_equal_value_skips(self, toystore_schema, db):
+        # Equal to the max: MAX is unchanged.
+        assert skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 16],
+            "SELECT MAX(qty) FROM toys", [],
+        )
+
+    def test_max_bound_exceeded_invalidates(self, toystore_schema, db):
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 17],
+            "SELECT MAX(qty) FROM toys", [],
+        )
+
+    def test_min_bound(self, toystore_schema, db):
+        assert skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 5],
+            "SELECT MIN(qty) FROM toys", [],
+        )
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 1],
+            "SELECT MIN(qty) FROM toys", [],
+        )
+
+    def test_null_insert_value_skips_min_max(self, toystore_schema, db):
+        # NULL is ignored by MIN/MAX.
+        assert skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, NULL)",
+            [99, "x"],
+            "SELECT MAX(qty) FROM toys", [],
+        )
+
+    def test_sum_never_skips(self, toystore_schema, db):
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 1],
+            "SELECT SUM(qty) FROM toys", [],
+        )
+
+    def test_top_k_boundary_skips(self, toystore_schema, db):
+        # Full top-3 by qty desc: 16, 14, 12.  qty 11 is strictly beyond.
+        assert skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 11],
+            "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 3", [],
+        )
+
+    def test_top_k_boundary_tie_invalidates(self, toystore_schema, db):
+        # Equal to the boundary (12): tie handling is unspecified, so be
+        # conservative.
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 12],
+            "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 3", [],
+        )
+
+    def test_unfilled_top_k_invalidates(self, toystore_schema, db):
+        # Only 8 rows exist; LIMIT 20 view is not full, a new row enters.
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 1],
+            "SELECT toy_id, qty FROM toys ORDER BY qty DESC LIMIT 20", [],
+        )
+
+    def test_ascending_top_k(self, toystore_schema, db):
+        # Bottom-3 ascending: 2, 4, 6.  qty 7 is beyond the boundary.
+        assert skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 7],
+            "SELECT toy_id, qty FROM toys ORDER BY qty LIMIT 3", [],
+        )
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            [99, "x", 5],
+            "SELECT toy_id, qty FROM toys ORDER BY qty LIMIT 3", [],
+        )
+
+    def test_insert_into_other_table_not_handled_here(
+        self, toystore_schema, db
+    ):
+        # view_allows_skip only refines same-table single-table queries;
+        # cross-table safety comes from the earlier statement check.
+        assert not skip(
+            toystore_schema, db,
+            "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)",
+            [99, "zed"],
+            "SELECT MAX(qty) FROM toys", [],
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for the DES client driver internals."""
+
+import random
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+from repro.simulation import SimulationParams, Simulator, simulate_users
+from repro.simulation.client import _ClientDriver
+from repro.workloads import simple_toystore_spec
+
+
+def make_driver(params=None):
+    spec = simple_toystore_spec()
+    instance = spec.instantiate(scale=0.3, seed=1)
+    policy = ExposurePolicy.uniform(spec.registry, ExposureLevel.VIEW)
+    home = HomeServer(
+        "toystore", instance.database, spec.registry, policy, Keyring("toystore")
+    )
+    node = DsspNode()
+    node.register_application(home)
+    sim = Simulator()
+    driver = _ClientDriver(
+        node, home, params or SimulationParams(), sim, random.Random(0)
+    )
+    return driver, instance.sampler
+
+
+class TestServiceTimes:
+    def test_deterministic_mode(self):
+        driver, _ = make_driver(SimulationParams(stochastic_service=False))
+        assert driver.service_time(0.01) == 0.01
+        assert driver.service_time(0.0) == 0.0
+
+    def test_stochastic_mode_varies(self):
+        driver, _ = make_driver(SimulationParams(stochastic_service=True))
+        draws = {driver.service_time(0.01) for _ in range(10)}
+        assert len(draws) > 1
+        assert all(d >= 0 for d in draws)
+
+    def test_stochastic_mean_roughly_right(self):
+        driver, _ = make_driver(SimulationParams(stochastic_service=True))
+        draws = [driver.service_time(0.01) for _ in range(3000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.01, rel=0.15)
+
+
+class TestWarmup:
+    def test_warmup_excludes_early_pages(self):
+        spec = simple_toystore_spec()
+        instance = spec.instantiate(scale=0.3, seed=1)
+        policy = ExposurePolicy.uniform(spec.registry, ExposureLevel.VIEW)
+        home = HomeServer(
+            "toystore", instance.database, spec.registry, policy, Keyring("toystore")
+        )
+        node = DsspNode()
+        node.register_application(home)
+        cold = simulate_users(
+            node,
+            home,
+            instance.sampler,
+            users=4,
+            params=SimulationParams(duration_s=40.0, warmup_s=0.0),
+            seed=2,
+        )
+        node2 = DsspNode()
+        node2.register_application(home)
+        warm = simulate_users(
+            node2,
+            home,
+            instance.sampler,
+            users=4,
+            params=SimulationParams(duration_s=40.0, warmup_s=20.0),
+            seed=2,
+        )
+        assert warm.latency.count < cold.latency.count
+        assert warm.pages_completed == pytest.approx(
+            cold.pages_completed, rel=0.2
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        spec = simple_toystore_spec()
+        params = SimulationParams(duration_s=30.0)
+        results = []
+        for _ in range(2):
+            instance = spec.instantiate(scale=0.3, seed=1)
+            policy = ExposurePolicy.uniform(spec.registry, ExposureLevel.VIEW)
+            home = HomeServer(
+                "toystore",
+                instance.database,
+                spec.registry,
+                policy,
+                Keyring("toystore"),
+            )
+            node = DsspNode()
+            node.register_application(home)
+            report = simulate_users(
+                node, home, instance.sampler, users=5, params=params, seed=3
+            )
+            results.append(
+                (report.pages_completed, tuple(report.latency.samples))
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,78 @@
+"""Unit tests for latency metrics and network links."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.metrics import LatencyStats, percentile
+from repro.simulation.network import Link, client_link, wan_link
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.9) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([5.0], 0.9) == 5.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 1.0], 0.75) == pytest.approx(0.75)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_within_range_property(self, samples):
+        p90 = percentile(samples, 0.9)
+        assert min(samples) <= p90 <= max(samples)
+
+
+class TestLatencyStats:
+    def test_mean(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.record(value)
+        assert stats.mean == 2.0
+        assert stats.count == 3
+
+    def test_sla_check(self):
+        stats = LatencyStats()
+        for value in [0.1] * 9 + [5.0]:
+            stats.record(value)
+        assert stats.meets_sla(2.0, 0.90)
+        assert not stats.meets_sla(2.0, 0.99)
+
+    def test_empty_meets_any_sla(self):
+        assert LatencyStats().meets_sla(0.001, 0.9)
+
+
+class TestLinks:
+    def test_latency_only(self):
+        link = Link(latency_s=0.1, bandwidth_bytes_per_s=1e6)
+        assert link.one_way(0) == pytest.approx(0.1)
+
+    def test_bandwidth_term(self):
+        link = Link(latency_s=0.0, bandwidth_bytes_per_s=1000)
+        assert link.one_way(500) == pytest.approx(0.5)
+
+    def test_round_trip(self):
+        link = Link(latency_s=0.1, bandwidth_bytes_per_s=1000)
+        assert link.round_trip(100, 200) == pytest.approx(0.2 + 0.3)
+
+    def test_paper_link_parameters(self):
+        assert client_link().latency_s == pytest.approx(0.005)
+        assert client_link().bandwidth_bytes_per_s == pytest.approx(20e6 / 8)
+        assert wan_link().latency_s == pytest.approx(0.100)
+        assert wan_link().bandwidth_bytes_per_s == pytest.approx(2e6 / 8)
+
+    def test_wan_much_slower_than_client_link(self):
+        assert wan_link().one_way(4000) > 10 * client_link().one_way(4000)

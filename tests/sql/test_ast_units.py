@@ -1,0 +1,113 @@
+"""Direct unit tests for AST node helpers and error types."""
+
+import pytest
+
+from repro.errors import ParseError, TokenizeError
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+    Select,
+    TableRef,
+)
+from repro.sql.parser import parse
+
+
+class TestComparisonOp:
+    @pytest.mark.parametrize(
+        "op,flipped",
+        [
+            (ComparisonOp.LT, ComparisonOp.GT),
+            (ComparisonOp.LE, ComparisonOp.GE),
+            (ComparisonOp.GT, ComparisonOp.LT),
+            (ComparisonOp.GE, ComparisonOp.LE),
+            (ComparisonOp.EQ, ComparisonOp.EQ),
+        ],
+    )
+    def test_flip(self, op, flipped):
+        assert op.flip() is flipped
+        assert op.flip().flip() is op
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LT, 2, 1, False),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, "b", "a", True),
+            (ComparisonOp.GE, "a", "a", True),
+            (ComparisonOp.EQ, 5, 5, True),
+            (ComparisonOp.EQ, 5, 6, False),
+        ],
+    )
+    def test_holds(self, op, left, right, expected):
+        assert op.holds(left, right) is expected
+
+    @pytest.mark.parametrize("op", list(ComparisonOp))
+    def test_null_never_holds(self, op):
+        assert not op.holds(None, 5)
+        assert not op.holds(5, None)
+        assert not op.holds(None, None)
+
+    def test_flip_preserves_semantics(self):
+        for op in ComparisonOp:
+            for left, right in [(1, 2), (2, 1), (3, 3)]:
+                assert op.holds(left, right) == op.flip().holds(right, left)
+
+
+class TestNodeHelpers:
+    def test_column_ref_qualified(self):
+        assert ColumnRef("qty").qualified() == "qty"
+        assert ColumnRef("qty", table="toys").qualified() == "toys.qty"
+
+    def test_table_ref_binding(self):
+        assert TableRef("toys").binding == "toys"
+        assert TableRef("toys", alias="t1").binding == "t1"
+
+    def test_comparison_is_join(self):
+        join = Comparison(ColumnRef("a"), ComparisonOp.EQ, ColumnRef("b"))
+        filter_ = Comparison(ColumnRef("a"), ComparisonOp.EQ, Literal(1))
+        assert join.is_join()
+        assert not filter_.is_join()
+        assert len(join.column_refs()) == 2
+        assert len(filter_.column_refs()) == 1
+
+    def test_select_join_conditions(self):
+        select = parse(
+            "SELECT a FROM t, s WHERE t.x = s.y AND t.z > 3 AND t.w < s.v"
+        )
+        assert isinstance(select, Select)
+        joins = select.join_conditions()
+        assert len(joins) == 2
+        assert not select.only_equality_joins()
+
+    def test_select_helpers(self):
+        plain = parse("SELECT a FROM t WHERE a = 1")
+        assert not plain.has_aggregate()
+        assert not plain.has_top_k()
+        topk = parse("SELECT a FROM t LIMIT 5")
+        assert topk.has_top_k()
+        agg = parse("SELECT COUNT(*) FROM t")
+        assert agg.has_aggregate()
+
+
+class TestErrorTypes:
+    def test_tokenize_error_position(self):
+        error = TokenizeError("bad", 7)
+        assert error.position == 7
+        assert "offset 7" in str(error)
+
+    def test_parse_error_with_position(self):
+        error = ParseError("oops", 3)
+        assert "offset 3" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = ParseError("oops")
+        assert "offset" not in str(error)
+
+    def test_hierarchy(self):
+        from repro.errors import ReproError, SqlError
+
+        assert issubclass(TokenizeError, SqlError)
+        assert issubclass(SqlError, ReproError)

@@ -1,0 +1,71 @@
+"""Unit tests for the SQL formatter (canonical rendering)."""
+
+import pytest
+
+from repro.sql.formatter import to_sql
+from repro.sql.parser import parse
+
+
+@pytest.mark.parametrize(
+    "sql,canonical",
+    [
+        ("select a from t", "SELECT a FROM t"),
+        ("SELECT  a , b  FROM  t", "SELECT a, b FROM t"),
+        ("SELECT * FROM t", "SELECT * FROM t"),
+        (
+            "select t1.a from toys as t1 where t1.x = 5",
+            "SELECT t1.a FROM toys AS t1 WHERE t1.x = 5",
+        ),
+        (
+            "SELECT a FROM t WHERE x = ? AND y < 3",
+            "SELECT a FROM t WHERE x = ? AND y < 3",
+        ),
+        ("SELECT a FROM t ORDER BY a DESC", "SELECT a FROM t ORDER BY a DESC"),
+        ("SELECT a FROM t ORDER BY a ASC", "SELECT a FROM t ORDER BY a"),
+        ("SELECT a FROM t LIMIT 5", "SELECT a FROM t LIMIT 5"),
+        ("SELECT a FROM t WHERE x=? LIMIT ?", "SELECT a FROM t WHERE x = ? LIMIT ?"),
+        ("SELECT MAX(qty) FROM toys", "SELECT MAX(qty) FROM toys"),
+        ("SELECT COUNT(*) FROM t", "SELECT COUNT(*) FROM t"),
+        (
+            "SELECT COUNT(DISTINCT a) FROM t",
+            "SELECT COUNT(DISTINCT a) FROM t",
+        ),
+        (
+            "SELECT a, SUM(b) FROM t GROUP BY a",
+            "SELECT a, SUM(b) FROM t GROUP BY a",
+        ),
+        (
+            "insert into t (a, b) values (1, 'x')",
+            "INSERT INTO t (a, b) VALUES (1, 'x')",
+        ),
+        ("DELETE FROM t WHERE a = ?", "DELETE FROM t WHERE a = ?"),
+        ("DELETE FROM t", "DELETE FROM t"),
+        (
+            "update t set a = 1, b = ? where id = ?",
+            "UPDATE t SET a = 1, b = ? WHERE id = ?",
+        ),
+        ("SELECT a FROM t WHERE x = NULL", "SELECT a FROM t WHERE x = NULL"),
+        ("SELECT a FROM t WHERE x = -5", "SELECT a FROM t WHERE x = -5"),
+        ("SELECT a FROM t WHERE x = 1.5", "SELECT a FROM t WHERE x = 1.5"),
+    ],
+)
+def test_canonical_rendering(sql, canonical):
+    assert to_sql(parse(sql)) == canonical
+
+
+def test_string_escaping_round_trips():
+    statement = parse("SELECT a FROM t WHERE x = 'it''s'")
+    rendered = to_sql(statement)
+    assert rendered == "SELECT a FROM t WHERE x = 'it''s'"
+    assert parse(rendered) == statement
+
+
+def test_formatter_is_pure_function_of_ast():
+    a = parse("SELECT a FROM t WHERE x = 1")
+    b = parse("select  A   from T   where  X=1")
+    assert to_sql(a) == to_sql(b)
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(TypeError):
+        to_sql("not a statement")

@@ -1,0 +1,72 @@
+"""Fuzzing the SQL front end: arbitrary input must fail *controlled*.
+
+The lexer/parser may reject input, but only ever with the library's own
+exception types — no IndexError, RecursionError, or similar escapes — and
+accepted input must round-trip.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SqlError
+from repro.sql.formatter import to_sql
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+_SQLISH_ALPHABET = (
+    string.ascii_letters + string.digits + " '\"()=<>!?.,*_-;:\n\t"
+)
+
+
+class TestLexerFuzz:
+    @settings(max_examples=400)
+    @given(st.text(max_size=80))
+    def test_arbitrary_unicode_never_crashes(self, text):
+        try:
+            tokens = tokenize(text)
+        except SqlError:
+            return
+        assert tokens[-1].type.name == "EOF"
+
+    @settings(max_examples=400)
+    @given(st.text(alphabet=_SQLISH_ALPHABET, max_size=80))
+    def test_sqlish_text_never_crashes(self, text):
+        try:
+            tokenize(text)
+        except SqlError:
+            pass
+
+
+class TestParserFuzz:
+    @settings(max_examples=400)
+    @given(st.text(alphabet=_SQLISH_ALPHABET, max_size=100))
+    def test_arbitrary_text_parses_or_raises_sql_error(self, text):
+        try:
+            statement = parse(text)
+        except SqlError:
+            return
+        # Anything accepted must round-trip through the formatter.
+        assert parse(to_sql(statement)) == statement
+
+    @settings(max_examples=200)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "LIMIT",
+                    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+                    "GROUP", "COUNT", "MAX", "a", "b", "t", "5", "'x'", "?",
+                    "(", ")", ",", "*", "=", "<", ".",
+                ]
+            ),
+            max_size=25,
+        )
+    )
+    def test_keyword_soup_never_crashes(self, words):
+        try:
+            statement = parse(" ".join(words))
+        except SqlError:
+            return
+        assert parse(to_sql(statement)) == statement

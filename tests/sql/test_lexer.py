@@ -1,0 +1,144 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("SELECT select SeLeCt") == ["select", "select", "select"]
+        assert all(
+            t.type is TokenType.KEYWORD for t in tokenize("SELECT select")[:-1]
+        )
+
+    def test_identifiers_are_lowercased(self):
+        tokens = tokenize("Toys TOY_ID")
+        assert tokens[0] == Token(TokenType.IDENTIFIER, "toys", 0)
+        assert tokens[1].value == "toy_id"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("a_1 _x x2") == ["a_1", "_x", "x2"]
+
+    def test_parameter_marker(self):
+        tokens = tokenize("?")
+        assert tokens[0].type is TokenType.PARAMETER
+
+    def test_punctuation(self):
+        assert values("( ) , . *") == ["(", ")", ",", ".", "*"]
+
+    def test_positions_are_byte_offsets(self):
+        tokens = tokenize("a  bc")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "="])
+    def test_all_five_operators(self, op):
+        tokens = tokenize(f"a {op} 5")
+        assert tokens[1] == Token(TokenType.OPERATOR, op, 2)
+
+    def test_le_and_ge_are_single_tokens(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+        assert values("a>=b") == ["a", ">=", "b"]
+
+    @pytest.mark.parametrize("op", ["<>", "!="])
+    def test_inequality_operators_rejected(self, op):
+        with pytest.raises(TokenizeError, match="outside the paper's dialect"):
+            tokenize(f"a {op} b")
+
+    def test_lone_bang_rejected(self):
+        with pytest.raises(TokenizeError):
+            tokenize("a ! b")
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.value == "42"
+
+    def test_float(self):
+        token = tokenize("3.14")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == "3.14"
+
+    def test_negative_integer(self):
+        token = tokenize("-7")[0]
+        assert (token.type, token.value) == (TokenType.INTEGER, "-7")
+
+    def test_negative_float(self):
+        token = tokenize("-7.5")[0]
+        assert (token.type, token.value) == (TokenType.FLOAT, "-7.5")
+
+    def test_trailing_dot_is_punct_not_float(self):
+        # "5." lexes as integer then dot (column access style).
+        assert kinds("5.")[:2] == [TokenType.INTEGER, TokenType.PUNCT]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert (token.type, token.value) == (TokenType.STRING, "hello")
+
+    def test_string_preserves_case_and_spaces(self):
+        assert tokenize("'Hello World'")[0].value == "Hello World"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(TokenizeError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_string_keeps_keywords_verbatim(self):
+        assert tokenize("'SELECT'")[0].value == "SELECT"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [";", "#", "@", "$", "[", "]"])
+    def test_foreign_characters_rejected(self, bad):
+        with pytest.raises(TokenizeError):
+            tokenize(f"a {bad} b")
+
+    def test_error_reports_position(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("abc ;")
+        assert excinfo.value.position == 4
+
+
+class TestFullStatements:
+    def test_select_statement_token_stream(self):
+        sql = "SELECT toy_id FROM toys WHERE toy_name = ?"
+        assert values(sql) == [
+            "select",
+            "toy_id",
+            "from",
+            "toys",
+            "where",
+            "toy_name",
+            "=",
+            "?",
+        ]
+
+    def test_aggregate_keywords(self):
+        tokens = tokenize("MIN MAX COUNT SUM AVG")[:-1]
+        assert all(t.type is TokenType.KEYWORD for t in tokens)

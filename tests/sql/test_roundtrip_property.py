@@ -1,0 +1,233 @@
+"""Property-based tests: parse(to_sql(ast)) == ast for generated statements."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import (
+    Aggregate,
+    AggregateFunc,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Delete,
+    Insert,
+    Literal,
+    OrderByItem,
+    Parameter,
+    Select,
+    Star,
+    TableRef,
+    Update,
+)
+from repro.sql.formatter import to_sql
+from repro.sql.lexer import KEYWORDS
+from repro.sql.parser import parse
+
+# -- strategies --------------------------------------------------------------------
+
+_ident_alphabet = string.ascii_lowercase + "_"
+
+
+def identifiers():
+    return (
+        st.text(alphabet=_ident_alphabet, min_size=1, max_size=8)
+        .filter(lambda s: s not in KEYWORDS)
+        .filter(lambda s: not s[0].isdigit())
+    )
+
+
+def scalars():
+    return st.one_of(
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.text(
+            alphabet=string.ascii_letters + string.digits + " '_",
+            max_size=12,
+        ),
+        st.none(),
+    )
+
+
+def literals():
+    return scalars().map(Literal)
+
+
+def column_refs(table=None):
+    if table is None:
+        return identifiers().map(lambda c: ColumnRef(c))
+    return identifiers().map(lambda c: ColumnRef(c, table=table))
+
+
+@st.composite
+def comparisons(draw, param_counter, qualified_tables=None):
+    """A comparison; parameters are numbered via the mutable counter."""
+    table = None
+    if qualified_tables:
+        table = draw(st.sampled_from(qualified_tables))
+    left = draw(column_refs(table))
+    op = draw(st.sampled_from(list(ComparisonOp)))
+    kind = draw(st.sampled_from(["literal", "parameter", "column"]))
+    if kind == "literal":
+        right = draw(literals())
+    elif kind == "parameter":
+        right = Parameter(param_counter[0])
+        param_counter[0] += 1
+    else:
+        other = None
+        if qualified_tables:
+            other = draw(st.sampled_from(qualified_tables))
+        right = draw(column_refs(other))
+    return Comparison(left, op, right)
+
+
+@st.composite
+def selects(draw):
+    n_tables = draw(st.integers(min_value=1, max_value=3))
+    names = draw(
+        st.lists(identifiers(), min_size=n_tables, max_size=n_tables, unique=True)
+    )
+    use_alias = draw(st.booleans())
+    if use_alias and n_tables > 1:
+        tables = tuple(TableRef(n, alias=f"t{i}") for i, n in enumerate(names))
+        bindings = [t.alias for t in tables]
+    else:
+        tables = tuple(TableRef(n) for n in names)
+        bindings = None
+
+    aggregated = draw(st.booleans())
+    counter = [0]
+    if aggregated:
+        func = draw(st.sampled_from(list(AggregateFunc)))
+        if func is AggregateFunc.COUNT and draw(st.booleans()):
+            items: tuple = (Aggregate(func, Star()),)
+        else:
+            items = (Aggregate(func, draw(column_refs()), draw(st.booleans())),)
+        group_by = tuple(
+            draw(st.lists(column_refs(), max_size=2, unique_by=lambda c: c.column))
+        )
+        if group_by:
+            items = group_by + items
+        order_by: tuple = ()
+    else:
+        use_star = draw(st.booleans())
+        if use_star:
+            items = (Star(),)
+        else:
+            items = tuple(
+                draw(
+                    st.lists(
+                        column_refs(), min_size=1, max_size=3,
+                        unique_by=lambda c: (c.table, c.column),
+                    )
+                )
+            )
+        group_by = ()
+        order_by = tuple(
+            draw(
+                st.lists(
+                    st.builds(OrderByItem, column_refs(), st.booleans()),
+                    max_size=2,
+                )
+            )
+        )
+
+    where = tuple(
+        draw(
+            st.lists(
+                comparisons(counter, qualified_tables=bindings),
+                max_size=3,
+            )
+        )
+    )
+    limit = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=100)))
+    if limit is None and draw(st.booleans()):
+        pass
+    return Select(
+        items=items,
+        tables=tables,
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+@st.composite
+def inserts(draw):
+    table = draw(identifiers())
+    n = draw(st.integers(min_value=1, max_value=5))
+    columns = tuple(
+        draw(st.lists(identifiers(), min_size=n, max_size=n, unique=True))
+    )
+    counter = [0]
+    values = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            values.append(Parameter(counter[0]))
+            counter[0] += 1
+        else:
+            values.append(draw(literals()))
+    return Insert(table=table, columns=columns, values=tuple(values))
+
+
+@st.composite
+def deletes(draw):
+    counter = [0]
+    return Delete(
+        table=draw(identifiers()),
+        where=tuple(draw(st.lists(comparisons(counter), max_size=3))),
+    )
+
+
+@st.composite
+def updates(draw):
+    table = draw(identifiers())
+    counter = [0]
+    n = draw(st.integers(min_value=1, max_value=3))
+    columns = draw(st.lists(identifiers(), min_size=n, max_size=n, unique=True))
+    assignments = []
+    for column in columns:
+        if draw(st.booleans()):
+            assignments.append((column, Parameter(counter[0])))
+            counter[0] += 1
+        else:
+            assignments.append((column, draw(literals())))
+    where = tuple(draw(st.lists(comparisons(counter), max_size=2)))
+    return Update(table=table, assignments=tuple(assignments), where=where)
+
+
+# -- properties ---------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(selects())
+def test_select_round_trip(select):
+    assert parse(to_sql(select)) == select
+
+
+@settings(max_examples=100)
+@given(inserts())
+def test_insert_round_trip(insert):
+    assert parse(to_sql(insert)) == insert
+
+
+@settings(max_examples=100)
+@given(deletes())
+def test_delete_round_trip(delete):
+    assert parse(to_sql(delete)) == delete
+
+
+@settings(max_examples=100)
+@given(updates())
+def test_update_round_trip(update):
+    assert parse(to_sql(update)) == update
+
+
+@settings(max_examples=100)
+@given(selects())
+def test_formatting_is_idempotent(select):
+    once = to_sql(select)
+    assert to_sql(parse(once)) == once

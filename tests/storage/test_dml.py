@@ -1,0 +1,171 @@
+"""Unit tests for DML application and integrity constraints."""
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    UnsupportedSqlError,
+)
+from repro.sql.parser import parse
+from repro.storage import Database
+
+
+@pytest.fixture
+def db(toystore_db):
+    return toystore_db
+
+
+class TestInsert:
+    def test_insert_adds_row(self, db):
+        n = db.apply(
+            parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, 'new', 1)")
+        )
+        assert n == 1
+        assert db.row_count("toys") == 9
+
+    def test_insert_bumps_version(self, db):
+        before = db.version
+        db.apply(parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, 'n', 1)"))
+        assert db.version == before + 1
+
+    def test_duplicate_primary_key_rejected(self, db):
+        with pytest.raises(PrimaryKeyViolation):
+            db.apply(
+                parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (1, 'd', 1)")
+            )
+
+    def test_null_in_key_rejected(self, db):
+        with pytest.raises(NotNullViolation):
+            db.apply(
+                parse(
+                    "INSERT INTO toys (toy_id, toy_name, qty) VALUES (NULL, 'd', 1)"
+                )
+            )
+
+    def test_null_in_nullable_column_allowed(self, db):
+        db.apply(
+            parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (99, NULL, 1)")
+        )
+        assert db.rows("toys")[-1][1] is None
+
+    def test_missing_column_rejected(self, db):
+        with pytest.raises(UnsupportedSqlError, match="fully specify"):
+            db.apply(parse("INSERT INTO toys (toy_id) VALUES (99)"))
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(UnsupportedSqlError, match="unknown"):
+            db.apply(
+                parse(
+                    "INSERT INTO toys (toy_id, toy_name, qty, ghost) "
+                    "VALUES (99, 'x', 1, 2)"
+                )
+            )
+
+    def test_foreign_key_enforced(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.apply(
+                parse(
+                    "INSERT INTO credit_card (cid, number, zip_code) "
+                    "VALUES (999, 'n', 'z')"
+                )
+            )
+
+    def test_foreign_key_satisfied(self, db):
+        db.apply(
+            parse(
+                "INSERT INTO credit_card (cid, number, zip_code) "
+                "VALUES (3, 'n', 'z')"
+            )
+        )
+        assert db.row_count("credit_card") == 3
+
+    def test_type_coercion_checked(self, db):
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            db.apply(
+                parse(
+                    "INSERT INTO toys (toy_id, toy_name, qty) VALUES ('x', 'n', 1)"
+                )
+            )
+
+
+class TestDelete:
+    def test_delete_by_key(self, db):
+        n = db.apply(parse("DELETE FROM toys WHERE toy_id = 3"))
+        assert n == 1
+        assert db.row_count("toys") == 7
+
+    def test_delete_range(self, db):
+        n = db.apply(parse("DELETE FROM toys WHERE qty > 10"))
+        assert n == 3
+
+    def test_delete_nothing_matches(self, db):
+        before = db.version
+        assert db.apply(parse("DELETE FROM toys WHERE toy_id = 999")) == 0
+        assert db.version == before  # ineffective update: no version bump
+
+    def test_delete_all(self, db):
+        assert db.apply(parse("DELETE FROM toys")) == 8
+        assert db.row_count("toys") == 0
+
+    def test_delete_restrict_on_referenced_parent(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.apply(parse("DELETE FROM customers WHERE cust_id = 1"))
+
+    def test_delete_unreferenced_parent_allowed(self, db):
+        assert db.apply(parse("DELETE FROM customers WHERE cust_id = 3")) == 1
+
+
+class TestUpdate:
+    def test_modify_non_key_attribute(self, db):
+        n = db.apply(parse("UPDATE toys SET qty = 500 WHERE toy_id = 1"))
+        assert n == 1
+        result = db.execute(parse("SELECT qty FROM toys WHERE toy_id = 1"))
+        assert result.rows == ((500,),)
+
+    def test_modify_multiple_attributes(self, db):
+        db.apply(
+            parse("UPDATE toys SET qty = 0, toy_name = 'gone' WHERE toy_id = 2")
+        )
+        result = db.execute(parse("SELECT toy_name, qty FROM toys WHERE toy_id = 2"))
+        assert result.rows == (("gone", 0),)
+
+    def test_no_op_modification_counts_zero(self, db):
+        # Setting qty to its current value changes nothing.
+        assert db.apply(parse("UPDATE toys SET qty = 2 WHERE toy_id = 1")) == 0
+
+    def test_modify_key_column_rejected(self, db):
+        with pytest.raises(UnsupportedSqlError, match="key column"):
+            db.apply(parse("UPDATE toys SET toy_id = 99 WHERE toy_id = 1"))
+
+    def test_non_key_predicate_rejected_in_strict_mode(self, db):
+        with pytest.raises(UnsupportedSqlError, match="primary key"):
+            db.apply(parse("UPDATE toys SET qty = 0 WHERE toy_name = 'toy1'"))
+
+    def test_range_predicate_rejected_in_strict_mode(self, db):
+        with pytest.raises(UnsupportedSqlError):
+            db.apply(parse("UPDATE toys SET qty = 0 WHERE toy_id > 3"))
+
+    def test_lenient_mode_allows_non_key_predicates(self, toystore_db):
+        db = toystore_db
+        db.strict_model = False
+        n = db.apply(parse("UPDATE toys SET qty = 0 WHERE qty > 10"))
+        assert n == 3
+
+    def test_null_into_key_via_set_rejected(self, db):
+        with pytest.raises(UnsupportedSqlError):
+            db.apply(parse("UPDATE toys SET toy_id = NULL WHERE toy_id = 1"))
+
+
+class TestApplyGuards:
+    def test_apply_rejects_select(self, db):
+        with pytest.raises(ExecutionError):
+            db.apply(parse("SELECT toy_id FROM toys"))
+
+    def test_unbound_parameter_rejected(self, db):
+        with pytest.raises(ExecutionError, match="unbound"):
+            db.apply(parse("DELETE FROM toys WHERE toy_id = ?"))

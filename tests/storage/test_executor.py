@@ -1,0 +1,278 @@
+"""Unit tests for the query executor."""
+
+import pytest
+
+from repro.errors import ExecutionError, SchemaError, UnknownColumnError
+from repro.sql.parser import parse
+from repro.storage import Database
+
+
+@pytest.fixture
+def db(toystore_db):
+    return toystore_db
+
+
+def rows(db, sql):
+    return db.execute(parse(sql)).rows
+
+
+class TestSelection:
+    def test_full_scan(self, db):
+        assert len(rows(db, "SELECT * FROM toys")) == 8
+
+    def test_equality_predicate(self, db):
+        assert rows(db, "SELECT toy_name FROM toys WHERE toy_id = 3") == (
+            ("toy3",),
+        )
+
+    def test_range_predicate(self, db):
+        result = rows(db, "SELECT toy_id FROM toys WHERE qty > 10")
+        assert sorted(result) == [(6,), (7,), (8,)]
+
+    def test_conjunction(self, db):
+        result = rows(db, "SELECT toy_id FROM toys WHERE qty >= 4 AND qty <= 8")
+        assert sorted(result) == [(2,), (3,), (4,)]
+
+    def test_le_ge_boundaries(self, db):
+        assert len(rows(db, "SELECT toy_id FROM toys WHERE qty <= 2")) == 1
+        assert len(rows(db, "SELECT toy_id FROM toys WHERE qty < 2")) == 0
+
+    def test_string_predicate(self, db):
+        assert rows(db, "SELECT cust_id FROM customers WHERE cust_name = 'bob'") == (
+            (2,),
+        )
+
+    def test_no_match_returns_empty(self, db):
+        assert rows(db, "SELECT toy_id FROM toys WHERE toy_id = 999") == ()
+
+    def test_constant_true_predicate(self, db):
+        assert len(rows(db, "SELECT toy_id FROM toys WHERE 1 = 1")) == 8
+
+    def test_constant_false_predicate(self, db):
+        assert rows(db, "SELECT toy_id FROM toys WHERE 1 = 2") == ()
+
+    def test_literal_on_left(self, db):
+        result = rows(db, "SELECT toy_id FROM toys WHERE 10 < qty")
+        assert sorted(result) == [(6,), (7,), (8,)]
+
+
+class TestProjection:
+    def test_column_order_follows_select_list(self, db):
+        result = db.execute(parse("SELECT qty, toy_id FROM toys WHERE toy_id = 1"))
+        assert result.columns == ("qty", "toy_id")
+        assert result.rows == ((2, 1),)
+
+    def test_duplicate_columns_allowed(self, db):
+        result = db.execute(
+            parse("SELECT toy_id, toy_id FROM toys WHERE toy_id = 1")
+        )
+        assert result.rows == ((1, 1),)
+
+    def test_multiset_semantics_preserves_duplicates(self, db):
+        # qty = i*2 is unique here, so project a constant-ish column: names
+        # repeated via join below; simplest: project qty parity by joining.
+        result = rows(db, "SELECT cust_name FROM customers")
+        assert len(result) == 3
+
+    def test_star_expands_all_columns(self, db):
+        result = db.execute(parse("SELECT * FROM customers"))
+        assert result.columns == ("cust_id", "cust_name")
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(UnknownColumnError):
+            db.execute(parse("SELECT ghost FROM toys"))
+
+
+class TestJoins:
+    def test_equality_join(self, db):
+        result = rows(
+            db,
+            "SELECT cust_name, number FROM customers, credit_card "
+            "WHERE cust_id = cid",
+        )
+        assert sorted(result) == [("alice", "4111-1111"), ("bob", "4222-2222")]
+
+    def test_join_with_filter(self, db):
+        result = rows(
+            db,
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = '15213'",
+        )
+        assert result == (("alice",),)
+
+    def test_self_join_theta(self, db):
+        result = rows(
+            db,
+            "SELECT t1.toy_id, t2.toy_id FROM toys AS t1, toys AS t2 "
+            "WHERE t1.toy_id = 1 AND t2.toy_id = 2 AND t1.qty < t2.qty",
+        )
+        assert result == ((1, 2),)
+
+    def test_cartesian_product(self, db):
+        result = rows(db, "SELECT cust_id, cid FROM customers, credit_card")
+        assert len(result) == 6  # 3 customers x 2 cards
+
+    def test_three_way_join(self, db):
+        result = rows(
+            db,
+            "SELECT toy_name, cust_name, zip_code "
+            "FROM toys, customers, credit_card "
+            "WHERE cust_id = cid AND toy_id = cid",
+        )
+        assert sorted(result) == [
+            ("toy1", "alice", "15213"),
+            ("toy2", "bob", "94301"),
+        ]
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(SchemaError, match="duplicate binding"):
+            db.execute(parse("SELECT toy_id FROM toys, toys"))
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            db.execute(
+                parse("SELECT toy_id FROM toys AS a, toys AS b WHERE a.qty = b.qty")
+            )
+
+    def test_star_with_join_qualifies_names(self, db):
+        result = db.execute(
+            parse(
+                "SELECT * FROM customers, credit_card WHERE cust_id = cid"
+            )
+        )
+        assert "customers.cust_id" in result.columns
+        assert "credit_card.cid" in result.columns
+
+
+class TestOrderByAndLimit:
+    def test_order_by_ascending(self, db):
+        result = rows(db, "SELECT toy_id FROM toys ORDER BY qty")
+        assert result[0] == (1,)
+        assert result[-1] == (8,)
+
+    def test_order_by_descending(self, db):
+        result = rows(db, "SELECT toy_id FROM toys ORDER BY qty DESC")
+        assert result[0] == (8,)
+
+    def test_order_by_multiple_keys(self, db):
+        db2 = db.clone()
+        db2.load("toys", [(100, "aaa", 2)])  # ties with toy 1 on qty
+        result = rows(
+            db2, "SELECT toy_id FROM toys ORDER BY qty, toy_id DESC LIMIT 2"
+        )
+        assert result == ((100,), (1,))
+
+    def test_limit_truncates(self, db):
+        assert len(rows(db, "SELECT toy_id FROM toys LIMIT 3")) == 3
+
+    def test_limit_zero(self, db):
+        assert rows(db, "SELECT toy_id FROM toys LIMIT 0") == ()
+
+    def test_limit_larger_than_result(self, db):
+        assert len(rows(db, "SELECT toy_id FROM toys LIMIT 100")) == 8
+
+    def test_top_k(self, db):
+        result = rows(db, "SELECT toy_id FROM toys ORDER BY qty DESC LIMIT 2")
+        assert result == ((8,), (7,))
+
+    def test_ordered_flag(self, db):
+        assert db.execute(parse("SELECT toy_id FROM toys ORDER BY qty")).ordered
+        assert not db.execute(parse("SELECT toy_id FROM toys")).ordered
+
+
+class TestAggregates:
+    def test_max(self, db):
+        assert rows(db, "SELECT MAX(qty) FROM toys") == ((16,),)
+
+    def test_min(self, db):
+        assert rows(db, "SELECT MIN(qty) FROM toys") == ((2,),)
+
+    def test_count_star(self, db):
+        assert rows(db, "SELECT COUNT(*) FROM toys") == ((8,),)
+
+    def test_sum(self, db):
+        assert rows(db, "SELECT SUM(qty) FROM toys") == ((72,),)
+
+    def test_avg(self, db):
+        assert rows(db, "SELECT AVG(qty) FROM toys") == ((9.0,),)
+
+    def test_aggregate_with_predicate(self, db):
+        assert rows(db, "SELECT COUNT(*) FROM toys WHERE qty > 10") == ((3,),)
+
+    def test_aggregate_over_empty_is_null(self, db):
+        assert rows(db, "SELECT MAX(qty) FROM toys WHERE qty > 999") == ((None,),)
+
+    def test_count_over_empty_is_zero(self, db):
+        assert rows(db, "SELECT COUNT(qty) FROM toys WHERE qty > 999") == ((0,),)
+
+    def test_group_by(self, db):
+        db2 = db.clone()
+        db2.load("toys", [(9, "toy1", 100)])  # duplicate name
+        result = rows(
+            db2, "SELECT toy_name, COUNT(*) FROM toys GROUP BY toy_name"
+        )
+        counts = dict(result)
+        assert counts["toy1"] == 2
+        assert counts["toy2"] == 1
+
+    def test_group_by_empty_input_gives_no_groups(self, db):
+        result = rows(
+            db, "SELECT toy_name, COUNT(*) FROM toys WHERE qty > 999 GROUP BY toy_name"
+        )
+        assert result == ()
+
+    def test_count_distinct(self, db):
+        db2 = db.clone()
+        db2.load("toys", [(9, "toy1", 100)])
+        assert rows(db2, "SELECT COUNT(DISTINCT toy_name) FROM toys") == ((8,),)
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(ExecutionError, match="GROUP BY"):
+            db.execute(parse("SELECT toy_name, MAX(qty) FROM toys"))
+
+    def test_group_by_with_order_by(self, db):
+        db2 = db.clone()
+        db2.load("toys", [(9, "toy1", 100)])
+        result = rows(
+            db2,
+            "SELECT toy_name, COUNT(*) FROM toys "
+            "GROUP BY toy_name ORDER BY toy_name DESC LIMIT 1",
+        )
+        assert result == (("toy8", 1),)
+
+    def test_nulls_ignored_by_aggregates(self, toystore_schema):
+        db = Database(toystore_schema)
+        db.load("toys", [(1, "a", 5), (2, "b", None), (3, "c", 7)])
+        assert rows(db, "SELECT SUM(qty) FROM toys") == ((12,),)
+        assert rows(db, "SELECT COUNT(qty) FROM toys") == ((2,),)
+        assert rows(db, "SELECT COUNT(*) FROM toys") == ((3,),)
+        assert rows(db, "SELECT AVG(qty) FROM toys") == ((6.0,),)
+
+
+class TestNullSemantics:
+    def test_null_never_matches_comparison(self, toystore_schema):
+        db = Database(toystore_schema)
+        db.load("toys", [(1, "a", None), (2, "b", 5)])
+        assert rows(db, "SELECT toy_id FROM toys WHERE qty = 5") == ((2,),)
+        assert rows(db, "SELECT toy_id FROM toys WHERE qty < 999") == ((2,),)
+
+    def test_null_join_key_drops_row(self, toystore_schema):
+        db = Database(toystore_schema)
+        db.load("customers", [(1, "a")])
+        db.load("credit_card", [(1, "n", "z")])
+        db.load("toys", [(1, None, 5)])
+        result = rows(
+            db,
+            "SELECT cust_id FROM customers, credit_card WHERE cust_id = cid",
+        )
+        assert result == ((1,),)
+
+
+class TestParameterSafety:
+    def test_unbound_parameter_rejected(self, db):
+        with pytest.raises(ExecutionError, match="[Uu]nbound"):
+            db.execute(parse("SELECT toy_id FROM toys WHERE qty = ?"))
+
+    def test_unbound_limit_parameter_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute(parse("SELECT toy_id FROM toys LIMIT ?"))

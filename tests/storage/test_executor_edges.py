@@ -1,0 +1,139 @@
+"""Edge-case tests for the executor: join ordering, reordering, errors."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.sql.parser import parse
+from repro.storage import Database
+
+
+@pytest.fixture
+def chain_schema():
+    """Three tables joined in a chain a -> b -> c."""
+    return Schema(
+        [
+            TableSchema(
+                "a",
+                (Column("a_id", ColumnType.INTEGER), Column("a_v", ColumnType.INTEGER)),
+                primary_key=("a_id",),
+            ),
+            TableSchema(
+                "b",
+                (
+                    Column("b_id", ColumnType.INTEGER),
+                    Column("b_a", ColumnType.INTEGER),
+                    Column("b_v", ColumnType.INTEGER),
+                ),
+                primary_key=("b_id",),
+                foreign_keys=(ForeignKey("b_a", "a", "a_id"),),
+            ),
+            TableSchema(
+                "c",
+                (
+                    Column("c_id", ColumnType.INTEGER),
+                    Column("c_b", ColumnType.INTEGER),
+                    Column("c_v", ColumnType.INTEGER),
+                ),
+                primary_key=("c_id",),
+                foreign_keys=(ForeignKey("c_b", "b", "b_id"),),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def chain_db(chain_schema):
+    db = Database(chain_schema)
+    db.load("a", [(1, 10), (2, 20)])
+    db.load("b", [(1, 1, 100), (2, 1, 200), (3, 2, 300)])
+    db.load("c", [(1, 1, 7), (2, 3, 8), (3, 3, 9)])
+    return db
+
+
+class TestJoinOrdering:
+    def test_chain_join(self, chain_db):
+        result = chain_db.execute(
+            parse(
+                "SELECT a_id, b_id, c_id FROM a, b, c "
+                "WHERE b_a = a_id AND c_b = b_id"
+            )
+        )
+        assert sorted(result.rows) == [(1, 1, 1), (2, 3, 2), (2, 3, 3)]
+
+    def test_chain_join_reversed_from_order(self, chain_db):
+        """FROM order c, b, a forces the planner to reorder joins."""
+        result = chain_db.execute(
+            parse(
+                "SELECT a_id, b_id, c_id FROM c, b, a "
+                "WHERE b_a = a_id AND c_b = b_id"
+            )
+        )
+        assert sorted(result.rows) == [(1, 1, 1), (2, 3, 2), (2, 3, 3)]
+
+    def test_disconnected_then_connected(self, chain_db):
+        """a and c have no direct join; b bridges them late."""
+        result = chain_db.execute(
+            parse(
+                "SELECT a_v, c_v FROM a, c, b "
+                "WHERE b_a = a_id AND c_b = b_id AND a_v = 20"
+            )
+        )
+        assert sorted(result.rows) == [(20, 8), (20, 9)]
+
+    def test_theta_join_between_tables(self, chain_db):
+        result = chain_db.execute(
+            parse("SELECT a_id, b_id FROM a, b WHERE a_v < b_v AND b_v <= 100")
+        )
+        assert sorted(result.rows) == [(1, 1), (2, 1)]
+
+    def test_join_with_projection_in_from_order(self, chain_db):
+        """Projected columns track FROM order even after join reordering."""
+        result = chain_db.execute(
+            parse("SELECT c_v, a_v FROM c, a, b WHERE b_a = a_id AND c_b = b_id")
+        )
+        assert result.columns == ("c_v", "a_v")
+        assert (7, 10) in result.rows
+
+    def test_empty_side_empties_join(self, chain_schema):
+        db = Database(chain_schema)
+        db.load("a", [(1, 10)])
+        result = db.execute(
+            parse("SELECT a_id, b_id FROM a, b WHERE b_a = a_id")
+        )
+        assert result.rows == ()
+
+
+class TestAggregateErrors:
+    def test_star_with_aggregate_rejected(self, chain_db):
+        with pytest.raises(ExecutionError):
+            chain_db.execute(parse("SELECT *, COUNT(*) FROM a"))
+
+    def test_order_by_non_output_column_in_aggregate_rejected(self, chain_db):
+        with pytest.raises(ExecutionError, match="ORDER BY"):
+            chain_db.execute(
+                parse("SELECT a_id, COUNT(*) FROM a GROUP BY a_id ORDER BY a_v")
+            )
+
+    def test_group_by_with_top_k(self, chain_db):
+        result = chain_db.execute(
+            parse(
+                "SELECT b_a, COUNT(*) FROM b GROUP BY b_a "
+                "ORDER BY b_a DESC LIMIT 1"
+            )
+        )
+        assert result.rows == ((2, 1),)
+
+    def test_aggregate_join(self, chain_db):
+        result = chain_db.execute(
+            parse("SELECT SUM(c_v) FROM b, c WHERE c_b = b_id AND b_a = 2")
+        )
+        assert result.rows == ((17,),)
+
+
+class TestGroupDeterminism:
+    def test_group_output_order_deterministic(self, chain_db):
+        a = chain_db.execute(parse("SELECT b_a, COUNT(*) FROM b GROUP BY b_a"))
+        b = chain_db.execute(parse("SELECT b_a, COUNT(*) FROM b GROUP BY b_a"))
+        assert a.rows == b.rows
+        assert a.rows == ((1, 2), (2, 1))  # sorted by group key

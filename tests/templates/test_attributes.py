@@ -1,0 +1,124 @@
+"""Unit tests for attribute-set extraction (paper Table 5)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.schema import Attribute
+from repro.sql.parser import parse
+from repro.templates.attributes import (
+    modified_attributes,
+    preserved_attributes,
+    selection_attributes,
+)
+
+
+def attrs(*pairs):
+    return frozenset(Attribute(t, c) for t, c in pairs)
+
+
+class TestSelectionAttributes:
+    def test_query_selection(self, toystore_schema):
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = ?")
+        assert selection_attributes(toystore_schema, q) == attrs(
+            ("toys", "toy_name")
+        )
+
+    def test_join_attributes_included(self, toystore_schema):
+        q = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?"
+        )
+        assert selection_attributes(toystore_schema, q) == attrs(
+            ("customers", "cust_id"),
+            ("credit_card", "cid"),
+            ("credit_card", "zip_code"),
+        )
+
+    def test_order_by_counts_as_selection(self, toystore_schema):
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = ? ORDER BY qty")
+        assert Attribute("toys", "qty") in selection_attributes(
+            toystore_schema, q
+        )
+
+    def test_alias_resolution(self, toystore_schema):
+        q = parse(
+            "SELECT t1.toy_id FROM toys AS t1, customers AS c "
+            "WHERE t1.toy_id = c.cust_id"
+        )
+        assert selection_attributes(toystore_schema, q) == attrs(
+            ("toys", "toy_id"), ("customers", "cust_id")
+        )
+
+    def test_self_join_collapses_to_base_attributes(self, toystore_schema):
+        q = parse(
+            "SELECT t1.toy_id FROM toys AS t1, toys AS t2 WHERE t1.qty = t2.qty"
+        )
+        assert selection_attributes(toystore_schema, q) == attrs(("toys", "qty"))
+
+    def test_insert_has_empty_selection(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+        assert selection_attributes(toystore_schema, u) == frozenset()
+
+    def test_delete_selection(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        assert selection_attributes(toystore_schema, u) == attrs(
+            ("toys", "toy_id")
+        )
+
+    def test_update_selection(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = ? WHERE toy_id = ?")
+        assert selection_attributes(toystore_schema, u) == attrs(
+            ("toys", "toy_id")
+        )
+
+    def test_unknown_binding_raises(self, toystore_schema):
+        q = parse("SELECT ghost.x FROM toys WHERE ghost.x = 1")
+        with pytest.raises(AnalysisError):
+            selection_attributes(toystore_schema, q)
+
+    def test_unknown_column_raises(self, toystore_schema):
+        q = parse("SELECT toy_id FROM toys WHERE ghost = 1")
+        with pytest.raises(AnalysisError):
+            selection_attributes(toystore_schema, q)
+
+
+class TestModifiedAttributes:
+    def test_insert_modifies_all(self, toystore_schema):
+        u = parse("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)")
+        assert modified_attributes(toystore_schema, u) == attrs(
+            ("toys", "toy_id"), ("toys", "toy_name"), ("toys", "qty")
+        )
+
+    def test_delete_modifies_all(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        assert len(modified_attributes(toystore_schema, u)) == 3
+
+    def test_modification_modifies_set_columns_only(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = ? WHERE toy_id = ?")
+        assert modified_attributes(toystore_schema, u) == attrs(("toys", "qty"))
+
+
+class TestPreservedAttributes:
+    def test_projected_columns(self, toystore_schema):
+        q = parse("SELECT toy_id, qty FROM toys WHERE toy_name = ?")
+        assert preserved_attributes(toystore_schema, q) == attrs(
+            ("toys", "toy_id"), ("toys", "qty")
+        )
+
+    def test_star_preserves_everything_in_scope(self, toystore_schema):
+        q = parse("SELECT * FROM toys, customers WHERE toy_id = cust_id")
+        assert len(preserved_attributes(toystore_schema, q)) == 5
+
+    def test_aggregate_argument_preserved(self, toystore_schema):
+        q = parse("SELECT MAX(qty) FROM toys")
+        assert preserved_attributes(toystore_schema, q) == attrs(("toys", "qty"))
+
+    def test_count_star_preserves_all(self, toystore_schema):
+        q = parse("SELECT COUNT(*) FROM toys")
+        assert len(preserved_attributes(toystore_schema, q)) == 3
+
+    def test_group_by_columns_preserved(self, toystore_schema):
+        q = parse("SELECT toy_name, COUNT(qty) FROM toys GROUP BY toy_name")
+        preserved = preserved_attributes(toystore_schema, q)
+        assert Attribute("toys", "toy_name") in preserved
+        assert Attribute("toys", "qty") in preserved

@@ -1,0 +1,130 @@
+"""Unit tests for query/update classes and pair relations (paper Table 6)."""
+
+from repro.sql.parser import parse
+from repro.templates.classify import (
+    UpdateKind,
+    is_ignorable,
+    is_result_unhelpful,
+    query_has_no_top_k,
+    query_is_equality_join_only,
+    update_kind,
+)
+
+
+class TestQueryClasses:
+    def test_no_join_is_class_e(self):
+        assert query_is_equality_join_only(
+            parse("SELECT a FROM t WHERE a = 1")
+        )
+
+    def test_equality_join_is_class_e(self):
+        assert query_is_equality_join_only(
+            parse("SELECT a FROM t, s WHERE t.x = s.y")
+        )
+
+    def test_theta_join_not_class_e(self):
+        assert not query_is_equality_join_only(
+            parse("SELECT a FROM t, s WHERE t.x < s.y")
+        )
+
+    def test_mixed_joins_not_class_e(self):
+        assert not query_is_equality_join_only(
+            parse("SELECT a FROM t, s WHERE t.x = s.y AND t.z > s.w")
+        )
+
+    def test_no_limit_is_class_n(self):
+        assert query_has_no_top_k(parse("SELECT a FROM t"))
+
+    def test_limit_not_class_n(self):
+        assert not query_has_no_top_k(parse("SELECT a FROM t LIMIT 5"))
+
+
+class TestUpdateKind:
+    def test_insertion(self):
+        assert (
+            update_kind(parse("INSERT INTO t (a) VALUES (1)"))
+            is UpdateKind.INSERTION
+        )
+
+    def test_deletion(self):
+        assert update_kind(parse("DELETE FROM t")) is UpdateKind.DELETION
+
+    def test_modification(self):
+        assert (
+            update_kind(parse("UPDATE t SET a = 1 WHERE id = 2"))
+            is UpdateKind.MODIFICATION
+        )
+
+
+class TestIgnorable:
+    """Relation G: M(U) disjoint from P(Q) ∪ S(Q)."""
+
+    def test_different_tables_ignorable(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        q = parse("SELECT cust_name FROM customers WHERE cust_id = ?")
+        assert is_ignorable(toystore_schema, u, q)
+
+    def test_same_table_not_ignorable(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = ?")
+        assert not is_ignorable(toystore_schema, u, q)
+
+    def test_modification_of_unused_attribute_ignorable(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = ? WHERE toy_id = ?")
+        q = parse("SELECT toy_name FROM toys WHERE toy_id = ?")
+        # qty is neither preserved nor selected on: ignorable... except
+        # toy_id appears in both; M(U) = {qty} though, and qty not in P∪S.
+        assert is_ignorable(toystore_schema, u, q)
+
+    def test_modification_of_selected_attribute_not_ignorable(
+        self, toystore_schema
+    ):
+        u = parse("UPDATE toys SET qty = ? WHERE toy_id = ?")
+        q = parse("SELECT toy_id FROM toys WHERE qty > ?")
+        assert not is_ignorable(toystore_schema, u, q)
+
+    def test_modification_of_preserved_attribute_not_ignorable(
+        self, toystore_schema
+    ):
+        u = parse("UPDATE toys SET qty = ? WHERE toy_id = ?")
+        q = parse("SELECT qty FROM toys WHERE toy_id = ?")
+        assert not is_ignorable(toystore_schema, u, q)
+
+    def test_order_by_attribute_blocks_ignorability(self, toystore_schema):
+        u = parse("UPDATE toys SET qty = ? WHERE toy_id = ?")
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = ? ORDER BY qty")
+        assert not is_ignorable(toystore_schema, u, q)
+
+    def test_paper_u1_q3_is_ignorable(self, toystore_schema):
+        """Paper Section 3.2: U1 is ignorable w.r.t. Q3 (A13 = 0)."""
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        q = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?"
+        )
+        assert is_ignorable(toystore_schema, u, q)
+
+
+class TestResultUnhelpful:
+    """Relation H: S(U) disjoint from P(Q)."""
+
+    def test_paper_q3_result_unhelpful_for_u2(self, toystore_schema):
+        u = parse(
+            "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)"
+        )
+        q = parse(
+            "SELECT cust_name FROM customers, credit_card "
+            "WHERE cust_id = cid AND zip_code = ?"
+        )
+        # S(U) = {} for insertions, so trivially disjoint from P(Q).
+        assert is_result_unhelpful(toystore_schema, u, q)
+
+    def test_delete_key_preserved_means_helpful(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        q = parse("SELECT toy_id FROM toys WHERE toy_name = ?")
+        assert not is_result_unhelpful(toystore_schema, u, q)
+
+    def test_delete_key_not_preserved_means_unhelpful(self, toystore_schema):
+        u = parse("DELETE FROM toys WHERE toy_id = ?")
+        q = parse("SELECT qty FROM toys WHERE toy_id = ?")
+        assert is_result_unhelpful(toystore_schema, u, q)

@@ -1,0 +1,85 @@
+"""Unit tests for templates and the template registry."""
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+from repro.templates.template import Sensitivity
+
+
+class TestQueryTemplate:
+    def test_from_sql(self):
+        t = QueryTemplate.from_sql("Q", "SELECT a FROM t WHERE x = ?")
+        assert t.parameter_count == 1
+        assert t.sql == "SELECT a FROM t WHERE x = ?"
+
+    def test_from_sql_rejects_update(self):
+        with pytest.raises(TemplateError):
+            QueryTemplate.from_sql("Q", "DELETE FROM t")
+
+    def test_bind_produces_executable_instance(self):
+        t = QueryTemplate.from_sql("Q", "SELECT a FROM t WHERE x = ?")
+        bound = t.bind([5])
+        assert bound.sql == "SELECT a FROM t WHERE x = 5"
+        assert bound.params == (5,)
+
+    def test_bound_instances_hash_by_template_and_params(self):
+        t = QueryTemplate.from_sql("Q", "SELECT a FROM t WHERE x = ?")
+        assert t.bind([5]) == t.bind([5])
+        assert hash(t.bind([5])) == hash(t.bind([5]))
+        assert t.bind([5]) != t.bind([6])
+
+    def test_default_sensitivity_low(self):
+        t = QueryTemplate.from_sql("Q", "SELECT a FROM t")
+        assert t.sensitivity is Sensitivity.LOW
+
+
+class TestUpdateTemplate:
+    def test_from_sql(self):
+        t = UpdateTemplate.from_sql("U", "DELETE FROM t WHERE a = ?")
+        assert t.parameter_count == 1
+
+    def test_from_sql_rejects_query(self):
+        with pytest.raises(TemplateError):
+            UpdateTemplate.from_sql("U", "SELECT a FROM t")
+
+    def test_bind(self):
+        t = UpdateTemplate.from_sql("U", "DELETE FROM t WHERE a = ?")
+        assert t.bind([7]).sql == "DELETE FROM t WHERE a = 7"
+
+
+class TestRegistry:
+    def test_registration_and_lookup(self, simple_toystore):
+        assert simple_toystore.query("Q1").name == "Q1"
+        assert simple_toystore.update("U1").name == "U1"
+        assert len(simple_toystore) == 4
+
+    def test_pairs_enumerates_cross_product(self, toystore):
+        pairs = list(toystore.pairs())
+        assert len(pairs) == 2 * 3
+        assert {(u.name, q.name) for u, q in pairs} == {
+            (u, q) for u in ("U1", "U2") for q in ("Q1", "Q2", "Q3")
+        }
+
+    def test_duplicate_name_rejected(self, toystore_schema):
+        registry = TemplateRegistry(toystore_schema)
+        registry.add_query(QueryTemplate.from_sql("X", "SELECT toy_id FROM toys"))
+        with pytest.raises(TemplateError, match="duplicate"):
+            registry.add_update(
+                UpdateTemplate.from_sql("X", "DELETE FROM toys WHERE toy_id = ?")
+            )
+
+    def test_unknown_template_raises(self, simple_toystore):
+        with pytest.raises(TemplateError):
+            simple_toystore.query("nope")
+        with pytest.raises(TemplateError):
+            simple_toystore.update("nope")
+
+    def test_registration_validates_against_schema(self, toystore_schema):
+        registry = TemplateRegistry(toystore_schema)
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            registry.add_query(
+                QueryTemplate.from_sql("bad", "SELECT ghost FROM toys")
+            )

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(*argv) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "nosuchapp"])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "bboard", "--strategy", "X"])
+
+
+class TestCommands:
+    def test_apps(self):
+        output = run("apps")
+        for name in ("auction", "bboard", "bookstore"):
+            assert name in output
+
+    def test_templates(self):
+        output = run("templates", "bookstore")
+        assert "getBestSellers" in output
+        assert "SELECT" in output
+        assert "INSERT INTO" in output
+
+    def test_ipm(self):
+        output = run("ipm", "auction")
+        assert "A=B=C=0" in output
+
+    def test_analyze(self):
+        output = run("analyze", "bookstore")
+        assert "bookstore" in output
+        assert "of 28" in output
+
+    def test_analyze_without_constraints(self):
+        with_constraints = run("analyze", "bookstore")
+        without = run("analyze", "bookstore", "--no-constraints")
+        assert with_constraints != without
+
+    def test_methodology(self):
+        output = run("methodology", "bboard")
+        assert "initial -> final" in output
+        assert "[reduced]" in output
+
+    def test_scalability(self):
+        output = run("scalability", "auction", "--pages", "120", "--scale", "0.15")
+        for name in ("MVIS", "MSIS", "MTIS", "MBS"):
+            assert name in output
+
+    def test_scalability_with_cluster(self):
+        output = run(
+            "scalability", "auction", "--pages", "120", "--scale", "0.15",
+            "--nodes", "2",
+        )
+        assert "MVIS" in output
+
+    def test_simulate(self):
+        output = run(
+            "simulate", "bookstore", "--users", "4", "--duration", "20",
+            "--scale", "0.15",
+        )
+        assert "p90=" in output
+        assert "sla_met=" in output
+
+    def test_diagnose(self):
+        output = run("diagnose", "bookstore", "--pages", "40", "--scale", "0.15")
+        assert "pages" in output
+        assert "queries" in output
+
+    def test_export_characterization(self):
+        output = run("export", "auction", "characterization")
+        lines = output.strip().splitlines()
+        assert lines[0].startswith("update_template,query_template")
+        assert len(lines) == 1 + 16 * 6  # header + pairs
+
+    def test_export_methodology(self):
+        output = run("export", "bboard", "methodology")
+        assert "template,initial_level,final_level,reduced" in output
+
+    def test_export_policy(self):
+        output = run("export", "bboard", "policy")
+        assert "kind,template,exposure_level" in output
+        assert ",query," not in output.splitlines()[0]
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "apps"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "bookstore" in completed.stdout

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "IPM characterization" in output
+        assert "A=B=C=0" in output
+        assert "invalidated 1 cached view" in output
+
+    def test_bookstore_security_design(self):
+        output = run_example("bookstore_security_design.py")
+        assert "20 of 28" in output
+        assert "Moderately-sensitive" in output
+
+    def test_invalidation_strategies(self):
+        output = run_example("invalidation_strategies.py")
+        assert "MBS" in output and "MVIS" in output
+        assert "DNI" in output
+
+    def test_multi_tenant_dssp(self):
+        output = run_example("multi_tenant_dssp.py")
+        assert "untouched" in output
+        assert "rejected" in output
+
+    def test_trace_comparison(self):
+        output = run_example("trace_comparison.py")
+        assert "CSV" in output
+        assert "MBS" in output
+
+    def test_scalability_simulation(self):
+        # Keep the run small: 6 users over the default windows.
+        output = run_example("scalability_simulation.py", "auction", "6")
+        assert "max users" in output

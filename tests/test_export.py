@@ -1,0 +1,89 @@
+"""Tests for the CSV export helpers."""
+
+import csv
+import io
+
+from repro.analysis import characterize_application, design_exposure_policy
+from repro.analysis.exposure import ExposurePolicy
+from repro.export import (
+    cache_behavior_to_csv,
+    characterization_to_csv,
+    exposure_policy_to_csv,
+    methodology_to_csv,
+    scalability_sweep_to_csv,
+)
+from repro.simulation.scalability import CacheBehavior
+
+
+def parse_csv(text: str):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestCharacterizationCsv:
+    def test_one_row_per_pair(self, toystore):
+        characterization = characterize_application(toystore)
+        rows = parse_csv(characterization_to_csv(characterization))
+        assert rows[0][:3] == ["update_template", "query_template", "a_value"]
+        assert len(rows) == 1 + 6  # header + 2x3 pairs
+
+    def test_values_match_characterization(self, toystore):
+        characterization = characterize_application(toystore)
+        rows = parse_csv(characterization_to_csv(characterization))
+        by_pair = {(r[0], r[1]): r for r in rows[1:]}
+        assert by_pair[("U1", "Q3")][2] == "0"  # A = 0
+        assert by_pair[("U1", "Q1")][2] == "1"
+        assert by_pair[("U1", "Q1")][3] == "1"  # B = A
+
+    def test_reason_column_nonempty_for_zero_pairs(self, toystore):
+        characterization = characterize_application(toystore)
+        rows = parse_csv(characterization_to_csv(characterization))
+        zero_rows = [r for r in rows[1:] if r[2] == "0"]
+        assert all(r[6] for r in zero_rows)
+
+
+class TestPolicyCsv:
+    def test_all_templates_present(self, toystore):
+        policy = ExposurePolicy.maximum_exposure(toystore)
+        rows = parse_csv(exposure_policy_to_csv(policy))
+        assert len(rows) == 1 + 5  # header + 3 queries + 2 updates
+        kinds = {r[0] for r in rows[1:]}
+        assert kinds == {"query", "update"}
+
+    def test_levels_rendered_as_labels(self, toystore):
+        policy = ExposurePolicy.full_encryption(toystore)
+        rows = parse_csv(exposure_policy_to_csv(policy))
+        assert all(r[2] == "blind" for r in rows[1:])
+
+
+class TestMethodologyCsv:
+    def test_reduced_flag(self, toystore):
+        result = design_exposure_policy(toystore)
+        rows = parse_csv(methodology_to_csv(result))
+        by_name = {r[0]: r for r in rows[1:]}
+        assert by_name["Q3"] == ["Q3", "view", "template", "1"]
+        assert by_name["Q1"] == ["Q1", "view", "view", "0"]
+
+
+class TestSweepCsv:
+    def test_sweep_rows(self):
+        text = scalability_sweep_to_csv(
+            {"bookstore": {"MVIS": 500, "MBS": 100}}
+        )
+        rows = parse_csv(text)
+        assert ["bookstore", "MVIS", "500"] in rows
+        assert ["bookstore", "MBS", "100"] in rows
+
+
+class TestBehaviorCsv:
+    def test_behavior_rows(self):
+        behavior = CacheBehavior(
+            pages=100,
+            queries_per_page=4.0,
+            hits_per_page=3.0,
+            misses_per_page=1.0,
+            updates_per_page=0.5,
+            invalidations_per_update=2.0,
+        )
+        rows = parse_csv(cache_behavior_to_csv({"mvis": behavior}))
+        assert rows[1][0] == "mvis"
+        assert rows[1][6] == "0.7500"  # hit rate

@@ -1,0 +1,186 @@
+"""Integration tests for the three benchmark applications.
+
+For each application: the schema validates, data generation is
+FK-consistent, every template is used or at least executable, sampled
+pages run against the real engine, and the static-analysis results match
+the paper's qualitative claims.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    characterize_application,
+    design_exposure_policy,
+    summarize_characterization,
+)
+from repro.analysis.exposure import ExposureLevel
+from repro.templates.template import Sensitivity
+from repro.workloads import APPLICATIONS, get_application
+
+APP_NAMES = list(APPLICATIONS)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    built = {}
+    for name in APP_NAMES:
+        spec = get_application(name)
+        built[name] = (spec, spec.instantiate(scale=0.2, seed=7))
+    return built
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_instantiates_with_data(self, instances, name):
+        _, instance = instances[name]
+        assert instance.database.total_rows() > 100
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_template_counts_nontrivial(self, instances, name):
+        spec, _ = instances[name]
+        assert len(spec.registry.queries) >= 13
+        assert len(spec.registry.updates) >= 6
+
+    def test_bookstore_has_28_query_templates(self, instances):
+        spec, _ = instances["bookstore"]
+        assert len(spec.registry.queries) == 28  # paper Section 5.4
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_scale_scales_rows(self, name):
+        spec = get_application(name)
+        small = spec.instantiate(scale=0.2, seed=1).database.total_rows()
+        large = spec.instantiate(scale=1.0, seed=1).database.total_rows()
+        assert large > small
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_generation_deterministic_per_seed(self, name):
+        spec = get_application(name)
+        a = spec.instantiate(scale=0.2, seed=5).database.snapshot()
+        b = spec.instantiate(scale=0.2, seed=5).database.snapshot()
+        assert a == b
+
+
+class TestSampling:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_pages_execute_against_engine(self, name):
+        spec = get_application(name)
+        instance = spec.instantiate(scale=0.2, seed=3)
+        rng = random.Random(11)
+        queries = updates = 0
+        for _ in range(120):
+            for operation in instance.sampler.sample_page(rng):
+                if operation.is_update:
+                    instance.database.apply(operation.bound.statement)
+                    updates += 1
+                else:
+                    instance.database.execute(operation.bound.select)
+                    queries += 1
+        assert queries > 100
+        assert updates > 5  # read-mostly, but writes do occur
+
+    def test_bboard_pages_are_heavy(self):
+        """The paper: bboard issues ~10 DB requests per HTTP request."""
+        spec = get_application("bboard")
+        instance = spec.instantiate(scale=0.2, seed=3)
+        rng = random.Random(1)
+        counts = [len(instance.sampler.sample_page(rng)) for _ in range(300)]
+        assert 5 <= sum(counts) / len(counts) <= 12
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_workload_is_read_mostly(self, name):
+        """Paper Section 1: in Web applications, updates are infrequent."""
+        spec = get_application(name)
+        instance = spec.instantiate(scale=0.2, seed=3)
+        rng = random.Random(9)
+        queries = updates = 0
+        for _ in range(300):
+            for operation in instance.sampler.sample_page(rng):
+                if operation.is_update:
+                    updates += 1
+                else:
+                    queries += 1
+        assert queries > 2 * updates
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_zipf_popularity_skew(self, name):
+        """Popular entities recur: distinct parameters << draws."""
+        spec = get_application(name)
+        instance = spec.instantiate(scale=0.5, seed=3)
+        rng = random.Random(4)
+        seen_queries = []
+        for _ in range(400):
+            for operation in instance.sampler.sample_page(rng):
+                if not operation.is_update:
+                    seen_queries.append(
+                        (operation.bound.template.name, operation.bound.params)
+                    )
+        assert len(set(seen_queries)) < 0.8 * len(seen_queries)
+
+
+class TestAnalysisClaims:
+    """Paper Table 7 / Section 5.4, qualitatively."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_majority_of_pairs_are_zero(self, instances, name):
+        spec, _ = instances[name]
+        summary = summarize_characterization(
+            name, characterize_application(spec.registry)
+        )
+        assert summary.zero > summary.total_pairs / 2
+
+    def test_bookstore_free_encryption_near_paper(self, instances):
+        """Paper: 21 of 28 bookstore query-result encryptions are free."""
+        spec, _ = instances["bookstore"]
+        result = design_exposure_policy(spec.registry)
+        assert 18 <= result.encrypted_result_count() <= 24
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_substantial_free_encryption(self, instances, name):
+        spec, _ = instances[name]
+        result = design_exposure_policy(spec.registry)
+        fraction = result.encrypted_result_count() / len(spec.registry.queries)
+        assert fraction >= 0.5
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_credit_or_password_templates_marked_high(self, instances, name):
+        spec, _ = instances[name]
+        highs = [
+            t.name
+            for t in (*spec.registry.queries, *spec.registry.updates)
+            if t.sensitivity is Sensitivity.HIGH
+        ]
+        assert highs  # SB-1386 compulsory set is non-empty
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_moderate_data_becomes_encryptable(self, instances, name):
+        """Sec 5.4: much of the freely-encryptable data is MODERATE."""
+        spec, _ = instances[name]
+        result = design_exposure_policy(spec.registry)
+        freed = [
+            q.name
+            for q in spec.registry.queries
+            if q.sensitivity is Sensitivity.MODERATE
+            and result.final.query_level(q.name) < ExposureLevel.VIEW
+        ]
+        assert freed, "no moderately-sensitive query became encryptable"
+
+
+class TestPaperSection54Examples:
+    """The specific moderately-sensitive examples called out in Sec 5.4."""
+
+    def test_auction_bid_history_encryptable(self, instances):
+        spec, _ = instances["auction"]
+        result = design_exposure_policy(spec.registry)
+        assert result.final.query_level("getBidHistory") < ExposureLevel.VIEW
+
+    def test_bboard_user_ratings_encryptable(self, instances):
+        spec, _ = instances["bboard"]
+        result = design_exposure_policy(spec.registry)
+        assert result.final.query_level("getCommentRatings") < ExposureLevel.VIEW
+
+    def test_bookstore_credit_card_query_compulsory(self, instances):
+        spec, _ = instances["bookstore"]
+        result = design_exposure_policy(spec.registry)
+        assert result.initial.query_level("getCCXact") <= ExposureLevel.TEMPLATE

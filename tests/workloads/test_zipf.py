@@ -1,0 +1,70 @@
+"""Unit + property tests for the Zipf popularity sampler."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import BRYNJOLFSSON_EXPONENT, ZipfSampler
+
+
+class TestBasics:
+    def test_ranks_in_support(self):
+        sampler = ZipfSampler(10)
+        rng = random.Random(0)
+        for _ in range(500):
+            assert 1 <= sampler.sample_rank(rng) <= 10
+
+    def test_single_element_support(self):
+        sampler = ZipfSampler(1)
+        assert sampler.sample_rank(random.Random(0)) == 1
+        assert sampler.probability(1) == pytest.approx(1.0)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50)
+        total = sum(sampler.probability(r) for r in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_decreasing_in_rank(self):
+        sampler = ZipfSampler(100)
+        probabilities = [sampler.probability(r) for r in range(1, 101)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_default_exponent_is_brynjolfsson(self):
+        assert ZipfSampler(10).exponent == BRYNJOLFSSON_EXPONENT
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfSampler(4, exponent=0.0)
+        for rank in range(1, 5):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5).probability(6)
+
+    def test_skew(self):
+        """Rank 1 should dominate: empirical top-1 share near theoretical."""
+        sampler = ZipfSampler(100)
+        rng = random.Random(42)
+        draws = [sampler.sample_rank(rng) for _ in range(20000)]
+        top1 = draws.count(1) / len(draws)
+        assert top1 == pytest.approx(sampler.probability(1), abs=0.01)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        exponent=st.floats(min_value=0.0, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_samples_always_in_range(self, n, exponent, seed):
+        sampler = ZipfSampler(n, exponent)
+        rng = random.Random(seed)
+        rank = sampler.sample_rank(rng)
+        assert 1 <= rank <= n
