@@ -7,39 +7,29 @@ bookstore workload actually needs before invalidation (not eviction)
 becomes the binding constraint.
 """
 
-import random
+from repro.dssp import StrategyClass
 
-from repro.analysis.exposure import ExposurePolicy
-from repro.crypto import Keyring
-from repro.dssp import DsspNode, HomeServer, StrategyClass
-from repro.simulation import measure_cache_behavior
-from repro.workloads import get_application
-
-from benchmarks.conftest import BENCH_PAGES, BENCH_SCALE, once
+from benchmarks.conftest import once
+from benchmarks.sweep import bench_sweep, bench_task
 
 CAPACITIES = (25, 50, 100, 200, 400, None)
 
 
-def _run(capacity):
-    app = get_application("bookstore")
-    instance = app.instantiate(scale=BENCH_SCALE, seed=1)
-    policy = ExposurePolicy.uniform(
-        app.registry, StrategyClass.MVIS.exposure_level
-    )
-    home = HomeServer(
-        "bookstore", instance.database, app.registry, policy, Keyring("bookstore")
-    )
-    node = DsspNode(cache_capacity=capacity)
-    node.register_application(home)
-    behavior = measure_cache_behavior(
-        node, home, instance.sampler, pages=BENCH_PAGES, seed=5
-    )
-    return behavior.hit_rate, len(node.cache)
-
-
 def test_ablation_cache_capacity(benchmark, emit):
     def experiment():
-        return {capacity: _run(capacity) for capacity in CAPACITIES}
+        tasks = [
+            bench_task(
+                "bookstore",
+                strategy=StrategyClass.MVIS,
+                cache_capacity=capacity,
+                tag=capacity,
+            )
+            for capacity in CAPACITIES
+        ]
+        return {
+            cell.tag: (cell.behavior.hit_rate, cell.resident_views)
+            for cell in bench_sweep(tasks)
+        }
 
     results = once(benchmark, experiment)
     lines = [

@@ -8,10 +8,10 @@ under MTIS, where template-level decisions are all the DSSP has.
 
 from repro.analysis import characterize_application, summarize_characterization
 from repro.dssp import StrategyClass
-from repro.simulation import find_scalability, measure_cache_behavior
 from repro.workloads import APPLICATIONS, get_application
 
-from benchmarks.conftest import BENCH_PAGES, deploy, once
+from benchmarks.conftest import once
+from benchmarks.sweep import bench_sweep, bench_task
 
 
 def test_ablation_integrity_constraints(benchmark, emit, sim_params):
@@ -27,20 +27,19 @@ def test_ablation_integrity_constraints(benchmark, emit, sim_params):
             )
             static[name] = (with_c.zero, without_c.zero, with_c.total_pairs)
 
-        runtime = {}
-        for use_constraints in (True, False):
-            node, home, sampler = deploy(
+        tasks = [
+            bench_task(
                 "bookstore",
                 strategy=StrategyClass.MTIS,
                 use_integrity_constraints=use_constraints,
+                tag=use_constraints,
             )
-            behavior = measure_cache_behavior(
-                node, home, sampler, pages=BENCH_PAGES, seed=5
-            )
-            runtime[use_constraints] = (
-                behavior.hit_rate,
-                find_scalability(sim_params, behavior=behavior),
-            )
+            for use_constraints in (True, False)
+        ]
+        runtime = {
+            cell.tag: (cell.behavior.hit_rate, cell.users)
+            for cell in bench_sweep(tasks, params=sim_params)
+        }
         return static, runtime
 
     static, runtime = once(benchmark, experiment)

@@ -10,32 +10,32 @@ what the richer reasoning buys on the range-heavy parts of the workloads
 """
 
 from repro.dssp import StrategyClass
-from repro.simulation import find_scalability, measure_cache_behavior
 from repro.workloads import APPLICATIONS
 
-from benchmarks.conftest import BENCH_PAGES, deploy, once
+from benchmarks.conftest import once
+from benchmarks.sweep import bench_sweep, bench_task
 
 
 def test_ablation_msis_parameter_reasoning(benchmark, emit, sim_params):
     def experiment():
-        results = {}
-        for name in APPLICATIONS:
-            per_mode = {}
-            for equality_only in (False, True):
-                node, home, sampler = deploy(
-                    name,
-                    strategy=StrategyClass.MSIS,
-                    equality_only_independence=equality_only,
-                )
-                behavior = measure_cache_behavior(
-                    node, home, sampler, pages=BENCH_PAGES, seed=5
-                )
-                per_mode[equality_only] = (
-                    behavior.hit_rate,
-                    behavior.invalidations_per_update,
-                    find_scalability(sim_params, behavior=behavior),
-                )
-            results[name] = per_mode
+        tasks = [
+            bench_task(
+                name,
+                strategy=StrategyClass.MSIS,
+                equality_only_independence=equality_only,
+                tag=(name, equality_only),
+            )
+            for name in APPLICATIONS
+            for equality_only in (False, True)
+        ]
+        results = {name: {} for name in APPLICATIONS}
+        for cell in bench_sweep(tasks, params=sim_params):
+            name, equality_only = cell.tag
+            results[name][equality_only] = (
+                cell.behavior.hit_rate,
+                cell.behavior.invalidations_per_update,
+                cell.users,
+            )
         return results
 
     results = once(benchmark, experiment)

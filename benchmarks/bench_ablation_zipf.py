@@ -8,26 +8,31 @@ re-running the bookstore with the popularity exponent forced to 0
 """
 
 from repro.dssp import StrategyClass
-from repro.simulation import find_scalability, measure_cache_behavior
-from repro.workloads.zipf import BRYNJOLFSSON_EXPONENT, ZipfSampler
+from repro.workloads.zipf import BRYNJOLFSSON_EXPONENT
 
-from benchmarks.conftest import BENCH_PAGES, deploy, once
+from benchmarks.conftest import once
+from benchmarks.sweep import bench_sweep, bench_task
 
 
 def test_ablation_zipf_popularity(benchmark, emit, sim_params):
-    def run(exponent: float):
-        node, home, sampler = deploy("bookstore", strategy=StrategyClass.MVIS)
-        sampler.zipf = ZipfSampler(sampler.zipf.n, exponent)
-        behavior = measure_cache_behavior(
-            node, home, sampler, pages=BENCH_PAGES, seed=5
-        )
-        return behavior.hit_rate, find_scalability(sim_params, behavior=behavior)
-
     def experiment():
+        grid = {
+            "zipf (0.871)": BRYNJOLFSSON_EXPONENT,
+            "strong zipf (1.5)": 1.5,
+            "uniform (0.0)": 0.0,
+        }
+        tasks = [
+            bench_task(
+                "bookstore",
+                strategy=StrategyClass.MVIS,
+                zipf_exponent=exponent,
+                tag=label,
+            )
+            for label, exponent in grid.items()
+        ]
         return {
-            "zipf (0.871)": run(BRYNJOLFSSON_EXPONENT),
-            "strong zipf (1.5)": run(1.5),
-            "uniform (0.0)": run(0.0),
+            cell.tag: (cell.behavior.hit_rate, cell.users)
+            for cell in bench_sweep(tasks, params=sim_params)
         }
 
     results = once(benchmark, experiment)

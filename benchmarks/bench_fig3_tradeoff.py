@@ -15,10 +15,10 @@ flat region the paper's shortcut exploits, followed by the drop.
 
 from repro.analysis.exposure import ExposureLevel, ExposurePolicy
 from repro.analysis.methodology import design_exposure_policy
-from repro.simulation import find_scalability, measure_cache_behavior
 from repro.workloads import get_application
 
-from benchmarks.conftest import BENCH_PAGES, deploy, once
+from benchmarks.conftest import once
+from benchmarks.sweep import bench_sweep, bench_task
 
 #: Query-template counts at which the curve is sampled (plus the three
 #: named points).  Keep sparse: each sample is a full DSSP measurement.
@@ -65,14 +65,6 @@ def _policy_encrypting(registry, curve_levels, free, costly, count: int):
     return policy
 
 
-def _scalability(app_name, sim_params, policy) -> int:
-    node, home, sampler = deploy(app_name, policy=policy)
-    behavior = measure_cache_behavior(
-        node, home, sampler, pages=BENCH_PAGES, seed=5
-    )
-    return find_scalability(sim_params, behavior=behavior)
-
-
 def test_fig3_security_scalability_tradeoff(benchmark, emit, sim_params):
     registry = get_application("bookstore").registry
 
@@ -80,17 +72,35 @@ def test_fig3_security_scalability_tradeoff(benchmark, emit, sim_params):
         outcome = design_exposure_policy(registry)
         curve_levels, free_names, costly_names = _curve_baseline(registry)
         free = len(free_names)
-        curve = {}
-        for count in sorted(set(SAMPLE_COUNTS) | {free}):
-            policy = _policy_encrypting(
-                registry, curve_levels, free_names, costly_names, count
+        # Every point of the curve (plus the two named endpoints) is an
+        # independent deployment — one sweep task each.
+        tasks = [
+            bench_task(
+                "bookstore",
+                policy=_policy_encrypting(
+                    registry, curve_levels, free_names, costly_names, count
+                ),
+                tag=count,
             )
-            curve[count] = _scalability("bookstore", sim_params, policy)
-        our_approach = _scalability("bookstore", sim_params, outcome.final)
-        full_encryption = _scalability(
-            "bookstore", sim_params, ExposurePolicy.full_encryption(registry)
+            for count in sorted(set(SAMPLE_COUNTS) | {free})
+        ]
+        tasks.append(
+            bench_task("bookstore", policy=outcome.final, tag="our_approach")
         )
-        return free, curve, our_approach, full_encryption
+        tasks.append(
+            bench_task(
+                "bookstore",
+                policy=ExposurePolicy.full_encryption(registry),
+                tag="full_encryption",
+            )
+        )
+        by_tag = {
+            cell.tag: cell.users
+            for cell in bench_sweep(tasks, params=sim_params)
+        }
+        our_approach = by_tag.pop("our_approach")
+        full_encryption = by_tag.pop("full_encryption")
+        return free, by_tag, our_approach, full_encryption
 
     free, curve, our_approach, full_encryption = once(benchmark, experiment)
 

@@ -7,9 +7,13 @@ costs the simulator's service-time constants abstract.
 """
 
 import random
+import time
 
+from repro.analysis.exposure import ExposureLevel
 from repro.analysis.independence import statement_independent
 from repro.crypto.cipher import decrypt, encrypt
+from repro.crypto.envelope import QueryEnvelope, ResultEnvelope
+from repro.dssp.cache import ViewCache
 from repro.sql.formatter import to_sql
 from repro.sql.parser import parse
 from repro.templates.binding import bind
@@ -146,6 +150,133 @@ def test_micro_invalidation_cost_by_strategy(benchmark, emit):
     # Blind wipes everything it sees; precise strategies keep most views.
     assert timings["MBS"][1] == timings["MBS"][0]
     assert timings["MVIS"][1] <= timings["MTIS"][1]
+
+
+class _ScanEvictionCache(ViewCache):
+    """The seed's eviction algorithm — a full ``min()`` scan of a recency
+    clock per victim — kept as the before/after reference for the O(1)
+    :class:`ViewCache` LRU."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity=capacity)
+        self._recency: dict[str, int] = {}
+        self._ticks = 0
+
+    def get(self, key):
+        entry = super().get(key)
+        if entry is not None:
+            self._ticks += 1
+            self._recency[key] = self._ticks
+        return entry
+
+    def put(self, envelope, result):
+        entry = super().put(envelope, result)
+        self._ticks += 1
+        self._recency[entry.key] = self._ticks
+        return entry
+
+    def invalidate(self, key):
+        existed = super().invalidate(key)
+        if existed:
+            self._recency.pop(key, None)
+        return existed
+
+    def _maybe_evict(self):
+        if self._capacity is None:
+            return
+        while len(self._entries) > self._capacity:
+            victim = min(self._recency, key=self._recency.get)
+            self.invalidate(victim)
+
+
+def _synthetic_query(index: int) -> tuple[QueryEnvelope, ResultEnvelope]:
+    envelope = QueryEnvelope(
+        app_id="bench",
+        level=ExposureLevel.STMT,
+        cache_key=f"bench|stmt|SELECT q{index}",
+        template_name=f"Q{index % 16}",
+    )
+    return envelope, ResultEnvelope(app_id="bench", ciphertext=b"sealed")
+
+
+def _time_evictions(cache, capacity: int, inserts: int) -> float:
+    """Mean seconds per capacity-triggered eviction at a full cache."""
+    for i in range(capacity):
+        cache.put(*_synthetic_query(i))
+    started = time.perf_counter()
+    for i in range(capacity, capacity + inserts):
+        cache.put(*_synthetic_query(i))
+    return (time.perf_counter() - started) / inserts
+
+
+def test_micro_lru_eviction_at_capacity(benchmark, emit):
+    """Eviction cost at a 10k-entry cache: O(1) LRU vs the min()-scan.
+
+    Every insert beyond capacity evicts one victim.  The seed picked it by
+    scanning the whole recency map (O(n) per eviction — at 10k entries the
+    scan dominates the insert); the OrderedDict LRU pops it in O(1).
+    """
+    capacity = 10_000
+    scan_s = _time_evictions(_ScanEvictionCache(capacity), capacity, 300)
+    o1_s = _time_evictions(ViewCache(capacity=capacity), capacity, 3000)
+    speedup = scan_s / o1_s
+
+    lines = [
+        f"{'eviction policy':<22} {'per-eviction':>13}",
+        "-" * 37,
+        f"{'min()-scan (seed)':<22} {scan_s * 1e6:>10.1f} us",
+        f"{'OrderedDict (O(1))':<22} {o1_s * 1e6:>10.1f} us",
+        "",
+        f"speedup: {speedup:.0f}x at capacity={capacity}",
+    ]
+    emit("micro_lru_eviction", "\n".join(lines))
+
+    def measured():
+        return scan_s, o1_s
+
+    benchmark.pedantic(measured, rounds=1, iterations=1)
+    assert speedup >= 5.0, (scan_s, o1_s)
+
+
+def test_micro_dssp_timing_counters(benchmark, emit):
+    """The DsspStats wall-clock counters cover the three DSSP hot paths."""
+    from repro.dssp import StrategyClass
+
+    node, home, sampler = deploy("bookstore", strategy=StrategyClass.MSIS)
+    rng = random.Random(0)
+
+    def run():
+        node.cold_start()
+        for _ in range(150):
+            for operation in sampler.sample_page(rng):
+                if operation.is_update:
+                    level = home.policy.update_level(operation.bound.template.name)
+                    node.update(home.codec.seal_update(operation.bound, level))
+                else:
+                    level = home.policy.query_level(operation.bound.template.name)
+                    node.query(home.codec.seal_query(operation.bound, level))
+        # A repeated identical update re-checks the entries that survived
+        # its first pass — exactly the case the decision memo serves.
+        bound = home.registry.update("setStock").bind([10, 5])
+        envelope = home.codec.seal_update(
+            bound, home.policy.update_level("setStock")
+        )
+        node.update(envelope)
+        node.update(envelope)
+        return node.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"lookups             {stats.lookups:>8}   {stats.lookup_time_s * 1e3:>9.2f} ms",
+        f"invalidation passes {stats.updates:>8}   {stats.invalidation_time_s * 1e3:>9.2f} ms",
+        f"evictions           {stats.evictions:>8}   {stats.eviction_time_s * 1e3:>9.2f} ms",
+        f"decision memo rate  {stats.decision_memo_rate:>8.3f}",
+    ]
+    emit("micro_dssp_timing_counters", "\n".join(lines))
+    assert stats.lookup_time_s > 0.0
+    assert stats.invalidation_time_s > 0.0
+    # Repeated identical (update, entry) pairs hit the memo.
+    assert stats.decision_memo_hits > 0
 
 
 def test_micro_update_with_invalidation(benchmark):

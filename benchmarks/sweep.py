@@ -1,0 +1,38 @@
+"""Benchmark-harness façade over the parallel sweep runner.
+
+The figure/ablation benchmarks build grids of :class:`SweepTask` cells and
+hand them to :func:`bench_sweep`, which applies the harness knobs
+(``REPRO_BENCH_SCALE``, ``REPRO_BENCH_PAGES``, ``REPRO_SWEEP_WORKERS``)
+and fans the cells out across worker processes — the grids are
+embarrassingly parallel, so wall clock drops roughly linearly in the CPU
+count.  On a single-CPU host the runner degrades to a serial loop with
+identical results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.simulation import SimulationParams, SweepResult, SweepTask
+from repro.simulation.sweep import run_sweep
+
+from benchmarks.conftest import BENCH_PAGES, BENCH_SCALE
+
+__all__ = ["bench_sweep", "bench_task"]
+
+
+def bench_task(app_name: str, **kwargs) -> SweepTask:
+    """A sweep cell with the harness's default pages/scale/seed."""
+    kwargs.setdefault("pages", BENCH_PAGES)
+    kwargs.setdefault("scale", BENCH_SCALE)
+    kwargs.setdefault("seed", 5)
+    return SweepTask(app_name=app_name, **kwargs)
+
+
+def bench_sweep(
+    tasks: Sequence[SweepTask],
+    params: SimulationParams | None = None,
+    workers: int | None = None,
+) -> list[SweepResult]:
+    """Run the grid (parallel when CPUs allow); results in task order."""
+    return run_sweep(tasks, params=params, workers=workers)

@@ -24,6 +24,7 @@ The reasoning is interval satisfiability over the conjunctive predicates:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.schema.schema import Schema
 from repro.sql.ast import (
@@ -167,6 +168,7 @@ def _cmp_ok(value: Scalar, bound: Scalar, strict: bool, is_lower: bool) -> bool:
 # -- predicate collection -------------------------------------------------------------
 
 
+@lru_cache(maxsize=4096)
 def _single_table_constraints(
     where: tuple[Comparison, ...]
 ) -> dict[str, _Constraint] | None:
@@ -174,6 +176,11 @@ def _single_table_constraints(
 
     Returns None if a constant-vs-constant conjunct is False (predicate
     unsatisfiable outright).
+
+    Memoized: an invalidation pass rebuilds the update side of the check
+    once per cached entry in the bucket, from the same WHERE tuple every
+    time.  Callers must treat the returned map (and its constraints) as
+    read-only.
     """
     constraints: dict[str, _Constraint] = {}
     for comparison in where:
@@ -194,10 +201,38 @@ def _single_table_constraints(
     return constraints
 
 
+_BINDING_MEMO_LIMIT = 8192
+#: (id(query), binding, table, id(schema)) → (query, schema, constraints).
+#: The query/schema objects ride along in the value so a recycled ``id()``
+#: can never alias a dead statement.
+_binding_memo: dict[tuple[int, str, str, int], tuple] = {}
+
+
 def _binding_constraints(
     query: Select, binding: str, table_name: str, schema: Schema
 ) -> dict[str, _Constraint] | None:
-    """Constraints the query places on one binding's columns."""
+    """Constraints the query places on one binding's columns, memoized.
+
+    Cached entries are long-lived and their statements are shared objects
+    (template binding is memoized upstream), so every update that scans a
+    bucket re-derives the same query-side maps; keying by object identity
+    avoids hashing whole ASTs on the invalidation hot path.  Callers must
+    treat the returned map (and its constraints) as read-only.
+    """
+    key = (id(query), binding, table_name, id(schema))
+    hit = _binding_memo.get(key)
+    if hit is not None and hit[0] is query and hit[1] is schema:
+        return hit[2]
+    constraints = _compute_binding_constraints(query, binding, table_name, schema)
+    if len(_binding_memo) >= _BINDING_MEMO_LIMIT:
+        _binding_memo.clear()
+    _binding_memo[key] = (query, schema, constraints)
+    return constraints
+
+
+def _compute_binding_constraints(
+    query: Select, binding: str, table_name: str, schema: Schema
+) -> dict[str, _Constraint] | None:
     scope = {ref.binding: ref.name for ref in query.tables}
     constraints: dict[str, _Constraint] = {}
     for comparison in query.where:
@@ -273,13 +308,30 @@ def _merge_satisfiable(
     return all(c.satisfiable() for c in merged.values())
 
 
+_STRIP_MEMO_LIMIT = 8192
+_strip_memo: dict[int, tuple] = {}
+
+
 def _strip_range_predicates(statement):
     """Drop non-equality attribute-vs-constant conjuncts (weaker knowledge).
 
     Removing conjuncts only *widens* the set of rows an update/query may
     touch, so the resulting independence verdicts stay sound — they are
-    just more conservative.
+    just more conservative.  Memoized by statement identity so the stripped
+    variants are themselves shared objects and downstream identity-keyed
+    caches keep working in ``equality_only`` mode.
     """
+    hit = _strip_memo.get(id(statement))
+    if hit is not None and hit[0] is statement:
+        return hit[1]
+    stripped = _compute_strip_range_predicates(statement)
+    if len(_strip_memo) >= _STRIP_MEMO_LIMIT:
+        _strip_memo.clear()
+    _strip_memo[id(statement)] = (statement, stripped)
+    return stripped
+
+
+def _compute_strip_range_predicates(statement):
     if isinstance(statement, Insert):
         return statement
 
@@ -325,32 +377,47 @@ def statement_independent(
     if equality_only:
         update = _strip_range_predicates(update)
         query = _strip_range_predicates(query)
-    bindings = [
-        ref.binding for ref in query.tables if ref.name == update.table
-    ]
-    if not bindings:
-        return True  # query never reads the updated table
     if isinstance(update, Insert):
-        return all(
-            _insert_misses_binding(schema, update, query, binding)
-            for binding in bindings
-        )
-    if isinstance(update, Delete):
-        return all(
-            _delete_misses_binding(schema, update, query, binding)
-            for binding in bindings
-        )
-    return all(
-        _modification_misses_binding(schema, update, query, binding)
-        for binding in bindings
-    )
+        misses_binding = _insert_misses_binding
+    elif isinstance(update, Delete):
+        misses_binding = _delete_misses_binding
+    else:
+        misses_binding = _modification_misses_binding
+    table = update.table
+    for ref in query.tables:
+        if ref.name == table:
+            if not misses_binding(schema, update, query, ref.binding):
+                return False
+    # Every binding of the updated table is provably missed — or the query
+    # never reads that table at all.
+    return True
+
+
+_ROW_MEMO_LIMIT = 4096
+_row_memo: dict[int, tuple] = {}
+
+
+def _insert_row(update: Insert) -> dict[str, Scalar]:
+    """The inserted row as a column → value map, memoized by identity.
+
+    One insert is checked against every entry in its bucket; the row map
+    is the same each time.
+    """
+    hit = _row_memo.get(id(update))
+    if hit is not None and hit[0] is update:
+        return hit[1]
+    row = dict(zip(update.columns, (v.value for v in update.values)))  # type: ignore[union-attr]
+    if len(_row_memo) >= _ROW_MEMO_LIMIT:
+        _row_memo.clear()
+    _row_memo[id(update)] = (update, row)
+    return row
 
 
 def _insert_misses_binding(
     schema: Schema, update: Insert, query: Select, binding: str
 ) -> bool:
     """The fully-known inserted row fails the binding's local predicates."""
-    row = dict(zip(update.columns, (v.value for v in update.values)))  # type: ignore[union-attr]
+    row = _insert_row(update)
     constraints = _binding_constraints(query, binding, update.table, schema)
     if constraints is None:
         return True  # query predicate is constant-false

@@ -32,7 +32,6 @@ from repro.dssp import DsspNode, HomeServer, StrategyClass
 from repro.simulation import (
     SimulationParams,
     find_scalability,
-    measure_cache_behavior,
     simulate_users,
 )
 from repro.workloads import APPLICATIONS, get_application
@@ -97,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="DSSP fleet size (clients partitioned; invalidation fans out)",
+    )
+    scalability.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the per-strategy sweep "
+            "(default: REPRO_SWEEP_WORKERS or the CPU count; single-node only)"
+        ),
     )
 
     simulate = commands.add_parser(
@@ -218,15 +226,30 @@ def _cmd_scalability(args, out) -> int:
         f"{'strategy':<8} {'hit rate':>9} {'inval/upd':>10} {'max users':>10}",
         file=out,
     )
-    for strategy in StrategyClass:
-        if args.nodes > 1:
+    rows: list[tuple[StrategyClass, object, int]] = []
+    if args.nodes > 1:
+        for strategy in StrategyClass:
             behavior = _cluster_behavior(args, strategy)
-        else:
-            node, home, sampler = _deploy(args.app, strategy, args.scale)
-            behavior = measure_cache_behavior(
-                node, home, sampler, pages=args.pages, seed=5
+            users = find_scalability(params, behavior=behavior)
+            rows.append((strategy, behavior, users))
+    else:
+        # Single-node strategies are independent cells: sweep them across
+        # worker processes when the host has the CPUs for it.
+        from repro.simulation.sweep import SweepTask, run_sweep
+
+        tasks = [
+            SweepTask(
+                app_name=args.app,
+                strategy=strategy,
+                pages=args.pages,
+                scale=args.scale,
+                tag=strategy,
             )
-        users = find_scalability(params, behavior=behavior)
+            for strategy in StrategyClass
+        ]
+        for cell in run_sweep(tasks, params=params, workers=args.workers):
+            rows.append((cell.tag, cell.behavior, cell.users))
+    for strategy, behavior, users in rows:
         print(
             f"{strategy.name:<8} {behavior.hit_rate:>9.3f} "
             f"{behavior.invalidations_per_update:>10.2f} {users:>10}",

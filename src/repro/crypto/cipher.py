@@ -7,7 +7,7 @@ Layout of a token::
 * ``siv = HMAC-SHA256(mac_key, plaintext)[:16]`` — deterministic, so equal
   plaintexts yield equal tokens under one key (the DSSP cache-key property).
 * ``ciphertext = plaintext XOR keystream(enc_key, siv)`` where the
-  keystream is SHA-256 in counter mode seeded by the SIV.
+  keystream is the SHAKE-256 XOF seeded by the encryption key and SIV.
 * Decryption recomputes the SIV and rejects mismatches (tamper evidence).
 """
 
@@ -21,28 +21,42 @@ from repro.errors import CryptoError
 __all__ = ["encrypt", "decrypt", "SIV_LEN"]
 
 SIV_LEN = 16
-_BLOCK = hashlib.sha256().digest_size
+
+
+#: Derived (mac, enc) subkey pairs per master key.  Key derivation costs
+#: two HMAC invocations and the same handful of master keys is used for
+#: every envelope of an application, so the schedule is computed once.
+_KEY_SCHEDULE: dict[bytes, tuple[bytes, bytes]] = {}
+_KEY_SCHEDULE_LIMIT = 1024
 
 
 def _split_key(key: bytes) -> tuple[bytes, bytes]:
+    schedule = _KEY_SCHEDULE.get(key)
+    if schedule is not None:
+        return schedule
     if len(key) < 16:
         raise CryptoError("key must be at least 16 bytes")
     mac_key = hmac.new(key, b"mac", hashlib.sha256).digest()
     enc_key = hmac.new(key, b"enc", hashlib.sha256).digest()
+    if len(_KEY_SCHEDULE) >= _KEY_SCHEDULE_LIMIT:
+        _KEY_SCHEDULE.clear()
+    _KEY_SCHEDULE[key] = (mac_key, enc_key)
     return mac_key, enc_key
 
 
+def _xor(data: bytes, stream: bytes) -> bytes:
+    # Bulk XOR through big-int arithmetic: one CPython operation per call
+    # instead of one generator step per byte.
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(len(data), "big")
+
+
 def _keystream(enc_key: bytes, siv: bytes, length: int) -> bytes:
-    blocks = []
-    counter = 0
-    while length > 0:
-        block = hashlib.sha256(
-            enc_key + siv + counter.to_bytes(8, "big")
-        ).digest()
-        blocks.append(block[: min(_BLOCK, length)])
-        length -= _BLOCK
-        counter += 1
-    return b"".join(blocks)
+    # SHAKE-256 as an XOF: one sponge absorbs (key, siv) and squeezes the
+    # whole stream, instead of one independent SHA-256 (re-hashing the
+    # 48-byte prefix) per 32-byte counter block.
+    return hashlib.shake_256(enc_key + siv).digest(length)
 
 
 def encrypt(key: bytes, plaintext: bytes) -> bytes:
@@ -50,8 +64,7 @@ def encrypt(key: bytes, plaintext: bytes) -> bytes:
     mac_key, enc_key = _split_key(key)
     siv = hmac.new(mac_key, plaintext, hashlib.sha256).digest()[:SIV_LEN]
     stream = _keystream(enc_key, siv, len(plaintext))
-    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
-    return siv + ciphertext
+    return siv + _xor(plaintext, stream)
 
 
 def decrypt(key: bytes, token: bytes) -> bytes:
@@ -66,7 +79,7 @@ def decrypt(key: bytes, token: bytes) -> bytes:
     mac_key, enc_key = _split_key(key)
     siv, ciphertext = token[:SIV_LEN], token[SIV_LEN:]
     stream = _keystream(enc_key, siv, len(ciphertext))
-    plaintext = bytes(c ^ s for c, s in zip(ciphertext, stream))
+    plaintext = _xor(ciphertext, stream)
     expected = hmac.new(mac_key, plaintext, hashlib.sha256).digest()[:SIV_LEN]
     if not hmac.compare_digest(siv, expected):
         raise CryptoError("authentication failed: wrong key or tampered token")

@@ -128,11 +128,24 @@ class EnvelopeCodec:
     library — never at the DSSP.
     """
 
+    #: Entries kept per memo before clearing (envelopes are small; the
+    #: working set is the application's live statement population).
+    MEMO_LIMIT = 8192
+
     def __init__(self, keyring: Keyring) -> None:
         self._keyring = keyring
         self._params_key = keyring.key_for(Purpose.PARAMS)
         self._statement_key = keyring.key_for(Purpose.STATEMENT)
         self._result_key = keyring.key_for(Purpose.RESULT)
+        # Sealing is deterministic (SIV) and opening inverts it, so both
+        # are pure functions of (bound statement, level) / envelope
+        # identity — and web workloads re-seal the same popular statements
+        # constantly.  BoundQuery/BoundUpdate hash by (template name,
+        # params), which keeps lookups cheap.
+        self._seal_query_memo: dict[tuple[BoundQuery, ExposureLevel], QueryEnvelope] = {}
+        self._seal_update_memo: dict[tuple[BoundUpdate, ExposureLevel], UpdateEnvelope] = {}
+        self._open_query_memo: dict[str, Select] = {}
+        self._open_update_memo: dict[str, Insert | Delete | Update] = {}
 
     @property
     def app_id(self) -> str:
@@ -143,6 +156,17 @@ class EnvelopeCodec:
 
     def seal_query(self, query: BoundQuery, level: ExposureLevel) -> QueryEnvelope:
         """Produce the DSSP-visible form of a bound query."""
+        memo_key = (query, level)
+        sealed = self._seal_query_memo.get(memo_key)
+        if sealed is not None:
+            return sealed
+        sealed = self._seal_query(query, level)
+        if len(self._seal_query_memo) >= self.MEMO_LIMIT:
+            self._seal_query_memo.clear()
+        self._seal_query_memo[memo_key] = sealed
+        return sealed
+
+    def _seal_query(self, query: BoundQuery, level: ExposureLevel) -> QueryEnvelope:
         app = self.app_id
         if level >= ExposureLevel.STMT:
             return QueryEnvelope(
@@ -184,6 +208,19 @@ class EnvelopeCodec:
         """
         if level is ExposureLevel.VIEW:
             raise CryptoError("update envelopes have no 'view' level")
+        memo_key = (update, level)
+        sealed = self._seal_update_memo.get(memo_key)
+        if sealed is not None:
+            return sealed
+        sealed = self._seal_update(update, level)
+        if len(self._seal_update_memo) >= self.MEMO_LIMIT:
+            self._seal_update_memo.clear()
+        self._seal_update_memo[memo_key] = sealed
+        return sealed
+
+    def _seal_update(
+        self, update: BoundUpdate, level: ExposureLevel
+    ) -> UpdateEnvelope:
         app = self.app_id
         if level is ExposureLevel.STMT:
             return UpdateEnvelope(
@@ -256,16 +293,25 @@ class EnvelopeCodec:
         self._check_app(envelope.app_id)
         if envelope.statement is not None:
             return envelope.statement
+        # Deterministic sealing makes the cache key a stable identity for
+        # the underlying statement, so decrypt/re-bind work is memoizable.
+        cached = self._open_query_memo.get(envelope.cache_key)
+        if cached is not None:
+            return cached
         if envelope.sealed_params is not None:
             assert envelope.template_name is not None
             params = self._decrypt_params(envelope.sealed_params)
             template = registry.query(envelope.template_name)
-            return template.bind(params).select
-        assert envelope.sealed_statement is not None
-        sql = decrypt(self._statement_key, envelope.sealed_statement).decode()
-        statement = parse(sql)
-        if not isinstance(statement, Select):
-            raise CryptoError("sealed query does not decode to a SELECT")
+            statement = template.bind(params).select
+        else:
+            assert envelope.sealed_statement is not None
+            sql = decrypt(self._statement_key, envelope.sealed_statement).decode()
+            statement = parse(sql)
+            if not isinstance(statement, Select):
+                raise CryptoError("sealed query does not decode to a SELECT")
+        if len(self._open_query_memo) >= self.MEMO_LIMIT:
+            self._open_query_memo.clear()
+        self._open_query_memo[envelope.cache_key] = statement
         return statement
 
     def open_update(self, envelope: UpdateEnvelope, registry):
@@ -277,16 +323,23 @@ class EnvelopeCodec:
         self._check_app(envelope.app_id)
         if envelope.statement is not None:
             return envelope.statement
+        cached = self._open_update_memo.get(envelope.opaque_id)
+        if cached is not None:
+            return cached
         if envelope.sealed_params is not None:
             assert envelope.template_name is not None
             params = self._decrypt_params(envelope.sealed_params)
             template = registry.update(envelope.template_name)
-            return template.bind(params).statement
-        assert envelope.sealed_statement is not None
-        sql = decrypt(self._statement_key, envelope.sealed_statement).decode()
-        statement = parse(sql)
-        if isinstance(statement, Select):
-            raise CryptoError("sealed update decodes to a SELECT")
+            statement = template.bind(params).statement
+        else:
+            assert envelope.sealed_statement is not None
+            sql = decrypt(self._statement_key, envelope.sealed_statement).decode()
+            statement = parse(sql)
+            if isinstance(statement, Select):
+                raise CryptoError("sealed update decodes to a SELECT")
+        if len(self._open_update_memo) >= self.MEMO_LIMIT:
+            self._open_update_memo.clear()
+        self._open_update_memo[envelope.opaque_id] = statement
         return statement
 
     def _check_app(self, app_id: str) -> None:

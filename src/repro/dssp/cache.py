@@ -11,15 +11,27 @@ never more than its exposure level allows — because that is all the
 invalidation engine may consult.  Entries are additionally bucketed by
 visible template name so template-level invalidation decisions apply to a
 whole bucket in one step.
+
+Every operation is O(1) in the number of cached entries (amortized):
+
+* recency is tracked by an :class:`~collections.OrderedDict`, so the LRU
+  victim is ``popitem(last=False)`` rather than a full scan;
+* a per-application key index makes ``invalidate_app`` /
+  ``entries_for_app`` proportional to the app's entries, not the cache;
+* buckets (and index sets) are pruned as they empty, so iteration never
+  visits dead structure.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.analysis.exposure import ExposureLevel
 from repro.crypto.envelope import QueryEnvelope, ResultEnvelope
+from repro.dssp.stats import DsspStats
 from repro.errors import CacheError
 from repro.sql.ast import Select
 from repro.storage.rows import ResultSet
@@ -51,14 +63,22 @@ class CacheEntry:
 
 
 class ViewCache:
-    """In-memory materialized-view cache with template-name buckets."""
+    """In-memory materialized-view cache with template-name buckets.
 
-    def __init__(self, capacity: int | None = None) -> None:
-        self._entries: dict[str, CacheEntry] = {}
+    Args:
+        capacity: Max resident entries (None = unbounded); LRU eviction.
+        stats: Optional node counters; eviction work is recorded there.
+    """
+
+    def __init__(
+        self, capacity: int | None = None, stats: DsspStats | None = None
+    ) -> None:
+        #: Entries in recency order: least recently used first.
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._buckets: dict[tuple[str, str | None], set[str]] = {}
+        self._app_keys: dict[str, set[str]] = {}
         self._capacity = capacity
-        self._lru: dict[str, int] = {}
-        self._clock = 0
+        self._stats = stats
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,13 +92,15 @@ class ViewCache:
         """Look up an entry; None on miss.  Refreshes LRU position."""
         entry = self._entries.get(key)
         if entry is not None:
-            self._clock += 1
-            self._lru[key] = self._clock
+            self._entries.move_to_end(key)
         return entry
 
     def entries_for_app(self, app_id: str) -> list[CacheEntry]:
         """All entries belonging to one application."""
-        return [e for e in self._entries.values() if e.app_id == app_id]
+        keys = self._app_keys.get(app_id)
+        if not keys:
+            return []
+        return [self._entries[key] for key in keys]
 
     def bucket(self, app_id: str, template_name: str | None) -> tuple[CacheEntry, ...]:
         """Entries of one app with the given visible template name.
@@ -91,9 +113,7 @@ class ViewCache:
     def bucket_names(self, app_id: str) -> tuple[str | None, ...]:
         """Visible template names (and possibly None) with live entries."""
         return tuple(
-            name
-            for (app, name), keys in self._buckets.items()
-            if app == app_id and keys
+            name for (app, name) in self._buckets if app == app_id
         )
 
     # -- write path -----------------------------------------------------------
@@ -112,13 +132,20 @@ class ViewCache:
             statement=envelope.statement,
             view_rows=view_rows,
         )
-        if entry.key not in self._entries:
-            self._buckets.setdefault(
-                (entry.app_id, entry.template_name), set()
-            ).add(entry.key)
+        old = self._entries.get(entry.key)
+        if old is not None and (
+            old.app_id != entry.app_id
+            or old.template_name != entry.template_name
+        ):
+            # Refresh under a different visible identity (exposure policy
+            # changed between runs): the old bucket must not keep pointing
+            # at the key the entry moved away from.
+            self._unindex(old)
+            old = None
+        if old is None:
+            self._index(entry)
         self._entries[entry.key] = entry
-        self._clock += 1
-        self._lru[entry.key] = self._clock
+        self._entries.move_to_end(entry.key)
         self._maybe_evict()
         return entry
 
@@ -127,10 +154,7 @@ class ViewCache:
         entry = self._entries.pop(key, None)
         if entry is None:
             return False
-        self._lru.pop(key, None)
-        bucket = self._buckets.get((entry.app_id, entry.template_name))
-        if bucket is not None:
-            bucket.discard(key)
+        self._unindex(entry)
         return True
 
     def invalidate_many(self, keys: Iterable[str]) -> int:
@@ -146,18 +170,47 @@ class ViewCache:
 
     def invalidate_app(self, app_id: str) -> int:
         """Drop every entry of one application (blind strategy)."""
-        keys = [k for k, e in self._entries.items() if e.app_id == app_id]
-        return self.invalidate_many(keys)
+        keys = self._app_keys.get(app_id)
+        if not keys:
+            return 0
+        return self.invalidate_many(tuple(keys))
 
     def clear(self) -> None:
         """Empty the cache entirely (cold start)."""
         self._entries.clear()
         self._buckets.clear()
-        self._lru.clear()
+        self._app_keys.clear()
+
+    # -- index maintenance -----------------------------------------------------
+
+    def _index(self, entry: CacheEntry) -> None:
+        self._buckets.setdefault(
+            (entry.app_id, entry.template_name), set()
+        ).add(entry.key)
+        self._app_keys.setdefault(entry.app_id, set()).add(entry.key)
+
+    def _unindex(self, entry: CacheEntry) -> None:
+        bucket_id = (entry.app_id, entry.template_name)
+        bucket = self._buckets.get(bucket_id)
+        if bucket is not None:
+            bucket.discard(entry.key)
+            if not bucket:
+                del self._buckets[bucket_id]
+        app_keys = self._app_keys.get(entry.app_id)
+        if app_keys is not None:
+            app_keys.discard(entry.key)
+            if not app_keys:
+                del self._app_keys[entry.app_id]
 
     def _maybe_evict(self) -> None:
-        if self._capacity is None:
+        if self._capacity is None or len(self._entries) <= self._capacity:
             return
+        started = time.perf_counter() if self._stats is not None else 0.0
+        evicted = 0
         while len(self._entries) > self._capacity:
-            victim = min(self._lru, key=self._lru.get)  # least recently used
-            self.invalidate(victim)
+            _, victim = self._entries.popitem(last=False)
+            self._unindex(victim)
+            evicted += 1
+        if self._stats is not None:
+            self._stats.evictions += evicted
+            self._stats.eviction_time_s += time.perf_counter() - started

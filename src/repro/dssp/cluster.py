@@ -97,15 +97,7 @@ class DsspCluster:
         """Sum per-node counters into one fleet-wide view."""
         total = DsspStats()
         for node in self.nodes:
-            total.hits += node.stats.hits
-            total.misses += node.stats.misses
-            total.updates += node.stats.updates
-            total.invalidations += node.stats.invalidations
-            total.invalidation_checks += node.stats.invalidation_checks
-            for name, count in node.stats.per_query_invalidations.items():
-                total.per_query_invalidations[name] = (
-                    total.per_query_invalidations.get(name, 0) + count
-                )
+            total.merge(node.stats)
         return total
 
     def total_cached_views(self) -> int:

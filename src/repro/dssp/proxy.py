@@ -13,6 +13,7 @@ realistic service times and network delays.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.crypto.envelope import QueryEnvelope, ResultEnvelope, UpdateEnvelope
@@ -57,8 +58,8 @@ class DsspNode:
         use_integrity_constraints: bool = True,
         equality_only_independence: bool = False,
     ) -> None:
-        self.cache = ViewCache(capacity=cache_capacity)
         self.stats = DsspStats()
+        self.cache = ViewCache(capacity=cache_capacity, stats=self.stats)
         self._use_constraints = use_integrity_constraints
         self._equality_only = equality_only_independence
         self._tenants: dict[str, _Tenant] = {}
@@ -114,7 +115,9 @@ class DsspNode:
     def lookup(self, envelope: QueryEnvelope) -> ResultEnvelope | None:
         """Phase 1 of a query: cache probe.  None means miss (go to home)."""
         self._tenant(envelope.app_id)  # validate tenancy
+        started = time.perf_counter()
         entry = self.cache.get(envelope.cache_key)
+        self.stats.lookup_time_s += time.perf_counter() - started
         if entry is not None:
             self.stats.hits += 1
             return entry.result
@@ -135,7 +138,10 @@ class DsspNode:
     def invalidate_for(self, envelope: UpdateEnvelope) -> int:
         """Phase 2 of an update: the DSSP-side invalidation pass."""
         tenant = self._tenant(envelope.app_id)
-        return tenant.engine.process_update(envelope, self.cache, self.stats)
+        started = time.perf_counter()
+        count = tenant.engine.process_update(envelope, self.cache, self.stats)
+        self.stats.invalidation_time_s += time.perf_counter() - started
+        return count
 
     # -- maintenance ---------------------------------------------------------------
 

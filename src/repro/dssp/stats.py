@@ -13,6 +13,10 @@ class DsspStats:
 
     ``hits``/``misses`` drive the scalability experiments: a miss costs a
     WAN round trip and home-server work, a hit is served locally.
+
+    The ``*_time_s`` fields accumulate wall-clock time spent in the three
+    DSSP-side hot paths (cache lookup, invalidation decisions, LRU
+    eviction), so optimizations to those paths are directly measurable.
     """
 
     hits: int = 0
@@ -20,6 +24,17 @@ class DsspStats:
     updates: int = 0
     invalidations: int = 0
     invalidation_checks: int = 0
+    #: Statement-level decisions answered from the engine's memo instead of
+    #: re-running interval reasoning.
+    decision_memo_hits: int = 0
+    #: Entries dropped by capacity eviction (not by invalidation).
+    evictions: int = 0
+    #: Wall-clock seconds spent probing the cache (``DsspNode.lookup``).
+    lookup_time_s: float = 0.0
+    #: Wall-clock seconds spent deciding + applying invalidations.
+    invalidation_time_s: float = 0.0
+    #: Wall-clock seconds spent selecting and dropping LRU victims.
+    eviction_time_s: float = 0.0
     per_query_invalidations: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -34,6 +49,14 @@ class DsspStats:
             return 0.0
         return self.hits / self.lookups
 
+    @property
+    def decision_memo_rate(self) -> float:
+        """Fraction of statement-level decisions served from the memo."""
+        total = self.invalidation_checks + self.decision_memo_hits
+        if not total:
+            return 0.0
+        return self.decision_memo_hits / total
+
     def record_invalidation(self, template_name: str | None, count: int = 1) -> None:
         """Count invalidated entries, attributed to a query template."""
         self.invalidations += count
@@ -42,6 +65,23 @@ class DsspStats:
             self.per_query_invalidations.get(key, 0) + count
         )
 
+    def merge(self, other: "DsspStats") -> None:
+        """Add another node's counters into this one (fleet aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.updates += other.updates
+        self.invalidations += other.invalidations
+        self.invalidation_checks += other.invalidation_checks
+        self.decision_memo_hits += other.decision_memo_hits
+        self.evictions += other.evictions
+        self.lookup_time_s += other.lookup_time_s
+        self.invalidation_time_s += other.invalidation_time_s
+        self.eviction_time_s += other.eviction_time_s
+        for name, count in other.per_query_invalidations.items():
+            self.per_query_invalidations[name] = (
+                self.per_query_invalidations.get(name, 0) + count
+            )
+
     def reset(self) -> None:
         """Zero all counters (e.g. between benchmark phases)."""
         self.hits = 0
@@ -49,4 +89,9 @@ class DsspStats:
         self.updates = 0
         self.invalidations = 0
         self.invalidation_checks = 0
+        self.decision_memo_hits = 0
+        self.evictions = 0
+        self.lookup_time_s = 0.0
+        self.invalidation_time_s = 0.0
+        self.eviction_time_s = 0.0
         self.per_query_invalidations.clear()

@@ -34,6 +34,7 @@ from repro.simulation.scalability import (
     measure_cache_behavior,
     predict_p90,
 )
+from repro.simulation.sweep import SweepResult, SweepTask, run_sweep, run_task
 
 __all__ = [
     "CacheBehavior",
@@ -43,9 +44,13 @@ __all__ = [
     "SimulationReport",
     "Simulator",
     "Station",
+    "SweepResult",
+    "SweepTask",
     "find_scalability",
     "measure_cache_behavior",
     "percentile",
     "predict_p90",
+    "run_sweep",
+    "run_task",
     "simulate_users",
 ]

@@ -178,12 +178,19 @@ def predict_p90(
             + behavior.misses_per_page * miss_t
             + behavior.updates_per_page * update_t
         )
-        # Treat each op time as exponential-ish for a dispersion estimate.
-        variance = (
+        # Dispersion of the page time around its mean: the page is a sum of
+        # ops drawn from the {hit, miss, update} mixture, so the per-op
+        # variance is the mixture's central second moment E[X²] − E[X]²
+        # (NOT the raw second moment — that would double-count the mean and
+        # inflate every predicted p90), and the page-level variance scales
+        # with the number of ops.
+        op_second_moment = (
             behavior.hits_per_page * hit_t**2
             + behavior.misses_per_page * miss_t**2
             + behavior.updates_per_page * update_t**2
-        )
+        ) / ops_per_page
+        op_mean = mean / ops_per_page
+        variance = ops_per_page * max(0.0, op_second_moment - op_mean**2)
         new_page_time = mean
         if abs(new_page_time - page_time) < 1e-6:
             page_time = new_page_time
@@ -232,7 +239,13 @@ def find_scalability(
     while high <= max_users and meets(high):
         low, high = high, high * 2
     if high > max_users:
-        return max_users
+        # The bracket overshot the search ceiling: every probe up to
+        # ``low`` met the SLA, but ``max_users`` itself is untested.
+        # Returning it blindly would overstate scalability whenever the
+        # true crossing lies in (low, max_users).
+        if meets(max_users):
+            return max_users
+        high = max_users
     while high - low > 1:
         middle = (low + high) // 2
         if meets(middle):

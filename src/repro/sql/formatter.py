@@ -10,6 +10,8 @@ statements in the DSSP cache, so it must be a pure function of the AST.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.sql.ast import (
     Aggregate,
     ColumnRef,
@@ -31,8 +33,14 @@ from repro.sql.ast import (
 __all__ = ["to_sql"]
 
 
+@lru_cache(maxsize=8192)
 def to_sql(node: Statement) -> str:
-    """Render any statement AST back to canonical SQL text."""
+    """Render any statement AST back to canonical SQL text.
+
+    Memoized: nodes are frozen (value-hashable) and the rendering is pure,
+    while the DSSP hot paths re-render the same popular bound statements on
+    every cache lookup and invalidation pass.
+    """
     if isinstance(node, Select):
         return _format_select(node)
     if isinstance(node, Insert):

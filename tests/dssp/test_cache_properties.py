@@ -1,0 +1,186 @@
+"""Property-based invariants of the O(1) ViewCache (hypothesis).
+
+A reference model (an OrderedDict of key → (app, template) in recency
+order, evicting from the front) is driven in lockstep with the real cache
+through random interleavings of puts, touches, and the three invalidation
+entry points.  The invariants checked after every step:
+
+* the template buckets exactly partition the live keys (no stale
+  membership after a refresh changes an entry's visible identity, no
+  empty buckets left behind);
+* the per-app index agrees with the entries;
+* capacity is never exceeded and eviction follows access order (any
+  divergence from true LRU shows up as a membership mismatch against the
+  model);
+* ``invalidate_*`` return counts equal the number of entries dropped.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto.envelope import QueryEnvelope, ResultEnvelope
+from repro.dssp.cache import ViewCache
+from repro.dssp.stats import DsspStats
+
+KEYS = tuple(f"key-{i}" for i in range(12))
+APPS = ("app-a", "app-b")
+TEMPLATES = (None, "Q1", "Q2", "Q3")
+
+keys = st.sampled_from(KEYS)
+apps = st.sampled_from(APPS)
+templates = st.sampled_from(TEMPLATES)
+
+
+def _put_args(app: str, key: str, template: str | None):
+    envelope = QueryEnvelope(
+        app_id=app,
+        level=ExposureLevel.STMT,
+        cache_key=key,
+        template_name=template,
+    )
+    return envelope, ResultEnvelope(app_id=app, ciphertext=b"sealed")
+
+
+class CacheMachine(RuleBasedStateMachine):
+    @initialize(capacity=st.sampled_from((None, 1, 2, 3, 5, 8)))
+    def setup(self, capacity):
+        self.capacity = capacity
+        self.stats = DsspStats()
+        self.cache = ViewCache(capacity=capacity, stats=self.stats)
+        #: key → (app, template) in recency order (LRU first).
+        self.model: OrderedDict[str, tuple[str, str | None]] = OrderedDict()
+        self.model_evictions = 0
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(app=apps, key=keys, template=templates)
+    def put(self, app, key, template):
+        self.cache.put(*_put_args(app, key, template))
+        self.model[key] = (app, template)
+        self.model.move_to_end(key)
+        if self.capacity is not None:
+            while len(self.model) > self.capacity:
+                self.model.popitem(last=False)
+                self.model_evictions += 1
+
+    @rule(key=keys)
+    def get(self, key):
+        entry = self.cache.get(key)
+        if key in self.model:
+            app, template = self.model[key]
+            assert entry is not None
+            assert (entry.app_id, entry.template_name) == (app, template)
+            self.model.move_to_end(key)
+        else:
+            assert entry is None
+
+    @rule(key=keys)
+    def invalidate(self, key):
+        existed = self.cache.invalidate(key)
+        assert existed == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(app=apps, template=templates)
+    def invalidate_bucket(self, app, template):
+        expected = [
+            key
+            for key, identity in self.model.items()
+            if identity == (app, template)
+        ]
+        count = self.cache.invalidate_bucket(app, template)
+        assert count == len(expected)
+        for key in expected:
+            del self.model[key]
+
+    @rule(app=apps)
+    def invalidate_app(self, app):
+        expected = [
+            key for key, (owner, _) in self.model.items() if owner == app
+        ]
+        count = self.cache.invalidate_app(app)
+        assert count == len(expected)
+        for key in expected:
+            del self.model[key]
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.model.clear()
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def membership_matches_model(self):
+        assert len(self.cache) == len(self.model)
+        for key in KEYS:
+            assert (key in self.cache) == (key in self.model)
+
+    @invariant()
+    def capacity_respected(self):
+        if self.capacity is not None:
+            assert len(self.cache) <= self.capacity
+
+    @invariant()
+    def buckets_partition_live_keys(self):
+        seen: set[str] = set()
+        for app in APPS:
+            for name in self.cache.bucket_names(app):
+                entries = self.cache.bucket(app, name)
+                assert entries, "empty bucket left unpruned"
+                for entry in entries:
+                    assert entry.key not in seen, "key in two buckets"
+                    seen.add(entry.key)
+                    assert self.model[entry.key] == (app, name)
+        assert seen == set(self.model)
+
+    @invariant()
+    def app_index_matches_model(self):
+        for app in APPS:
+            expected = {
+                key for key, (owner, _) in self.model.items() if owner == app
+            }
+            got = {entry.key for entry in self.cache.entries_for_app(app)}
+            assert got == expected
+
+    @invariant()
+    def eviction_counter_matches_model(self):
+        assert self.stats.evictions == self.model_evictions
+
+
+TestCacheProperties = CacheMachine.TestCase
+TestCacheProperties.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+
+
+class TestRefreshMovesBucket:
+    """Regression: re-inserting a key under a different visible template
+    must move the key between buckets, not duplicate its membership."""
+
+    def test_put_refresh_with_new_template(self):
+        cache = ViewCache()
+        cache.put(*_put_args("app-a", "k", "Q1"))
+        cache.put(*_put_args("app-a", "k", "Q2"))
+        assert [e.key for e in cache.bucket("app-a", "Q2")] == ["k"]
+        assert cache.bucket("app-a", "Q1") == ()
+        assert cache.bucket_names("app-a") == ("Q2",)
+        # The moved entry invalidates exactly once, via its new bucket.
+        assert cache.invalidate_bucket("app-a", "Q1") == 0
+        assert cache.invalidate_bucket("app-a", "Q2") == 1
+        assert len(cache) == 0
+
+    def test_put_refresh_to_blind_bucket(self):
+        cache = ViewCache()
+        cache.put(*_put_args("app-a", "k", "Q1"))
+        cache.put(*_put_args("app-a", "k", None))
+        assert cache.bucket_names("app-a") == (None,)
+        assert cache.invalidate_bucket("app-a", None) == 1

@@ -95,6 +95,91 @@ class TestAnalyticModel:
         assert find_scalability(SimulationParams(), behavior=behavior) == 0
 
 
+class TestVarianceFix:
+    """Regression: the model's dispersion term must be a true variance.
+
+    The seed plugged the raw second moment E[X²] into the p90 formula,
+    which double-counts the mean — a page made of identical ops got a
+    2.28× inflated p90 even though its time is deterministic.
+    """
+
+    @staticmethod
+    def _behavior(hits=0.0, misses=0.0, updates=0.0):
+        return CacheBehavior(
+            pages=100,
+            queries_per_page=hits + misses,
+            hits_per_page=hits,
+            misses_per_page=misses,
+            updates_per_page=updates,
+            invalidations_per_update=1.0 if updates else 0.0,
+        )
+
+    def test_homogeneous_page_has_no_dispersion(self):
+        # One cache hit per page: the page time is (almost) deterministic,
+        # so p90 ≈ mean = client RTT + DSSP lookup, not 2.28× that.
+        params = SimulationParams()
+        client_rt = params.client_dssp.round_trip(
+            params.request_bytes, params.response_bytes
+        )
+        p90 = predict_p90(1, params, self._behavior(hits=1.0))
+        assert client_rt < p90 < client_rt + 2 * params.dssp_lookup_s
+
+    def test_homogeneous_page_scales_linearly_in_ops(self):
+        # With zero mixture variance the p90 is the mean, which is linear
+        # in the per-page op count.  The raw-second-moment bug broke this:
+        # its sqrt term grew as sqrt(n)·t, not n·t.
+        params = SimulationParams()
+        one = predict_p90(1, params, self._behavior(hits=1.0))
+        four = predict_p90(1, params, self._behavior(hits=4.0))
+        assert four == pytest.approx(4 * one, rel=1e-3)
+
+    def test_mixed_page_pays_a_dispersion_premium(self):
+        # Replacing a hit with a (slower) miss raises the mean AND adds
+        # genuine variance, so p90 exceeds the all-hit page by more than
+        # the mean shift alone.
+        params = SimulationParams()
+        wan_rt = params.dssp_home.round_trip(
+            params.request_bytes, params.response_bytes
+        )
+        all_hits = predict_p90(1, params, self._behavior(hits=2.0))
+        mixed = predict_p90(1, params, self._behavior(hits=1.0, misses=1.0))
+        mean_shift_upper = wan_rt + 2 * params.home_query_s
+        assert mixed > all_hits + mean_shift_upper
+
+
+class TestBracketOvershoot:
+    """Regression: when the doubling bracket overshoots ``max_users``, the
+    seed returned ``max_users`` without ever probing it — overstating
+    scalability whenever the true SLA crossing lay inside the bracket."""
+
+    class _Report:
+        def __init__(self, ok):
+            self._ok = ok
+
+        def meets_sla(self, params):
+            return self._ok
+
+    def _probe(self, threshold):
+        return lambda users: self._Report(users <= threshold)
+
+    def test_crossing_inside_overshot_bracket(self):
+        # Bracket reaches 16 → 32 > 25; the crossing at 20 must be found
+        # by searching [16, 25], not papered over by returning 25.
+        params = SimulationParams()
+        users = find_scalability(params, des_probe=self._probe(20), max_users=25)
+        assert users == 20
+
+    def test_crossing_just_below_ceiling(self):
+        params = SimulationParams()
+        users = find_scalability(params, des_probe=self._probe(24), max_users=25)
+        assert users == 24
+
+    def test_ceiling_returned_only_when_it_meets_sla(self):
+        params = SimulationParams()
+        users = find_scalability(params, des_probe=self._probe(100), max_users=25)
+        assert users == 25
+
+
 class TestDes:
     def test_small_run_produces_pages(self):
         node, home, sampler = deploy("bookstore", StrategyClass.MVIS)
