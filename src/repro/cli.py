@@ -12,11 +12,15 @@ Commands:
 * ``scalability APP`` — measure cache behaviour per strategy class and
   report max users within the SLA (Figure 8 style).
 * ``simulate APP --users N`` — one discrete-event simulation run.
+* ``serve-home APP`` / ``serve-dssp APP`` — run the networked service
+  layer (home organization / DSSP node) on real sockets.
+* ``loadgen APP`` — closed-loop load generator against live DSSP nodes.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 
 from repro.analysis import (
@@ -139,7 +143,110 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["characterization", "methodology", "policy"],
         help="which artifact to export",
     )
+
+    serve_home = commands.add_parser(
+        "serve-home", help="run an application's home server on a socket"
+    )
+    _add_app_argument(serve_home)
+    _add_serve_arguments(serve_home)
+    serve_home.add_argument(
+        "--strategy",
+        choices=[s.name for s in StrategyClass],
+        default="MVIS",
+        help="uniform exposure policy for sealing results",
+    )
+    serve_home.add_argument("--scale", type=float, default=0.2)
+    serve_home.add_argument("--seed", type=int, default=1)
+    serve_home.add_argument(
+        "--master",
+        default="repro-demo",
+        help="shared demo master secret (derives the application keyring; "
+        "the DSSP never sees it)",
+    )
+
+    serve_dssp = commands.add_parser(
+        "serve-dssp", help="run a DSSP cache node on a socket"
+    )
+    _add_app_argument(serve_dssp)
+    _add_serve_arguments(serve_dssp)
+    serve_dssp.add_argument(
+        "--home",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the application's home server",
+    )
+    serve_dssp.add_argument(
+        "--node-id", default="dssp-0", help="identity on the invalidation stream"
+    )
+    serve_dssp.add_argument(
+        "--capacity", type=int, default=None, help="cache capacity (views)"
+    )
+    serve_dssp.add_argument("--no-constraints", action="store_true")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="closed-loop load generator against live DSSP nodes"
+    )
+    _add_app_argument(loadgen)
+    loadgen.add_argument(
+        "--dssp",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="DSSP node address (repeat for a fleet)",
+    )
+    loadgen.add_argument(
+        "--strategy",
+        choices=[s.name for s in StrategyClass],
+        default="MVIS",
+        help="uniform exposure level used to seal requests "
+        "(must match the home server's)",
+    )
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument(
+        "--pages", type=int, default=None, help="page budget (default: none)"
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=None, help="wall-clock budget (s)"
+    )
+    loadgen.add_argument("--scale", type=float, default=0.2)
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace file: replayed if it exists, else recorded there first",
+    )
+    loadgen.add_argument(
+        "--trace-pages",
+        type=int,
+        default=400,
+        help="pages to record when creating a new trace",
+    )
+    loadgen.add_argument(
+        "--master",
+        default="repro-demo",
+        help="shared demo master secret (must match serve-home)",
+    )
     return parser
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        help="requests processed concurrently before shedding (OVERLOADED)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-request timeout in seconds",
+    )
 
 
 # -- command implementations ---------------------------------------------------------
@@ -349,6 +456,175 @@ def _cmd_export(args, out) -> int:
     return 0
 
 
+# -- networked service layer ---------------------------------------------------------
+
+
+def _demo_keyring(app: str, master: str):
+    """Deterministic keyring both endpoints of a demo can derive."""
+    from repro.crypto import Keyring
+
+    digest = hashlib.sha256(f"{master}:{app}".encode()).digest()
+    return Keyring(app, digest)
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad address {text!r}: expected HOST:PORT")
+    return host, int(port)
+
+
+def _serve(server, banner: str, out) -> int:
+    """Run a wire server until SIGINT/SIGTERM; returns an exit code."""
+    import asyncio
+    import signal
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(banner.format(host=host, port=port), file=out, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+        print("clean shutdown", file=out, flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("clean shutdown", file=out, flush=True)
+    return 0
+
+
+def _cmd_serve_home(args, out) -> int:
+    from repro.net.home_server import HomeNetServer
+
+    strategy = StrategyClass[args.strategy]
+    spec = get_application(args.app)
+    instance = spec.instantiate(scale=args.scale, seed=args.seed)
+    policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    home = HomeServer(
+        args.app,
+        instance.database,
+        spec.registry,
+        policy,
+        _demo_keyring(args.app, args.master),
+    )
+    server = HomeNetServer(
+        home,
+        args.host,
+        args.port,
+        max_in_flight=args.max_in_flight,
+        request_timeout_s=args.timeout,
+    )
+    return _serve(
+        server,
+        f"home[{args.app}] strategy={strategy.name} "
+        "listening on {host}:{port}",
+        out,
+    )
+
+
+def _cmd_serve_dssp(args, out) -> int:
+    from repro.net.dssp_server import DsspNetServer
+
+    registry = get_application(args.app).registry
+    node = DsspNode(
+        cache_capacity=args.capacity,
+        use_integrity_constraints=not args.no_constraints,
+    )
+    server = DsspNetServer(
+        node,
+        args.host,
+        args.port,
+        node_id=args.node_id,
+        max_in_flight=args.max_in_flight,
+        request_timeout_s=args.timeout,
+    )
+    server.register_application(args.app, registry, _parse_address(args.home))
+    return _serve(
+        server,
+        f"dssp[{args.node_id}] app={args.app} home={args.home} "
+        "listening on {host}:{port}",
+        out,
+    )
+
+
+def _cmd_loadgen(args, out) -> int:
+    import asyncio
+    import pathlib
+
+    from repro.crypto.envelope import EnvelopeCodec
+    from repro.net.client import WireClient
+    from repro.net.loadgen import run_load
+    from repro.simulation import SimulationParams
+    from repro.simulation.scalability import predict_p90
+    from repro.workloads.trace import Trace, record_trace
+
+    if args.pages is None and args.duration is None:
+        args.duration = 5.0
+    strategy = StrategyClass[args.strategy]
+    spec = get_application(args.app)
+    policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    codec = EnvelopeCodec(_demo_keyring(args.app, args.master))
+
+    trace_path = pathlib.Path(args.trace) if args.trace else None
+    if trace_path is not None and trace_path.exists():
+        trace = Trace.from_json(trace_path.read_text())
+        print(f"replaying {len(trace)}-page trace {trace_path}", file=out)
+    else:
+        sampler = spec.instantiate(scale=args.scale, seed=args.seed).sampler
+        trace = record_trace(
+            sampler, args.trace_pages, seed=args.seed, application=args.app
+        )
+        if trace_path is not None:
+            trace_path.write_text(trace.to_json())
+            print(f"recorded {len(trace)}-page trace to {trace_path}", file=out)
+    trace.bind(spec.registry)
+
+    async def run():
+        endpoints = [
+            WireClient(*_parse_address(address)) for address in args.dssp
+        ]
+        try:
+            return await run_load(
+                endpoints,
+                codec,
+                policy,
+                trace,
+                clients=args.clients,
+                pages=args.pages,
+                duration_s=args.duration,
+            )
+        finally:
+            for endpoint in endpoints:
+                await endpoint.aclose()
+
+    report = asyncio.run(run())
+    print(
+        f"app={args.app} strategy={strategy.name} clients={args.clients} "
+        f"nodes={len(args.dssp)} duration={report.duration_s:.2f}s",
+        file=out,
+    )
+    print(report.summary(), file=out)
+    if report.pages:
+        predicted = predict_p90(
+            args.clients, SimulationParams(), report.behavior()
+        )
+        print(
+            f"analytic cross-check: predict_p90({args.clients} users) = "
+            f"{predicted:.3f}s (model WAN/SLA units, not localhost time)",
+            file=out,
+        )
+    return 0
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "templates": _cmd_templates,
@@ -359,6 +635,9 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "diagnose": _cmd_diagnose,
     "export": _cmd_export,
+    "serve-home": _cmd_serve_home,
+    "serve-dssp": _cmd_serve_dssp,
+    "loadgen": _cmd_loadgen,
 }
 
 

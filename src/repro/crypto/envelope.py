@@ -33,7 +33,14 @@ from repro.sql.parser import parse
 from repro.storage.rows import ResultSet
 from repro.templates.template import BoundQuery, BoundUpdate
 
-__all__ = ["EnvelopeCodec", "QueryEnvelope", "ResultEnvelope", "UpdateEnvelope"]
+__all__ = [
+    "EnvelopeCodec",
+    "QueryEnvelope",
+    "ResultEnvelope",
+    "UpdateEnvelope",
+    "deserialize_result",
+    "serialize_result",
+]
 
 
 @dataclass(frozen=True)
@@ -103,7 +110,8 @@ class ResultEnvelope:
         return self.plaintext is not None
 
 
-def _serialize_result(result: ResultSet) -> bytes:
+def serialize_result(result: ResultSet) -> bytes:
+    """Canonical byte form of a result set (also used on the wire)."""
     payload = {
         "columns": list(result.columns),
         "ordered": result.ordered,
@@ -112,13 +120,23 @@ def _serialize_result(result: ResultSet) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode()
 
 
-def _deserialize_result(data: bytes) -> ResultSet:
-    payload = json.loads(data.decode())
-    return ResultSet(
-        columns=tuple(payload["columns"]),
-        rows=tuple(tuple(row) for row in payload["rows"]),
-        ordered=payload["ordered"],
-    )
+def deserialize_result(data: bytes) -> ResultSet:
+    """Inverse of :func:`serialize_result`.
+
+    Raises:
+        CryptoError: if the payload is not a serialized result set.
+    """
+    try:
+        payload = json.loads(data.decode())
+        return ResultSet(
+            columns=tuple(payload["columns"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            ordered=payload["ordered"],
+        )
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+        raise CryptoError(f"malformed result payload: {error}") from error
+
+
 
 
 class EnvelopeCodec:
@@ -258,7 +276,7 @@ class EnvelopeCodec:
         """Seal a query result: plaintext only at ``view`` exposure."""
         if level is ExposureLevel.VIEW:
             return ResultEnvelope(app_id=self.app_id, plaintext=result)
-        token = encrypt(self._result_key, _serialize_result(result))
+        token = encrypt(self._result_key, serialize_result(result))
         return ResultEnvelope(app_id=self.app_id, ciphertext=token)
 
     def open_result(self, envelope: ResultEnvelope) -> ResultSet:
@@ -275,7 +293,7 @@ class EnvelopeCodec:
         if envelope.plaintext is not None:
             return envelope.plaintext
         assert envelope.ciphertext is not None
-        return _deserialize_result(decrypt(self._result_key, envelope.ciphertext))
+        return deserialize_result(decrypt(self._result_key, envelope.ciphertext))
 
     # -- opening (home-server side) --------------------------------------------------
 

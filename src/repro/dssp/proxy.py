@@ -21,7 +21,7 @@ from repro.dssp.cache import ViewCache
 from repro.dssp.homeserver import HomeServer
 from repro.dssp.invalidation import InvalidationEngine
 from repro.dssp.stats import DsspStats
-from repro.errors import CacheError
+from repro.errors import CacheError, UnknownApplicationError
 from repro.templates.registry import TemplateRegistry
 
 __all__ = ["DsspNode", "QueryOutcome", "UpdateOutcome"]
@@ -45,8 +45,10 @@ class UpdateOutcome:
 
 @dataclass
 class _Tenant:
-    home: HomeServer
     engine: InvalidationEngine
+    #: None for remote tenants: the application's home lives across the
+    #: network and miss/update forwarding is the service layer's job.
+    home: HomeServer | None = None
 
 
 class DsspNode:
@@ -72,18 +74,40 @@ class DsspNode:
         """Attach an application: its home server and public template set."""
         if home.app_id in self._tenants:
             raise CacheError(f"application {home.app_id!r} already registered")
-        engine = InvalidationEngine(
-            registry or home.registry,
+        engine = self._build_engine(registry or home.registry)
+        self._tenants[home.app_id] = _Tenant(engine=engine, home=home)
+
+    def register_remote(self, app_id: str, registry: TemplateRegistry) -> None:
+        """Attach an application whose home server is across the network.
+
+        Only the public template set is needed: the node can probe and
+        invalidate its cache, while the service layer forwards misses and
+        updates to the remote home and admits results via :meth:`admit`.
+        """
+        if app_id in self._tenants:
+            raise CacheError(f"application {app_id!r} already registered")
+        self._tenants[app_id] = _Tenant(engine=self._build_engine(registry))
+
+    def _build_engine(self, registry: TemplateRegistry) -> InvalidationEngine:
+        return InvalidationEngine(
+            registry,
             use_integrity_constraints=self._use_constraints,
             equality_only_independence=self._equality_only,
         )
-        self._tenants[home.app_id] = _Tenant(home=home, engine=engine)
 
     def _tenant(self, app_id: str) -> _Tenant:
         try:
             return self._tenants[app_id]
         except KeyError:
-            raise CacheError(f"unknown application {app_id!r}") from None
+            raise UnknownApplicationError(app_id) from None
+
+    def _local_home(self, app_id: str) -> HomeServer:
+        tenant = self._tenant(app_id)
+        if tenant.home is None:
+            raise CacheError(
+                f"application {app_id!r} is remote: no in-process home server"
+            )
+        return tenant.home
 
     # -- client-facing API -----------------------------------------------------
 
@@ -126,14 +150,18 @@ class DsspNode:
 
     def fill(self, envelope: QueryEnvelope) -> ResultEnvelope:
         """Phase 2 of a missed query: home round trip + cache admission."""
-        tenant = self._tenant(envelope.app_id)
-        result = tenant.home.serve_query(envelope)
+        result = self._local_home(envelope.app_id).serve_query(envelope)
         self.cache.put(envelope, result)
         return result
 
+    def admit(self, envelope: QueryEnvelope, result: ResultEnvelope) -> None:
+        """Cache a result fetched from a *remote* home (service layer)."""
+        self._tenant(envelope.app_id)  # validate tenancy
+        self.cache.put(envelope, result)
+
     def forward_update(self, envelope: UpdateEnvelope) -> int:
         """Phase 1 of an update: application at the home server."""
-        return self._tenant(envelope.app_id).home.apply_update(envelope)
+        return self._local_home(envelope.app_id).apply_update(envelope)
 
     def invalidate_for(self, envelope: UpdateEnvelope) -> int:
         """Phase 2 of an update: the DSSP-side invalidation pass."""

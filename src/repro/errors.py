@@ -27,8 +27,15 @@ __all__ = [
     "AnalysisError",
     "CryptoError",
     "CacheError",
+    "UnknownApplicationError",
     "SimulationError",
     "WorkloadError",
+    "NetError",
+    "WireError",
+    "NetConnectionError",
+    "NetTimeoutError",
+    "HomeUnreachableError",
+    "ServerOverloadedError",
 ]
 
 
@@ -148,9 +155,56 @@ class CacheError(ReproError):
     """Raised on DSSP cache protocol violations."""
 
 
+class UnknownApplicationError(CacheError):
+    """An envelope names an application not registered at this endpoint.
+
+    Distinguished from plain :class:`CacheError` so the service layer can
+    map it to a typed wire error code instead of a generic failure.
+    """
+
+    def __init__(self, app_id: str) -> None:
+        super().__init__(f"unknown application {app_id!r}")
+        self.app_id = app_id
+
+
 class SimulationError(ReproError):
     """Raised when the discrete-event simulation is misconfigured."""
 
 
 class WorkloadError(ReproError):
     """Raised when a benchmark application/workload is misconfigured."""
+
+
+# --------------------------------------------------------------------------
+# Service layer (repro.net)
+# --------------------------------------------------------------------------
+
+
+class NetError(ReproError):
+    """Base class for the networked service layer's errors."""
+
+
+class WireError(NetError):
+    """A frame violates the wire protocol (bad magic, truncation, ...).
+
+    Maps to/from the ``BAD_FRAME`` wire error code.
+    """
+
+
+class NetConnectionError(NetError):
+    """A connection could not be established or died mid-exchange."""
+
+
+class NetTimeoutError(NetError):
+    """The server gave up on a request (``TIMEOUT`` wire error code)."""
+
+
+class HomeUnreachableError(NetError):
+    """A DSSP node could not forward a miss/update to the home server.
+
+    Maps to/from the ``MISS_FORWARDED`` wire error code.
+    """
+
+
+class ServerOverloadedError(NetError):
+    """The server shed the request under backpressure (``OVERLOADED``)."""

@@ -1,0 +1,67 @@
+"""The networked service layer (paper Figures 1 and 2, deployed).
+
+The in-process reproduction wires :class:`~repro.dssp.proxy.DsspNode` and
+:class:`~repro.dssp.homeserver.HomeServer` together with direct calls.
+This package puts the *network* back between them:
+
+* :mod:`repro.net.wire` — length-prefixed binary frames; envelopes stay
+  sealed on the wire, so the exposure guarantees carry over byte-for-byte;
+* :mod:`repro.net.home_server` — asyncio server around one or more home
+  servers, including the invalidation-stream channel that fans completed
+  updates out to subscribed DSSP nodes;
+* :mod:`repro.net.dssp_server` — asyncio server around a
+  :class:`~repro.dssp.proxy.DsspNode` with remote miss/update forwarding;
+* :mod:`repro.net.client` — pooled async client with retry/backoff and
+  typed error mapping;
+* :mod:`repro.net.loadgen` — closed-loop load generator for measured (not
+  analytic-model) strategy comparisons.
+"""
+
+from repro.net.client import (
+    NetQueryOutcome,
+    NetUpdateOutcome,
+    RetryPolicy,
+    Subscription,
+    WireClient,
+)
+from repro.net.dssp_server import DsspNetServer
+from repro.net.home_server import HomeNetServer
+from repro.net.loadgen import LoadReport, run_load
+from repro.net.wire import (
+    ErrorCode,
+    ErrorResponse,
+    FrameType,
+    InvalidationPush,
+    QueryRequest,
+    QueryResponse,
+    SubscribeRequest,
+    SubscribeResponse,
+    UpdateRequest,
+    UpdateResponse,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "DsspNetServer",
+    "ErrorCode",
+    "ErrorResponse",
+    "FrameType",
+    "HomeNetServer",
+    "InvalidationPush",
+    "LoadReport",
+    "NetQueryOutcome",
+    "NetUpdateOutcome",
+    "QueryRequest",
+    "QueryResponse",
+    "RetryPolicy",
+    "SubscribeRequest",
+    "SubscribeResponse",
+    "Subscription",
+    "UpdateRequest",
+    "UpdateResponse",
+    "WireClient",
+    "decode_frame",
+    "encode_frame",
+    "run_load",
+]

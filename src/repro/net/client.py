@@ -1,0 +1,423 @@
+"""Async client for DSSP and home servers: pooling, retries, typed errors.
+
+The client owns the trust boundary on the caller's side: wire-level
+:class:`~repro.net.wire.ErrorResponse` frames are mapped back to the typed
+exceptions of :mod:`repro.errors`, so no stringly-typed control flow (and
+no :class:`~repro.errors.CacheError` text matching) leaks across the
+service boundary.
+
+Retry discipline: queries are idempotent and retried on any transient
+failure (connection loss, ``OVERLOADED``, ``MISS_FORWARDED``, ``TIMEOUT``).
+Updates are retried only when the request provably never reached the server
+(connect/send failure before the first byte was written) or when the server
+shed it unprocessed (``OVERLOADED``); a lost *response* to an applied
+update must surface, not silently re-apply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.crypto.envelope import QueryEnvelope, ResultEnvelope, UpdateEnvelope
+from repro.errors import (
+    HomeUnreachableError,
+    NetConnectionError,
+    NetError,
+    NetTimeoutError,
+    ReproError,
+    ServerOverloadedError,
+    UnknownApplicationError,
+    WireError,
+)
+from repro.net import wire
+from repro.net.wire import (
+    ErrorCode,
+    ErrorResponse,
+    Frame,
+    InvalidationPush,
+    QueryRequest,
+    QueryResponse,
+    SubscribeRequest,
+    SubscribeResponse,
+    UpdateRequest,
+    UpdateResponse,
+)
+
+__all__ = [
+    "NetQueryOutcome",
+    "NetUpdateOutcome",
+    "RetryPolicy",
+    "Subscription",
+    "WireClient",
+    "exception_for",
+]
+
+#: Error codes meaning "the server never processed the request".
+_UNPROCESSED_CODES = frozenset({ErrorCode.OVERLOADED})
+#: Additional codes safe to retry when the request is idempotent.
+_IDEMPOTENT_RETRY_CODES = frozenset(
+    {ErrorCode.OVERLOADED, ErrorCode.MISS_FORWARDED, ErrorCode.TIMEOUT}
+)
+
+_EXCEPTION_FOR_CODE: dict[ErrorCode, type[ReproError]] = {
+    ErrorCode.UNKNOWN_APP: UnknownApplicationError,
+    ErrorCode.MISS_FORWARDED: HomeUnreachableError,
+    ErrorCode.TIMEOUT: NetTimeoutError,
+    ErrorCode.BAD_FRAME: WireError,
+    ErrorCode.OVERLOADED: ServerOverloadedError,
+    ErrorCode.INTERNAL: NetError,
+}
+
+
+def exception_for(response: ErrorResponse) -> ReproError:
+    """Typed exception for a wire error frame.
+
+    ``UNKNOWN_APP`` frames carry the offending application id as their
+    message, so the reconstructed exception keeps its ``app_id`` attribute.
+    """
+    if response.code is ErrorCode.UNKNOWN_APP:
+        return UnknownApplicationError(response.message)
+    return _EXCEPTION_FOR_CODE[response.code](response.message)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for transient failures."""
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        return min(
+            self.backoff_s * self.multiplier**attempt, self.max_backoff_s
+        )
+
+
+@dataclass(frozen=True)
+class NetQueryOutcome:
+    """A query's answer as observed through the service boundary."""
+
+    result: ResultEnvelope
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
+class NetUpdateOutcome:
+    """An update's acknowledgement through the service boundary."""
+
+    rows_affected: int
+    invalidated: int
+
+
+class _Connection:
+    """One open stream; requests are strictly send-then-receive."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame: int,
+        observer=None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._observer = observer
+
+    async def send(self, frame: Frame) -> None:
+        await wire.write_frame(
+            self._writer,
+            frame,
+            max_frame=self._max_frame,
+            observer=self._observer,
+        )
+
+    async def receive(self) -> Frame:
+        frame = await wire.read_frame(
+            self._reader, max_frame=self._max_frame, observer=self._observer
+        )
+        if frame is None:
+            raise NetConnectionError("server closed the connection")
+        return frame
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _ConnectionPool:
+    """Bounded pool of lazily opened connections to one address."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int,
+        connect_timeout_s: float,
+        max_frame: int,
+        observer=None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._size = size
+        self._connect_timeout_s = connect_timeout_s
+        self._max_frame = max_frame
+        self._observer = observer
+        self._idle: list[_Connection] = []
+        self._open_count = 0
+        self._available = asyncio.Condition()
+        self._closed = False
+
+    async def acquire(self) -> _Connection:
+        async with self._available:
+            while True:
+                if self._closed:
+                    raise NetConnectionError("client is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._open_count < self._size:
+                    self._open_count += 1
+                    break
+                await self._available.wait()
+        try:
+            return await self._connect()
+        except BaseException:
+            async with self._available:
+                self._open_count -= 1
+                self._available.notify()
+            raise
+
+    async def _connect(self) -> _Connection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port),
+                self._connect_timeout_s,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+            raise NetConnectionError(
+                f"cannot connect to {self._host}:{self._port}: {error}"
+            ) from error
+        return _Connection(
+            reader, writer, max_frame=self._max_frame, observer=self._observer
+        )
+
+    async def release(self, connection: _Connection, *, discard: bool) -> None:
+        if discard or self._closed:
+            await connection.aclose()
+            async with self._available:
+                self._open_count -= 1
+                self._available.notify()
+            return
+        async with self._available:
+            self._idle.append(connection)
+            self._available.notify()
+
+    async def aclose(self) -> None:
+        async with self._available:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._open_count -= len(idle)
+            self._available.notify_all()
+        for connection in idle:
+            await connection.aclose()
+
+
+class Subscription:
+    """An open invalidation-stream channel (DSSP side).
+
+    Iterate :meth:`frames` to receive
+    :class:`~repro.net.wire.InvalidationPush` messages; iteration ends when
+    the server closes the channel.
+    """
+
+    def __init__(self, connection: _Connection, app_ids: tuple[str, ...]):
+        self._connection = connection
+        self.app_ids = app_ids
+
+    async def frames(self):
+        """Yield invalidation pushes until the channel closes."""
+        while True:
+            try:
+                frame = await self._connection.receive()
+            except NetConnectionError:
+                return
+            if isinstance(frame, InvalidationPush):
+                yield frame
+            elif isinstance(frame, ErrorResponse):
+                raise exception_for(frame)
+            else:
+                raise WireError(
+                    f"unexpected {type(frame).__name__} on subscription channel"
+                )
+
+    async def aclose(self) -> None:
+        await self._connection.aclose()
+
+
+class WireClient:
+    """Pooled async client for one server address.
+
+    Works against both server roles: clients point it at a DSSP node,
+    DSSP nodes point it at their applications' home servers.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 4,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        max_frame: int = wire.MAX_FRAME_BYTES,
+        frame_observer=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._retry = retry or RetryPolicy()
+        self._request_timeout_s = request_timeout_s
+        self._max_frame = max_frame
+        self._frame_observer = frame_observer
+        self._pool = _ConnectionPool(
+            host,
+            port,
+            size=pool_size,
+            connect_timeout_s=connect_timeout_s,
+            max_frame=max_frame,
+            observer=frame_observer,
+        )
+
+    # -- public API --------------------------------------------------------
+
+    async def query(self, envelope: QueryEnvelope) -> NetQueryOutcome:
+        """Issue a sealed query; returns the (still sealed) result."""
+        response = await self._request(QueryRequest(envelope), idempotent=True)
+        if not isinstance(response, QueryResponse):
+            raise WireError(
+                f"expected RESULT frame, got {type(response).__name__}"
+            )
+        return NetQueryOutcome(
+            result=response.result, cache_hit=response.cache_hit
+        )
+
+    async def update(
+        self, envelope: UpdateEnvelope, *, origin: str | None = None
+    ) -> NetUpdateOutcome:
+        """Issue a sealed update; returns the acknowledgement."""
+        response = await self._request(
+            UpdateRequest(envelope, origin=origin), idempotent=False
+        )
+        if not isinstance(response, UpdateResponse):
+            raise WireError(
+                f"expected UPDATE_ACK frame, got {type(response).__name__}"
+            )
+        return NetUpdateOutcome(
+            rows_affected=response.rows_affected,
+            invalidated=response.invalidated,
+        )
+
+    async def subscribe(
+        self, node_id: str, app_ids: tuple[str, ...]
+    ) -> Subscription:
+        """Open a dedicated invalidation-stream channel (not pooled)."""
+        connection = await self._pool._connect()
+        try:
+            await connection.send(SubscribeRequest(node_id, app_ids))
+            response = await connection.receive()
+        except BaseException:
+            await connection.aclose()
+            raise
+        if isinstance(response, ErrorResponse):
+            await connection.aclose()
+            raise exception_for(response)
+        if not isinstance(response, SubscribeResponse):
+            await connection.aclose()
+            raise WireError(
+                f"expected SUBSCRIBED frame, got {type(response).__name__}"
+            )
+        return Subscription(connection, response.app_ids)
+
+    async def aclose(self) -> None:
+        """Close all pooled connections."""
+        await self._pool.aclose()
+
+    # -- request machinery -------------------------------------------------
+
+    async def _request(self, frame: Frame, *, idempotent: bool) -> Frame:
+        attempt = 0
+        while True:
+            try:
+                response = await self._exchange(frame)
+            except _ExchangeFailed as failure:
+                retryable = idempotent or not failure.sent
+                if retryable and attempt + 1 < self._retry.attempts:
+                    await asyncio.sleep(self._retry.delay(attempt))
+                    attempt += 1
+                    continue
+                raise failure.error from failure.error.__cause__
+            if isinstance(response, ErrorResponse):
+                retryable = response.code in (
+                    _IDEMPOTENT_RETRY_CODES
+                    if idempotent
+                    else _UNPROCESSED_CODES
+                )
+                if retryable and attempt + 1 < self._retry.attempts:
+                    await asyncio.sleep(self._retry.delay(attempt))
+                    attempt += 1
+                    continue
+                raise exception_for(response)
+            return response
+
+    async def _exchange(self, frame: Frame) -> Frame:
+        sent = False
+        try:
+            connection = await self._pool.acquire()
+        except NetConnectionError as error:
+            raise _ExchangeFailed(error, sent=False) from error
+        discard = True
+        try:
+            await connection.send(frame)
+            sent = True
+            response = await asyncio.wait_for(
+                connection.receive(), self._request_timeout_s
+            )
+            discard = False
+            return response
+        except (asyncio.TimeoutError, TimeoutError) as error:
+            raise _ExchangeFailed(
+                NetTimeoutError(
+                    f"no response from {self.host}:{self.port} within "
+                    f"{self._request_timeout_s}s"
+                ),
+                sent=sent,
+            ) from error
+        except (ConnectionError, OSError, NetConnectionError) as error:
+            wrapped = (
+                error
+                if isinstance(error, NetConnectionError)
+                else NetConnectionError(
+                    f"connection to {self.host}:{self.port} failed: {error}"
+                )
+            )
+            raise _ExchangeFailed(wrapped, sent=sent) from error
+        finally:
+            await self._pool.release(connection, discard=discard)
+
+
+class _ExchangeFailed(Exception):
+    """Internal: a transport-level failure plus whether the request left."""
+
+    def __init__(self, error: NetError, *, sent: bool) -> None:
+        super().__init__(str(error))
+        self.error = error
+        self.sent = sent

@@ -1,0 +1,247 @@
+"""Networked DSSP node (paper Figure 2, left side, deployed).
+
+Wraps a keyless :class:`~repro.dssp.proxy.DsspNode` behind the wire
+protocol.  Tenancy is *remote*: the node holds each application's public
+template registry and its own invalidation engine, while misses and
+updates are forwarded to the application's home server over pooled
+:class:`~repro.net.client.WireClient` connections.
+
+Invalidation arrives two ways, mirroring :class:`~repro.dssp.cluster.DsspCluster`:
+
+* **synchronously** for updates this node itself forwarded — it invalidates
+  its cache before acknowledging the client, so a client never re-reads its
+  own stale write through the same node;
+* **asynchronously** over the home's invalidation stream for updates that
+  entered through other nodes.  The subscription channel reconnects with
+  backoff if it drops, and on (re)connect the node flushes its cache for
+  the affected applications — pushes may have been missed while detached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from repro.dssp.proxy import DsspNode
+from repro.errors import (
+    HomeUnreachableError,
+    NetConnectionError,
+    NetTimeoutError,
+    ReproError,
+    UnknownApplicationError,
+    WireError,
+)
+from repro.net.client import RetryPolicy, WireClient
+from repro.net.service import ConnectionContext, WireServer
+from repro.net.wire import (
+    Frame,
+    QueryRequest,
+    QueryResponse,
+    SubscribeRequest,
+    UpdateRequest,
+    UpdateResponse,
+)
+from repro.templates.registry import TemplateRegistry
+
+__all__ = ["DsspNetServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Failures that mean the home could not be reached or never answered.
+#: Typed errors the home *returned* (including its own shedding) are not
+#: in this set: they travel back to the client with their own codes.
+_TRANSPORT_FAILURES = (
+    NetConnectionError,
+    NetTimeoutError,
+    ConnectionError,
+    OSError,
+)
+
+
+class DsspNetServer(WireServer):
+    """Asyncio server exposing one DSSP node to clients over the wire.
+
+    Args:
+        node: The cache + invalidation engine this server fronts.  Register
+            applications through :meth:`register_application`, not directly
+            on the node.
+        node_id: Stable identity on home invalidation streams.
+        subscribe_retry: Backoff schedule for re-opening dropped streams.
+    """
+
+    def __init__(
+        self,
+        node: DsspNode,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        node_id: str = "dssp-0",
+        subscribe_retry: RetryPolicy | None = None,
+        home_pool_size: int = 4,
+        home_timeout_s: float = 30.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(host, port, **kwargs)
+        self.node = node
+        self.node_id = node_id
+        self._subscribe_retry = subscribe_retry or RetryPolicy(
+            attempts=1_000_000, backoff_s=0.05, max_backoff_s=2.0
+        )
+        self._home_pool_size = home_pool_size
+        self._home_timeout_s = home_timeout_s
+        #: app_id -> home address; populated before start().
+        self._home_addresses: dict[str, tuple[str, int]] = {}
+        #: home address -> shared client.
+        self._home_clients: dict[tuple[str, int], WireClient] = {}
+        self._stream_tasks: list[asyncio.Task] = []
+        #: Pushes applied from the invalidation stream (tests/monitoring).
+        self.stream_pushes_applied = 0
+
+    # -- tenancy -----------------------------------------------------------
+
+    def register_application(
+        self,
+        app_id: str,
+        registry: TemplateRegistry,
+        home_address: tuple[str, int],
+    ) -> None:
+        """Attach an application: public templates + its home's address."""
+        self.node.register_remote(app_id, registry)
+        self._home_addresses[app_id] = (home_address[0], int(home_address[1]))
+
+    def _home_client(self, app_id: str) -> WireClient:
+        try:
+            address = self._home_addresses[app_id]
+        except KeyError:
+            raise UnknownApplicationError(app_id) from None
+        client = self._home_clients.get(address)
+        if client is None:
+            client = WireClient(
+                address[0],
+                address[1],
+                pool_size=self._home_pool_size,
+                request_timeout_s=self._home_timeout_s,
+                frame_observer=self._frame_observer,
+            )
+            self._home_clients[address] = client
+        return client
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        address = await super().start()
+        # One stream per home endpoint, covering all its applications.
+        by_home: dict[tuple[str, int], list[str]] = {}
+        for app_id, home in self._home_addresses.items():
+            by_home.setdefault(home, []).append(app_id)
+        for home, app_ids in sorted(by_home.items()):
+            task = asyncio.create_task(
+                self._stream_loop(home, tuple(sorted(app_ids)))
+            )
+            self._stream_tasks.append(task)
+        return address
+
+    async def stop(self) -> None:
+        for task in self._stream_tasks:
+            task.cancel()
+        for task in self._stream_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._stream_tasks.clear()
+        for client in self._home_clients.values():
+            await client.aclose()
+        self._home_clients.clear()
+        await super().stop()
+
+    # -- request handling --------------------------------------------------
+
+    async def handle(
+        self, frame: Frame, context: ConnectionContext
+    ) -> Frame | None:
+        if isinstance(frame, QueryRequest):
+            return await self._handle_query(frame)
+        if isinstance(frame, UpdateRequest):
+            return await self._handle_update(frame)
+        if isinstance(frame, SubscribeRequest):
+            raise WireError("DSSP nodes do not serve invalidation streams")
+        raise WireError(f"unexpected frame {type(frame).__name__}")
+
+    async def _handle_query(self, frame: QueryRequest) -> QueryResponse:
+        envelope = frame.envelope
+        cached = self.node.lookup(envelope)  # validates tenancy
+        if cached is not None:
+            return QueryResponse(result=cached, cache_hit=True)
+        client = self._home_client(envelope.app_id)
+        try:
+            outcome = await client.query(envelope)
+        except _TRANSPORT_FAILURES as error:
+            # Only transport-level trouble means "home unreachable"; a
+            # home-side application error travels back typed as-is.
+            raise HomeUnreachableError(
+                f"forwarding miss to {client.host}:{client.port} failed: "
+                f"{error}"
+            ) from error
+        self.node.admit(envelope, outcome.result)
+        return QueryResponse(result=outcome.result, cache_hit=False)
+
+    async def _handle_update(self, frame: UpdateRequest) -> UpdateResponse:
+        envelope = frame.envelope
+        client = self._home_client(envelope.app_id)
+        try:
+            ack = await client.update(envelope, origin=self.node_id)
+        except _TRANSPORT_FAILURES as error:
+            raise HomeUnreachableError(
+                f"forwarding update to {client.host}:{client.port} failed: "
+                f"{error}"
+            ) from error
+        invalidated = self.node.invalidate_for(envelope)
+        return UpdateResponse(
+            rows_affected=ack.rows_affected, invalidated=invalidated
+        )
+
+    # -- invalidation stream -----------------------------------------------
+
+    async def _stream_loop(
+        self, home: tuple[str, int], app_ids: tuple[str, ...]
+    ) -> None:
+        """Keep one invalidation-stream subscription alive with backoff."""
+        attempt = 0
+        first_connect = True
+        while True:
+            client = self._home_clients.get(home)
+            if client is None:
+                client = self._home_client(
+                    next(
+                        app
+                        for app, addr in self._home_addresses.items()
+                        if addr == home
+                    )
+                )
+            try:
+                subscription = await client.subscribe(self.node_id, app_ids)
+            except (NetError, ConnectionError, OSError) as error:
+                logger.debug(
+                    "subscribe to %s:%s failed (%s); retrying", *home, error
+                )
+                await asyncio.sleep(self._subscribe_retry.delay(attempt))
+                attempt = min(attempt + 1, 16)
+                continue
+            attempt = 0
+            if not first_connect:
+                # Pushes may have been lost while detached: the only safe
+                # move without a stream cursor is to drop the apps' entries.
+                for app_id in app_ids:
+                    self.node.cache.invalidate_app(app_id)
+            first_connect = False
+            try:
+                async for push in subscription.frames():
+                    try:
+                        self.node.invalidate_for(push.envelope)
+                        self.stream_pushes_applied += 1
+                    except ReproError:
+                        logger.exception("invalidation push failed")
+            finally:
+                await subscription.aclose()
+            # frames() returned: channel dropped; loop to reconnect.

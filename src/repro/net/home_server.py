@@ -1,0 +1,149 @@
+"""Networked home organization (paper Figure 2, right side, deployed).
+
+Wraps one or more in-process :class:`~repro.dssp.homeserver.HomeServer`
+instances behind the wire protocol:
+
+* ``QUERY`` frames (cache misses forwarded by DSSP nodes) are opened,
+  executed against the master database, and the result is sealed per the
+  application's exposure policy before it travels back — exactly
+  :meth:`HomeServer.serve_query`.
+* ``UPDATE`` frames are applied to the master copy, acknowledged, and then
+  **fanned out** on the invalidation stream: every subscribed DSSP node
+  except the forwarding origin receives an ``INVALIDATE`` push carrying the
+  same sealed update envelope.  This is the networked analogue of
+  :meth:`~repro.dssp.cluster.DsspCluster.update` — the home organization
+  still plays no part in invalidation *decisions*; it merely relays the
+  completed update, as the paper's update stream does.
+* ``SUBSCRIBE`` frames register a DSSP node's long-lived stream channel.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections.abc import Iterable
+
+from repro.dssp.homeserver import HomeServer
+from repro.errors import UnknownApplicationError, WireError
+from repro.net.service import ConnectionContext, WireServer
+from repro.net.wire import (
+    Frame,
+    InvalidationPush,
+    QueryRequest,
+    QueryResponse,
+    SubscribeRequest,
+    SubscribeResponse,
+    UpdateRequest,
+    UpdateResponse,
+)
+
+__all__ = ["HomeNetServer"]
+
+logger = logging.getLogger(__name__)
+
+
+class _Subscriber:
+    def __init__(
+        self,
+        node_id: str,
+        app_ids: frozenset[str],
+        context: ConnectionContext,
+    ) -> None:
+        self.node_id = node_id
+        self.app_ids = app_ids
+        self.context = context
+
+
+class HomeNetServer(WireServer):
+    """Asyncio server exposing home servers to DSSP nodes over the wire.
+
+    Args:
+        homes: The application home server(s) this endpoint masters.
+        host/port: Bind address (port 0 picks an ephemeral port).
+        Remaining keyword arguments are the
+        :class:`~repro.net.service.WireServer` operational knobs.
+    """
+
+    def __init__(
+        self,
+        homes: HomeServer | Iterable[HomeServer],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(host, port, **kwargs)
+        if isinstance(homes, HomeServer):
+            homes = [homes]
+        self._homes: dict[str, HomeServer] = {}
+        for home in homes:
+            if home.app_id in self._homes:
+                raise ValueError(f"duplicate application {home.app_id!r}")
+            self._homes[home.app_id] = home
+        self._subscribers: list[_Subscriber] = []
+
+    @property
+    def subscriber_count(self) -> int:
+        """Live invalidation-stream channels (for tests/monitoring)."""
+        return len(self._subscribers)
+
+    def _home(self, app_id: str) -> HomeServer:
+        try:
+            return self._homes[app_id]
+        except KeyError:
+            raise UnknownApplicationError(app_id) from None
+
+    async def handle(
+        self, frame: Frame, context: ConnectionContext
+    ) -> Frame | None:
+        if isinstance(frame, QueryRequest):
+            home = self._home(frame.envelope.app_id)
+            result = home.serve_query(frame.envelope)
+            return QueryResponse(result=result, cache_hit=False)
+        if isinstance(frame, UpdateRequest):
+            home = self._home(frame.envelope.app_id)
+            rows = home.apply_update(frame.envelope)
+            await self._fan_out(frame)
+            return UpdateResponse(rows_affected=rows, invalidated=0)
+        if isinstance(frame, SubscribeRequest):
+            return self._subscribe(frame, context)
+        raise WireError(f"unexpected frame {type(frame).__name__}")
+
+    # -- invalidation stream -----------------------------------------------
+
+    def _subscribe(
+        self, frame: SubscribeRequest, context: ConnectionContext
+    ) -> SubscribeResponse:
+        for app_id in frame.app_ids:
+            self._home(app_id)  # all-or-nothing validation
+        subscriber = _Subscriber(
+            frame.node_id, frozenset(frame.app_ids), context
+        )
+        self._subscribers.append(subscriber)
+        context.on_close(lambda: self._unsubscribe(subscriber))
+        return SubscribeResponse(app_ids=tuple(sorted(subscriber.app_ids)))
+
+    def _unsubscribe(self, subscriber: _Subscriber) -> None:
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    async def _fan_out(self, request: UpdateRequest) -> None:
+        """Push the completed update to every subscribed node but the origin.
+
+        The origin DSSP invalidates synchronously before acknowledging its
+        client, so pushing to it as well would only double-count.
+        """
+        app_id = request.envelope.app_id
+        push = InvalidationPush(envelope=request.envelope)
+        for subscriber in list(self._subscribers):
+            if app_id not in subscriber.app_ids:
+                continue
+            if request.origin is not None and subscriber.node_id == request.origin:
+                continue
+            try:
+                await self._send(subscriber.context, push)
+            except (ConnectionError, OSError):
+                logger.warning(
+                    "dropping dead subscriber %s", subscriber.node_id
+                )
+                self._unsubscribe(subscriber)

@@ -1,0 +1,221 @@
+"""Closed-loop load generator for a live DSSP topology.
+
+Drives the networked system with the same Zipf page workloads the
+analytic experiments use, but *measures* instead of predicting: N virtual
+clients each run a closed loop (think → request page → wait for all of the
+page's operations → next page), exactly the client model of the paper's
+simulator, and the report carries measured throughput and p50/p90 page
+latencies per strategy.
+
+Fairness across strategies comes from a recorded
+:class:`~repro.workloads.trace.Trace`: every strategy replays the identical
+operation stream (the trace persists through ``Trace.to_json`` so separate
+loadgen processes can share one).  Client affinity over multiple DSSP
+endpoints is stable (client *i* → endpoint ``i % len(endpoints)``), the
+same CDN-style routing as :class:`~repro.dssp.cluster.DsspCluster`.
+
+The measured counts also yield a
+:class:`~repro.simulation.scalability.CacheBehavior`, so a measured run is
+directly cross-checkable against the analytic
+:func:`~repro.simulation.scalability.predict_p90`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.crypto.envelope import EnvelopeCodec
+from repro.errors import NetError, WorkloadError
+from repro.net.client import WireClient
+from repro.simulation.scalability import CacheBehavior
+from repro.workloads.trace import Trace
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What a closed-loop run against a live topology measured."""
+
+    clients: int
+    duration_s: float
+    pages: int
+    queries: int
+    updates: int
+    hits: int
+    errors: int
+    latencies_s: tuple[float, ...]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from a DSSP cache."""
+        if not self.queries:
+            return 0.0
+        return self.hits / self.queries
+
+    @property
+    def throughput_pages_s(self) -> float:
+        """Completed pages per wall-clock second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.pages / self.duration_s
+
+    def percentile(self, fraction: float) -> float:
+        """Page-latency percentile (0 < fraction <= 1)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50_s(self) -> float:
+        """Median page latency."""
+        return self.percentile(0.50)
+
+    @property
+    def p90_s(self) -> float:
+        """90th-percentile page latency (the paper's SLA metric)."""
+        return self.percentile(0.90)
+
+    def behavior(self) -> CacheBehavior:
+        """Measured per-page profile, for ``predict_p90`` cross-checks."""
+        if not self.pages:
+            raise WorkloadError("no pages completed; nothing to profile")
+        return CacheBehavior(
+            pages=self.pages,
+            queries_per_page=self.queries / self.pages,
+            hits_per_page=self.hits / self.pages,
+            misses_per_page=(self.queries - self.hits) / self.pages,
+            updates_per_page=self.updates / self.pages,
+            invalidations_per_update=0.0,  # not observable from the client
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"pages={self.pages} throughput={self.throughput_pages_s:.1f}/s "
+            f"p50={self.p50_s * 1000:.1f}ms p90={self.p90_s * 1000:.1f}ms "
+            f"hits={self.hits} hit_rate={self.hit_rate:.3f} "
+            f"errors={self.errors}"
+        )
+
+
+class _SharedStream:
+    """Hands consecutive trace pages to whichever client asks next."""
+
+    def __init__(
+        self, trace: Trace, pages: int | None, deadline: float | None
+    ) -> None:
+        self._trace = trace
+        self._remaining = pages
+        self._deadline = deadline
+
+    def next_page(self):
+        if self._deadline is not None and time.perf_counter() >= self._deadline:
+            return None
+        if self._remaining is not None:
+            if self._remaining <= 0:
+                return None
+            self._remaining -= 1
+        return self._trace.sample_page()
+
+
+async def run_load(
+    endpoints: list[WireClient],
+    codec: EnvelopeCodec,
+    policy: ExposurePolicy,
+    trace: Trace,
+    *,
+    clients: int = 8,
+    pages: int | None = None,
+    duration_s: float | None = None,
+    fail_fast: bool = False,
+) -> LoadReport:
+    """Drive a live topology and measure it.
+
+    Args:
+        endpoints: One :class:`WireClient` per DSSP node.
+        codec: The application's trusted client-side codec (holds keys).
+        policy: Exposure policy used to seal each operation.
+        trace: Recorded page stream, already bound to the registry.
+        clients: Closed-loop virtual client count.
+        pages: Stop after this many pages (None = until ``duration_s``).
+        duration_s: Stop after this much wall-clock time.
+        fail_fast: Re-raise the first request error instead of counting it.
+
+    Note:
+        A duration-bounded run can wrap around the trace; replayed INSERT
+        operations then collide with rows the first pass already created
+        and the home rejects them.  Those pages land in ``errors`` — keep
+        ``pages <= len(trace)`` when a clean error count matters.
+
+    Returns:
+        The measured :class:`LoadReport`.
+    """
+    if not endpoints:
+        raise WorkloadError("loadgen needs at least one DSSP endpoint")
+    if pages is None and duration_s is None:
+        raise WorkloadError("set a pages budget or a duration (or both)")
+    started = time.perf_counter()
+    stream = _SharedStream(
+        trace,
+        pages,
+        None if duration_s is None else started + duration_s,
+    )
+    counters = {
+        "pages": 0,
+        "queries": 0,
+        "updates": 0,
+        "hits": 0,
+        "errors": 0,
+    }
+    latencies: list[float] = []
+
+    async def client_loop(client_id: int) -> None:
+        endpoint = endpoints[client_id % len(endpoints)]
+        while True:
+            page = stream.next_page()
+            if page is None:
+                return
+            page_started = time.perf_counter()
+            failed = False
+            for operation in page:
+                bound = operation.bound
+                try:
+                    if operation.is_update:
+                        level = policy.update_level(bound.template.name)
+                        await endpoint.update(codec.seal_update(bound, level))
+                        counters["updates"] += 1
+                    else:
+                        level = policy.query_level(bound.template.name)
+                        outcome = await endpoint.query(
+                            codec.seal_query(bound, level)
+                        )
+                        counters["queries"] += 1
+                        if outcome.cache_hit:
+                            counters["hits"] += 1
+                except NetError:
+                    if fail_fast:
+                        raise
+                    counters["errors"] += 1
+                    failed = True
+                    break
+            if not failed:
+                counters["pages"] += 1
+                latencies.append(time.perf_counter() - page_started)
+
+    await asyncio.gather(*(client_loop(i) for i in range(clients)))
+    return LoadReport(
+        clients=clients,
+        duration_s=time.perf_counter() - started,
+        pages=counters["pages"],
+        queries=counters["queries"],
+        updates=counters["updates"],
+        hits=counters["hits"],
+        errors=counters["errors"],
+        latencies_s=tuple(latencies),
+    )

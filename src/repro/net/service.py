@@ -1,0 +1,206 @@
+"""Shared asyncio server machinery for the DSSP service layer.
+
+Both servers (:class:`~repro.net.home_server.HomeNetServer`,
+:class:`~repro.net.dssp_server.DsspNetServer`) are request/response frame
+servers with the same operational envelope:
+
+* **Concurrent connections**, sequential frames per connection (the
+  protocol is strict request→response; no pipelining ids needed).
+* **Bounded in-flight backpressure**: at most ``max_in_flight`` requests
+  execute at once across all connections; excess requests are shed
+  immediately with ``OVERLOADED`` rather than queued without bound, so a
+  slow home server cannot make a DSSP node accumulate unbounded state.
+* **Per-request timeout**: a request that cannot finish within
+  ``request_timeout_s`` is answered with ``TIMEOUT``.
+* **Typed error mapping**: library exceptions never cross the wire as
+  control flow — they become :class:`~repro.net.wire.ErrorResponse` frames
+  with a typed code, and the client maps them back to exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    HomeUnreachableError,
+    NetTimeoutError,
+    ReproError,
+    ServerOverloadedError,
+    UnknownApplicationError,
+    WireError,
+)
+from repro.net import wire
+from repro.net.wire import ErrorCode, ErrorResponse, Frame
+
+__all__ = ["ConnectionContext", "WireServer"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(eq=False)  # identity semantics: contexts live in a set
+class ConnectionContext:
+    """Per-connection state handed to frame handlers."""
+
+    writer: asyncio.StreamWriter
+    #: Serializes writes: responses (read loop) vs pushes (broadcasts).
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: Callbacks run exactly once when the connection goes away.
+    close_callbacks: list = field(default_factory=list)
+
+    def on_close(self, callback) -> None:
+        """Register cleanup to run when this connection closes."""
+        self.close_callbacks.append(callback)
+
+
+class WireServer:
+    """Base class: asyncio frame server with backpressure and timeouts."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 64,
+        request_timeout_s: float = 10.0,
+        max_frame: int = wire.MAX_FRAME_BYTES,
+        frame_observer=None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._max_in_flight = max_in_flight
+        self.request_timeout_s = request_timeout_s
+        self.max_frame = max_frame
+        self._frame_observer = frame_observer
+        self._server: asyncio.AbstractServer | None = None
+        self._in_flight: asyncio.Semaphore | None = None
+        self._contexts: set[ConnectionContext] = set()
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound; valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        self._in_flight = asyncio.Semaphore(self._max_in_flight)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (after :meth:`start`)."""
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, close every live connection, run cleanups."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for context in list(self._contexts):
+            await self._close_context(context)
+
+    # -- connection loop ---------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        context = ConnectionContext(writer=writer)
+        self._contexts.add(context)
+        try:
+            while not self._stopping:
+                try:
+                    frame = await wire.read_frame(
+                        reader,
+                        max_frame=self.max_frame,
+                        observer=self._frame_observer,
+                    )
+                except WireError as error:
+                    await self._send(
+                        context, ErrorResponse(ErrorCode.BAD_FRAME, str(error))
+                    )
+                    break
+                if frame is None:  # clean EOF
+                    break
+                response = await self._dispatch(frame, context)
+                if response is not None:
+                    await self._send(context, response)
+        except (ConnectionError, OSError):
+            pass  # peer vanished; cleanups below
+        finally:
+            self._contexts.discard(context)
+            await self._close_context(context)
+
+    async def _send(self, context: ConnectionContext, frame: Frame) -> None:
+        async with context.write_lock:
+            await wire.write_frame(
+                context.writer,
+                frame,
+                max_frame=self.max_frame,
+                observer=self._frame_observer,
+            )
+
+    async def _close_context(self, context: ConnectionContext) -> None:
+        callbacks, context.close_callbacks = context.close_callbacks, []
+        for callback in callbacks:
+            callback()
+        context.writer.close()
+        try:
+            await context.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- request execution -------------------------------------------------
+
+    async def _dispatch(
+        self, frame: Frame, context: ConnectionContext
+    ) -> Frame | None:
+        assert self._in_flight is not None
+        if self._in_flight.locked():
+            # All permits taken: shed instead of queueing without bound.
+            return ErrorResponse(
+                ErrorCode.OVERLOADED,
+                f"more than {self._max_in_flight} requests in flight",
+            )
+        async with self._in_flight:
+            try:
+                return await asyncio.wait_for(
+                    self.handle(frame, context), self.request_timeout_s
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                return ErrorResponse(
+                    ErrorCode.TIMEOUT,
+                    f"request exceeded {self.request_timeout_s}s",
+                )
+            except NetTimeoutError as error:
+                return ErrorResponse(ErrorCode.TIMEOUT, str(error))
+            except UnknownApplicationError as error:
+                return ErrorResponse(ErrorCode.UNKNOWN_APP, error.app_id)
+            except HomeUnreachableError as error:
+                return ErrorResponse(ErrorCode.MISS_FORWARDED, str(error))
+            except ServerOverloadedError as error:
+                # A downstream hop shed the request unprocessed: relay the
+                # code so the client keeps its retry-safety guarantee.
+                return ErrorResponse(ErrorCode.OVERLOADED, str(error))
+            except WireError as error:
+                return ErrorResponse(ErrorCode.BAD_FRAME, str(error))
+            except ReproError as error:
+                logger.exception("request failed")
+                return ErrorResponse(
+                    ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
+                )
+
+    async def handle(
+        self, frame: Frame, context: ConnectionContext
+    ) -> Frame | None:
+        """Serve one request frame; subclasses implement the semantics."""
+        raise NotImplementedError

@@ -1,0 +1,565 @@
+"""Length-prefixed binary wire protocol for the DSSP service layer.
+
+Framing (all integers big-endian)::
+
+    +-------+---------+------------+--------------+=========+
+    | magic | version | frame type | payload len  | payload |
+    |  2 B  |   1 B   |    1 B     |     4 B      |  len B  |
+    +-------+---------+------------+--------------+=========+
+
+Payloads are sequences of primitive fields: ``u8``/``u32`` integers,
+length-prefixed UTF-8 strings, length-prefixed byte strings, and optionals
+(a one-byte presence flag followed by the value).  Statements travel as
+their SQL text and are re-parsed on decode — the parser/formatter pair
+round-trips the AST exactly, which the codec property tests pin down.
+
+Security invariant: the codec is a *projection* of the envelope — it writes
+only fields the envelope carries, and envelopes carry plaintext only for
+what their exposure level permits (see :mod:`repro.crypto.envelope`).  The
+DSSP-visible bytes of a sealed envelope on the wire are therefore exactly
+the DSSP-visible fields in memory; nothing is opened or re-sealed en route.
+
+Every decode error raises :class:`~repro.errors.WireError` (the ``BAD_FRAME``
+wire code): truncated or oversized frames, bad magic/version, unknown frame
+types, trailing bytes, and statement text that does not parse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto.envelope import (
+    QueryEnvelope,
+    ResultEnvelope,
+    UpdateEnvelope,
+    deserialize_result,
+    serialize_result,
+)
+from repro.errors import CryptoError, SqlError, WireError
+from repro.sql.ast import Delete, Insert, Select, Update
+from repro.sql.formatter import to_sql
+from repro.sql.parser import parse
+
+__all__ = [
+    "ErrorCode",
+    "ErrorResponse",
+    "Frame",
+    "FrameType",
+    "HEADER_SIZE",
+    "InvalidationPush",
+    "MAX_FRAME_BYTES",
+    "QueryRequest",
+    "QueryResponse",
+    "SubscribeRequest",
+    "SubscribeResponse",
+    "UpdateRequest",
+    "UpdateResponse",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+MAGIC = b"DW"
+VERSION = 1
+_HEADER = struct.Struct(">2sBBI")
+HEADER_SIZE = _HEADER.size
+#: Default ceiling on payload size; a frame claiming more is rejected
+#: before any allocation happens.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class FrameType(enum.IntEnum):
+    """One byte on the wire selecting the payload codec."""
+
+    QUERY = 1
+    UPDATE = 2
+    SUBSCRIBE = 3
+    RESULT = 4
+    UPDATE_ACK = 5
+    SUBSCRIBED = 6
+    INVALIDATE = 7
+    ERROR = 8
+
+
+class ErrorCode(enum.Enum):
+    """Typed wire error codes (replaces exception text on the boundary)."""
+
+    UNKNOWN_APP = "UNKNOWN_APP"
+    MISS_FORWARDED = "MISS_FORWARDED"
+    TIMEOUT = "TIMEOUT"
+    BAD_FRAME = "BAD_FRAME"
+    OVERLOADED = "OVERLOADED"
+    INTERNAL = "INTERNAL"
+
+
+_ERROR_CODES = tuple(ErrorCode)
+_ERROR_CODE_IDS = {code: index for index, code in enumerate(_ERROR_CODES)}
+
+
+# -- frame dataclasses -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Client → DSSP (or DSSP → home, on a miss): serve this query."""
+
+    envelope: QueryEnvelope
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Client → DSSP → home: apply this update.
+
+    ``origin`` identifies the forwarding DSSP node so the home's
+    invalidation stream can skip it (the origin invalidates synchronously
+    before acknowledging its client).
+    """
+
+    envelope: UpdateEnvelope
+    origin: str | None = None
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """DSSP → home: open the invalidation-stream channel."""
+
+    node_id: str
+    app_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Answer to a :class:`QueryRequest` (still sealed per policy)."""
+
+    result: ResultEnvelope
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """Answer to an :class:`UpdateRequest`."""
+
+    rows_affected: int
+    invalidated: int
+
+
+@dataclass(frozen=True)
+class SubscribeResponse:
+    """Answer to a :class:`SubscribeRequest`; the channel stays open."""
+
+    app_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InvalidationPush:
+    """Home → subscribed DSSP node: a completed update to invalidate for."""
+
+    envelope: UpdateEnvelope
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Any failure crossing the boundary, as a typed code + message."""
+
+    code: ErrorCode
+    message: str
+
+
+Frame = (
+    QueryRequest
+    | UpdateRequest
+    | SubscribeRequest
+    | QueryResponse
+    | UpdateResponse
+    | SubscribeResponse
+    | InvalidationPush
+    | ErrorResponse
+)
+
+
+# -- primitive field codecs ------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def u32(self, value: int) -> None:
+        self._buf += value.to_bytes(4, "big")
+
+    def blob(self, value: bytes) -> None:
+        self.u32(len(value))
+        self._buf += value
+
+    def text(self, value: str) -> None:
+        self.blob(value.encode())
+
+    def opt_blob(self, value: bytes | None) -> None:
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.blob(value)
+
+    def opt_text(self, value: str | None) -> None:
+        self.opt_blob(None if value is None else value.encode())
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise WireError(
+                f"truncated payload: wanted {count} bytes at offset "
+                f"{self._pos}, have {len(self._data) - self._pos}"
+            )
+        piece = self._data[self._pos : end]
+        self._pos = end
+        return piece
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        return self._take(length)
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode()
+        except UnicodeDecodeError as error:
+            raise WireError(f"invalid UTF-8 in string field: {error}") from error
+
+    def opt_blob(self) -> bytes | None:
+        flag = self.u8()
+        if flag == 0:
+            return None
+        if flag != 1:
+            raise WireError(f"bad presence flag {flag}")
+        return self.blob()
+
+    def opt_text(self) -> str | None:
+        raw = self.opt_blob()
+        if raw is None:
+            return None
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as error:
+            raise WireError(f"invalid UTF-8 in string field: {error}") from error
+
+    def done(self) -> None:
+        if self._pos != len(self._data):
+            raise WireError(
+                f"{len(self._data) - self._pos} trailing bytes after payload"
+            )
+
+
+# -- envelope codecs -------------------------------------------------------------
+
+
+def _read_level(reader: _Reader) -> ExposureLevel:
+    raw = reader.u8()
+    try:
+        return ExposureLevel(raw)
+    except ValueError:
+        raise WireError(f"unknown exposure level {raw}") from None
+
+
+def _read_statement(reader: _Reader):
+    source = reader.opt_text()
+    if source is None:
+        return None
+    try:
+        return parse(source)
+    except SqlError as error:
+        raise WireError(f"statement does not parse: {error}") from error
+
+
+def _write_query_envelope(writer: _Writer, envelope: QueryEnvelope) -> None:
+    writer.text(envelope.app_id)
+    writer.u8(int(envelope.level))
+    writer.text(envelope.cache_key)
+    writer.opt_text(envelope.template_name)
+    writer.opt_text(envelope.template_sql)
+    writer.opt_text(
+        None if envelope.statement is None else to_sql(envelope.statement)
+    )
+    writer.opt_text(envelope.statement_sql)
+    writer.opt_blob(envelope.sealed_statement)
+    writer.opt_blob(envelope.sealed_params)
+
+
+def _read_query_envelope(reader: _Reader) -> QueryEnvelope:
+    app_id = reader.text()
+    level = _read_level(reader)
+    cache_key = reader.text()
+    template_name = reader.opt_text()
+    template_sql = reader.opt_text()
+    statement = _read_statement(reader)
+    if statement is not None and not isinstance(statement, Select):
+        raise WireError("query envelope statement is not a SELECT")
+    return QueryEnvelope(
+        app_id=app_id,
+        level=level,
+        cache_key=cache_key,
+        template_name=template_name,
+        template_sql=template_sql,
+        statement=statement,
+        statement_sql=reader.opt_text(),
+        sealed_statement=reader.opt_blob(),
+        sealed_params=reader.opt_blob(),
+    )
+
+
+def _write_update_envelope(writer: _Writer, envelope: UpdateEnvelope) -> None:
+    writer.text(envelope.app_id)
+    writer.u8(int(envelope.level))
+    writer.text(envelope.opaque_id)
+    writer.opt_text(envelope.template_name)
+    writer.opt_text(envelope.template_sql)
+    writer.opt_text(
+        None if envelope.statement is None else to_sql(envelope.statement)
+    )
+    writer.opt_text(envelope.statement_sql)
+    writer.opt_blob(envelope.sealed_statement)
+    writer.opt_blob(envelope.sealed_params)
+
+
+def _read_update_envelope(reader: _Reader) -> UpdateEnvelope:
+    app_id = reader.text()
+    level = _read_level(reader)
+    opaque_id = reader.text()
+    template_name = reader.opt_text()
+    template_sql = reader.opt_text()
+    statement = _read_statement(reader)
+    if statement is not None and not isinstance(
+        statement, (Insert, Delete, Update)
+    ):
+        raise WireError("update envelope statement is not a DML statement")
+    return UpdateEnvelope(
+        app_id=app_id,
+        level=level,
+        opaque_id=opaque_id,
+        template_name=template_name,
+        template_sql=template_sql,
+        statement=statement,
+        statement_sql=reader.opt_text(),
+        sealed_statement=reader.opt_blob(),
+        sealed_params=reader.opt_blob(),
+    )
+
+
+def _write_result_envelope(writer: _Writer, envelope: ResultEnvelope) -> None:
+    writer.text(envelope.app_id)
+    writer.opt_blob(
+        None
+        if envelope.plaintext is None
+        else serialize_result(envelope.plaintext)
+    )
+    writer.opt_blob(envelope.ciphertext)
+
+
+def _read_result_envelope(reader: _Reader) -> ResultEnvelope:
+    app_id = reader.text()
+    raw_plaintext = reader.opt_blob()
+    if raw_plaintext is None:
+        plaintext = None
+    else:
+        try:
+            plaintext = deserialize_result(raw_plaintext)
+        except CryptoError as error:
+            raise WireError(str(error)) from error
+    return ResultEnvelope(
+        app_id=app_id, plaintext=plaintext, ciphertext=reader.opt_blob()
+    )
+
+
+# -- frame codecs ----------------------------------------------------------------
+
+
+def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
+    if isinstance(frame, QueryRequest):
+        _write_query_envelope(writer, frame.envelope)
+        return FrameType.QUERY
+    if isinstance(frame, UpdateRequest):
+        writer.opt_text(frame.origin)
+        _write_update_envelope(writer, frame.envelope)
+        return FrameType.UPDATE
+    if isinstance(frame, SubscribeRequest):
+        writer.text(frame.node_id)
+        writer.u32(len(frame.app_ids))
+        for app_id in frame.app_ids:
+            writer.text(app_id)
+        return FrameType.SUBSCRIBE
+    if isinstance(frame, QueryResponse):
+        writer.u8(1 if frame.cache_hit else 0)
+        _write_result_envelope(writer, frame.result)
+        return FrameType.RESULT
+    if isinstance(frame, UpdateResponse):
+        writer.u32(frame.rows_affected)
+        writer.u32(frame.invalidated)
+        return FrameType.UPDATE_ACK
+    if isinstance(frame, SubscribeResponse):
+        writer.u32(len(frame.app_ids))
+        for app_id in frame.app_ids:
+            writer.text(app_id)
+        return FrameType.SUBSCRIBED
+    if isinstance(frame, InvalidationPush):
+        _write_update_envelope(writer, frame.envelope)
+        return FrameType.INVALIDATE
+    if isinstance(frame, ErrorResponse):
+        writer.u8(_ERROR_CODE_IDS[frame.code])
+        writer.text(frame.message)
+        return FrameType.ERROR
+    raise WireError(f"cannot encode {type(frame).__name__}")
+
+
+def _read_app_ids(reader: _Reader) -> tuple[str, ...]:
+    count = reader.u32()
+    if count > 4096:
+        raise WireError(f"implausible app-id count {count}")
+    return tuple(reader.text() for _ in range(count))
+
+
+def _decode_payload(frame_type: int, payload: bytes) -> Frame:
+    reader = _Reader(payload)
+    if frame_type == FrameType.QUERY:
+        frame: Frame = QueryRequest(_read_query_envelope(reader))
+    elif frame_type == FrameType.UPDATE:
+        origin = reader.opt_text()
+        frame = UpdateRequest(_read_update_envelope(reader), origin=origin)
+    elif frame_type == FrameType.SUBSCRIBE:
+        node_id = reader.text()
+        frame = SubscribeRequest(node_id, _read_app_ids(reader))
+    elif frame_type == FrameType.RESULT:
+        cache_hit = reader.u8() != 0
+        frame = QueryResponse(_read_result_envelope(reader), cache_hit)
+    elif frame_type == FrameType.UPDATE_ACK:
+        frame = UpdateResponse(reader.u32(), reader.u32())
+    elif frame_type == FrameType.SUBSCRIBED:
+        frame = SubscribeResponse(_read_app_ids(reader))
+    elif frame_type == FrameType.INVALIDATE:
+        frame = InvalidationPush(_read_update_envelope(reader))
+    elif frame_type == FrameType.ERROR:
+        code_id = reader.u8()
+        if code_id >= len(_ERROR_CODES):
+            raise WireError(f"unknown error code {code_id}")
+        frame = ErrorResponse(_ERROR_CODES[code_id], reader.text())
+    else:
+        raise WireError(f"unknown frame type {frame_type}")
+    reader.done()
+    return frame
+
+
+def encode_frame(frame: Frame, *, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one frame, header included."""
+    writer = _Writer()
+    frame_type = _write_payload(writer, frame)
+    payload = writer.getvalue()
+    if len(payload) > max_frame:
+        raise WireError(
+            f"frame payload of {len(payload)} bytes exceeds limit {max_frame}"
+        )
+    return _HEADER.pack(MAGIC, VERSION, frame_type, len(payload)) + payload
+
+
+def _check_header(header: bytes, *, max_frame: int) -> tuple[int, int]:
+    magic, version, frame_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported protocol version {version}")
+    if length > max_frame:
+        raise WireError(f"frame of {length} bytes exceeds limit {max_frame}")
+    return frame_type, length
+
+
+def decode_frame(data: bytes, *, max_frame: int = MAX_FRAME_BYTES) -> Frame:
+    """Inverse of :func:`encode_frame` for one complete frame.
+
+    Raises:
+        WireError: on any protocol violation, including partial frames and
+            trailing bytes.
+    """
+    if len(data) < HEADER_SIZE:
+        raise WireError(
+            f"truncated header: {len(data)} of {HEADER_SIZE} bytes"
+        )
+    frame_type, length = _check_header(data[:HEADER_SIZE], max_frame=max_frame)
+    payload = data[HEADER_SIZE:]
+    if len(payload) != length:
+        raise WireError(
+            f"payload length mismatch: header says {length}, have {len(payload)}"
+        )
+    return _decode_payload(frame_type, payload)
+
+
+# -- asyncio stream helpers ------------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame: int = MAX_FRAME_BYTES,
+    observer=None,
+) -> Frame | None:
+    """Read one frame from a stream; ``None`` on clean EOF between frames.
+
+    ``observer(raw_bytes)``, if given, sees the exact bytes that crossed
+    the wire — used by tests to assert what a network observer could learn.
+
+    Raises:
+        WireError: on EOF mid-frame, oversized frames, or codec failures.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError(
+            f"connection closed mid-header ({len(error.partial)} bytes)"
+        ) from error
+    frame_type, length = _check_header(header, max_frame=max_frame)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise WireError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} payload bytes)"
+        ) from error
+    if observer is not None:
+        observer(header + payload)
+    return _decode_payload(frame_type, payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    frame: Frame,
+    *,
+    max_frame: int = MAX_FRAME_BYTES,
+    observer=None,
+) -> None:
+    """Serialize and send one frame, waiting for the transport to drain."""
+    data = encode_frame(frame, max_frame=max_frame)
+    if observer is not None:
+        observer(data)
+    writer.write(data)
+    await writer.drain()

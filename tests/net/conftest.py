@@ -1,0 +1,21 @@
+"""Run async test functions without a pytest-asyncio dependency."""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+
+import pytest
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    function = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(function):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(function(**kwargs))
+    return True

@@ -1,0 +1,173 @@
+"""Acceptance: a real networked topology over localhost sockets.
+
+One home server + two DSSP nodes, driven through the async client, for
+two strategy classes (MTIS and MVIS).  Asserts that (a) cache hits occur,
+(b) an update entering through one node fans out its invalidation to
+both, and (c) a network observer of every wire byte never sees plaintext
+results below ``view`` exposure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+from repro.dssp.invalidation import StrategyClass
+from repro.net import DsspNetServer, HomeNetServer, WireClient
+
+
+async def eventually(predicate, *, timeout_s: float = 5.0) -> None:
+    """Poll until ``predicate()`` is true (invalidation streams are async)."""
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(0.01)
+
+
+class Topology:
+    """home + 2 DSSP nodes + 2 clients, with a wire-byte observer."""
+
+    def __init__(self, registry, database, strategy: StrategyClass) -> None:
+        self.wire_bytes: list[bytes] = []
+        level = strategy.exposure_level
+        self.policy = ExposurePolicy.uniform(registry, level)
+        keyring = Keyring("toystore", b"k" * 32)
+        self.home = HomeServer(
+            "toystore", database, registry, self.policy, keyring
+        )
+        self.codec = self.home.codec
+        self.home_net = HomeNetServer(
+            self.home, frame_observer=self.wire_bytes.append
+        )
+        self.nodes = [DsspNode(), DsspNode()]
+        self.dssp_nets: list[DsspNetServer] = []
+        self.clients: list[WireClient] = []
+        self.registry = registry
+
+    async def __aenter__(self):
+        await self.home_net.start()
+        for index, node in enumerate(self.nodes):
+            server = DsspNetServer(
+                node,
+                node_id=f"dssp-{index}",
+                frame_observer=self.wire_bytes.append,
+            )
+            server.register_application(
+                "toystore", self.registry, self.home_net.address
+            )
+            await server.start()
+            self.dssp_nets.append(server)
+            host, port = server.address
+            self.clients.append(
+                WireClient(host, port, frame_observer=self.wire_bytes.append)
+            )
+        # Both invalidation streams must be live before traffic flows,
+        # otherwise fan-out has nobody to reach.
+        await eventually(lambda: self.home_net.subscriber_count == 2)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        for client in self.clients:
+            await client.aclose()
+        for server in self.dssp_nets:
+            await server.stop()
+        await self.home_net.stop()
+
+    def seal_query(self, bound):
+        return self.codec.seal_query(
+            bound, self.policy.query_level(bound.template.name)
+        )
+
+    def seal_update(self, bound):
+        return self.codec.seal_update(
+            bound, self.policy.update_level(bound.template.name)
+        )
+
+
+@pytest.fixture(params=[StrategyClass.MTIS, StrategyClass.MVIS])
+def strategy(request) -> StrategyClass:
+    return request.param
+
+
+async def run_scenario(topology: Topology, registry):
+    """Drive the acceptance scenario; returns the observed wire bytes."""
+    async with topology as top:
+        client_a, client_b = top.clients
+        q2_of_5 = registry.query("Q2").bind([5])
+
+        # (a) Cache hits occur: the second read of the same view on the
+        # same node is answered by the DSSP without touching home.
+        first = await client_a.query(top.seal_query(q2_of_5))
+        assert first.cache_hit is False
+        second = await client_a.query(top.seal_query(q2_of_5))
+        assert second.cache_hit is True
+        served_before = top.home.queries_served
+
+        # Seed the same view on node B so fan-out has something to kill.
+        await client_b.query(top.seal_query(q2_of_5))
+        assert (await client_b.query(top.seal_query(q2_of_5))).cache_hit
+
+        # (b) An update through node A invalidates BOTH nodes: A
+        # synchronously (reflected in the ack), B via the home's
+        # invalidation stream.
+        ack = await client_a.update(
+            top.seal_update(registry.update("U1").bind([5]))
+        )
+        assert ack.rows_affected == 1
+        assert ack.invalidated >= 1  # node A, synchronous
+        await eventually(lambda: top.dssp_nets[1].stream_pushes_applied >= 1)
+
+        # Both nodes must now miss: the deleted row's view is gone.
+        re_read_a = await client_a.query(top.seal_query(q2_of_5))
+        assert re_read_a.cache_hit is False
+        re_read_b = await client_b.query(top.seal_query(q2_of_5))
+        assert re_read_b.cache_hit is False
+        assert re_read_b.result is not None
+        assert top.home.queries_served > served_before
+
+        # The fresh result reflects the delete once opened at the client.
+        opened = top.codec.open_result(re_read_a.result)
+        assert opened.rows == ()
+    return b"".join(top.wire_bytes)
+
+
+class TestEndToEnd:
+    async def test_hits_fanout_and_wire_exposure(
+        self, strategy, simple_toystore, toystore_db
+    ):
+        topology = Topology(simple_toystore, toystore_db.clone(), strategy)
+        observed = await run_scenario(topology, simple_toystore)
+
+        assert observed  # the observer really saw traffic
+        # (c) Serialized plaintext result sets have a distinctive JSON
+        # shell; below `view` it must never cross the wire.
+        if strategy.exposure_level.name == "VIEW":
+            assert b'"columns"' in observed
+        else:
+            assert b'"columns"' not in observed
+            assert b'"rows"' not in observed
+
+    async def test_update_through_one_node_counts_once(
+        self, simple_toystore, toystore_db
+    ):
+        """The origin node is skipped by fan-out: no double invalidation."""
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            client_a, _ = top.clients
+            bound = simple_toystore.query("Q2").bind([7])
+            await client_a.query(top.seal_query(bound))
+            await client_a.update(
+                top.seal_update(simple_toystore.update("U1").bind([7]))
+            )
+            # Give the stream a beat: node A must NOT receive its own push.
+            await asyncio.sleep(0.1)
+            assert top.dssp_nets[0].stream_pushes_applied == 0
+            assert top.dssp_nets[1].stream_pushes_applied == 1

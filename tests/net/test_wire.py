@@ -1,0 +1,324 @@
+"""Property tests for the wire codecs.
+
+Round-trip: ``decode_frame(encode_frame(x)) == x`` for every envelope type
+× all exposure levels × every frame type.  Rejection: truncated frames,
+oversized frames, bad magic/version/frame types all raise ``WireError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto.envelope import QueryEnvelope, ResultEnvelope, UpdateEnvelope
+from repro.errors import WireError
+from repro.net import wire
+from repro.net.wire import (
+    ErrorCode,
+    ErrorResponse,
+    FrameType,
+    InvalidationPush,
+    QueryRequest,
+    QueryResponse,
+    SubscribeRequest,
+    SubscribeResponse,
+    UpdateRequest,
+    UpdateResponse,
+    decode_frame,
+    encode_frame,
+)
+from repro.sql.parser import parse
+from repro.storage.rows import ResultSet
+
+# A corpus of statements in the supported dialect; the codec ships
+# statements as SQL text, so parse→format→parse must be the identity on
+# everything it can carry.
+_SELECT_SQL = [
+    "SELECT toy_id FROM toys WHERE toy_name = 'bear'",
+    "SELECT qty FROM toys WHERE toy_id = 7",
+    "SELECT cust_name FROM customers, credit_card "
+    "WHERE cust_id = cid AND zip_code = '12345'",
+    "SELECT toy_id, qty FROM toys WHERE qty < 10 ORDER BY toy_id LIMIT 5",
+]
+_DML_SQL = [
+    "DELETE FROM toys WHERE toy_id = 3",
+    "INSERT INTO toys (toy_id, toy_name, qty) VALUES (9, 'robot', 4)",
+    "UPDATE toys SET qty = 2 WHERE toy_id = 5",
+]
+
+SELECTS = [parse(sql) for sql in _SELECT_SQL]
+DMLS = [parse(sql) for sql in _DML_SQL]
+
+_text = st.text(max_size=40)
+_opt_text = st.none() | _text
+_opt_blob = st.none() | st.binary(max_size=60)
+_levels = st.sampled_from(list(ExposureLevel))
+_update_levels = st.sampled_from(
+    [ExposureLevel.BLIND, ExposureLevel.TEMPLATE, ExposureLevel.STMT]
+)
+
+
+@st.composite
+def query_envelopes(draw) -> QueryEnvelope:
+    return QueryEnvelope(
+        app_id=draw(_text),
+        level=draw(_levels),
+        cache_key=draw(_text),
+        template_name=draw(_opt_text),
+        template_sql=draw(_opt_text),
+        statement=draw(st.none() | st.sampled_from(SELECTS)),
+        statement_sql=draw(_opt_text),
+        sealed_statement=draw(_opt_blob),
+        sealed_params=draw(_opt_blob),
+    )
+
+
+@st.composite
+def update_envelopes(draw) -> UpdateEnvelope:
+    return UpdateEnvelope(
+        app_id=draw(_text),
+        level=draw(_update_levels),
+        opaque_id=draw(_text),
+        template_name=draw(_opt_text),
+        template_sql=draw(_opt_text),
+        statement=draw(st.none() | st.sampled_from(DMLS)),
+        statement_sql=draw(_opt_text),
+        sealed_statement=draw(_opt_blob),
+        sealed_params=draw(_opt_blob),
+    )
+
+
+_cells = st.none() | st.integers(-(2**31), 2**31) | st.text(max_size=12)
+
+
+@st.composite
+def result_sets(draw) -> ResultSet:
+    width = draw(st.integers(0, 4))
+    columns = tuple(f"c{i}" for i in range(width))
+    rows = draw(
+        st.lists(
+            st.tuples(*([_cells] * width)),
+            max_size=5,
+        )
+    )
+    return ResultSet(
+        columns=columns, rows=tuple(rows), ordered=draw(st.booleans())
+    )
+
+
+@st.composite
+def result_envelopes(draw) -> ResultEnvelope:
+    return ResultEnvelope(
+        app_id=draw(_text),
+        plaintext=draw(st.none() | result_sets()),
+        ciphertext=draw(_opt_blob),
+    )
+
+
+@st.composite
+def frames(draw):
+    kind = draw(st.sampled_from(list(FrameType)))
+    if kind is FrameType.QUERY:
+        return QueryRequest(draw(query_envelopes()))
+    if kind is FrameType.UPDATE:
+        return UpdateRequest(draw(update_envelopes()), origin=draw(_opt_text))
+    if kind is FrameType.SUBSCRIBE:
+        return SubscribeRequest(
+            draw(_text), tuple(draw(st.lists(_text, max_size=4)))
+        )
+    if kind is FrameType.RESULT:
+        return QueryResponse(draw(result_envelopes()), draw(st.booleans()))
+    if kind is FrameType.UPDATE_ACK:
+        return UpdateResponse(
+            draw(st.integers(0, 2**32 - 1)), draw(st.integers(0, 2**32 - 1))
+        )
+    if kind is FrameType.SUBSCRIBED:
+        return SubscribeResponse(tuple(draw(st.lists(_text, max_size=4))))
+    if kind is FrameType.INVALIDATE:
+        return InvalidationPush(draw(update_envelopes()))
+    return ErrorResponse(draw(st.sampled_from(list(ErrorCode))), draw(_text))
+
+
+class TestStatementCorpus:
+    def test_corpus_round_trips_through_the_parser(self):
+        """Precondition for shipping statements as SQL text."""
+        from repro.sql.formatter import to_sql
+
+        for statement in SELECTS + DMLS:
+            assert parse(to_sql(statement)) == statement
+
+
+class TestRoundTrip:
+    @given(envelope=query_envelopes(), level=_levels)
+    @settings(max_examples=200)
+    def test_query_envelope(self, envelope, level):
+        frame = QueryRequest(envelope)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(envelope=update_envelopes())
+    @settings(max_examples=200)
+    def test_update_envelope(self, envelope):
+        frame = UpdateRequest(envelope)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(envelope=result_envelopes(), hit=st.booleans())
+    @settings(max_examples=200)
+    def test_result_envelope(self, envelope, hit):
+        frame = QueryResponse(envelope, hit)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @given(frame=frames())
+    @settings(max_examples=300)
+    def test_every_frame_type(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_sealed_codec_envelopes_round_trip(self, simple_toystore):
+        """Envelopes produced by the real codec survive the wire."""
+        from repro.crypto import Keyring
+        from repro.crypto.envelope import EnvelopeCodec
+
+        codec = EnvelopeCodec(Keyring("toystore", b"k" * 32))
+        query = simple_toystore.query("Q1").bind(["toy5"])
+        update = simple_toystore.update("U1").bind([5])
+        for level in ExposureLevel:
+            frame = QueryRequest(codec.seal_query(query, level))
+            assert decode_frame(encode_frame(frame)) == frame
+            if level is not ExposureLevel.VIEW:
+                push = InvalidationPush(codec.seal_update(update, level))
+                assert decode_frame(encode_frame(push)) == push
+
+
+class TestRejection:
+    @given(frame=frames(), data=st.data())
+    @settings(max_examples=100)
+    def test_any_truncation_rejected(self, frame, data):
+        encoded = encode_frame(frame)
+        cut = data.draw(st.integers(0, len(encoded) - 1))
+        with pytest.raises(WireError):
+            decode_frame(encoded[:cut])
+
+    @given(frame=frames())
+    @settings(max_examples=50)
+    def test_trailing_bytes_rejected(self, frame):
+        with pytest.raises(WireError):
+            decode_frame(encode_frame(frame) + b"\x00")
+
+    def test_bad_magic_rejected(self):
+        encoded = bytearray(encode_frame(ErrorResponse(ErrorCode.INTERNAL, "")))
+        encoded[0:2] = b"ZZ"
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(encoded))
+
+    def test_bad_version_rejected(self):
+        encoded = bytearray(encode_frame(ErrorResponse(ErrorCode.INTERNAL, "")))
+        encoded[2] = 99
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bytes(encoded))
+
+    def test_unknown_frame_type_rejected(self):
+        encoded = bytearray(encode_frame(ErrorResponse(ErrorCode.INTERNAL, "")))
+        encoded[3] = 200
+        with pytest.raises(WireError, match="frame type"):
+            decode_frame(bytes(encoded))
+
+    def test_oversized_frame_rejected_by_header_check(self):
+        header = wire._HEADER.pack(
+            wire.MAGIC, wire.VERSION, FrameType.ERROR, 2**31
+        )
+        with pytest.raises(WireError, match="exceeds"):
+            decode_frame(header + b"")
+
+    def test_oversized_payload_rejected_at_encode_time(self):
+        frame = ErrorResponse(ErrorCode.INTERNAL, "x" * 100)
+        with pytest.raises(WireError, match="exceeds"):
+            encode_frame(frame, max_frame=10)
+
+    def test_statement_that_does_not_parse_rejected(self):
+        frame = QueryRequest(
+            QueryEnvelope(
+                app_id="a",
+                level=ExposureLevel.STMT,
+                cache_key="k",
+                statement=SELECTS[0],
+            )
+        )
+        encoded = encode_frame(frame)
+        corrupted = encoded.replace(b"SELECT", b"SELECT)")
+        with pytest.raises(WireError):
+            decode_frame(corrupted)
+
+    def test_dml_in_query_envelope_rejected(self):
+        query_frame = encode_frame(QueryRequest(
+            QueryEnvelope(
+                app_id="a",
+                level=ExposureLevel.STMT,
+                cache_key="k",
+                statement=SELECTS[1],
+            )
+        ))
+        corrupted = query_frame.replace(
+            b"SELECT qty FROM toys WHERE toy_id = 7",
+            b"DELETE FROM toys WHERE toy_id = 70000",  # same byte length
+        )
+        with pytest.raises(WireError, match="not a SELECT"):
+            decode_frame(corrupted)
+
+
+class TestExposureOnTheWire:
+    """The bytes on the wire expose exactly what the level permits."""
+
+    @pytest.fixture
+    def codec(self):
+        from repro.crypto import Keyring
+        from repro.crypto.envelope import EnvelopeCodec
+
+        return EnvelopeCodec(Keyring("toystore", b"k" * 32))
+
+    def test_blind_query_hides_everything(self, codec, simple_toystore):
+        bound = simple_toystore.query("Q1").bind(["marker-toy"])
+        raw = encode_frame(
+            QueryRequest(codec.seal_query(bound, ExposureLevel.BLIND))
+        )
+        assert b"marker-toy" not in raw
+        assert b"SELECT" not in raw
+        assert b"Q1" not in raw
+
+    def test_template_query_hides_params(self, codec, simple_toystore):
+        bound = simple_toystore.query("Q1").bind(["marker-toy"])
+        raw = encode_frame(
+            QueryRequest(codec.seal_query(bound, ExposureLevel.TEMPLATE))
+        )
+        assert b"marker-toy" not in raw  # parameters sealed
+        assert b"SELECT" in raw  # template SQL is exposed by design
+
+    def test_stmt_query_exposes_statement(self, codec, simple_toystore):
+        bound = simple_toystore.query("Q1").bind(["marker-toy"])
+        raw = encode_frame(
+            QueryRequest(codec.seal_query(bound, ExposureLevel.STMT))
+        )
+        assert b"marker-toy" in raw
+
+    def test_sub_view_result_is_ciphertext_only(self, codec):
+        result = ResultSet(
+            columns=("toy_name",), rows=(("marker-plaintext",),)
+        )
+        for level in (
+            ExposureLevel.BLIND,
+            ExposureLevel.TEMPLATE,
+            ExposureLevel.STMT,
+        ):
+            raw = encode_frame(
+                QueryResponse(codec.seal_result(result, level), False)
+            )
+            assert b"marker-plaintext" not in raw
+
+    def test_view_result_is_plaintext(self, codec):
+        result = ResultSet(
+            columns=("toy_name",), rows=(("marker-plaintext",),)
+        )
+        raw = encode_frame(
+            QueryResponse(codec.seal_result(result, ExposureLevel.VIEW), False)
+        )
+        assert b"marker-plaintext" in raw

@@ -78,6 +78,52 @@ class TestSerialization:
         with pytest.raises(WorkloadError, match="version"):
             Trace.from_json('{"version": 99, "application": "x", "pages": []}')
 
+    def test_param_types_survive_json(self):
+        """int vs str params must not blur through serialization — the
+        DSSP cache keys on exact parameter values."""
+        trace = Trace(
+            application="toystore",
+            pages=[
+                [
+                    ("query", "Q1", ["toy5"]),
+                    ("query", "Q2", [5]),
+                    ("update", "U1", [5]),
+                ]
+            ],
+        )
+        loaded = Trace.from_json(trace.to_json())
+        ((q1, q2, u1),) = loaded.pages
+        assert q1[2] == ["toy5"] and isinstance(q1[2][0], str)
+        assert q2[2] == [5] and isinstance(q2[2][0], int)
+        assert u1[2] == [5]
+
+    def test_file_persistence_round_trip(self, toystore_instance, tmp_path):
+        """The loadgen's --trace file workflow: record, save, reload, replay."""
+        spec = toystore_spec()
+        trace = record_trace(
+            toystore_instance.sampler, 6, seed=4, application="toystore"
+        )
+        path = tmp_path / "trace.json"
+        path.write_text(trace.to_json())
+        loaded = Trace.from_json(path.read_text()).bind(spec.registry)
+        assert loaded.pages == trace.pages
+        replayed = [loaded.sample_page() for _ in range(len(loaded))]
+        assert [len(page) for page in replayed] == [
+            len(page) for page in trace.pages
+        ]
+
+    def test_round_trip_preserves_replay_semantics(self, toystore_instance):
+        """Binding a deserialized trace yields the same bound operations."""
+        spec = toystore_spec()
+        original = record_trace(toystore_instance.sampler, 5, seed=11)
+        original.bind(spec.registry)
+        reloaded = Trace.from_json(original.to_json()).bind(spec.registry)
+        for _ in range(5):
+            for a, b in zip(original.sample_page(), reloaded.sample_page()):
+                assert a.is_update == b.is_update
+                assert a.bound.template.name == b.bound.template.name
+                assert list(a.bound.params) == list(b.bound.params)
+
 
 class TestCrossStrategyFairness:
     def test_same_trace_drives_both_deployments(self):
