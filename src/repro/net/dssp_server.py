@@ -26,6 +26,7 @@ from repro.dssp.proxy import DsspNode
 from repro.errors import (
     HomeUnreachableError,
     NetConnectionError,
+    NetError,
     NetTimeoutError,
     ReproError,
     UnknownApplicationError,

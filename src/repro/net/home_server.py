@@ -15,10 +15,18 @@ instances behind the wire protocol:
   still plays no part in invalidation *decisions*; it merely relays the
   completed update, as the paper's update stream does.
 * ``SUBSCRIBE`` frames register a DSSP node's long-lived stream channel.
+
+Fan-out is decoupled from the update request path: the ack never waits for
+pushes.  Each subscriber has a bounded send queue drained by its own sender
+task with a per-send timeout; a subscriber that stalls (full TCP buffer,
+dead peer) is dropped by *closing its channel*, so the node's
+reconnect-and-flush safety net restores correctness, and one stuck node can
+neither delay the update ack nor starve the other subscribers.
 """
 
 from __future__ import annotations
 
+import asyncio
 import logging
 from collections.abc import Iterable
 
@@ -47,10 +55,15 @@ class _Subscriber:
         node_id: str,
         app_ids: frozenset[str],
         context: ConnectionContext,
+        queue_size: int,
     ) -> None:
         self.node_id = node_id
         self.app_ids = app_ids
         self.context = context
+        self.queue: asyncio.Queue[InvalidationPush] = asyncio.Queue(
+            maxsize=queue_size
+        )
+        self.sender: asyncio.Task | None = None
 
 
 class HomeNetServer(WireServer):
@@ -59,6 +72,10 @@ class HomeNetServer(WireServer):
     Args:
         homes: The application home server(s) this endpoint masters.
         host/port: Bind address (port 0 picks an ephemeral port).
+        push_queue_size: Pending pushes a subscriber may accumulate before
+            it is considered stalled and dropped.
+        push_timeout_s: Ceiling on one push write; a subscriber whose
+            socket cannot take a frame within this window is dropped.
         Remaining keyword arguments are the
         :class:`~repro.net.service.WireServer` operational knobs.
     """
@@ -68,9 +85,14 @@ class HomeNetServer(WireServer):
         homes: HomeServer | Iterable[HomeServer],
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        push_queue_size: int = 256,
+        push_timeout_s: float = 5.0,
         **kwargs,
     ) -> None:
         super().__init__(host, port, **kwargs)
+        self._push_queue_size = push_queue_size
+        self._push_timeout_s = push_timeout_s
         if isinstance(homes, HomeServer):
             homes = [homes]
         self._homes: dict[str, HomeServer] = {}
@@ -101,7 +123,7 @@ class HomeNetServer(WireServer):
         if isinstance(frame, UpdateRequest):
             home = self._home(frame.envelope.app_id)
             rows = home.apply_update(frame.envelope)
-            await self._fan_out(frame)
+            self._fan_out(frame)
             return UpdateResponse(rows_affected=rows, invalidated=0)
         if isinstance(frame, SubscribeRequest):
             return self._subscribe(frame, context)
@@ -115,8 +137,12 @@ class HomeNetServer(WireServer):
         for app_id in frame.app_ids:
             self._home(app_id)  # all-or-nothing validation
         subscriber = _Subscriber(
-            frame.node_id, frozenset(frame.app_ids), context
+            frame.node_id,
+            frozenset(frame.app_ids),
+            context,
+            self._push_queue_size,
         )
+        subscriber.sender = asyncio.create_task(self._push_loop(subscriber))
         self._subscribers.append(subscriber)
         context.on_close(lambda: self._unsubscribe(subscriber))
         return SubscribeResponse(app_ids=tuple(sorted(subscriber.app_ids)))
@@ -126,12 +152,21 @@ class HomeNetServer(WireServer):
             self._subscribers.remove(subscriber)
         except ValueError:
             pass
+        sender = subscriber.sender
+        if (
+            sender is not None
+            and sender is not asyncio.current_task()
+            and not sender.done()
+        ):
+            sender.cancel()
 
-    async def _fan_out(self, request: UpdateRequest) -> None:
-        """Push the completed update to every subscribed node but the origin.
+    def _fan_out(self, request: UpdateRequest) -> None:
+        """Enqueue the completed update for every subscribed node but the
+        origin; the senders deliver asynchronously.
 
         The origin DSSP invalidates synchronously before acknowledging its
-        client, so pushing to it as well would only double-count.
+        client, so pushing to it as well would only double-count.  Never
+        blocks: the update ack must not hostage on a slow subscriber.
         """
         app_id = request.envelope.app_id
         push = InvalidationPush(envelope=request.envelope)
@@ -141,9 +176,34 @@ class HomeNetServer(WireServer):
             if request.origin is not None and subscriber.node_id == request.origin:
                 continue
             try:
-                await self._send(subscriber.context, push)
-            except (ConnectionError, OSError):
+                subscriber.queue.put_nowait(push)
+            except asyncio.QueueFull:
                 logger.warning(
-                    "dropping dead subscriber %s", subscriber.node_id
+                    "subscriber %s stalled with %d pushes pending; dropping",
+                    subscriber.node_id,
+                    subscriber.queue.qsize(),
                 )
-                self._unsubscribe(subscriber)
+                self._drop(subscriber)
+
+    async def _push_loop(self, subscriber: _Subscriber) -> None:
+        """Drain one subscriber's queue onto its channel until it dies."""
+        try:
+            while True:
+                push = await subscriber.queue.get()
+                await asyncio.wait_for(
+                    self._send(subscriber.context, push), self._push_timeout_s
+                )
+        except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
+            logger.warning("dropping dead subscriber %s", subscriber.node_id)
+            self._drop(subscriber)
+
+    def _drop(self, subscriber: _Subscriber) -> None:
+        """Remove a subscriber and close its channel.
+
+        Closing (rather than silently forgetting) is load-bearing: the DSSP
+        node sees its stream end, reconnects, and flushes its cache for the
+        affected applications — so the pushes it missed cannot leave it
+        serving stale entries.
+        """
+        self._unsubscribe(subscriber)
+        subscriber.context.writer.close()

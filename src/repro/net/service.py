@@ -198,6 +198,14 @@ class WireServer:
                 return ErrorResponse(
                     ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
                 )
+            except Exception as error:
+                # A handler bug must not tear down the connection without an
+                # ERROR frame — the client could misread a silently dropped
+                # connection as "update never sent".
+                logger.exception("request handler crashed")
+                return ErrorResponse(
+                    ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
+                )
 
     async def handle(
         self, frame: Frame, context: ConnectionContext

@@ -86,19 +86,19 @@ class FrameType(enum.IntEnum):
     ERROR = 8
 
 
-class ErrorCode(enum.Enum):
-    """Typed wire error codes (replaces exception text on the boundary)."""
+class ErrorCode(enum.IntEnum):
+    """Typed wire error codes (replaces exception text on the boundary).
 
-    UNKNOWN_APP = "UNKNOWN_APP"
-    MISS_FORWARDED = "MISS_FORWARDED"
-    TIMEOUT = "TIMEOUT"
-    BAD_FRAME = "BAD_FRAME"
-    OVERLOADED = "OVERLOADED"
-    INTERNAL = "INTERNAL"
+    Values are the on-wire byte and are frozen: never renumber an existing
+    member; new codes take fresh values at the end.
+    """
 
-
-_ERROR_CODES = tuple(ErrorCode)
-_ERROR_CODE_IDS = {code: index for index, code in enumerate(_ERROR_CODES)}
+    UNKNOWN_APP = 1
+    MISS_FORWARDED = 2
+    TIMEOUT = 3
+    BAD_FRAME = 4
+    OVERLOADED = 5
+    INTERNAL = 6
 
 
 # -- frame dataclasses -----------------------------------------------------------
@@ -426,7 +426,7 @@ def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
         _write_update_envelope(writer, frame.envelope)
         return FrameType.INVALIDATE
     if isinstance(frame, ErrorResponse):
-        writer.u8(_ERROR_CODE_IDS[frame.code])
+        writer.u8(int(frame.code))
         writer.text(frame.message)
         return FrameType.ERROR
     raise WireError(f"cannot encode {type(frame).__name__}")
@@ -460,9 +460,11 @@ def _decode_payload(frame_type: int, payload: bytes) -> Frame:
         frame = InvalidationPush(_read_update_envelope(reader))
     elif frame_type == FrameType.ERROR:
         code_id = reader.u8()
-        if code_id >= len(_ERROR_CODES):
-            raise WireError(f"unknown error code {code_id}")
-        frame = ErrorResponse(_ERROR_CODES[code_id], reader.text())
+        try:
+            code = ErrorCode(code_id)
+        except ValueError:
+            raise WireError(f"unknown error code {code_id}") from None
+        frame = ErrorResponse(code, reader.text())
     else:
         raise WireError(f"unknown frame type {frame_type}")
     reader.done()

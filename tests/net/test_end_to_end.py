@@ -18,7 +18,12 @@ from repro.analysis.exposure import ExposurePolicy
 from repro.crypto import Keyring
 from repro.dssp import DsspNode, HomeServer
 from repro.dssp.invalidation import StrategyClass
-from repro.net import DsspNetServer, HomeNetServer, WireClient
+from repro.net import (
+    DsspNetServer,
+    HomeNetServer,
+    RetryPolicy,
+    WireClient,
+)
 
 
 async def eventually(predicate, *, timeout_s: float = 5.0) -> None:
@@ -152,6 +157,61 @@ class TestEndToEnd:
         else:
             assert b'"columns"' not in observed
             assert b'"rows"' not in observed
+
+    async def test_stream_connects_when_home_starts_late(
+        self, simple_toystore, toystore_db
+    ):
+        """A DSSP node brought up before its home must keep retrying the
+        invalidation-stream subscription, then connect and apply pushes."""
+        # Reserve a port for the home, then free it so the DSSP node's
+        # first subscribe attempts fail with a connection error.
+        probe = await asyncio.start_server(
+            lambda r, w: w.close(), "127.0.0.1", 0
+        )
+        host, port = probe.sockets[0].getsockname()[:2]
+        probe.close()
+        await probe.wait_closed()
+
+        dssp = DsspNetServer(
+            DsspNode(),
+            node_id="early-bird",
+            subscribe_retry=RetryPolicy(
+                attempts=1_000, backoff_s=0.01, max_backoff_s=0.05
+            ),
+        )
+        dssp.register_application("toystore", simple_toystore, (host, port))
+        await dssp.start()
+        # Let several subscribe attempts fail while the home is down.
+        await asyncio.sleep(0.1)
+
+        policy = ExposurePolicy.uniform(
+            simple_toystore, StrategyClass.MTIS.exposure_level
+        )
+        home = HomeServer(
+            "toystore",
+            toystore_db.clone(),
+            simple_toystore,
+            policy,
+            Keyring("toystore", b"k" * 32),
+        )
+        home_net = HomeNetServer(home, host=host, port=port)
+        updater = None
+        try:
+            await home_net.start()
+            await eventually(lambda: home_net.subscriber_count == 1)
+            # The stream is genuinely live: an update entering at the home
+            # reaches the node as an invalidation push.
+            updater = WireClient(host, port)
+            bound = simple_toystore.update("U1").bind([5])
+            await updater.update(
+                home.codec.seal_update(bound, policy.update_level("U1"))
+            )
+            await eventually(lambda: dssp.stream_pushes_applied >= 1)
+        finally:
+            if updater is not None:
+                await updater.aclose()
+            await dssp.stop()
+            await home_net.stop()
 
     async def test_update_through_one_node_counts_once(
         self, simple_toystore, toystore_db

@@ -1,0 +1,44 @@
+"""WireServer dispatch: failures always answer with a typed ERROR frame.
+
+In particular an unexpected exception from a handler (a plain bug, not a
+``ReproError``) must come back as ``INTERNAL`` on the same connection —
+never tear the connection down silently, which a client could misread as
+"my update was never sent".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto.envelope import UpdateEnvelope
+from repro.errors import NetError
+from repro.net import RetryPolicy, WireClient
+from repro.net.service import WireServer
+
+UPDATE = UpdateEnvelope(
+    app_id="toystore", level=ExposureLevel.BLIND, opaque_id="u1"
+)
+
+
+class CrashingServer(WireServer):
+    async def handle(self, frame, context):
+        raise AttributeError("handler bug")
+
+
+class TestDispatchCatchAll:
+    async def test_handler_crash_becomes_internal_error_frame(self):
+        server = CrashingServer()
+        host, port = await server.start()
+        client = WireClient(host, port, retry=RetryPolicy(attempts=1))
+        try:
+            with pytest.raises(NetError, match="AttributeError"):
+                await client.update(UPDATE)
+            # The connection survived the crash: the next request on the
+            # same pooled connection gets another typed answer, not a
+            # connection drop.
+            with pytest.raises(NetError, match="AttributeError"):
+                await client.update(UPDATE)
+        finally:
+            await client.aclose()
+            await server.stop()

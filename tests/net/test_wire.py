@@ -266,6 +266,39 @@ class TestRejection:
             decode_frame(corrupted)
 
 
+class TestErrorCodeStability:
+    """Error codes are wire bytes, frozen across protocol versions.
+
+    The client's retry-safety logic keys on the decoded code (OVERLOADED
+    may re-send an update; TIMEOUT must not), so a renumbering would
+    silently change retry semantics between peers of different builds.
+    """
+
+    FROZEN = {
+        ErrorCode.UNKNOWN_APP: 1,
+        ErrorCode.MISS_FORWARDED: 2,
+        ErrorCode.TIMEOUT: 3,
+        ErrorCode.BAD_FRAME: 4,
+        ErrorCode.OVERLOADED: 5,
+        ErrorCode.INTERNAL: 6,
+    }
+
+    def test_values_match_the_frozen_table(self):
+        assert {code: int(code) for code in ErrorCode} == self.FROZEN
+
+    def test_encoded_byte_is_the_frozen_value(self):
+        for code, value in self.FROZEN.items():
+            encoded = encode_frame(ErrorResponse(code, ""))
+            assert encoded[wire.HEADER_SIZE] == value
+            assert decode_frame(encoded).code is code
+
+    def test_unknown_code_rejected(self):
+        encoded = bytearray(encode_frame(ErrorResponse(ErrorCode.INTERNAL, "")))
+        encoded[wire.HEADER_SIZE] = 200
+        with pytest.raises(WireError, match="error code"):
+            decode_frame(bytes(encoded))
+
+
 class TestExposureOnTheWire:
     """The bytes on the wire expose exactly what the level permits."""
 
