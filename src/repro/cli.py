@@ -15,12 +15,17 @@ Commands:
 * ``serve-home APP`` / ``serve-dssp APP`` — run the networked service
   layer (home organization / DSSP node) on real sockets.
 * ``loadgen APP`` — closed-loop load generator against live DSSP nodes.
+* ``stats HOST:PORT`` — dump a live node's STATS snapshot as JSON.
+
+Global flags ``--log-level`` and ``--log-json`` configure structured
+logging for every command (key=value text or JSON lines on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import sys
 
 from repro.analysis import (
@@ -58,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Simultaneous Scalability and Security for "
             "Data-Intensive Web Applications' (SIGMOD 2006)"
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="structured-log threshold on stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of key=value text",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -226,6 +242,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--master",
         default="repro-demo",
         help="shared demo master secret (must match serve-home)",
+    )
+    loadgen.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the combined client+server report as JSON",
+    )
+    loadgen.add_argument(
+        "--no-server-stats",
+        action="store_true",
+        help="skip the post-run STATS fetch from each DSSP node",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="dump a live node's STATS snapshot as JSON"
+    )
+    stats.add_argument(
+        "address", metavar="HOST:PORT", help="any wire server (home or DSSP)"
+    )
+    stats.add_argument(
+        "--timeout", type=float, default=5.0, help="request timeout (s)"
     )
     return parser
 
@@ -606,6 +643,16 @@ def _cmd_loadgen(args, out) -> int:
             for endpoint in endpoints:
                 await endpoint.aclose()
 
+    async def fetch_stats():
+        snapshots = []
+        for address in args.dssp:
+            client = WireClient(*_parse_address(address))
+            try:
+                snapshots.append(await client.stats())
+            finally:
+                await client.aclose()
+        return snapshots
+
     report = asyncio.run(run())
     print(
         f"app={args.app} strategy={strategy.name} clients={args.clients} "
@@ -613,6 +660,7 @@ def _cmd_loadgen(args, out) -> int:
         file=out,
     )
     print(report.summary(), file=out)
+    predicted = None
     if report.pages:
         predicted = predict_p90(
             args.clients, SimulationParams(), report.behavior()
@@ -622,6 +670,53 @@ def _cmd_loadgen(args, out) -> int:
             f"{predicted:.3f}s (model WAN/SLA units, not localhost time)",
             file=out,
         )
+    # Server-side view of the same run: the nodes' own counters should
+    # corroborate what the client loops observed.
+    server_snapshots = []
+    if not args.no_server_stats:
+        try:
+            server_snapshots = asyncio.run(fetch_stats())
+        except Exception as error:  # stats are best-effort reporting
+            print(f"server stats unavailable: {error}", file=out)
+        for snapshot in server_snapshots:
+            dssp = snapshot.get("dssp", {}).get("stats", {})
+            print(
+                f"server[{snapshot.get('node_id', '?')}] "
+                f"hits={dssp.get('hits', 0)} "
+                f"misses={dssp.get('misses', 0)} "
+                f"hit_rate={dssp.get('hit_rate', 0.0):.3f} "
+                f"invalidations={dssp.get('invalidations', 0)}",
+                file=out,
+            )
+    if args.report is not None:
+        combined = {
+            "client": report.to_dict(),
+            "servers": server_snapshots,
+            "predict_p90_s": predicted,
+        }
+        pathlib.Path(args.report).write_text(
+            json.dumps(combined, indent=2, default=str)
+        )
+        print(f"report written to {args.report}", file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    import asyncio
+
+    from repro.net.client import WireClient
+
+    async def fetch():
+        client = WireClient(
+            *_parse_address(args.address), request_timeout_s=args.timeout
+        )
+        try:
+            return await client.stats()
+        finally:
+            await client.aclose()
+
+    snapshot = asyncio.run(fetch())
+    print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
     return 0
 
 
@@ -638,11 +733,15 @@ _COMMANDS = {
     "serve-home": _cmd_serve_home,
     "serve-dssp": _cmd_serve_dssp,
     "loadgen": _cmd_loadgen,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.obs import configure_logging
+
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     return _COMMANDS[args.command](args, out)

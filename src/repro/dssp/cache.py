@@ -83,6 +83,15 @@ class ViewCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def register_metrics(self, registry) -> None:
+        """Export live occupancy as callable gauges on ``registry``."""
+        registry.gauge("cache.entries", lambda: len(self._entries))
+        registry.gauge("cache.buckets", lambda: len(self._buckets))
+        registry.gauge(
+            "cache.capacity",
+            lambda: -1 if self._capacity is None else self._capacity,
+        )
+
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 

@@ -171,6 +171,21 @@ class DsspNode:
         self.stats.invalidation_time_s += time.perf_counter() - started
         return count
 
+    # -- observability -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe live view of this node: counters plus occupancy.
+
+        Exposure-safe by construction: :meth:`DsspStats.to_dict` keys
+        invalidations by template *name*, and nothing here touches sealed
+        payloads or result rows.
+        """
+        return {
+            "stats": self.stats.to_dict(),
+            "cache_entries": len(self.cache),
+            "applications": sorted(self._tenants),
+        }
+
     # -- maintenance ---------------------------------------------------------------
 
     def cold_start(self) -> None:

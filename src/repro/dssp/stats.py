@@ -65,6 +65,48 @@ class DsspStats:
             self.per_query_invalidations.get(key, 0) + count
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot, including the derived rates.
+
+        Keys are template *names* (or ``<blind>``) — never statement text
+        or parameters, so the snapshot is safe to export at any exposure
+        level.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "updates": self.updates,
+            "invalidations": self.invalidations,
+            "invalidation_checks": self.invalidation_checks,
+            "decision_memo_hits": self.decision_memo_hits,
+            "decision_memo_rate": self.decision_memo_rate,
+            "evictions": self.evictions,
+            "lookup_time_s": self.lookup_time_s,
+            "invalidation_time_s": self.invalidation_time_s,
+            "eviction_time_s": self.eviction_time_s,
+            "per_query_invalidations": dict(
+                sorted(self.per_query_invalidations.items())
+            ),
+        }
+
+    def register_metrics(self, registry) -> None:
+        """Export the live counters as callable gauges on ``registry``.
+
+        Gauges sample this object at snapshot time, so the registry never
+        needs to be threaded through the cache/invalidation hot paths.
+        """
+        registry.gauge("dssp.hits", lambda: self.hits)
+        registry.gauge("dssp.misses", lambda: self.misses)
+        registry.gauge("dssp.hit_rate", lambda: self.hit_rate)
+        registry.gauge("dssp.updates", lambda: self.updates)
+        registry.gauge("dssp.invalidations", lambda: self.invalidations)
+        registry.gauge("dssp.evictions", lambda: self.evictions)
+        registry.gauge(
+            "dssp.decision_memo_rate", lambda: self.decision_memo_rate
+        )
+
     def merge(self, other: "DsspStats") -> None:
         """Add another node's counters into this one (fleet aggregation)."""
         self.hits += other.hits

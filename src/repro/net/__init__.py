@@ -34,11 +34,14 @@ from repro.net.wire import (
     InvalidationPush,
     QueryRequest,
     QueryResponse,
+    StatsRequest,
+    StatsResponse,
     SubscribeRequest,
     SubscribeResponse,
     UpdateRequest,
     UpdateResponse,
     decode_frame,
+    decode_traced,
     encode_frame,
 )
 
@@ -55,6 +58,8 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "RetryPolicy",
+    "StatsRequest",
+    "StatsResponse",
     "SubscribeRequest",
     "SubscribeResponse",
     "Subscription",
@@ -62,6 +67,7 @@ __all__ = [
     "UpdateResponse",
     "WireClient",
     "decode_frame",
+    "decode_traced",
     "encode_frame",
     "run_load",
 ]

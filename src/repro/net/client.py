@@ -17,6 +17,8 @@ update must surface, not silently re-apply.
 from __future__ import annotations
 
 import asyncio
+import json
+import time
 from dataclasses import dataclass
 
 from repro.crypto.envelope import QueryEnvelope, ResultEnvelope, UpdateEnvelope
@@ -38,11 +40,14 @@ from repro.net.wire import (
     InvalidationPush,
     QueryRequest,
     QueryResponse,
+    StatsRequest,
+    StatsResponse,
     SubscribeRequest,
     SubscribeResponse,
     UpdateRequest,
     UpdateResponse,
 )
+from repro.obs import MetricsRegistry, new_request_id
 
 __all__ = [
     "NetQueryOutcome",
@@ -129,21 +134,26 @@ class _Connection:
         self._max_frame = max_frame
         self._observer = observer
 
-    async def send(self, frame: Frame) -> None:
+    async def send(self, frame: Frame, *, request_id: str | None = None) -> None:
         await wire.write_frame(
             self._writer,
             frame,
+            request_id=request_id,
             max_frame=self._max_frame,
             observer=self._observer,
         )
 
     async def receive(self) -> Frame:
-        frame = await wire.read_frame(
+        frame, _ = await self.receive_traced()
+        return frame
+
+    async def receive_traced(self) -> tuple[Frame, str | None]:
+        traced = await wire.read_traced(
             self._reader, max_frame=self._max_frame, observer=self._observer
         )
-        if frame is None:
+        if traced is None:
             raise NetConnectionError("server closed the connection")
-        return frame
+        return traced
 
     async def aclose(self) -> None:
         self._writer.close()
@@ -165,6 +175,7 @@ class _ConnectionPool:
         connect_timeout_s: float,
         max_frame: int,
         observer=None,
+        on_open=None,
     ) -> None:
         self._host = host
         self._port = port
@@ -172,6 +183,7 @@ class _ConnectionPool:
         self._connect_timeout_s = connect_timeout_s
         self._max_frame = max_frame
         self._observer = observer
+        self._on_open = on_open
         self._idle: list[_Connection] = []
         self._open_count = 0
         self._available = asyncio.Condition()
@@ -206,6 +218,8 @@ class _ConnectionPool:
             raise NetConnectionError(
                 f"cannot connect to {self._host}:{self._port}: {error}"
             ) from error
+        if self._on_open is not None:
+            self._on_open()
         return _Connection(
             reader, writer, max_frame=self._max_frame, observer=self._observer
         )
@@ -245,13 +259,23 @@ class Subscription:
 
     async def frames(self):
         """Yield invalidation pushes until the channel closes."""
+        async for push, _ in self.events():
+            yield push
+
+    async def events(self):
+        """Yield ``(push, request_id)`` pairs until the channel closes.
+
+        The request id is the trace id of the update that caused the push
+        (``None`` when the update arrived untraced), so a node can log
+        stream invalidations correlated with their originating request.
+        """
         while True:
             try:
-                frame = await self._connection.receive()
+                frame, request_id = await self._connection.receive_traced()
             except NetConnectionError:
                 return
             if isinstance(frame, InvalidationPush):
-                yield frame
+                yield frame, request_id
             elif isinstance(frame, ErrorResponse):
                 raise exception_for(frame)
             else:
@@ -281,6 +305,7 @@ class WireClient:
         retry: RetryPolicy | None = None,
         max_frame: int = wire.MAX_FRAME_BYTES,
         frame_observer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -288,6 +313,7 @@ class WireClient:
         self._request_timeout_s = request_timeout_s
         self._max_frame = max_frame
         self._frame_observer = frame_observer
+        self.metrics = metrics or MetricsRegistry()
         self._pool = _ConnectionPool(
             host,
             port,
@@ -295,13 +321,24 @@ class WireClient:
             connect_timeout_s=connect_timeout_s,
             max_frame=max_frame,
             observer=frame_observer,
+            on_open=self.metrics.counter("client.connections_opened").inc,
         )
 
     # -- public API --------------------------------------------------------
 
-    async def query(self, envelope: QueryEnvelope) -> NetQueryOutcome:
-        """Issue a sealed query; returns the (still sealed) result."""
-        response = await self._request(QueryRequest(envelope), idempotent=True)
+    async def query(
+        self, envelope: QueryEnvelope, *, request_id: str | None = None
+    ) -> NetQueryOutcome:
+        """Issue a sealed query; returns the (still sealed) result.
+
+        A fresh trace id is minted unless the caller supplies one (a DSSP
+        node forwarding a miss passes through the client's id).
+        """
+        response = await self._request(
+            QueryRequest(envelope),
+            idempotent=True,
+            request_id=request_id or new_request_id(),
+        )
         if not isinstance(response, QueryResponse):
             raise WireError(
                 f"expected RESULT frame, got {type(response).__name__}"
@@ -311,11 +348,17 @@ class WireClient:
         )
 
     async def update(
-        self, envelope: UpdateEnvelope, *, origin: str | None = None
+        self,
+        envelope: UpdateEnvelope,
+        *,
+        origin: str | None = None,
+        request_id: str | None = None,
     ) -> NetUpdateOutcome:
         """Issue a sealed update; returns the acknowledgement."""
         response = await self._request(
-            UpdateRequest(envelope, origin=origin), idempotent=False
+            UpdateRequest(envelope, origin=origin),
+            idempotent=False,
+            request_id=request_id or new_request_id(),
         )
         if not isinstance(response, UpdateResponse):
             raise WireError(
@@ -325,6 +368,17 @@ class WireClient:
             rows_affected=response.rows_affected,
             invalidated=response.invalidated,
         )
+
+    async def stats(self) -> dict:
+        """Fetch the server's live stats snapshot as a parsed dict."""
+        response = await self._request(
+            StatsRequest(), idempotent=True, request_id=new_request_id()
+        )
+        if not isinstance(response, StatsResponse):
+            raise WireError(
+                f"expected STATS_RESULT frame, got {type(response).__name__}"
+            )
+        return json.loads(response.payload)
 
     async def subscribe(
         self, node_id: str, app_ids: tuple[str, ...]
@@ -353,15 +407,43 @@ class WireClient:
 
     # -- request machinery -------------------------------------------------
 
-    async def _request(self, frame: Frame, *, idempotent: bool) -> Frame:
+    async def _request(
+        self,
+        frame: Frame,
+        *,
+        idempotent: bool,
+        request_id: str | None = None,
+    ) -> Frame:
+        # One trace id covers the whole logical request: retries reuse it,
+        # so server-side records of every attempt correlate.
+        in_flight = self.metrics.gauge("client.in_flight")
+        started = time.perf_counter()
+        in_flight.inc()
+        try:
+            return await self._request_with_retries(
+                frame, idempotent=idempotent, request_id=request_id
+            )
+        finally:
+            in_flight.dec()
+            self.metrics.histogram("client.request_seconds").observe(
+                time.perf_counter() - started
+            )
+
+    async def _request_with_retries(
+        self,
+        frame: Frame,
+        *,
+        idempotent: bool,
+        request_id: str | None,
+    ) -> Frame:
         attempt = 0
         while True:
             try:
-                response = await self._exchange(frame)
+                response = await self._exchange(frame, request_id=request_id)
             except _ExchangeFailed as failure:
                 retryable = idempotent or not failure.sent
                 if retryable and attempt + 1 < self._retry.attempts:
-                    await asyncio.sleep(self._retry.delay(attempt))
+                    await self._backoff(attempt)
                     attempt += 1
                     continue
                 raise failure.error from failure.error.__cause__
@@ -372,13 +454,20 @@ class WireClient:
                     else _UNPROCESSED_CODES
                 )
                 if retryable and attempt + 1 < self._retry.attempts:
-                    await asyncio.sleep(self._retry.delay(attempt))
+                    await self._backoff(attempt)
                     attempt += 1
                     continue
                 raise exception_for(response)
             return response
 
-    async def _exchange(self, frame: Frame) -> Frame:
+    async def _backoff(self, attempt: int) -> None:
+        self.metrics.counter("client.retries").inc()
+        self.metrics.counter("client.backoff_sleeps").inc()
+        await asyncio.sleep(self._retry.delay(attempt))
+
+    async def _exchange(
+        self, frame: Frame, *, request_id: str | None = None
+    ) -> Frame:
         sent = False
         try:
             connection = await self._pool.acquire()
@@ -386,7 +475,7 @@ class WireClient:
             raise _ExchangeFailed(error, sent=False) from error
         discard = True
         try:
-            await connection.send(frame)
+            await connection.send(frame, request_id=request_id)
             sent = True
             response = await asyncio.wait_for(
                 connection.receive(), self._request_timeout_s

@@ -38,10 +38,12 @@ from repro.net.wire import (
     Frame,
     QueryRequest,
     QueryResponse,
+    StatsRequest,
     SubscribeRequest,
     UpdateRequest,
     UpdateResponse,
 )
+from repro.obs import envelope_context
 from repro.templates.registry import TemplateRegistry
 
 __all__ = ["DsspNetServer"]
@@ -82,9 +84,14 @@ class DsspNetServer(WireServer):
         home_timeout_s: float = 30.0,
         **kwargs,
     ) -> None:
+        kwargs.setdefault("server_id", node_id)
         super().__init__(host, port, **kwargs)
         self.node = node
         self.node_id = node_id
+        # The node's cache and counters export through this server's
+        # registry, so one STATS snapshot covers every layer of the node.
+        node.stats.register_metrics(self.metrics)
+        node.cache.register_metrics(self.metrics)
         self._subscribe_retry = subscribe_retry or RetryPolicy(
             attempts=1_000_000, backoff_s=0.05, max_backoff_s=2.0
         )
@@ -123,6 +130,7 @@ class DsspNetServer(WireServer):
                 pool_size=self._home_pool_size,
                 request_timeout_s=self._home_timeout_s,
                 frame_observer=self._frame_observer,
+                metrics=self.metrics,
             )
             self._home_clients[address] = client
         return client
@@ -162,21 +170,29 @@ class DsspNetServer(WireServer):
         self, frame: Frame, context: ConnectionContext
     ) -> Frame | None:
         if isinstance(frame, QueryRequest):
-            return await self._handle_query(frame)
+            return await self._handle_query(frame, context)
         if isinstance(frame, UpdateRequest):
-            return await self._handle_update(frame)
+            return await self._handle_update(frame, context)
+        if isinstance(frame, StatsRequest):
+            return self._stats_response()
         if isinstance(frame, SubscribeRequest):
             raise WireError("DSSP nodes do not serve invalidation streams")
         raise WireError(f"unexpected frame {type(frame).__name__}")
 
-    async def _handle_query(self, frame: QueryRequest) -> QueryResponse:
+    async def _handle_query(
+        self, frame: QueryRequest, context: ConnectionContext
+    ) -> QueryResponse:
         envelope = frame.envelope
         cached = self.node.lookup(envelope)  # validates tenancy
         if cached is not None:
             return QueryResponse(result=cached, cache_hit=True)
         client = self._home_client(envelope.app_id)
         try:
-            outcome = await client.query(envelope)
+            # The client's trace id rides the forwarded hop, so the home's
+            # log records correlate with the originating request.
+            outcome = await client.query(
+                envelope, request_id=context.request_id
+            )
         except _TRANSPORT_FAILURES as error:
             # Only transport-level trouble means "home unreachable"; a
             # home-side application error travels back typed as-is.
@@ -187,11 +203,17 @@ class DsspNetServer(WireServer):
         self.node.admit(envelope, outcome.result)
         return QueryResponse(result=outcome.result, cache_hit=False)
 
-    async def _handle_update(self, frame: UpdateRequest) -> UpdateResponse:
+    async def _handle_update(
+        self, frame: UpdateRequest, context: ConnectionContext
+    ) -> UpdateResponse:
         envelope = frame.envelope
         client = self._home_client(envelope.app_id)
         try:
-            ack = await client.update(envelope, origin=self.node_id)
+            ack = await client.update(
+                envelope,
+                origin=self.node_id,
+                request_id=context.request_id,
+            )
         except _TRANSPORT_FAILURES as error:
             raise HomeUnreachableError(
                 f"forwarding update to {client.host}:{client.port} failed: "
@@ -201,6 +223,15 @@ class DsspNetServer(WireServer):
         return UpdateResponse(
             rows_affected=ack.rows_affected, invalidated=invalidated
         )
+
+    def stats_snapshot(self) -> dict:
+        """Base snapshot + the node's cache/invalidation counters."""
+        snapshot = super().stats_snapshot()
+        snapshot["role"] = "dssp"
+        snapshot["dssp"] = self.node.snapshot()
+        snapshot["stream_pushes_applied"] = self.stream_pushes_applied
+        snapshot["applications"] = sorted(self._home_addresses)
+        return snapshot
 
     # -- invalidation stream -----------------------------------------------
 
@@ -220,11 +251,19 @@ class DsspNetServer(WireServer):
                         if addr == home
                     )
                 )
+            stream_ctx = {
+                "server": self.server_id,
+                "home": f"{home[0]}:{home[1]}",
+                "app_ids": ",".join(app_ids),
+            }
             try:
                 subscription = await client.subscribe(self.node_id, app_ids)
             except (NetError, ConnectionError, OSError) as error:
                 logger.debug(
-                    "subscribe to %s:%s failed (%s); retrying", *home, error
+                    "subscribe to %s:%s failed (%s); retrying",
+                    *home,
+                    error,
+                    extra={"ctx": stream_ctx},
                 )
                 await asyncio.sleep(self._subscribe_retry.delay(attempt))
                 attempt = min(attempt + 1, 16)
@@ -233,16 +272,31 @@ class DsspNetServer(WireServer):
             if not first_connect:
                 # Pushes may have been lost while detached: the only safe
                 # move without a stream cursor is to drop the apps' entries.
+                self.metrics.counter("dssp.stream_reconnects").inc()
+                logger.warning(
+                    "invalidation stream reconnected; flushing applications",
+                    extra={"ctx": stream_ctx},
+                )
                 for app_id in app_ids:
                     self.node.cache.invalidate_app(app_id)
             first_connect = False
             try:
-                async for push in subscription.frames():
+                async for push, request_id in subscription.events():
                     try:
                         self.node.invalidate_for(push.envelope)
                         self.stream_pushes_applied += 1
+                        self.metrics.counter("dssp.stream_pushes").inc()
                     except ReproError:
-                        logger.exception("invalidation push failed")
+                        logger.exception(
+                            "invalidation push failed",
+                            extra={
+                                "ctx": {
+                                    **stream_ctx,
+                                    "request_id": request_id,
+                                    **envelope_context(push.envelope),
+                                }
+                            },
+                        )
             finally:
                 await subscription.aclose()
-            # frames() returned: channel dropped; loop to reconnect.
+            # events() returned: channel dropped; loop to reconnect.

@@ -38,6 +38,7 @@ from repro.net.wire import (
     InvalidationPush,
     QueryRequest,
     QueryResponse,
+    StatsRequest,
     SubscribeRequest,
     SubscribeResponse,
     UpdateRequest,
@@ -60,8 +61,10 @@ class _Subscriber:
         self.node_id = node_id
         self.app_ids = app_ids
         self.context = context
-        self.queue: asyncio.Queue[InvalidationPush] = asyncio.Queue(
-            maxsize=queue_size
+        #: Pending (push, request id) pairs; the id is the trace id of the
+        #: update that caused the push, so invalidations stay correlatable.
+        self.queue: asyncio.Queue[tuple[InvalidationPush, str | None]] = (
+            asyncio.Queue(maxsize=queue_size)
         )
         self.sender: asyncio.Task | None = None
 
@@ -90,6 +93,7 @@ class HomeNetServer(WireServer):
         push_timeout_s: float = 5.0,
         **kwargs,
     ) -> None:
+        kwargs.setdefault("server_id", "home")
         super().__init__(host, port, **kwargs)
         self._push_queue_size = push_queue_size
         self._push_timeout_s = push_timeout_s
@@ -123,11 +127,34 @@ class HomeNetServer(WireServer):
         if isinstance(frame, UpdateRequest):
             home = self._home(frame.envelope.app_id)
             rows = home.apply_update(frame.envelope)
-            self._fan_out(frame)
+            self._fan_out(frame, request_id=context.request_id)
             return UpdateResponse(rows_affected=rows, invalidated=0)
         if isinstance(frame, SubscribeRequest):
             return self._subscribe(frame, context)
+        if isinstance(frame, StatsRequest):
+            return self._stats_response()
         raise WireError(f"unexpected frame {type(frame).__name__}")
+
+    def stats_snapshot(self) -> dict:
+        """Base snapshot + per-application load + fan-out queue depths."""
+        snapshot = super().stats_snapshot()
+        snapshot["role"] = "home"
+        snapshot["applications"] = {
+            app_id: {
+                "queries_served": home.queries_served,
+                "updates_applied": home.updates_applied,
+            }
+            for app_id, home in sorted(self._homes.items())
+        }
+        snapshot["subscribers"] = [
+            {
+                "node_id": subscriber.node_id,
+                "app_ids": sorted(subscriber.app_ids),
+                "queue_depth": subscriber.queue.qsize(),
+            }
+            for subscriber in self._subscribers
+        ]
+        return snapshot
 
     # -- invalidation stream -----------------------------------------------
 
@@ -160,7 +187,9 @@ class HomeNetServer(WireServer):
         ):
             sender.cancel()
 
-    def _fan_out(self, request: UpdateRequest) -> None:
+    def _fan_out(
+        self, request: UpdateRequest, *, request_id: str | None = None
+    ) -> None:
         """Enqueue the completed update for every subscribed node but the
         origin; the senders deliver asynchronously.
 
@@ -176,12 +205,21 @@ class HomeNetServer(WireServer):
             if request.origin is not None and subscriber.node_id == request.origin:
                 continue
             try:
-                subscriber.queue.put_nowait(push)
+                subscriber.queue.put_nowait((push, request_id))
+                self.metrics.counter("home.pushes_enqueued").inc()
             except asyncio.QueueFull:
+                self.metrics.counter("home.subscribers_dropped").inc()
                 logger.warning(
-                    "subscriber %s stalled with %d pushes pending; dropping",
-                    subscriber.node_id,
+                    "subscriber stalled with %d pushes pending; dropping",
                     subscriber.queue.qsize(),
+                    extra={
+                        "ctx": {
+                            "server": self.server_id,
+                            "node_id": subscriber.node_id,
+                            "app_id": app_id,
+                            "request_id": request_id,
+                        }
+                    },
                 )
                 self._drop(subscriber)
 
@@ -189,12 +227,26 @@ class HomeNetServer(WireServer):
         """Drain one subscriber's queue onto its channel until it dies."""
         try:
             while True:
-                push = await subscriber.queue.get()
+                push, request_id = await subscriber.queue.get()
                 await asyncio.wait_for(
-                    self._send(subscriber.context, push), self._push_timeout_s
+                    self._send(
+                        subscriber.context, push, request_id=request_id
+                    ),
+                    self._push_timeout_s,
                 )
+                self.metrics.counter("home.pushes_sent").inc()
         except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
-            logger.warning("dropping dead subscriber %s", subscriber.node_id)
+            self.metrics.counter("home.subscribers_dropped").inc()
+            logger.warning(
+                "dropping dead subscriber",
+                extra={
+                    "ctx": {
+                        "server": self.server_id,
+                        "node_id": subscriber.node_id,
+                        "app_ids": ",".join(sorted(subscriber.app_ids)),
+                    }
+                },
+            )
             self._drop(subscriber)
 
     def _drop(self, subscriber: _Subscriber) -> None:

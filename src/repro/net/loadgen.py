@@ -30,6 +30,7 @@ from repro.analysis.exposure import ExposurePolicy
 from repro.crypto.envelope import EnvelopeCodec
 from repro.errors import NetError, WorkloadError
 from repro.net.client import WireClient
+from repro.obs import Histogram
 from repro.simulation.scalability import CacheBehavior
 from repro.workloads.trace import Trace
 
@@ -47,7 +48,9 @@ class LoadReport:
     updates: int
     hits: int
     errors: int
-    latencies_s: tuple[float, ...]
+    #: Page latencies in fixed log buckets; O(1) per observation, O(buckets)
+    #: per quantile — no re-sorting the full sample list.
+    latency: Histogram
 
     @property
     def hit_rate(self) -> float:
@@ -65,11 +68,7 @@ class LoadReport:
 
     def percentile(self, fraction: float) -> float:
         """Page-latency percentile (0 < fraction <= 1)."""
-        if not self.latencies_s:
-            return 0.0
-        ordered = sorted(self.latencies_s)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return ordered[index]
+        return self.latency.quantile(fraction)
 
     @property
     def p50_s(self) -> float:
@@ -80,6 +79,11 @@ class LoadReport:
     def p90_s(self) -> float:
         """90th-percentile page latency (the paper's SLA metric)."""
         return self.percentile(0.90)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile page latency (tail behaviour under load)."""
+        return self.percentile(0.99)
 
     def behavior(self) -> CacheBehavior:
         """Measured per-page profile, for ``predict_p90`` cross-checks."""
@@ -99,9 +103,28 @@ class LoadReport:
         return (
             f"pages={self.pages} throughput={self.throughput_pages_s:.1f}/s "
             f"p50={self.p50_s * 1000:.1f}ms p90={self.p90_s * 1000:.1f}ms "
+            f"p99={self.p99_s * 1000:.1f}ms "
             f"hits={self.hits} hit_rate={self.hit_rate:.3f} "
             f"errors={self.errors}"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-safe report for machine consumers (CI artifacts)."""
+        return {
+            "clients": self.clients,
+            "duration_s": self.duration_s,
+            "pages": self.pages,
+            "queries": self.queries,
+            "updates": self.updates,
+            "hits": self.hits,
+            "errors": self.errors,
+            "hit_rate": self.hit_rate,
+            "throughput_pages_s": self.throughput_pages_s,
+            "p50_s": self.p50_s,
+            "p90_s": self.p90_s,
+            "p99_s": self.p99_s,
+            "latency": self.latency.snapshot(),
+        }
 
 
 class _SharedStream:
@@ -173,7 +196,7 @@ async def run_load(
         "hits": 0,
         "errors": 0,
     }
-    latencies: list[float] = []
+    latency = Histogram("loadgen.page_seconds")
 
     async def client_loop(client_id: int) -> None:
         endpoint = endpoints[client_id % len(endpoints)]
@@ -206,7 +229,7 @@ async def run_load(
                     break
             if not failed:
                 counters["pages"] += 1
-                latencies.append(time.perf_counter() - page_started)
+                latency.observe(time.perf_counter() - page_started)
 
     await asyncio.gather(*(client_loop(i) for i in range(clients)))
     return LoadReport(
@@ -217,5 +240,5 @@ async def run_load(
         updates=counters["updates"],
         hits=counters["hits"],
         errors=counters["errors"],
-        latencies_s=tuple(latencies),
+        latency=latency,
     )

@@ -20,7 +20,9 @@ servers with the same operational envelope:
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -32,7 +34,14 @@ from repro.errors import (
     WireError,
 )
 from repro.net import wire
-from repro.net.wire import ErrorCode, ErrorResponse, Frame
+from repro.net.wire import (
+    ErrorCode,
+    ErrorResponse,
+    Frame,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.obs import MetricsRegistry, envelope_context
 
 __all__ = ["ConnectionContext", "WireServer"]
 
@@ -48,6 +57,10 @@ class ConnectionContext:
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     #: Callbacks run exactly once when the connection goes away.
     close_callbacks: list = field(default_factory=list)
+    #: Trace id of the request currently being served on this connection
+    #: (frames are strictly sequential per connection, so one slot is
+    #: enough); handlers read it to propagate the id downstream.
+    request_id: str | None = None
 
     def on_close(self, callback) -> None:
         """Register cleanup to run when this connection closes."""
@@ -66,6 +79,8 @@ class WireServer:
         request_timeout_s: float = 10.0,
         max_frame: int = wire.MAX_FRAME_BYTES,
         frame_observer=None,
+        server_id: str = "server",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -77,6 +92,12 @@ class WireServer:
         self._in_flight: asyncio.Semaphore | None = None
         self._contexts: set[ConnectionContext] = set()
         self._stopping = False
+        #: Stable identity in logs and STATS snapshots.
+        self.server_id = server_id
+        self.metrics = metrics or MetricsRegistry()
+        self.metrics.gauge(
+            "server.connections", lambda: len(self._contexts)
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -119,32 +140,47 @@ class WireServer:
         try:
             while not self._stopping:
                 try:
-                    frame = await wire.read_frame(
+                    traced = await wire.read_traced(
                         reader,
                         max_frame=self.max_frame,
                         observer=self._frame_observer,
                     )
                 except WireError as error:
+                    self.metrics.counter("server.bad_frames").inc()
+                    logger.warning(
+                        "rejecting malformed frame: %s",
+                        error,
+                        extra={"ctx": {"server": self.server_id}},
+                    )
                     await self._send(
                         context, ErrorResponse(ErrorCode.BAD_FRAME, str(error))
                     )
                     break
-                if frame is None:  # clean EOF
+                if traced is None:  # clean EOF
                     break
+                frame, request_id = traced
+                context.request_id = request_id
                 response = await self._dispatch(frame, context)
                 if response is not None:
-                    await self._send(context, response)
+                    await self._send(context, response, request_id=request_id)
         except (ConnectionError, OSError):
             pass  # peer vanished; cleanups below
         finally:
             self._contexts.discard(context)
             await self._close_context(context)
 
-    async def _send(self, context: ConnectionContext, frame: Frame) -> None:
+    async def _send(
+        self,
+        context: ConnectionContext,
+        frame: Frame,
+        *,
+        request_id: str | None = None,
+    ) -> None:
         async with context.write_lock:
             await wire.write_frame(
                 context.writer,
                 frame,
+                request_id=request_id,
                 max_frame=self.max_frame,
                 observer=self._frame_observer,
             )
@@ -161,40 +197,75 @@ class WireServer:
 
     # -- request execution -------------------------------------------------
 
+    def _request_ctx(self, frame: Frame, context: ConnectionContext) -> dict:
+        """Loggable identifiers for one request: never payload bytes."""
+        ctx = {"server": self.server_id, "frame": type(frame).__name__}
+        if context.request_id is not None:
+            ctx["request_id"] = context.request_id
+        envelope = getattr(frame, "envelope", None)
+        if envelope is not None:
+            ctx.update(envelope_context(envelope))
+        return ctx
+
     async def _dispatch(
         self, frame: Frame, context: ConnectionContext
     ) -> Frame | None:
         assert self._in_flight is not None
+        ctx = self._request_ctx(frame, context)
+        self.metrics.counter("server.requests").inc()
         if self._in_flight.locked():
             # All permits taken: shed instead of queueing without bound.
+            self.metrics.counter("server.shed").inc()
+            logger.warning("shedding request under backpressure", extra={"ctx": ctx})
             return ErrorResponse(
                 ErrorCode.OVERLOADED,
                 f"more than {self._max_in_flight} requests in flight",
             )
+        in_flight = self.metrics.gauge("server.in_flight")
+        started = time.perf_counter()
         async with self._in_flight:
+            in_flight.inc()
             try:
-                return await asyncio.wait_for(
+                response = await asyncio.wait_for(
                     self.handle(frame, context), self.request_timeout_s
                 )
+                logger.debug("request served", extra={"ctx": ctx})
+                return response
             except (asyncio.TimeoutError, TimeoutError):
+                self.metrics.counter("server.timeouts").inc()
+                logger.warning("request timed out", extra={"ctx": ctx})
                 return ErrorResponse(
                     ErrorCode.TIMEOUT,
                     f"request exceeded {self.request_timeout_s}s",
                 )
             except NetTimeoutError as error:
+                self.metrics.counter("server.timeouts").inc()
                 return ErrorResponse(ErrorCode.TIMEOUT, str(error))
             except UnknownApplicationError as error:
                 return ErrorResponse(ErrorCode.UNKNOWN_APP, error.app_id)
             except HomeUnreachableError as error:
+                self.metrics.counter("server.forward_failures").inc()
+                logger.warning(
+                    "home unreachable: %s", error, extra={"ctx": ctx}
+                )
                 return ErrorResponse(ErrorCode.MISS_FORWARDED, str(error))
             except ServerOverloadedError as error:
                 # A downstream hop shed the request unprocessed: relay the
                 # code so the client keeps its retry-safety guarantee.
                 return ErrorResponse(ErrorCode.OVERLOADED, str(error))
             except WireError as error:
+                self.metrics.counter("server.bad_frames").inc()
                 return ErrorResponse(ErrorCode.BAD_FRAME, str(error))
             except ReproError as error:
-                logger.exception("request failed")
+                # Typed library errors are expected application failures
+                # (e.g. replayed INSERTs colliding): one line, no traceback.
+                self.metrics.counter("server.internal_errors").inc()
+                logger.warning(
+                    "request failed: %s: %s",
+                    type(error).__name__,
+                    error,
+                    extra={"ctx": ctx},
+                )
                 return ErrorResponse(
                     ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
                 )
@@ -202,13 +273,42 @@ class WireServer:
                 # A handler bug must not tear down the connection without an
                 # ERROR frame — the client could misread a silently dropped
                 # connection as "update never sent".
-                logger.exception("request handler crashed")
+                self.metrics.counter("server.internal_errors").inc()
+                logger.exception("request handler crashed", extra={"ctx": ctx})
                 return ErrorResponse(
                     ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
                 )
+            finally:
+                in_flight.dec()
+                self.metrics.histogram("server.handle_seconds").observe(
+                    time.perf_counter() - started
+                )
+
+    # -- observability -----------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """JSON-safe live snapshot; subclasses layer their own sections in."""
+        return {
+            "node_id": self.server_id,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _stats_response(self) -> StatsResponse:
+        snapshot = self.stats_snapshot()
+        return StatsResponse(
+            node_id=self.server_id,
+            payload=json.dumps(snapshot, separators=(",", ":"), default=str),
+        )
 
     async def handle(
         self, frame: Frame, context: ConnectionContext
     ) -> Frame | None:
-        """Serve one request frame; subclasses implement the semantics."""
+        """Serve one request frame; subclasses implement the semantics.
+
+        Subclasses answer :class:`~repro.net.wire.StatsRequest` via
+        :meth:`_stats_response` after layering their sections into
+        :meth:`stats_snapshot`.
+        """
+        if isinstance(frame, StatsRequest):
+            return self._stats_response()
         raise NotImplementedError

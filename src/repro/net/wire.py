@@ -1,11 +1,19 @@
 """Length-prefixed binary wire protocol for the DSSP service layer.
 
-Framing (all integers big-endian)::
+Framing, protocol version 2 (all integers big-endian)::
 
-    +-------+---------+------------+--------------+=========+
-    | magic | version | frame type | payload len  | payload |
-    |  2 B  |   1 B   |    1 B     |     4 B      |  len B  |
-    +-------+---------+------------+--------------+=========+
+    +-------+---------+------------+---------+--------------+========+=========+
+    | magic | version | frame type | rid len | payload len  |  rid   | payload |
+    |  2 B  |   1 B   |    1 B     |   1 B   |     4 B      | rid B  |  len B  |
+    +-------+---------+------------+---------+--------------+========+=========+
+
+``rid`` is an optional request (trace) id — UTF-8, at most
+:data:`MAX_REQUEST_ID_BYTES` bytes, empty when absent.  Clients mint one
+per logical request (:func:`repro.obs.new_request_id`), servers echo it on
+the response, and a DSSP node forwards the *same* id on its miss/update
+hop to the home server, so one id correlates the whole request path.
+Version 1 frames (no rid slot) are rejected: the id sits before the
+payload and cannot be skipped safely.
 
 Payloads are sequences of primitive fields: ``u8``/``u32`` integers,
 length-prefixed UTF-8 strings, length-prefixed byte strings, and optionals
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import json
 import struct
 from dataclasses import dataclass
 
@@ -52,25 +61,32 @@ __all__ = [
     "HEADER_SIZE",
     "InvalidationPush",
     "MAX_FRAME_BYTES",
+    "MAX_REQUEST_ID_BYTES",
     "QueryRequest",
     "QueryResponse",
+    "StatsRequest",
+    "StatsResponse",
     "SubscribeRequest",
     "SubscribeResponse",
     "UpdateRequest",
     "UpdateResponse",
     "decode_frame",
+    "decode_traced",
     "encode_frame",
     "read_frame",
+    "read_traced",
     "write_frame",
 ]
 
 MAGIC = b"DW"
-VERSION = 1
-_HEADER = struct.Struct(">2sBBI")
+VERSION = 2
+_HEADER = struct.Struct(">2sBBBI")
 HEADER_SIZE = _HEADER.size
 #: Default ceiling on payload size; a frame claiming more is rejected
 #: before any allocation happens.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
+#: Ceiling on the request-id slot in the header.
+MAX_REQUEST_ID_BYTES = 64
 
 
 class FrameType(enum.IntEnum):
@@ -84,6 +100,8 @@ class FrameType(enum.IntEnum):
     SUBSCRIBED = 6
     INVALIDATE = 7
     ERROR = 8
+    STATS = 9
+    STATS_RESULT = 10
 
 
 class ErrorCode(enum.IntEnum):
@@ -170,6 +188,25 @@ class ErrorResponse:
     message: str
 
 
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask a live node for its observability snapshot."""
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """A node's snapshot: its identity plus a JSON document.
+
+    ``payload`` is the JSON serialization of the node's stats snapshot
+    (counters, gauges, histogram quantiles).  It travels as text so the
+    frame codec stays schema-free while the decoder still rejects
+    non-JSON payloads at the boundary.
+    """
+
+    node_id: str
+    payload: str
+
+
 Frame = (
     QueryRequest
     | UpdateRequest
@@ -179,6 +216,8 @@ Frame = (
     | SubscribeResponse
     | InvalidationPush
     | ErrorResponse
+    | StatsRequest
+    | StatsResponse
 )
 
 
@@ -429,6 +468,12 @@ def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
         writer.u8(int(frame.code))
         writer.text(frame.message)
         return FrameType.ERROR
+    if isinstance(frame, StatsRequest):
+        return FrameType.STATS
+    if isinstance(frame, StatsResponse):
+        writer.text(frame.node_id)
+        writer.text(frame.payload)
+        return FrameType.STATS_RESULT
     raise WireError(f"cannot encode {type(frame).__name__}")
 
 
@@ -465,14 +510,50 @@ def _decode_payload(frame_type: int, payload: bytes) -> Frame:
         except ValueError:
             raise WireError(f"unknown error code {code_id}") from None
         frame = ErrorResponse(code, reader.text())
+    elif frame_type == FrameType.STATS:
+        frame = StatsRequest()
+    elif frame_type == FrameType.STATS_RESULT:
+        node_id = reader.text()
+        payload = reader.text()
+        try:
+            json.loads(payload)
+        except ValueError as error:
+            raise WireError(f"stats payload is not JSON: {error}") from error
+        frame = StatsResponse(node_id, payload)
     else:
         raise WireError(f"unknown frame type {frame_type}")
     reader.done()
     return frame
 
 
-def encode_frame(frame: Frame, *, max_frame: int = MAX_FRAME_BYTES) -> bytes:
-    """Serialize one frame, header included."""
+def _encode_request_id(request_id: str | None) -> bytes:
+    if request_id is None:
+        return b""
+    encoded = request_id.encode()
+    if len(encoded) > MAX_REQUEST_ID_BYTES:
+        raise WireError(
+            f"request id of {len(encoded)} bytes exceeds "
+            f"limit {MAX_REQUEST_ID_BYTES}"
+        )
+    return encoded
+
+
+def _decode_request_id(raw: bytes) -> str | None:
+    if not raw:
+        return None
+    try:
+        return raw.decode()
+    except UnicodeDecodeError as error:
+        raise WireError(f"invalid UTF-8 in request id: {error}") from error
+
+
+def encode_frame(
+    frame: Frame,
+    *,
+    request_id: str | None = None,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize one frame, header (and optional request id) included."""
     writer = _Writer()
     frame_type = _write_payload(writer, frame)
     payload = writer.getvalue()
@@ -480,22 +561,31 @@ def encode_frame(frame: Frame, *, max_frame: int = MAX_FRAME_BYTES) -> bytes:
         raise WireError(
             f"frame payload of {len(payload)} bytes exceeds limit {max_frame}"
         )
-    return _HEADER.pack(MAGIC, VERSION, frame_type, len(payload)) + payload
+    rid = _encode_request_id(request_id)
+    header = _HEADER.pack(MAGIC, VERSION, frame_type, len(rid), len(payload))
+    return header + rid + payload
 
 
-def _check_header(header: bytes, *, max_frame: int) -> tuple[int, int]:
-    magic, version, frame_type, length = _HEADER.unpack(header)
+def _check_header(header: bytes, *, max_frame: int) -> tuple[int, int, int]:
+    magic, version, frame_type, rid_length, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise WireError(f"bad magic {magic!r}")
     if version != VERSION:
         raise WireError(f"unsupported protocol version {version}")
+    if rid_length > MAX_REQUEST_ID_BYTES:
+        raise WireError(
+            f"request id of {rid_length} bytes exceeds "
+            f"limit {MAX_REQUEST_ID_BYTES}"
+        )
     if length > max_frame:
         raise WireError(f"frame of {length} bytes exceeds limit {max_frame}")
-    return frame_type, length
+    return frame_type, rid_length, length
 
 
-def decode_frame(data: bytes, *, max_frame: int = MAX_FRAME_BYTES) -> Frame:
-    """Inverse of :func:`encode_frame` for one complete frame.
+def decode_traced(
+    data: bytes, *, max_frame: int = MAX_FRAME_BYTES
+) -> tuple[Frame, str | None]:
+    """Inverse of :func:`encode_frame`: ``(frame, request_id)``.
 
     Raises:
         WireError: on any protocol violation, including partial frames and
@@ -505,25 +595,34 @@ def decode_frame(data: bytes, *, max_frame: int = MAX_FRAME_BYTES) -> Frame:
         raise WireError(
             f"truncated header: {len(data)} of {HEADER_SIZE} bytes"
         )
-    frame_type, length = _check_header(data[:HEADER_SIZE], max_frame=max_frame)
-    payload = data[HEADER_SIZE:]
-    if len(payload) != length:
+    frame_type, rid_length, length = _check_header(
+        data[:HEADER_SIZE], max_frame=max_frame
+    )
+    body = data[HEADER_SIZE:]
+    if len(body) != rid_length + length:
         raise WireError(
-            f"payload length mismatch: header says {length}, have {len(payload)}"
+            f"frame length mismatch: header says {rid_length}+{length}, "
+            f"have {len(body)}"
         )
-    return _decode_payload(frame_type, payload)
+    request_id = _decode_request_id(body[:rid_length])
+    return _decode_payload(frame_type, body[rid_length:]), request_id
+
+
+def decode_frame(data: bytes, *, max_frame: int = MAX_FRAME_BYTES) -> Frame:
+    """:func:`decode_traced` for callers that ignore the request id."""
+    return decode_traced(data, max_frame=max_frame)[0]
 
 
 # -- asyncio stream helpers ------------------------------------------------------
 
 
-async def read_frame(
+async def read_traced(
     reader: asyncio.StreamReader,
     *,
     max_frame: int = MAX_FRAME_BYTES,
     observer=None,
-) -> Frame | None:
-    """Read one frame from a stream; ``None`` on clean EOF between frames.
+) -> tuple[Frame, str | None] | None:
+    """Read one frame + request id; ``None`` on clean EOF between frames.
 
     ``observer(raw_bytes)``, if given, sees the exact bytes that crossed
     the wire — used by tests to assert what a network observer could learn.
@@ -539,28 +638,41 @@ async def read_frame(
         raise WireError(
             f"connection closed mid-header ({len(error.partial)} bytes)"
         ) from error
-    frame_type, length = _check_header(header, max_frame=max_frame)
+    frame_type, rid_length, length = _check_header(header, max_frame=max_frame)
     try:
-        payload = await reader.readexactly(length)
+        body = await reader.readexactly(rid_length + length)
     except asyncio.IncompleteReadError as error:
         raise WireError(
             f"connection closed mid-frame ({len(error.partial)} of "
-            f"{length} payload bytes)"
+            f"{rid_length + length} body bytes)"
         ) from error
     if observer is not None:
-        observer(header + payload)
-    return _decode_payload(frame_type, payload)
+        observer(header + body)
+    request_id = _decode_request_id(body[:rid_length])
+    return _decode_payload(frame_type, body[rid_length:]), request_id
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame: int = MAX_FRAME_BYTES,
+    observer=None,
+) -> Frame | None:
+    """:func:`read_traced` for callers that ignore the request id."""
+    traced = await read_traced(reader, max_frame=max_frame, observer=observer)
+    return None if traced is None else traced[0]
 
 
 async def write_frame(
     writer: asyncio.StreamWriter,
     frame: Frame,
     *,
+    request_id: str | None = None,
     max_frame: int = MAX_FRAME_BYTES,
     observer=None,
 ) -> None:
     """Serialize and send one frame, waiting for the transport to drain."""
-    data = encode_frame(frame, max_frame=max_frame)
+    data = encode_frame(frame, request_id=request_id, max_frame=max_frame)
     if observer is not None:
         observer(data)
     writer.write(data)

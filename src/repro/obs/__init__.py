@@ -1,0 +1,51 @@
+"""Observability for the networked DSSP: metrics, traces, structured logs.
+
+Closes the loop between the analytic model and the live system:
+
+* :mod:`repro.obs.metrics` — dependency-free counters, gauges, and
+  fixed-log-bucket latency histograms with JSON-safe ``snapshot()`` and
+  fleet-level ``merge``;
+* :mod:`repro.obs.log` — structured log records carrying node/app/request
+  context, rendered as key=value text or JSON lines, plus the request-id
+  generator used for trace propagation across the wire.
+
+Everything here obeys the service layer's exposure invariant: metric
+names, identifiers, and durations are exported — statement text,
+parameters, sealed bytes, and result rows never are.
+"""
+
+from repro.obs.log import (
+    ContextAdapter,
+    StructuredFormatter,
+    configure_logging,
+    envelope_context,
+    new_request_id,
+    with_context,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    log_buckets,
+    merge_snapshots,
+)
+
+__all__ = [
+    "ContextAdapter",
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredFormatter",
+    "configure_logging",
+    "envelope_context",
+    "histogram_quantile",
+    "log_buckets",
+    "merge_snapshots",
+    "new_request_id",
+    "with_context",
+]

@@ -1,0 +1,133 @@
+"""Structured logging with request/node/app context, JSON or key=value.
+
+Every log record the service layer emits carries a ``ctx`` dict (node id,
+app id, request id, peer address ...) attached via ``extra={"ctx": ...}``
+or through :func:`with_context`.  The formatter renders the context either
+as trailing ``key=value`` pairs (human mode) or as one JSON object per
+line (``--log-json``), so a request can be grepped across client, DSSP
+node, and home server by its ``request_id``.
+
+Exposure safety: context fields are *identifiers*, never payloads.  Use
+:func:`envelope_context` to derive loggable fields from an envelope — it
+exposes only what the envelope's exposure level already reveals to the
+DSSP (application id, level name, visible template name) and never
+statement SQL, parameters, sealed bytes, or result rows.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import secrets
+import sys
+import time
+
+__all__ = [
+    "ContextAdapter",
+    "StructuredFormatter",
+    "configure_logging",
+    "envelope_context",
+    "new_request_id",
+    "with_context",
+]
+
+#: Logger namespace the helpers configure; the whole library logs under it.
+ROOT_LOGGER = "repro"
+
+
+def new_request_id() -> str:
+    """A fresh 64-bit trace id, as 16 lowercase hex characters."""
+    return secrets.token_hex(8)
+
+
+class StructuredFormatter(logging.Formatter):
+    """Renders records (+ their ``ctx`` dict) as key=value text or JSON."""
+
+    def __init__(self, json_mode: bool = False) -> None:
+        super().__init__()
+        self.json_mode = json_mode
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        context = getattr(record, "ctx", None) or {}
+        if self.json_mode:
+            payload = {
+                "ts": round(record.created, 6),
+                "level": record.levelname.lower(),
+                "logger": record.name,
+                "message": message,
+                **{str(key): context[key] for key in sorted(context)},
+            }
+            if record.exc_info:
+                payload["exception"] = self.formatException(record.exc_info)
+            return json.dumps(payload, separators=(",", ":"), default=str)
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        fields = " ".join(
+            f"{key}={context[key]}" for key in sorted(context)
+        )
+        line = f"{stamp} {record.levelname:<7} {record.name} {message}"
+        if fields:
+            line = f"{line} [{fields}]"
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+class ContextAdapter(logging.LoggerAdapter):
+    """LoggerAdapter that merges its bound fields into each record's ctx."""
+
+    def process(self, msg, kwargs):
+        extra = kwargs.get("extra") or {}
+        inner = extra.get("ctx") or {}
+        kwargs["extra"] = {**extra, "ctx": {**self.extra, **inner}}
+        return msg, kwargs
+
+
+def with_context(logger: logging.Logger, **fields) -> ContextAdapter:
+    """Bind identifier fields onto every record emitted via the adapter."""
+    return ContextAdapter(logger, fields)
+
+
+def configure_logging(
+    level: str = "warning", json_mode: bool = False, stream=None
+) -> logging.Logger:
+    """Install a structured handler on the ``repro`` logger (idempotent).
+
+    Args:
+        level: Name accepted by :mod:`logging` (``debug`` .. ``critical``).
+        json_mode: One JSON object per line instead of key=value text.
+        stream: Destination (default ``sys.stderr``, keeping stdout clean
+            for machine-readable command output).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(numeric)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(StructuredFormatter(json_mode=json_mode))
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_obs", False):
+            logger.removeHandler(existing)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def envelope_context(envelope) -> dict:
+    """Loggable identifiers from an envelope — visible metadata only.
+
+    ``template_name`` is populated only at ``template`` exposure and
+    above, so including it never widens what the DSSP (and its logs)
+    already see.  Statement text, parameters, sealed bytes, and result
+    rows are deliberately unreachable from here.
+    """
+    context = {
+        "app_id": envelope.app_id,
+        "level": envelope.level.name.lower(),
+    }
+    template_name = getattr(envelope, "template_name", None)
+    if template_name is not None:
+        context["template"] = template_name
+    return context

@@ -1,0 +1,312 @@
+"""Dependency-free metrics: counters, gauges, log-bucket histograms.
+
+The paper's argument is carried by measured quantities — hit rate,
+invalidations per update template, home-server load, p90 latency — so the
+deployed service needs a way to *export* them at runtime, not just
+accumulate them in process-local dataclasses.  This module is the single
+registry every layer reports into:
+
+* :class:`Counter` — monotonically increasing totals (requests, retries);
+* :class:`Gauge` — instantaneous values, either set directly or backed by
+  a callable sampled at snapshot time (in-flight requests, cache size,
+  fan-out queue depths);
+* :class:`Histogram` — fixed logarithmic buckets with O(1) ``observe`` and
+  quantile estimates by linear interpolation inside the winning bucket,
+  so p50/p90/p99 never require retaining or re-sorting raw samples.
+
+``snapshot()`` produces a JSON-safe dict (the ``STATS`` wire frame and the
+``repro stats`` CLI verb serialize it as-is); :func:`merge_snapshots` sums
+two snapshots for fleet-level aggregation, mirroring
+:meth:`repro.dssp.stats.DsspStats.merge`.
+
+Exposure safety: metric *names* and *values* are the only things that ever
+leave this module.  Nothing here stores statement text, parameters, or
+result rows — the registry cannot leak what it was never given.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "histogram_quantile",
+    "log_buckets",
+    "merge_snapshots",
+]
+
+
+def log_buckets(
+    start: float = 1e-6, factor: float = 2.0, count: int = 36
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds: ``start * factor**i`` for i < count."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("need start > 0, factor > 1 and count >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: 1 µs .. ~34 s in doubling buckets: spans localhost RPCs to WAN p99s.
+DEFAULT_LATENCY_BOUNDS = log_buckets()
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous value; optionally backed by a sampling callable."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def set(self, value: float) -> None:
+        self._require_settable()
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_settable()
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _require_settable(self) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callable-backed")
+
+
+class Histogram:
+    """Fixed log-bucket histogram with interpolated quantile estimates.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything beyond the last edge.
+    Tracked ``min``/``max`` clamp the interpolation so quantiles never
+    stray outside the observed range.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        if list(self.bounds) != sorted(self.bounds) or len(self.bounds) < 1:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (0 <= q <= 1); 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        return _bucket_quantile(
+            self.bounds, self.counts, self.count, self.min, self.max, q
+        )
+
+    def merge(self, other: "Histogram") -> None:
+        """Add another histogram's observations (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def snapshot(self) -> dict:
+        """JSON-safe form, including precomputed headline quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "quantiles": {
+                "p50": self.quantile(0.50),
+                "p90": self.quantile(0.90),
+                "p99": self.quantile(0.99),
+            },
+        }
+
+
+def _bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    observed_min: float,
+    observed_max: float,
+    q: float,
+) -> float:
+    target = q * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        if cumulative + count >= target:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index] if index < len(bounds) else observed_max
+            fraction = (target - cumulative) / count
+            estimate = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            return min(max(estimate, observed_min), observed_max)
+        cumulative += count
+    return observed_max
+
+
+def histogram_quantile(snapshot: dict, q: float) -> float:
+    """Quantile estimate from a histogram *snapshot* (e.g. off the wire)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    total = snapshot["count"]
+    if not total:
+        return 0.0
+    return _bucket_quantile(
+        snapshot["bounds"],
+        snapshot["counts"],
+        total,
+        snapshot["min"],
+        snapshot["max"],
+        q,
+    )
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with a JSON-safe snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_fresh(name)
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_fresh(name)
+            gauge = self._gauges[name] = Gauge(name, fn)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_fresh(name)
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def _check_fresh(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        ):
+            raise ValueError(f"metric {name!r} already registered as another type")
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every registered metric (gauges sampled now)."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+
+def merge_snapshots(left: dict, right: dict) -> dict:
+    """Sum two registry snapshots (fleet aggregation of STATS payloads).
+
+    Counters, gauges, and histogram buckets add; histogram min/max widen.
+    Metrics present in only one snapshot carry over unchanged.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for kind in ("counters", "gauges"):
+        names = set(left.get(kind, {})) | set(right.get(kind, {}))
+        for name in sorted(names):
+            merged[kind][name] = left.get(kind, {}).get(name, 0.0) + right.get(
+                kind, {}
+            ).get(name, 0.0)
+    names = set(left.get("histograms", {})) | set(right.get("histograms", {}))
+    for name in sorted(names):
+        a = left.get("histograms", {}).get(name)
+        b = right.get("histograms", {}).get(name)
+        if a is None or b is None:
+            merged["histograms"][name] = dict(a or b)
+            continue
+        if a["bounds"] != b["bounds"]:
+            raise ValueError(f"histogram {name!r} bounds differ across snapshots")
+        combined = {
+            "count": a["count"] + b["count"],
+            "sum": a["sum"] + b["sum"],
+            "min": min(a["min"], b["min"]) if a["count"] and b["count"] else (
+                a["min"] if a["count"] else b["min"]
+            ),
+            "max": max(a["max"], b["max"]),
+            "bounds": list(a["bounds"]),
+            "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+        }
+        combined["quantiles"] = {
+            "p50": histogram_quantile(combined, 0.50),
+            "p90": histogram_quantile(combined, 0.90),
+            "p99": histogram_quantile(combined, 0.99),
+        }
+        merged["histograms"][name] = combined
+    return merged

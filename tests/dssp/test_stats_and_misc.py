@@ -33,6 +33,65 @@ class TestDsspStats:
         assert stats.invalidations == 0
         assert stats.per_query_invalidations == {}
 
+    def test_to_dict_is_json_safe_with_derived_rates(self):
+        import json
+
+        stats = DsspStats(hits=3, misses=1, invalidation_checks=4)
+        stats.decision_memo_hits = 12
+        stats.record_invalidation("Q1", 2)
+        snapshot = json.loads(json.dumps(stats.to_dict()))
+        assert snapshot["hits"] == 3
+        assert snapshot["lookups"] == 4
+        assert snapshot["hit_rate"] == 0.75
+        assert snapshot["decision_memo_rate"] == 0.75
+        assert snapshot["per_query_invalidations"] == {"Q1": 2}
+
+    def test_merge_sums_per_query_invalidations_disjoint(self):
+        left = DsspStats()
+        right = DsspStats()
+        left.record_invalidation("Q1", 2)
+        right.record_invalidation("Q2", 5)
+        right.record_invalidation(None, 1)
+        left.merge(right)
+        assert left.per_query_invalidations == {
+            "Q1": 2,
+            "Q2": 5,
+            "<blind>": 1,
+        }
+        assert left.invalidations == 8
+
+    def test_merge_sums_per_query_invalidations_overlapping(self):
+        left = DsspStats()
+        right = DsspStats()
+        left.record_invalidation("Q1", 2)
+        left.record_invalidation("Q2", 1)
+        right.record_invalidation("Q1", 3)
+        right.record_invalidation(None, 4)
+        left.record_invalidation(None, 6)
+        left.merge(right)
+        assert left.per_query_invalidations == {
+            "Q1": 5,
+            "Q2": 1,
+            "<blind>": 10,
+        }
+        assert left.invalidations == 16
+        # Merging must not alias the source dict: mutating the source
+        # afterwards leaves the merged counters untouched.
+        right.record_invalidation("Q1", 100)
+        assert left.per_query_invalidations["Q1"] == 5
+
+    def test_register_metrics_exports_live_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        stats = DsspStats()
+        registry = MetricsRegistry()
+        stats.register_metrics(registry)
+        stats.hits += 3
+        stats.misses += 1
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["dssp.hits"] == 3
+        assert snapshot["gauges"]["dssp.hit_rate"] == 0.75
+
 
 class TestHomeServerGuards:
     def test_blind_identity_mismatch_rejected(

@@ -25,7 +25,7 @@ class StickyHome(HomeNetServer):
         super().__init__(*args, **kwargs)
         self.stuck_nodes = set(stuck_nodes)
 
-    async def _send(self, context, frame):
+    async def _send(self, context, frame, **kwargs):
         if isinstance(frame, InvalidationPush):
             for subscriber in list(self._subscribers):
                 if (
@@ -33,7 +33,7 @@ class StickyHome(HomeNetServer):
                     and subscriber.node_id in self.stuck_nodes
                 ):
                     await asyncio.sleep(3600)
-        await super()._send(context, frame)
+        await super()._send(context, frame, **kwargs)
 
 
 def make_home(registry, database):

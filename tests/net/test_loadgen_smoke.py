@@ -1,12 +1,21 @@
 """CI smoke: the CLI verbs really stand up a topology on localhost.
 
 Spawns ``serve-home`` and ``serve-dssp`` as subprocesses on ephemeral
-ports, runs a short Zipf load through ``loadgen``, and checks for cache
-hits and a clean SIGTERM shutdown of both servers.
+ports, runs a short Zipf load through ``loadgen``, cross-checks the
+client-side hit count against the node's live ``stats`` snapshot, and
+checks for a clean SIGTERM shutdown of both servers.
+
+Server output goes to temp files rather than pipes: a busy server can
+emit more than a pipe buffer's worth of log lines, and nobody is reading
+while the load runs.
+
+Set ``REPRO_SMOKE_ARTIFACTS`` to a directory to keep the loadgen report
+and the stats snapshot as JSON files (CI uploads them as artifacts).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import signal
@@ -29,62 +38,75 @@ def _env() -> dict[str, str]:
     return env
 
 
-def _spawn(*arguments: str) -> subprocess.Popen:
-    return subprocess.Popen(
-        [sys.executable, "-m", "repro", *arguments],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-        cwd=REPO_ROOT,
-        env=_env(),
-    )
+def _spawn(log_path: Path, *arguments: str) -> subprocess.Popen:
+    log = open(log_path, "w")
+    try:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", *arguments],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=REPO_ROOT,
+            env=_env(),
+        )
+    finally:
+        log.close()
 
 
-def _await_banner(process: subprocess.Popen, timeout_s: float = 30.0):
-    """Read stdout lines until the server announces its bound address."""
+def _await_banner(process: subprocess.Popen, log_path: Path, timeout_s=30.0):
+    """Poll the server's log file until it announces its bound address."""
     deadline = time.monotonic() + timeout_s
-    lines = []
     while time.monotonic() < deadline:
-        line = process.stdout.readline()
-        if not line:
-            break
-        lines.append(line)
-        match = BANNER.search(line)
+        text = log_path.read_text() if log_path.exists() else ""
+        match = BANNER.search(text)
         if match:
             return match.group(1), int(match.group(2))
-    raise AssertionError(f"no listening banner; output so far: {lines!r}")
+        if process.poll() is not None:
+            raise AssertionError(f"server died; output: {text!r}")
+        time.sleep(0.05)
+    raise AssertionError(f"no listening banner; output so far: {text!r}")
 
 
-def _terminate(process: subprocess.Popen) -> str:
+def _terminate(process: subprocess.Popen, log_path: Path) -> str:
     process.send_signal(signal.SIGTERM)
     try:
-        output, _ = process.communicate(timeout=15)
+        process.wait(timeout=15)
     except subprocess.TimeoutExpired:
         process.kill()
         raise
-    return output
+    return log_path.read_text()
 
 
 @pytest.mark.slow
-def test_loadgen_smoke():
+def test_loadgen_smoke(tmp_path):
+    artifacts = os.environ.get("REPRO_SMOKE_ARTIFACTS")
+    artifact_dir = Path(artifacts) if artifacts else tmp_path
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    report_path = artifact_dir / "loadgen_report.json"
+
+    home_log = tmp_path / "home.log"
+    dssp_log = tmp_path / "dssp.log"
     home = _spawn(
+        home_log,
         "serve-home", "bookstore", "--scale", "0.05", "--strategy", "MVIS",
         "--port", "0",
     )
     dssp = None
     try:
-        home_host, home_port = _await_banner(home)
+        home_host, home_port = _await_banner(home, home_log)
         dssp = _spawn(
+            dssp_log,
             "serve-dssp", "bookstore",
             "--home", f"{home_host}:{home_port}", "--port", "0",
         )
-        dssp_host, dssp_port = _await_banner(dssp)
+        dssp_host, dssp_port = _await_banner(dssp, dssp_log)
 
         loadgen = subprocess.run(
             [
                 sys.executable, "-m", "repro", "loadgen", "bookstore",
                 "--scale", "0.05", "--strategy", "MVIS",
                 "--dssp", f"{dssp_host}:{dssp_port}", "--duration", "2",
+                "--report", str(report_path),
             ],
             capture_output=True,
             text=True,
@@ -95,17 +117,47 @@ def test_loadgen_smoke():
         assert loadgen.returncode == 0, loadgen.stderr
         match = re.search(r"hits=(\d+)", loadgen.stdout)
         assert match, loadgen.stdout
-        assert int(match.group(1)) > 0, loadgen.stdout
+        client_hits = int(match.group(1))
+        assert client_hits > 0, loadgen.stdout
         assert "predict_p90" in loadgen.stdout  # analytic cross-check ran
+        assert "p99=" in loadgen.stdout
+
+        # The node's own counters must corroborate the client-side count:
+        # loadgen is the only traffic source, so every cache_hit=True
+        # response it saw is a hit the node recorded.
+        stats = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "stats",
+                f"{dssp_host}:{dssp_port}",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=_env(),
+            timeout=30,
+        )
+        assert stats.returncode == 0, stats.stderr
+        snapshot = json.loads(stats.stdout)
+        assert snapshot["node_id"] == "dssp-0"
+        assert snapshot["role"] == "dssp"
+        assert snapshot["dssp"]["stats"]["hits"] == client_hits
+        assert snapshot["metrics"]["counters"]["server.requests"] > 0
+        (artifact_dir / "stats_snapshot.json").write_text(stats.stdout)
+
+        report = json.loads(report_path.read_text())
+        assert report["client"]["hits"] == client_hits
+        assert report["servers"][0]["dssp"]["stats"]["hits"] == client_hits
     finally:
         remnants = {}
-        for name, process in (("dssp", dssp), ("home", home)):
+        for name, process, log_path in (
+            ("dssp", dssp, dssp_log), ("home", home, home_log)
+        ):
             if process is None:
                 continue
             if process.poll() is None:
-                remnants[name] = _terminate(process)
+                remnants[name] = _terminate(process, log_path)
             else:  # died early: surface its output instead of hanging
-                remnants[name] = process.communicate()[0]
+                remnants[name] = log_path.read_text()
 
     for name, output in remnants.items():
         assert "clean shutdown" in output, f"{name}: {output!r}"

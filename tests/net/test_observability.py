@@ -1,0 +1,221 @@
+"""End-to-end observability: trace propagation, STATS, exposure safety.
+
+Uses the same localhost topology as ``test_end_to_end``: one home server
+plus two DSSP nodes.  Asserts that
+
+* a trace id minted by the client rides the forwarded miss all the way to
+  the home server's log records (one id correlates the whole path);
+* a live ``STATS`` request returns a snapshot whose counters corroborate
+  what the client observed;
+* below ``view`` exposure, neither the emitted log lines nor the stats
+  snapshot contain query parameters, statement SQL, or result rows.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.dssp.invalidation import StrategyClass
+from repro.net import StatsRequest, WireClient
+from repro.obs import StructuredFormatter, histogram_quantile
+
+from tests.net.test_end_to_end import Topology, eventually
+
+
+def _ctx(record: logging.LogRecord) -> dict:
+    return getattr(record, "ctx", None) or {}
+
+
+class TestTracePropagation:
+    async def test_client_trace_id_reaches_home_on_a_forwarded_miss(
+        self, simple_toystore, toystore_db, caplog
+    ):
+        caplog.set_level(logging.DEBUG, logger="repro.net.service")
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            bound = simple_toystore.query("Q2").bind([5])
+            outcome = await top.clients[0].query(
+                top.seal_query(bound), request_id="trace-0123abcd"
+            )
+            assert outcome.cache_hit is False
+
+        servers_seen = {
+            _ctx(record)["server"]
+            for record in caplog.records
+            if _ctx(record).get("request_id") == "trace-0123abcd"
+            and _ctx(record).get("frame") == "QueryRequest"
+        }
+        # The same id was logged by the DSSP node *and* by the home server
+        # serving the forwarded miss.
+        assert "home" in servers_seen
+        assert servers_seen & {"dssp-0", "dssp-1"}
+
+    async def test_update_trace_id_rides_the_invalidation_push(
+        self, simple_toystore, toystore_db, caplog
+    ):
+        caplog.set_level(logging.DEBUG, logger="repro.net.service")
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            client_a, client_b = top.clients
+            bound = simple_toystore.query("Q2").bind([5])
+            await client_a.query(top.seal_query(bound))
+            await client_b.query(top.seal_query(bound))
+            update = simple_toystore.update("U1").bind([5])
+            await client_a.update(
+                top.seal_update(update), request_id="trace-upd00001"
+            )
+            # The push to the *other* node is asynchronous.
+            await eventually(
+                lambda: top.dssp_nets[1].stream_pushes_applied >= 1
+            )
+
+        home_updates = [
+            record
+            for record in caplog.records
+            if _ctx(record).get("request_id") == "trace-upd00001"
+            and _ctx(record).get("server") == "home"
+        ]
+        assert home_updates, "home never logged the traced update"
+
+
+class TestStatsOverTheWire:
+    async def test_snapshot_corroborates_client_observations(
+        self, simple_toystore, toystore_db
+    ):
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            client = top.clients[0]
+            bound = simple_toystore.query("Q2").bind([5])
+            hits = 0
+            for _ in range(4):
+                outcome = await client.query(top.seal_query(bound))
+                hits += outcome.cache_hit
+            snapshot = await client.stats()
+
+            assert snapshot["node_id"] == "dssp-0"
+            assert snapshot["role"] == "dssp"
+            assert snapshot["dssp"]["stats"]["hits"] == hits == 3
+            assert snapshot["dssp"]["stats"]["misses"] == 1
+            assert snapshot["dssp"]["cache_entries"] == 1
+            assert snapshot["applications"] == ["toystore"]
+            counters = snapshot["metrics"]["counters"]
+            # 4 queries + 1 stats request hit this server.
+            assert counters["server.requests"] == 5
+            histogram = snapshot["metrics"]["histograms"][
+                "server.handle_seconds"
+            ]
+            assert histogram["count"] == 4  # stats observed after handling
+            assert histogram_quantile(histogram, 0.9) >= 0.0
+            # The node's gauges mirror the DsspStats counters.
+            assert snapshot["metrics"]["gauges"]["dssp.hits"] == 3
+            assert snapshot["metrics"]["gauges"]["cache.entries"] == 1
+
+    async def test_home_snapshot_reports_fanout_and_applications(
+        self, simple_toystore, toystore_db
+    ):
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            bound = simple_toystore.query("Q2").bind([5])
+            await top.clients[0].query(top.seal_query(bound))
+            host, port = top.home_net.address
+            home_client = WireClient(host, port)
+            try:
+                snapshot = await home_client.stats()
+            finally:
+                await home_client.aclose()
+
+            assert snapshot["role"] == "home"
+            assert snapshot["applications"]["toystore"]["queries_served"] == 1
+            subscribers = {
+                entry["node_id"]: entry for entry in snapshot["subscribers"]
+            }
+            assert set(subscribers) == {"dssp-0", "dssp-1"}
+            assert all(
+                entry["queue_depth"] == 0 for entry in subscribers.values()
+            )
+
+    async def test_stats_requests_do_not_perturb_node_counters(
+        self, simple_toystore, toystore_db
+    ):
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            client = top.clients[0]
+            before = await client.stats()
+            after = await client.stats()
+            assert (
+                after["dssp"]["stats"]
+                == before["dssp"]["stats"]
+            )
+
+
+class TestExposureSafety:
+    """Below ``view``, observability must not leak what the wire hides."""
+
+    async def test_no_payloads_in_logs_or_stats(
+        self, simple_toystore, toystore_db, caplog
+    ):
+        caplog.set_level(logging.DEBUG, logger="repro")
+        topology = Topology(
+            simple_toystore, toystore_db.clone(), StrategyClass.MTIS
+        )
+        async with topology as top:
+            client = top.clients[0]
+            bound = simple_toystore.query("Q1").bind(["marker-toy"])
+            await client.query(top.seal_query(bound))
+            await client.query(top.seal_query(bound))
+            update = simple_toystore.update("U1").bind([5])
+            await client.update(top.seal_update(update))
+            await eventually(
+                lambda: top.dssp_nets[1].stream_pushes_applied >= 1
+            )
+            snapshots = [await c.stats() for c in top.clients]
+
+        # Parameter value, statement SQL, and result rows must not appear
+        # in any rendered log line or in the stats snapshots.  Template
+        # *names* (Q1, U1) are visible at this level — by design.
+        markers = ("marker-toy", "SELECT", "DELETE FROM toys")
+        for formatter in (
+            StructuredFormatter(),
+            StructuredFormatter(json_mode=True),
+        ):
+            for record in caplog.records:
+                line = formatter.format(record)
+                for marker in markers:
+                    assert marker not in line, line
+        for snapshot in snapshots:
+            rendered = json.dumps(snapshot)
+            for marker in markers:
+                assert marker not in rendered, rendered
+
+
+class TestBaseServerStats:
+    async def test_any_wire_server_answers_stats(self):
+        from repro.net.service import WireServer
+
+        server = WireServer(server_id="bare")
+        await server.start()
+        try:
+            host, port = server.address
+            client = WireClient(host, port)
+            try:
+                snapshot = await client.stats()
+            finally:
+                await client.aclose()
+        finally:
+            await server.stop()
+        assert snapshot["node_id"] == "bare"
+        assert "server.requests" in snapshot["metrics"]["counters"]
+
+    def test_stats_request_frame_is_exported(self):
+        assert StatsRequest() == StatsRequest()

@@ -7,6 +7,8 @@ oversized frames, bad magic/version/frame types all raise ``WireError``.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -22,11 +24,14 @@ from repro.net.wire import (
     InvalidationPush,
     QueryRequest,
     QueryResponse,
+    StatsRequest,
+    StatsResponse,
     SubscribeRequest,
     SubscribeResponse,
     UpdateRequest,
     UpdateResponse,
     decode_frame,
+    decode_traced,
     encode_frame,
 )
 from repro.sql.parser import parse
@@ -117,6 +122,17 @@ def result_envelopes(draw) -> ResultEnvelope:
     )
 
 
+_json_values = st.none() | st.integers(-(2**31), 2**31) | st.text(max_size=12)
+_stats_payloads = st.dictionaries(
+    st.text(max_size=12), _json_values, max_size=4
+).map(lambda d: json.dumps(d, sort_keys=True))
+
+#: Request ids as they appear on the wire: absent, or short UTF-8 text.
+_request_ids = st.none() | st.text(
+    min_size=1, max_size=wire.MAX_REQUEST_ID_BYTES // 4
+)
+
+
 @st.composite
 def frames(draw):
     kind = draw(st.sampled_from(list(FrameType)))
@@ -138,6 +154,10 @@ def frames(draw):
         return SubscribeResponse(tuple(draw(st.lists(_text, max_size=4))))
     if kind is FrameType.INVALIDATE:
         return InvalidationPush(draw(update_envelopes()))
+    if kind is FrameType.STATS:
+        return StatsRequest()
+    if kind is FrameType.STATS_RESULT:
+        return StatsResponse(draw(_text), draw(_stats_payloads))
     return ErrorResponse(draw(st.sampled_from(list(ErrorCode))), draw(_text))
 
 
@@ -190,6 +210,66 @@ class TestRoundTrip:
                 assert decode_frame(encode_frame(push)) == push
 
 
+class TestRequestId:
+    """The trace-id slot added by protocol v2."""
+
+    @given(frame=frames(), request_id=_request_ids)
+    @settings(max_examples=200)
+    def test_round_trip(self, frame, request_id):
+        encoded = encode_frame(frame, request_id=request_id)
+        decoded, decoded_id = decode_traced(encoded)
+        assert decoded == frame
+        assert decoded_id == request_id
+
+    @given(frame=frames(), request_id=_request_ids)
+    @settings(max_examples=100)
+    def test_decode_frame_ignores_the_id(self, frame, request_id):
+        assert decode_frame(encode_frame(frame, request_id=request_id)) == frame
+
+    def test_oversized_id_rejected_at_encode_time(self):
+        frame = StatsRequest()
+        with pytest.raises(WireError, match="request id"):
+            encode_frame(
+                frame, request_id="x" * (wire.MAX_REQUEST_ID_BYTES + 1)
+            )
+
+    def test_oversized_id_rejected_by_header_check(self):
+        header = wire._HEADER.pack(
+            wire.MAGIC, wire.VERSION, FrameType.STATS, 255, 0
+        )
+        with pytest.raises(WireError, match="request id"):
+            decode_frame(header + b"x" * 255)
+
+    def test_non_utf8_id_rejected(self):
+        encoded = bytearray(
+            encode_frame(StatsRequest(), request_id="abcd")
+        )
+        encoded[wire.HEADER_SIZE] = 0xFF  # first rid byte
+        with pytest.raises(WireError, match="UTF-8"):
+            decode_traced(bytes(encoded))
+
+    @given(frame=frames(), request_id=_request_ids, data=st.data())
+    @settings(max_examples=100)
+    def test_any_truncation_rejected(self, frame, request_id, data):
+        encoded = encode_frame(frame, request_id=request_id)
+        cut = data.draw(st.integers(0, len(encoded) - 1))
+        with pytest.raises(WireError):
+            decode_traced(encoded[:cut])
+
+
+class TestStatsFrames:
+    def test_stats_result_payload_must_be_json(self):
+        encoded = encode_frame(StatsResponse("node", '{"ok": 1}'))
+        corrupted = encoded.replace(b'{"ok": 1}', b'{"ok": 1!')
+        with pytest.raises(WireError, match="not JSON"):
+            decode_frame(corrupted)
+
+    def test_stats_request_is_empty(self):
+        encoded = encode_frame(StatsRequest())
+        assert len(encoded) == wire.HEADER_SIZE
+        assert decode_frame(encoded) == StatsRequest()
+
+
 class TestRejection:
     @given(frame=frames(), data=st.data())
     @settings(max_examples=100)
@@ -225,7 +305,7 @@ class TestRejection:
 
     def test_oversized_frame_rejected_by_header_check(self):
         header = wire._HEADER.pack(
-            wire.MAGIC, wire.VERSION, FrameType.ERROR, 2**31
+            wire.MAGIC, wire.VERSION, FrameType.ERROR, 0, 2**31
         )
         with pytest.raises(WireError, match="exceeds"):
             decode_frame(header + b"")

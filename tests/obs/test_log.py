@@ -1,0 +1,159 @@
+"""Tests for structured logging, context binding, and exposure safety."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel
+from repro.crypto import Keyring
+from repro.crypto.envelope import EnvelopeCodec
+from repro.obs import (
+    StructuredFormatter,
+    configure_logging,
+    envelope_context,
+    new_request_id,
+    with_context,
+)
+from repro.obs.log import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """configure_logging mutates the shared 'repro' logger; undo it so
+    later tests (and caplog, which needs propagation) see pristine state."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    saved = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.setLevel(saved[0])
+    logger.handlers[:] = saved[1]
+    logger.propagate = saved[2]
+
+
+def _record(message="hello", ctx=None, level=logging.WARNING):
+    record = logging.LogRecord(
+        name="repro.test",
+        level=level,
+        pathname=__file__,
+        lineno=1,
+        msg=message,
+        args=(),
+        exc_info=None,
+    )
+    if ctx is not None:
+        record.ctx = ctx
+    return record
+
+
+class TestRequestId:
+    def test_shape(self):
+        rid = new_request_id()
+        assert len(rid) == 16
+        int(rid, 16)  # lowercase hex
+
+    def test_unique(self):
+        assert len({new_request_id() for _ in range(100)}) == 100
+
+
+class TestStructuredFormatter:
+    def test_text_mode_renders_sorted_ctx(self):
+        line = StructuredFormatter().format(
+            _record(ctx={"b": 2, "a": 1})
+        )
+        assert line.endswith("repro.test hello [a=1 b=2]")
+        assert "WARNING" in line
+
+    def test_text_mode_without_ctx_has_no_brackets(self):
+        line = StructuredFormatter().format(_record())
+        assert "[" not in line
+
+    def test_json_mode_is_one_parseable_object(self):
+        line = StructuredFormatter(json_mode=True).format(
+            _record(ctx={"request_id": "abc", "server": "dssp-0"})
+        )
+        payload = json.loads(line)
+        assert payload["message"] == "hello"
+        assert payload["level"] == "warning"
+        assert payload["request_id"] == "abc"
+        assert payload["server"] == "dssp-0"
+
+    def test_exception_included(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            record = _record()
+            record.exc_info = __import__("sys").exc_info()
+        text = StructuredFormatter().format(record)
+        assert "RuntimeError: boom" in text
+        payload = json.loads(StructuredFormatter(json_mode=True).format(record))
+        assert "RuntimeError: boom" in payload["exception"]
+
+
+class TestContextAdapter:
+    def test_bound_fields_merge_with_call_site_ctx(self):
+        stream = io.StringIO()
+        logger = configure_logging(level="info", stream=stream)
+        try:
+            adapter = with_context(
+                logging.getLogger(f"{ROOT_LOGGER}.test"), server="dssp-0"
+            )
+            adapter.info("served", extra={"ctx": {"request_id": "r1"}})
+        finally:
+            configure_logging(level="warning")  # restore default
+        line = stream.getvalue()
+        assert "server=dssp-0" in line
+        assert "request_id=r1" in line
+
+    def test_call_site_wins_on_collision(self):
+        adapter = with_context(logging.getLogger("repro.test"), server="outer")
+        _, kwargs = adapter.process(
+            "m", {"extra": {"ctx": {"server": "inner"}}}
+        )
+        assert kwargs["extra"]["ctx"]["server"] == "inner"
+
+
+class TestConfigureLogging:
+    def test_idempotent(self):
+        logger = configure_logging(level="warning")
+        configure_logging(level="warning")
+        marked = [
+            h for h in logger.handlers if getattr(h, "_repro_obs", False)
+        ]
+        assert len(marked) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="chatty")
+
+
+class TestEnvelopeContext:
+    @pytest.fixture
+    def codec(self):
+        return EnvelopeCodec(Keyring("toystore", b"k" * 32))
+
+    def test_blind_envelope_exposes_no_template(self, codec, simple_toystore):
+        bound = simple_toystore.query("Q1").bind(["marker-toy"])
+        envelope = codec.seal_query(bound, ExposureLevel.BLIND)
+        context = envelope_context(envelope)
+        assert context == {"app_id": "toystore", "level": "blind"}
+
+    def test_template_envelope_exposes_template_name_only(
+        self, codec, simple_toystore
+    ):
+        bound = simple_toystore.query("Q1").bind(["marker-toy"])
+        envelope = codec.seal_query(bound, ExposureLevel.TEMPLATE)
+        context = envelope_context(envelope)
+        assert context["template"] == "Q1"
+        rendered = repr(context)
+        assert "marker-toy" not in rendered
+        assert "SELECT" not in rendered
+
+    def test_no_payload_fields_at_any_level(self, codec, simple_toystore):
+        bound = simple_toystore.query("Q1").bind(["marker-toy"])
+        for level in ExposureLevel:
+            context = envelope_context(codec.seal_query(bound, level))
+            assert set(context) <= {"app_id", "level", "template"}
+            assert "marker-toy" not in repr(context)

@@ -1,0 +1,225 @@
+"""Unit and property tests for the dependency-free metrics registry."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    log_buckets,
+    merge_snapshots,
+)
+
+_samples = st.lists(
+    st.floats(1e-7, 60.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value == 7
+
+    def test_callable_backed_sampled_live(self):
+        box = {"v": 1}
+        gauge = Gauge("g", fn=lambda: box["v"])
+        assert gauge.value == 1
+        box["v"] = 9
+        assert gauge.value == 9
+
+    def test_callable_backed_rejects_set(self):
+        gauge = Gauge("g", fn=lambda: 0)
+        with pytest.raises(ValueError, match="callable-backed"):
+            gauge.set(1)
+
+
+class TestLogBuckets:
+    def test_geometric(self):
+        bounds = log_buckets(start=0.001, factor=10.0, count=3)
+        assert bounds == (0.001, 0.01, 0.1)
+
+    def test_default_bounds_cover_rpc_to_wan(self):
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY_BOUNDS[-1] > 30.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            log_buckets(start=0)
+        with pytest.raises(ValueError):
+            log_buckets(factor=1.0)
+
+
+class TestHistogram:
+    def test_empty_quantiles_are_zero(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError, match="outside"):
+            Histogram("h").quantile(1.5)
+
+    @given(samples=_samples, q=st.floats(0.0, 1.0))
+    @settings(max_examples=200)
+    def test_quantile_within_observed_range(self, samples, q):
+        histogram = Histogram("h")
+        for sample in samples:
+            histogram.observe(sample)
+        estimate = histogram.quantile(q)
+        assert min(samples) <= estimate <= max(samples)
+
+    @given(samples=_samples)
+    @settings(max_examples=100)
+    def test_quantile_error_bounded_by_bucket_width(self, samples):
+        """The estimate lands within the true value's bucket (factor 2)."""
+        histogram = Histogram("h")
+        for sample in samples:
+            histogram.observe(sample)
+        ordered = sorted(samples)
+        true_p90 = ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))]
+        estimate = histogram.quantile(0.9)
+        assert estimate <= max(samples)
+        # Log buckets double: the estimate is within ~2x either way except
+        # at the clamped edges, which are exact.
+        assert estimate <= true_p90 * 2.0 + 1e-9 or estimate == min(samples)
+
+    def test_single_sample_is_exact(self):
+        histogram = Histogram("h")
+        histogram.observe(0.25)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.25)
+
+    def test_merge_requires_equal_bounds(self):
+        left = Histogram("h", bounds=(1.0, 2.0))
+        right = Histogram("h", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            left.merge(right)
+
+    @given(first=_samples, second=_samples)
+    @settings(max_examples=100)
+    def test_merge_equals_observing_everything(self, first, second):
+        merged = Histogram("a")
+        for sample in first:
+            merged.observe(sample)
+        other = Histogram("b")
+        for sample in second:
+            other.observe(sample)
+        merged.merge(other)
+
+        direct = Histogram("c")
+        for sample in first + second:
+            direct.observe(sample)
+        assert merged.counts == direct.counts
+        assert merged.count == direct.count
+        assert merged.min == direct.min
+        assert merged.max == direct.max
+        assert merged.quantile(0.9) == pytest.approx(direct.quantile(0.9))
+
+    def test_snapshot_is_json_safe_and_self_describing(self):
+        histogram = Histogram("h")
+        for sample in (0.001, 0.004, 0.1):
+            histogram.observe(sample)
+        snapshot = json.loads(json.dumps(histogram.snapshot()))
+        assert snapshot["count"] == 3
+        assert snapshot["quantiles"]["p50"] == histogram.quantile(0.5)
+        assert histogram_quantile(snapshot, 0.9) == histogram.quantile(0.9)
+
+    def test_empty_snapshot_has_finite_min_max(self):
+        snapshot = Histogram("h").snapshot()
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 0.0
+        assert math.isfinite(snapshot["quantiles"]["p99"])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_type_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth", lambda: 7)
+        registry.histogram("lat").observe(0.01)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"] == {"requests": 3}
+        assert snapshot["gauges"] == {"depth": 7}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        left = {"counters": {"a": 1, "b": 2}, "gauges": {"g": 5}}
+        right = {"counters": {"b": 3, "c": 4}, "gauges": {}}
+        merged = merge_snapshots(left, right)
+        assert merged["counters"] == {"a": 1, "b": 5, "c": 4}
+        assert merged["gauges"] == {"g": 5}
+
+    def test_histograms_sum_and_requantile(self):
+        left_registry = MetricsRegistry()
+        right_registry = MetricsRegistry()
+        for value in (0.001, 0.002):
+            left_registry.histogram("lat").observe(value)
+        for value in (0.1, 0.2):
+            right_registry.histogram("lat").observe(value)
+        merged = merge_snapshots(
+            left_registry.snapshot(), right_registry.snapshot()
+        )
+        combined = merged["histograms"]["lat"]
+        assert combined["count"] == 4
+        assert combined["min"] == pytest.approx(0.001)
+        assert combined["max"] == pytest.approx(0.2)
+        assert (
+            combined["quantiles"]["p99"]
+            == histogram_quantile(combined, 0.99)
+        )
+
+    def test_one_sided_metrics_carry_over(self):
+        registry = MetricsRegistry()
+        registry.histogram("only").observe(1.0)
+        merged = merge_snapshots(registry.snapshot(), MetricsRegistry().snapshot())
+        assert merged["histograms"]["only"]["count"] == 1
+
+    def test_bounds_mismatch_rejected(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        right.histogram("lat", bounds=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_snapshots(left.snapshot(), right.snapshot())
