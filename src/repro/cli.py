@@ -14,7 +14,10 @@ Commands:
 * ``simulate APP --users N`` — one discrete-event simulation run.
 * ``serve-home APP`` / ``serve-dssp APP`` — run the networked service
   layer (home organization / DSSP node) on real sockets.
-* ``loadgen APP`` — closed-loop load generator against live DSSP nodes.
+* ``loadgen APP`` — closed-loop load generator against live DSSP nodes
+  (optionally with deterministic fault injection via ``--chaos-seed``).
+* ``chaos APP`` — stand up a chaos-proxied cluster in-process, replay a
+  recorded trace through it, and run the consistency oracle.
 * ``stats HOST:PORT`` — dump a live node's STATS snapshot as JSON.
 
 Global flags ``--log-level`` and ``--log-json`` configure structured
@@ -253,6 +256,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-server-stats",
         action="store_true",
         help="skip the post-run STATS fetch from each DSSP node",
+    )
+    loadgen.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject deterministic frame faults through in-process proxies",
+    )
+    loadgen.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.05,
+        help="aggregate frame-fault probability (split across drop/delay/"
+        "duplicate/truncate; used with --chaos-seed)",
+    )
+    loadgen.add_argument(
+        "--kill-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sever every proxied connection after each N completed pages "
+        "(used with --chaos-seed)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the chaos + consistency-oracle harness on a live "
+        "in-process cluster",
+    )
+    _add_app_argument(chaos)
+    chaos.add_argument("--nodes", type=int, default=2)
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument(
+        "--pages", type=int, default=60, help="trace length to record/replay"
+    )
+    chaos.add_argument("--chaos-seed", type=int, default=0, metavar="SEED")
+    chaos.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.1,
+        help="aggregate frame-fault probability",
+    )
+    chaos.add_argument(
+        "--kill-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kill/restart a server every N pages",
+    )
+    chaos.add_argument(
+        "--kill-target",
+        choices=["all", "home", "dssp"],
+        default="all",
+        help="which servers the kill schedule rotates over",
+    )
+    chaos.add_argument(
+        "--strategy",
+        choices=[s.name for s in StrategyClass],
+        default="MVIS",
+    )
+    chaos.add_argument("--scale", type=float, default=0.2)
+    chaos.add_argument(
+        "--seed", type=int, default=1, help="workload/trace seed"
+    )
+    chaos.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the oracle report + canonical fault log as JSON",
     )
 
     stats = commands.add_parser(
@@ -625,10 +697,42 @@ def _cmd_loadgen(args, out) -> int:
             print(f"recorded {len(trace)}-page trace to {trace_path}", file=out)
     trace.bind(spec.registry)
 
+    chaos_log = None
+    chaos_plan = None
+    if args.chaos_seed is not None:
+        from repro.net.chaos import ChaosLog, FaultPlan
+
+        chaos_plan = FaultPlan.uniform(args.chaos_seed, args.fault_rate)
+        chaos_log = ChaosLog()
+
     async def run():
-        endpoints = [
-            WireClient(*_parse_address(address)) for address in args.dssp
-        ]
+        endpoints = []
+        proxies = []
+        on_page = None
+        if chaos_plan is None:
+            endpoints = [
+                WireClient(*_parse_address(address)) for address in args.dssp
+            ]
+        else:
+            from repro.net.chaos import ChaosProxy
+
+            for address in args.dssp:
+                proxy = ChaosProxy(
+                    _parse_address(address),
+                    chaos_plan,
+                    f"client->{address}",
+                    chaos_log,
+                )
+                host, port = await proxy.start()
+                proxies.append(proxy)
+                endpoints.append(WireClient(host, port))
+            if args.kill_every:
+
+                async def on_page(completed, _proxies=proxies):
+                    if completed % args.kill_every == 0:
+                        for proxy in _proxies:
+                            await proxy.kill_connections()
+
         try:
             return await run_load(
                 endpoints,
@@ -638,10 +742,13 @@ def _cmd_loadgen(args, out) -> int:
                 clients=args.clients,
                 pages=args.pages,
                 duration_s=args.duration,
+                on_page=on_page,
             )
         finally:
             for endpoint in endpoints:
                 await endpoint.aclose()
+            for proxy in proxies:
+                await proxy.stop()
 
     async def fetch_stats():
         snapshots = []
@@ -688,17 +795,87 @@ def _cmd_loadgen(args, out) -> int:
                 f"invalidations={dssp.get('invalidations', 0)}",
                 file=out,
             )
+    if chaos_log is not None:
+        print(f"chaos faults: {chaos_log.counts() or 'none'}", file=out)
     if args.report is not None:
         combined = {
             "client": report.to_dict(),
             "servers": server_snapshots,
             "predict_p90_s": predicted,
         }
+        if chaos_log is not None:
+            combined["chaos"] = json.loads(chaos_log.to_json())
         pathlib.Path(args.report).write_text(
             json.dumps(combined, indent=2, default=str)
         )
         print(f"report written to {args.report}", file=out)
     return 0
+
+
+def _cmd_chaos(args, out) -> int:
+    import asyncio
+    import pathlib
+
+    from repro.net.chaos import FaultPlan
+    from repro.net.oracle import run_chaos
+    from repro.workloads.trace import record_trace
+
+    strategy = StrategyClass[args.strategy]
+    spec = get_application(args.app)
+    instance = spec.instantiate(scale=args.scale, seed=args.seed)
+    policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    trace = record_trace(
+        instance.sampler, args.pages, seed=args.seed, application=args.app
+    )
+    if args.kill_target == "home":
+        targets: tuple[str, ...] = ("home",)
+    elif args.kill_target == "dssp":
+        targets = tuple(f"dssp-{i}" for i in range(args.nodes))
+    else:
+        targets = ("home",) + tuple(f"dssp-{i}" for i in range(args.nodes))
+    plan = FaultPlan.uniform(
+        args.chaos_seed,
+        args.fault_rate,
+        kill_every=args.kill_every,
+        kill_targets=targets if args.kill_every else (),
+    )
+    report, log = asyncio.run(
+        run_chaos(
+            args.app,
+            spec.registry,
+            instance.database,
+            policy,
+            trace,
+            plan,
+            nodes=args.nodes,
+            clients=args.clients,
+        )
+    )
+    print(
+        f"app={args.app} strategy={strategy.name} nodes={args.nodes} "
+        f"clients={args.clients} fault_rate={args.fault_rate} "
+        f"kill_every={args.kill_every}",
+        file=out,
+    )
+    print(report.summary(), file=out)
+    print(f"fault counts: {log.counts() or 'none'}", file=out)
+    for violation in report.violations:
+        print(f"VIOLATION: {violation.to_dict()}", file=out)
+    if args.report is not None:
+        path = pathlib.Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "oracle": report.to_dict(),
+                    "fault_log": json.loads(log.to_json()),
+                },
+                indent=2,
+                default=str,
+            )
+        )
+        print(f"report written to {args.report}", file=out)
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args, out) -> int:
@@ -733,6 +910,7 @@ _COMMANDS = {
     "serve-home": _cmd_serve_home,
     "serve-dssp": _cmd_serve_dssp,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
     "stats": _cmd_stats,
 }
 

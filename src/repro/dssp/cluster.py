@@ -27,7 +27,7 @@ from repro.dssp.proxy import DsspNode, QueryOutcome, UpdateOutcome
 from repro.dssp.stats import DsspStats
 from repro.errors import CacheError
 
-__all__ = ["DsspCluster"]
+__all__ = ["DsspCluster", "replay_trace_counts"]
 
 
 class DsspCluster:
@@ -108,6 +108,48 @@ class DsspCluster:
         """Cold-start every node."""
         for node in self.nodes:
             node.cold_start()
+
+
+def replay_trace_counts(
+    cluster: DsspCluster,
+    home: HomeServer,
+    trace,
+    *,
+    clients: int = 4,
+    pages: int | None = None,
+) -> dict[str, int]:
+    """Replay a recorded trace through an in-process cluster; return counts.
+
+    This is the oracle's *reference replay path*: page ``p`` is issued by
+    client ``p % clients``, which pins to node ``client % nodes`` — the
+    identical affinity the networked chaos runner uses — so the resulting
+    hit/miss/invalidation counts are directly comparable with a networked
+    run over the same trace (the fault-free parity suite asserts equality).
+    """
+    trace.bind(home.registry)
+    total_pages = pages if pages is not None else len(trace)
+    queries = updates = 0
+    for page_index in range(total_pages):
+        client_id = page_index % clients
+        for operation in trace.sample_page():
+            bound = operation.bound
+            if operation.is_update:
+                level = home.policy.update_level(bound.template.name)
+                cluster.update(home.codec.seal_update(bound, level), client_id)
+                updates += 1
+            else:
+                level = home.policy.query_level(bound.template.name)
+                cluster.query(home.codec.seal_query(bound, level), client_id)
+                queries += 1
+    stats = cluster.aggregate_stats()
+    return {
+        "pages": total_pages,
+        "queries": queries,
+        "updates": updates,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "invalidations": stats.invalidations,
+    }
 
 
 def measure_cluster_behavior(

@@ -88,6 +88,10 @@ class DsspNode:
             raise CacheError(f"application {app_id!r} already registered")
         self._tenants[app_id] = _Tenant(engine=self._build_engine(registry))
 
+    def is_registered(self, app_id: str) -> bool:
+        """True if the application is already a tenant of this node."""
+        return app_id in self._tenants
+
     def _build_engine(self, registry: TemplateRegistry) -> InvalidationEngine:
         return InvalidationEngine(
             registry,

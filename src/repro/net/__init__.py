@@ -14,9 +14,23 @@ This package puts the *network* back between them:
 * :mod:`repro.net.client` — pooled async client with retry/backoff and
   typed error mapping;
 * :mod:`repro.net.loadgen` — closed-loop load generator for measured (not
-  analytic-model) strategy comparisons.
+  analytic-model) strategy comparisons;
+* :mod:`repro.net.chaos` — seeded, fully deterministic fault injection
+  (frame drops/delays/duplications/truncations via an in-process TCP
+  proxy, plus node kill/restart schedules);
+* :mod:`repro.net.oracle` — the consistency oracle: replays the identical
+  trace through the trusted in-process engine and asserts no stale reads,
+  no lost acked updates, and home-database convergence.
 """
 
+from repro.net.chaos import (
+    ChaosLog,
+    ChaosProxy,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    make_fault_hook,
+)
 from repro.net.client import (
     NetQueryOutcome,
     NetUpdateOutcome,
@@ -25,8 +39,15 @@ from repro.net.client import (
     WireClient,
 )
 from repro.net.dssp_server import DsspNetServer
-from repro.net.home_server import HomeNetServer
+from repro.net.home_server import HomeNetServer, UpdateDedup
 from repro.net.loadgen import LoadReport, run_load
+from repro.net.oracle import (
+    ChaosRunner,
+    ChaosTopology,
+    OracleReport,
+    Violation,
+    run_chaos,
+)
 from repro.net.wire import (
     ErrorCode,
     ErrorResponse,
@@ -46,15 +67,23 @@ from repro.net.wire import (
 )
 
 __all__ = [
+    "ChaosLog",
+    "ChaosProxy",
+    "ChaosRunner",
+    "ChaosTopology",
     "DsspNetServer",
     "ErrorCode",
     "ErrorResponse",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "FrameType",
     "HomeNetServer",
     "InvalidationPush",
     "LoadReport",
     "NetQueryOutcome",
     "NetUpdateOutcome",
+    "OracleReport",
     "QueryRequest",
     "QueryResponse",
     "RetryPolicy",
@@ -63,11 +92,14 @@ __all__ = [
     "SubscribeRequest",
     "SubscribeResponse",
     "Subscription",
+    "UpdateDedup",
     "UpdateRequest",
     "UpdateResponse",
+    "Violation",
     "WireClient",
     "decode_frame",
     "decode_traced",
     "encode_frame",
-    "run_load",
+    "make_fault_hook",
+    "run_chaos",
 ]

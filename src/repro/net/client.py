@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from dataclasses import dataclass
 
@@ -88,18 +89,45 @@ def exception_for(response: ErrorResponse) -> ReproError:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff schedule for transient failures."""
+    """Backoff schedule for transient failures: exponential + jitter.
+
+    With ``jitter`` on (the default), retry ``attempt`` sleeps a uniform
+    draw from ``[backoff_s, backoff_s * multiplier**(attempt + 1)]``
+    capped at ``max_backoff_s`` — the stateless form of decorrelated
+    jitter.  Without jitter, concurrent clients that all lost the same
+    home server retry in lockstep and re-create the very load spike that
+    killed it; the jitter spreads the reconnect storm out.
+
+    ``seed`` makes one instance's draws reproducible (chaos runs pin it);
+    by default each instance draws from OS entropy, so separate clients
+    de-correlate even when constructed identically.
+    """
 
     attempts: int = 3
     backoff_s: float = 0.05
     multiplier: float = 2.0
     max_backoff_s: float = 2.0
+    jitter: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: the RNG is per-instance mutable state,
+        # invisible to eq/repr, allowed on a frozen instance via the
+        # object protocol.
+        object.__setattr__(self, "_rng", random.Random(self.seed))
 
     def delay(self, attempt: int) -> float:
         """Seconds to sleep before retry number ``attempt`` (0-based)."""
-        return min(
-            self.backoff_s * self.multiplier**attempt, self.max_backoff_s
+        ceiling = min(
+            self.backoff_s * self.multiplier ** (attempt + 1),
+            self.max_backoff_s,
         )
+        floor = min(self.backoff_s, ceiling)
+        if not self.jitter:
+            return min(
+                self.backoff_s * self.multiplier**attempt, self.max_backoff_s
+            )
+        return self._rng.uniform(floor, ceiling)  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -306,6 +334,7 @@ class WireClient:
         max_frame: int = wire.MAX_FRAME_BYTES,
         frame_observer=None,
         metrics: MetricsRegistry | None = None,
+        fault_hook=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -313,6 +342,7 @@ class WireClient:
         self._request_timeout_s = request_timeout_s
         self._max_frame = max_frame
         self._frame_observer = frame_observer
+        self._fault_hook = fault_hook
         self.metrics = metrics or MetricsRegistry()
         self._pool = _ConnectionPool(
             host,
@@ -475,11 +505,25 @@ class WireClient:
             raise _ExchangeFailed(error, sent=False) from error
         discard = True
         try:
+            if self._fault_hook is not None:
+                await self._fault_hook(frame, request_id)
             await connection.send(frame, request_id=request_id)
             sent = True
-            response = await asyncio.wait_for(
-                connection.receive(), self._request_timeout_s
-            )
+            try:
+                response = await asyncio.wait_for(
+                    connection.receive(), self._request_timeout_s
+                )
+            except WireError as error:
+                # A garbled response frame poisons only this connection;
+                # the request's fate is unknown (sent=True), so queries
+                # retry on a fresh stream and updates surface.
+                raise _ExchangeFailed(
+                    NetConnectionError(
+                        f"malformed response from {self.host}:{self.port}: "
+                        f"{error}"
+                    ),
+                    sent=True,
+                ) from error
             discard = False
             return response
         except (asyncio.TimeoutError, TimeoutError) as error:

@@ -80,6 +80,7 @@ class DsspNetServer(WireServer):
         *,
         node_id: str = "dssp-0",
         subscribe_retry: RetryPolicy | None = None,
+        home_retry: RetryPolicy | None = None,
         home_pool_size: int = 4,
         home_timeout_s: float = 30.0,
         **kwargs,
@@ -95,6 +96,7 @@ class DsspNetServer(WireServer):
         self._subscribe_retry = subscribe_retry or RetryPolicy(
             attempts=1_000_000, backoff_s=0.05, max_backoff_s=2.0
         )
+        self._home_retry = home_retry
         self._home_pool_size = home_pool_size
         self._home_timeout_s = home_timeout_s
         #: app_id -> home address; populated before start().
@@ -104,6 +106,8 @@ class DsspNetServer(WireServer):
         self._stream_tasks: list[asyncio.Task] = []
         #: Pushes applied from the invalidation stream (tests/monitoring).
         self.stream_pushes_applied = 0
+        #: Safety flushes performed on (re)subscribe (tests/monitoring).
+        self.stream_flushes = 0
 
     # -- tenancy -----------------------------------------------------------
 
@@ -113,8 +117,13 @@ class DsspNetServer(WireServer):
         registry: TemplateRegistry,
         home_address: tuple[str, int],
     ) -> None:
-        """Attach an application: public templates + its home's address."""
-        self.node.register_remote(app_id, registry)
+        """Attach an application: public templates + its home's address.
+
+        Idempotent on the node side, so a restarted server can wrap a
+        still-warm :class:`DsspNode` without re-registering its tenants.
+        """
+        if not self.node.is_registered(app_id):
+            self.node.register_remote(app_id, registry)
         self._home_addresses[app_id] = (home_address[0], int(home_address[1]))
 
     def _home_client(self, app_id: str) -> WireClient:
@@ -129,6 +138,7 @@ class DsspNetServer(WireServer):
                 address[1],
                 pool_size=self._home_pool_size,
                 request_timeout_s=self._home_timeout_s,
+                retry=self._home_retry,
                 frame_observer=self._frame_observer,
                 metrics=self.metrics,
             )
@@ -230,6 +240,7 @@ class DsspNetServer(WireServer):
         snapshot["role"] = "dssp"
         snapshot["dssp"] = self.node.snapshot()
         snapshot["stream_pushes_applied"] = self.stream_pushes_applied
+        snapshot["stream_flushes"] = self.stream_flushes
         snapshot["applications"] = sorted(self._home_addresses)
         return snapshot
 
@@ -240,7 +251,6 @@ class DsspNetServer(WireServer):
     ) -> None:
         """Keep one invalidation-stream subscription alive with backoff."""
         attempt = 0
-        first_connect = True
         while True:
             client = self._home_clients.get(home)
             if client is None:
@@ -269,17 +279,20 @@ class DsspNetServer(WireServer):
                 attempt = min(attempt + 1, 16)
                 continue
             attempt = 0
-            if not first_connect:
-                # Pushes may have been lost while detached: the only safe
-                # move without a stream cursor is to drop the apps' entries.
-                self.metrics.counter("dssp.stream_reconnects").inc()
-                logger.warning(
-                    "invalidation stream reconnected; flushing applications",
-                    extra={"ctx": stream_ctx},
-                )
-                for app_id in app_ids:
-                    self.node.cache.invalidate_app(app_id)
-            first_connect = False
+            # Pushes may have been lost while detached: without a stream
+            # cursor, the only safe move is to drop the apps' entries on
+            # *every* successful subscribe — on a cold cache (normal first
+            # connect) this is a no-op, but a restarted server wrapping a
+            # still-warm node must not serve entries that went stale while
+            # no subscription existed.
+            self.metrics.counter("dssp.stream_reconnects").inc()
+            logger.debug(
+                "invalidation stream connected; flushing applications",
+                extra={"ctx": stream_ctx},
+            )
+            for app_id in app_ids:
+                self.node.cache.invalidate_app(app_id)
+            self.stream_flushes += 1
             try:
                 async for push, request_id in subscription.events():
                     try:
@@ -297,6 +310,16 @@ class DsspNetServer(WireServer):
                                 }
                             },
                         )
+            except (NetError, ConnectionError, OSError) as error:
+                # A garbled or error frame mid-stream must not kill this
+                # task — that would leave the node serving a cache nobody
+                # invalidates.  Treat it like a dropped channel: close,
+                # reconnect, flush.
+                logger.warning(
+                    "invalidation stream failed (%s); reconnecting",
+                    error,
+                    extra={"ctx": stream_ctx},
+                )
             finally:
                 await subscription.aclose()
-            # events() returned: channel dropped; loop to reconnect.
+            # events() ended: channel dropped; loop to reconnect.

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+from collections import OrderedDict
 from collections.abc import Iterable
 
 from repro.dssp.homeserver import HomeServer
@@ -45,9 +46,67 @@ from repro.net.wire import (
     UpdateResponse,
 )
 
-__all__ = ["HomeNetServer"]
+__all__ = ["HomeNetServer", "UpdateDedup"]
 
 logger = logging.getLogger(__name__)
+
+
+class UpdateDedup:
+    """Bounded idempotency log for ``UPDATE`` requests, keyed by trace id.
+
+    A client retries an update under the *same* request id (and a chaos
+    proxy may duplicate the frame outright); applying it twice would
+    corrupt the master copy and double the invalidation fan-out.  The home
+    remembers the acknowledgement of each recently applied update and
+    replays it verbatim for a repeat — without touching the database or
+    the stream.
+
+    The ``opaque_id`` guards against trace-id collisions: a repeat whose
+    envelope identity differs from the remembered one is *not* treated as
+    a duplicate (it is a different update that unluckily reused an id).
+
+    Deliberately a standalone object rather than server state: passing one
+    instance across :class:`HomeNetServer` restarts models the durable
+    idempotency log a production home would keep, which is what makes
+    retry-until-ack safe across a kill/restart.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: OrderedDict[str, tuple[str, UpdateResponse]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, request_id: str, opaque_id: str) -> UpdateResponse | None:
+        """Remembered ack for this (trace id, envelope) pair, if any."""
+        entry = self._entries.get(request_id)
+        if entry is None:
+            return None
+        remembered_opaque, response = entry
+        if remembered_opaque != opaque_id:
+            logger.warning(
+                "request id %s reused by a different update; not deduping",
+                request_id,
+            )
+            return None
+        self._entries.move_to_end(request_id)
+        self.hits += 1
+        return response
+
+    def put(
+        self, request_id: str, opaque_id: str, response: UpdateResponse
+    ) -> None:
+        """Remember the ack; evicts the least recently seen entry."""
+        self._entries[request_id] = (opaque_id, response)
+        self._entries.move_to_end(request_id)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
 
 
 class _Subscriber:
@@ -91,12 +150,14 @@ class HomeNetServer(WireServer):
         *,
         push_queue_size: int = 256,
         push_timeout_s: float = 5.0,
+        update_dedup: UpdateDedup | None = None,
         **kwargs,
     ) -> None:
         kwargs.setdefault("server_id", "home")
         super().__init__(host, port, **kwargs)
         self._push_queue_size = push_queue_size
         self._push_timeout_s = push_timeout_s
+        self.update_dedup = update_dedup or UpdateDedup()
         if isinstance(homes, HomeServer):
             homes = [homes]
         self._homes: dict[str, HomeServer] = {}
@@ -110,6 +171,12 @@ class HomeNetServer(WireServer):
     def subscriber_count(self) -> int:
         """Live invalidation-stream channels (for tests/monitoring)."""
         return len(self._subscribers)
+
+    def has_subscriber(self, node_id: str) -> bool:
+        """True if a node's invalidation-stream channel is currently live."""
+        return any(
+            subscriber.node_id == node_id for subscriber in self._subscribers
+        )
 
     def _home(self, app_id: str) -> HomeServer:
         try:
@@ -126,9 +193,31 @@ class HomeNetServer(WireServer):
             return QueryResponse(result=result, cache_hit=False)
         if isinstance(frame, UpdateRequest):
             home = self._home(frame.envelope.app_id)
+            # Dedup check, apply, and remember happen with no await in
+            # between, so the sequence is atomic on the event loop — two
+            # copies of the same request cannot interleave mid-apply.
+            request_id = context.request_id
+            opaque_id = frame.envelope.opaque_id
+            if request_id is not None:
+                remembered = self.update_dedup.get(request_id, opaque_id)
+                if remembered is not None:
+                    self.metrics.counter("home.dedup_hits").inc()
+                    logger.info(
+                        "duplicate update suppressed",
+                        extra={
+                            "ctx": {
+                                "server": self.server_id,
+                                "request_id": request_id,
+                            }
+                        },
+                    )
+                    return remembered
             rows = home.apply_update(frame.envelope)
-            self._fan_out(frame, request_id=context.request_id)
-            return UpdateResponse(rows_affected=rows, invalidated=0)
+            response = UpdateResponse(rows_affected=rows, invalidated=0)
+            if request_id is not None:
+                self.update_dedup.put(request_id, opaque_id, response)
+            self._fan_out(frame, request_id=request_id)
+            return response
         if isinstance(frame, SubscribeRequest):
             return self._subscribe(frame, context)
         if isinstance(frame, StatsRequest):

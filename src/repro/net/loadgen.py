@@ -157,6 +157,7 @@ async def run_load(
     pages: int | None = None,
     duration_s: float | None = None,
     fail_fast: bool = False,
+    on_page=None,
 ) -> LoadReport:
     """Drive a live topology and measure it.
 
@@ -169,6 +170,9 @@ async def run_load(
         pages: Stop after this many pages (None = until ``duration_s``).
         duration_s: Stop after this much wall-clock time.
         fail_fast: Re-raise the first request error instead of counting it.
+        on_page: Optional async callback awaited with the cumulative
+            completed-page count after each page (chaos uses it to sever
+            connections every N pages).
 
     Note:
         A duration-bounded run can wrap around the trace; replayed INSERT
@@ -230,6 +234,8 @@ async def run_load(
             if not failed:
                 counters["pages"] += 1
                 latency.observe(time.perf_counter() - page_started)
+                if on_page is not None:
+                    await on_page(counters["pages"])
 
     await asyncio.gather(*(client_loop(i) for i in range(clients)))
     return LoadReport(

@@ -81,6 +81,7 @@ class WireServer:
         frame_observer=None,
         server_id: str = "server",
         metrics: MetricsRegistry | None = None,
+        fault_hook=None,
     ) -> None:
         self._host = host
         self._port = port
@@ -88,6 +89,9 @@ class WireServer:
         self.request_timeout_s = request_timeout_s
         self.max_frame = max_frame
         self._frame_observer = frame_observer
+        #: Awaited before each request handler runs (chaos injects
+        #: deterministic processing stalls here); ``None`` in production.
+        self.fault_hook = fault_hook
         self._server: asyncio.AbstractServer | None = None
         self._in_flight: asyncio.Semaphore | None = None
         self._contexts: set[ConnectionContext] = set()
@@ -227,7 +231,8 @@ class WireServer:
             in_flight.inc()
             try:
                 response = await asyncio.wait_for(
-                    self.handle(frame, context), self.request_timeout_s
+                    self._handle_with_hook(frame, context),
+                    self.request_timeout_s,
                 )
                 logger.debug("request served", extra={"ctx": ctx})
                 return response
@@ -283,6 +288,16 @@ class WireServer:
                 self.metrics.histogram("server.handle_seconds").observe(
                     time.perf_counter() - started
                 )
+
+    async def _handle_with_hook(
+        self, frame: Frame, context: ConnectionContext
+    ) -> Frame | None:
+        # Inside the request timeout on purpose: a hook stall long enough
+        # to blow the deadline is answered with TIMEOUT like any slow
+        # handler, which is exactly the failure chaos wants to provoke.
+        if self.fault_hook is not None:
+            await self.fault_hook(frame, context.request_id)
+        return await self.handle(frame, context)
 
     # -- observability -----------------------------------------------------
 

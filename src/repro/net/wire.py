@@ -73,7 +73,9 @@ __all__ = [
     "decode_frame",
     "decode_traced",
     "encode_frame",
+    "peek_raw",
     "read_frame",
+    "read_raw_frame",
     "read_traced",
     "write_frame",
 ]
@@ -613,7 +615,52 @@ def decode_frame(data: bytes, *, max_frame: int = MAX_FRAME_BYTES) -> Frame:
     return decode_traced(data, max_frame=max_frame)[0]
 
 
+def peek_raw(data: bytes) -> tuple[int, str | None]:
+    """``(frame_type, request_id)`` of a raw frame without decoding it.
+
+    The chaos proxy keys its fault decisions on the frame type and logs
+    the trace id of the frame it mutates; neither requires (or should
+    risk) running the payload codecs.  The header must already have been
+    validated by :func:`read_raw_frame`.
+    """
+    rid_length = data[4]
+    return data[3], _decode_request_id(
+        data[HEADER_SIZE : HEADER_SIZE + rid_length]
+    )
+
+
 # -- asyncio stream helpers ------------------------------------------------------
+
+
+async def read_raw_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = MAX_FRAME_BYTES
+) -> bytes | None:
+    """Read one frame's exact bytes (header included); ``None`` on EOF.
+
+    Only the header is validated — the payload is passed through opaque,
+    which is what a frame-delimiting proxy needs: it must forward sealed
+    payloads untouched, not decode them.
+
+    Raises:
+        WireError: on EOF mid-frame or a malformed header.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError(
+            f"connection closed mid-header ({len(error.partial)} bytes)"
+        ) from error
+    _, rid_length, length = _check_header(header, max_frame=max_frame)
+    try:
+        body = await reader.readexactly(rid_length + length)
+    except asyncio.IncompleteReadError as error:
+        raise WireError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{rid_length + length} body bytes)"
+        ) from error
+    return header + body
 
 
 async def read_traced(

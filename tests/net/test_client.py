@@ -299,3 +299,77 @@ class TestPooling:
             await server.wait_closed()
         assert len(outcomes) == 6
         assert connections <= 2
+
+
+class TestRetryExhaustion:
+    async def test_silent_server_surfaces_typed_timeout(self):
+        """A server that never answers exhausts every retry; the failure
+        must surface as NetTimeoutError, not a bare asyncio.TimeoutError."""
+        requests_seen = 0
+
+        async def serve(reader, writer):
+            nonlocal requests_seen
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    break
+                requests_seen += 1  # swallow it: no reply, ever
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = WireClient(
+            "127.0.0.1",
+            port,
+            request_timeout_s=0.05,
+            retry=RetryPolicy(attempts=3, backoff_s=0.001, max_backoff_s=0.01),
+        )
+        try:
+            with pytest.raises(NetTimeoutError):
+                await client.query(QUERY)
+        finally:
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+        assert requests_seen == 3  # the query used every attempt
+
+
+class TestRetryPolicyJitter:
+    def test_jittered_delay_stays_within_decorrelated_bounds(self):
+        policy = RetryPolicy(
+            attempts=8,
+            backoff_s=0.05,
+            multiplier=2.0,
+            max_backoff_s=0.4,
+            seed=123,
+        )
+        for attempt in range(8):
+            ceiling = min(0.05 * 2.0 ** (attempt + 1), 0.4)
+            floor = min(0.05, ceiling)
+            delay = policy.delay(attempt)
+            assert floor <= delay <= ceiling
+
+    def test_no_jitter_is_plain_exponential(self):
+        policy = RetryPolicy(
+            backoff_s=0.05, multiplier=2.0, max_backoff_s=0.4, jitter=False
+        )
+        assert [policy.delay(a) for a in range(5)] == [
+            0.05,
+            0.1,
+            0.2,
+            0.4,
+            0.4,
+        ]
+
+    def test_same_seed_agrees_different_seeds_diverge(self):
+        draws_a = [RetryPolicy(seed=7).delay(a) for a in range(6)]
+        draws_b = [RetryPolicy(seed=7).delay(a) for a in range(6)]
+        draws_c = [RetryPolicy(seed=8).delay(a) for a in range(6)]
+        assert draws_a == draws_b
+        assert draws_a != draws_c
+
+    def test_unseeded_instances_decorrelate(self):
+        """Two identically configured clients must not back off in
+        lockstep — that re-creates the load spike that killed the server."""
+        draws_a = [RetryPolicy().delay(a) for a in range(8)]
+        draws_b = [RetryPolicy().delay(a) for a in range(8)]
+        assert draws_a != draws_b

@@ -15,7 +15,8 @@ from repro.analysis.exposure import ExposurePolicy
 from repro.crypto import Keyring
 from repro.dssp import HomeServer
 from repro.dssp.invalidation import StrategyClass
-from repro.net import HomeNetServer, InvalidationPush, WireClient
+from repro.net import HomeNetServer, InvalidationPush, WireClient, wire
+from repro.net.wire import UpdateRequest, UpdateResponse
 
 
 class StickyHome(HomeNetServer):
@@ -134,4 +135,75 @@ class TestFanOutDecoupling:
             await dead_client.aclose()
             await ok_client.aclose()
             await updater.aclose()
+            await server.stop()
+
+
+class TestUpdateIdempotency:
+    async def test_duplicated_update_frame_applied_once(
+        self, simple_toystore, toystore_db
+    ):
+        """Idempotency regression: the same UPDATE frame delivered twice
+        (chaos duplication, or a client retry after a lost ack) must be
+        acked twice but applied once — the second ack is replayed from the
+        dedup log, and the invalidation stream fans out only once."""
+        home, policy = make_home(simple_toystore, toystore_db.clone())
+        server = HomeNetServer(home)
+        host, port = await server.start()
+        subscriber = WireClient(host, port)
+        try:
+            subscription = await subscriber.subscribe("other", ("toystore",))
+            bound = simple_toystore.update("U1").bind([5])
+            sealed = home.codec.seal_update(bound, policy.update_level("U1"))
+            raw = wire.encode_frame(
+                UpdateRequest(sealed, origin="dssp-0"), request_id="op-0-0"
+            )
+            # A raw socket resends byte-identical frames, exactly what a
+            # duplicating proxy does.
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(raw + raw)  # the duplicate, back to back
+                await writer.drain()
+                first = await wire.read_frame(reader)
+                second = await wire.read_frame(reader)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            assert isinstance(first, UpdateResponse)
+            assert second == first  # the remembered ack, not a re-apply
+            assert first.rows_affected == 1
+            assert home.updates_applied == 1  # applied exactly once
+            assert server.update_dedup.hits == 1
+
+            # Exactly one push reaches the stream; a second would make
+            # every non-origin node double-count the invalidation.
+            push = await asyncio.wait_for(anext(subscription.frames()), 2.0)
+            assert isinstance(push, InvalidationPush)
+            await asyncio.sleep(0.05)
+            assert subscription._connection._reader._buffer == b""
+            await subscription.aclose()
+        finally:
+            await subscriber.aclose()
+            await server.stop()
+
+    async def test_same_id_different_update_is_not_deduped(
+        self, simple_toystore, toystore_db
+    ):
+        """A trace-id collision between two *different* updates must not
+        swallow the second one."""
+        home, policy = make_home(simple_toystore, toystore_db.clone())
+        server = HomeNetServer(home)
+        host, port = await server.start()
+        client = WireClient(host, port)
+        try:
+            for toy_id in (5, 6):
+                bound = simple_toystore.update("U1").bind([toy_id])
+                sealed = home.codec.seal_update(
+                    bound, policy.update_level("U1")
+                )
+                ack = await client.update(sealed, request_id="reused-rid")
+                assert ack.rows_affected == 1
+            assert home.updates_applied == 2
+            assert server.update_dedup.hits == 0
+        finally:
+            await client.aclose()
             await server.stop()
