@@ -1,0 +1,124 @@
+"""Regression gate for the pipelined-transport benchmark.
+
+Compares a freshly generated ``BENCH_net_pipeline.json`` against the
+committed baseline and fails (exit 1) when the transport's headline
+numbers regress:
+
+* the pipelined speedup must clear the absolute acceptance floor
+  (>= 2x by default — the PR's claim, not a relative drift bound), and
+  stay within ``--tolerance`` of the committed baseline's speedup;
+* batched fan-out must still send measurably fewer frames per delivered
+  invalidation than singleton pushes (strictly below 1.0, and below the
+  ``--fanout-ceiling``);
+* every measured mode must complete with zero load-generator errors.
+
+Usage::
+
+    python benchmarks/check_net_pipeline.py BASELINE FRESH [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check(baseline: dict, fresh: dict, args) -> list[str]:
+    failures: list[str] = []
+
+    for name, mode in fresh["modes"].items():
+        if mode["errors"]:
+            failures.append(
+                f"mode {name!r} finished with {mode['errors']} errors"
+            )
+
+    speedup = fresh["speedup_pipelined_vs_serial"]
+    if speedup < args.speedup_floor:
+        failures.append(
+            f"pipelined speedup {speedup:.2f}x is below the acceptance "
+            f"floor of {args.speedup_floor:.2f}x"
+        )
+    allowed = baseline["speedup_pipelined_vs_serial"] * args.tolerance
+    if speedup < allowed:
+        failures.append(
+            f"pipelined speedup {speedup:.2f}x regressed below "
+            f"{allowed:.2f}x (baseline "
+            f"{baseline['speedup_pipelined_vs_serial']:.2f}x x tolerance "
+            f"{args.tolerance})"
+        )
+
+    batched = fresh["fanout"]["batched"]["frames_per_invalidation"]
+    unbatched = fresh["fanout"]["unbatched"]["frames_per_invalidation"]
+    if not batched < unbatched:
+        failures.append(
+            f"batched fan-out ({batched:.3f} frames/invalidation) is not "
+            f"below singleton pushes ({unbatched:.3f})"
+        )
+    if batched > args.fanout_ceiling:
+        failures.append(
+            f"batched fan-out ratio {batched:.3f} exceeds the ceiling of "
+            f"{args.fanout_ceiling:.3f} frames/invalidation"
+        )
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_net_pipeline.json")
+    parser.add_argument("fresh", help="freshly generated result to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.6,
+        help="fresh speedup must be >= baseline speedup x this "
+        "(default 0.6: absorbs shared-runner noise, catches a "
+        "serialized window)",
+    )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=2.0,
+        help="absolute minimum pipelined speedup (default 2.0)",
+    )
+    parser.add_argument(
+        "--fanout-ceiling",
+        type=float,
+        default=0.5,
+        help="maximum batched frames/invalidation (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = check(baseline, fresh, args)
+
+    print(
+        f"pipelined speedup: fresh "
+        f"{fresh['speedup_pipelined_vs_serial']:.2f}x, baseline "
+        f"{baseline['speedup_pipelined_vs_serial']:.2f}x "
+        f"(floor {args.speedup_floor:.2f}x, tolerance {args.tolerance})"
+    )
+    print(
+        f"batched fan-out: fresh "
+        f"{fresh['fanout']['batched']['frames_per_invalidation']:.3f} "
+        f"frames/invalidation vs unbatched "
+        f"{fresh['fanout']['unbatched']['frames_per_invalidation']:.3f} "
+        f"(ceiling {args.fanout_ceiling:.3f})"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: benchmark within regression bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--clients", type=int, default=8)
     loadgen.add_argument(
+        "--pipeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help="open-loop pipelined mode: keep N pages in flight per client "
+        "over one multiplexed connection (default: serial closed loop)",
+    )
+    loadgen.add_argument(
         "--pages", type=int, default=None, help="page budget (default: none)"
     )
     loadgen.add_argument(
@@ -288,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_argument(chaos)
     chaos.add_argument("--nodes", type=int, default=2)
     chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument(
+        "--pipeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help="route oracle clients through a pipelined channel with an "
+        "N-request window (default: serial pooled transport)",
+    )
     chaos.add_argument(
         "--pages", type=int, default=60, help="trace length to record/replay"
     )
@@ -711,7 +727,8 @@ def _cmd_loadgen(args, out) -> int:
         on_page = None
         if chaos_plan is None:
             endpoints = [
-                WireClient(*_parse_address(address)) for address in args.dssp
+                WireClient(*_parse_address(address), pipeline=args.pipeline)
+                for address in args.dssp
             ]
         else:
             from repro.net.chaos import ChaosProxy
@@ -725,7 +742,9 @@ def _cmd_loadgen(args, out) -> int:
                 )
                 host, port = await proxy.start()
                 proxies.append(proxy)
-                endpoints.append(WireClient(host, port))
+                endpoints.append(
+                    WireClient(host, port, pipeline=args.pipeline)
+                )
             if args.kill_every:
 
                 async def on_page(completed, _proxies=proxies):
@@ -742,6 +761,7 @@ def _cmd_loadgen(args, out) -> int:
                 clients=args.clients,
                 pages=args.pages,
                 duration_s=args.duration,
+                pipeline=args.pipeline or 1,
                 on_page=on_page,
             )
         finally:
@@ -760,23 +780,36 @@ def _cmd_loadgen(args, out) -> int:
                 await client.aclose()
         return snapshots
 
+    def sum_invalidations(snapshots) -> int:
+        return sum(
+            int(
+                snapshot.get("dssp", {}).get("stats", {}).get(
+                    "invalidations", 0
+                )
+            )
+            for snapshot in snapshots
+        )
+
+    # The nodes' counters are cumulative, so the run's own invalidation
+    # count is the delta between a pre-run baseline and the post-run
+    # snapshot; both fetches are best-effort reporting.
+    baseline_invalidations = None
+    if not args.no_server_stats:
+        try:
+            baseline_invalidations = sum_invalidations(
+                asyncio.run(fetch_stats())
+            )
+        except Exception as error:
+            print(f"server stats baseline unavailable: {error}", file=out)
+
     report = asyncio.run(run())
     print(
         f"app={args.app} strategy={strategy.name} clients={args.clients} "
+        f"pipeline={args.pipeline or 1} "
         f"nodes={len(args.dssp)} duration={report.duration_s:.2f}s",
         file=out,
     )
     print(report.summary(), file=out)
-    predicted = None
-    if report.pages:
-        predicted = predict_p90(
-            args.clients, SimulationParams(), report.behavior()
-        )
-        print(
-            f"analytic cross-check: predict_p90({args.clients} users) = "
-            f"{predicted:.3f}s (model WAN/SLA units, not localhost time)",
-            file=out,
-        )
     # Server-side view of the same run: the nodes' own counters should
     # corroborate what the client loops observed.
     server_snapshots = []
@@ -785,6 +818,24 @@ def _cmd_loadgen(args, out) -> int:
             server_snapshots = asyncio.run(fetch_stats())
         except Exception as error:  # stats are best-effort reporting
             print(f"server stats unavailable: {error}", file=out)
+        if server_snapshots and baseline_invalidations is not None:
+            delta = (
+                sum_invalidations(server_snapshots) - baseline_invalidations
+            )
+            if delta >= 0:
+                report = report.with_invalidations(delta)
+    predicted = None
+    if report.pages:
+        behavior = report.behavior()
+        predicted = predict_p90(args.clients, SimulationParams(), behavior)
+        print(
+            f"analytic cross-check: predict_p90({args.clients} users) = "
+            f"{predicted:.3f}s with invalidations_per_update="
+            f"{behavior.invalidations_per_update:.2f} "
+            f"(model WAN/SLA units, not localhost time)",
+            file=out,
+        )
+    if not args.no_server_stats:
         for snapshot in server_snapshots:
             dssp = snapshot.get("dssp", {}).get("stats", {})
             print(
@@ -849,12 +900,13 @@ def _cmd_chaos(args, out) -> int:
             plan,
             nodes=args.nodes,
             clients=args.clients,
+            pipeline=args.pipeline,
         )
     )
     print(
         f"app={args.app} strategy={strategy.name} nodes={args.nodes} "
-        f"clients={args.clients} fault_rate={args.fault_rate} "
-        f"kill_every={args.kill_every}",
+        f"clients={args.clients} pipeline={args.pipeline or 1} "
+        f"fault_rate={args.fault_rate} kill_every={args.kill_every}",
         file=out,
     )
     print(report.summary(), file=out)

@@ -52,6 +52,7 @@ from repro.net.wire import (
     ErrorCode,
     ErrorResponse,
     FrameType,
+    InvalidationBatch,
     InvalidationPush,
     QueryRequest,
     QueryResponse,
@@ -79,6 +80,7 @@ __all__ = [
     "FaultPlan",
     "FrameType",
     "HomeNetServer",
+    "InvalidationBatch",
     "InvalidationPush",
     "LoadReport",
     "NetQueryOutcome",

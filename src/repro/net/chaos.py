@@ -436,7 +436,12 @@ class ChaosProxy:
                 if direction == "s2c" and self._swallow.get(pair_id, 0) > 0:
                     # The response to a duplicated request: the client sent
                     # one request and must see exactly one response.  Not a
-                    # plan decision, so no flow index is consumed.
+                    # plan decision, so no flow index is consumed.  Under
+                    # pipelining the swallowed frame may answer a *different*
+                    # in-flight request — response counts are still conserved,
+                    # and the starved request resolves through its normal
+                    # timeout/retry path (queries re-ask; updates are covered
+                    # by retry-until-ack + the home's idempotency log).
                     self._swallow[pair_id] -= 1
                     continue
                 index = self._flow.next_index(direction, frame_type)

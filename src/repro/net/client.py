@@ -12,6 +12,16 @@ Updates are retried only when the request provably never reached the server
 (connect/send failure before the first byte was written) or when the server
 shed it unprocessed (``OVERLOADED``); a lost *response* to an applied
 update must surface, not silently re-apply.
+
+Pipelining: with ``WireClient(pipeline=N)`` the client multiplexes up to
+``N`` in-flight requests over one connection instead of dedicating a
+pooled connection per request.  Each request carries its wire v2 request
+id; a reader task matches responses — which may arrive in any order — to
+their senders through a pending map of per-request futures.  The window
+is a hard bound: a request that cannot acquire a slot within the request
+timeout fails with a typed ``TIMEOUT`` (and, being provably unsent, stays
+retry-safe).  The retry discipline above is unchanged — pipelining swaps
+the transport under ``_exchange``, not the failure semantics.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from repro.net.wire import (
     ErrorCode,
     ErrorResponse,
     Frame,
+    InvalidationBatch,
     InvalidationPush,
     QueryRequest,
     QueryResponse,
@@ -278,21 +289,39 @@ class Subscription:
 
     Iterate :meth:`frames` to receive
     :class:`~repro.net.wire.InvalidationPush` messages; iteration ends when
-    the server closes the channel.
+    the server closes the channel.  When the channel negotiated batching
+    (``batch_enabled``), :meth:`events` also yields
+    :class:`~repro.net.wire.InvalidationBatch` frames so a consumer can
+    apply a coalesced batch atomically; :meth:`frames` transparently
+    explodes batches into singleton pushes for consumers that do not care.
     """
 
-    def __init__(self, connection: _Connection, app_ids: tuple[str, ...]):
+    def __init__(
+        self,
+        connection: _Connection,
+        app_ids: tuple[str, ...],
+        *,
+        batch_enabled: bool = False,
+    ):
         self._connection = connection
         self.app_ids = app_ids
+        self.batch_enabled = batch_enabled
 
     async def frames(self):
         """Yield invalidation pushes until the channel closes."""
-        async for push, _ in self.events():
-            yield push
+        async for frame, request_id in self.events():
+            if isinstance(frame, InvalidationBatch):
+                for entry_rid, envelope in frame.entries:
+                    yield InvalidationPush(envelope)
+            else:
+                yield frame
 
     async def events(self):
-        """Yield ``(push, request_id)`` pairs until the channel closes.
+        """Yield ``(frame, request_id)`` pairs until the channel closes.
 
+        ``frame`` is an :class:`~repro.net.wire.InvalidationPush` or — on
+        a batching channel — an :class:`~repro.net.wire.InvalidationBatch`
+        (whose per-entry ids carry the tracing; its own id is ``None``).
         The request id is the trace id of the update that caused the push
         (``None`` when the update arrived untraced), so a node can log
         stream invalidations correlated with their originating request.
@@ -302,7 +331,7 @@ class Subscription:
                 frame, request_id = await self._connection.receive_traced()
             except NetConnectionError:
                 return
-            if isinstance(frame, InvalidationPush):
+            if isinstance(frame, (InvalidationPush, InvalidationBatch)):
                 yield frame, request_id
             elif isinstance(frame, ErrorResponse):
                 raise exception_for(frame)
@@ -315,11 +344,175 @@ class Subscription:
         await self._connection.aclose()
 
 
+class _PipelinedChannel:
+    """One connection multiplexing many in-flight requests by request id.
+
+    A pending map of per-request futures plus a single reader task: the
+    sender registers its future under the request id before the frame
+    leaves, the reader resolves whichever future matches each response's
+    id — responses may arrive in any order.  The window semaphore bounds
+    in-flight requests; overflow is a typed, provably-unsent ``TIMEOUT``.
+    A transport or framing failure poisons the whole channel: every
+    pending future fails with ``NetConnectionError`` (fate unknown,
+    ``sent=True``) and the next request transparently reconnects.
+    """
+
+    def __init__(self, client: "WireClient", window: int) -> None:
+        if window < 1:
+            raise ValueError(f"pipeline window must be >= 1, got {window}")
+        self._client = client
+        self.window = window
+        self._slots = asyncio.Semaphore(window)
+        self._pending: dict[str, asyncio.Future] = {}
+        self._connection: _Connection | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+        client.metrics.gauge(
+            "client.pipeline_depth", lambda: len(self._pending)
+        )
+
+    async def exchange(self, frame: Frame, *, request_id: str | None) -> Frame:
+        if request_id is None:
+            request_id = new_request_id()  # the pending map needs a key
+        timeout_s = self._client._request_timeout_s
+        try:
+            await asyncio.wait_for(self._slots.acquire(), timeout_s)
+        except (asyncio.TimeoutError, TimeoutError):
+            self._client.metrics.counter(
+                "client.pipeline_window_timeouts"
+            ).inc()
+            raise _ExchangeFailed(
+                NetTimeoutError(
+                    f"pipeline window of {self.window} requests to "
+                    f"{self._client.host}:{self._client.port} stayed full "
+                    f"for {timeout_s}s"
+                ),
+                sent=False,
+            ) from None
+        future: asyncio.Future | None = None
+        try:
+            async with self._send_lock:
+                connection = await self._ensure_connection()
+                if self._client._fault_hook is not None:
+                    await self._client._fault_hook(frame, request_id)
+                future = asyncio.get_running_loop().create_future()
+                stale = self._pending.pop(request_id, None)
+                if stale is not None and not stale.done():
+                    stale.cancel()
+                self._pending[request_id] = future
+                try:
+                    await connection.send(frame, request_id=request_id)
+                except (ConnectionError, OSError) as error:
+                    self._drop_connection(connection)
+                    raise _ExchangeFailed(
+                        NetConnectionError(
+                            f"connection to {self._client.host}:"
+                            f"{self._client.port} failed: {error}"
+                        ),
+                        sent=False,
+                    ) from error
+            try:
+                return await asyncio.wait_for(future, timeout_s)
+            except (asyncio.TimeoutError, TimeoutError) as error:
+                raise _ExchangeFailed(
+                    NetTimeoutError(
+                        f"no response from {self._client.host}:"
+                        f"{self._client.port} within {timeout_s}s"
+                    ),
+                    sent=True,
+                ) from error
+            except NetConnectionError as error:
+                raise _ExchangeFailed(error, sent=True) from error
+        finally:
+            if future is not None:
+                if self._pending.get(request_id) is future:
+                    del self._pending[request_id]
+                if future.done() and not future.cancelled():
+                    future.exception()  # mark retrieved on racing failures
+            self._slots.release()
+
+    async def _ensure_connection(self) -> _Connection:
+        # Under the send lock: connect/reconnect races are serialized.
+        if self._closed:
+            raise _ExchangeFailed(
+                NetConnectionError("client is closed"), sent=False
+            )
+        if self._connection is None:
+            try:
+                self._connection = await self._client._pool._connect()
+            except NetConnectionError as error:
+                raise _ExchangeFailed(error, sent=False) from error
+            self._reader_task = asyncio.create_task(
+                self._read_loop(self._connection)
+            )
+        return self._connection
+
+    async def _read_loop(self, connection: _Connection) -> None:
+        try:
+            while True:
+                frame, request_id = await connection.receive_traced()
+                future = (
+                    self._pending.get(request_id)
+                    if request_id is not None
+                    else None
+                )
+                if future is None or future.done():
+                    # Nobody is waiting: a late response whose sender
+                    # already timed out (and possibly retried), or a
+                    # duplicate.  Count it; matching is by id only, so it
+                    # can never land on another request's future.
+                    self._client.metrics.counter(
+                        "client.pipeline_unmatched"
+                    ).inc()
+                    continue
+                future.set_result(frame)
+        except NetConnectionError as error:
+            failure = error
+        except WireError as error:
+            failure = NetConnectionError(
+                f"malformed response from {self._client.host}:"
+                f"{self._client.port}: {error}"
+            )
+        except (ConnectionError, OSError) as error:
+            failure = NetConnectionError(
+                f"connection to {self._client.host}:"
+                f"{self._client.port} failed: {error}"
+            )
+        self._drop_connection(connection)
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(failure)
+
+    def _drop_connection(self, connection: _Connection) -> None:
+        if self._connection is connection:
+            self._connection = None
+        connection._writer.close()
+
+    async def aclose(self) -> None:
+        self._closed = True
+        connection, self._connection = self._connection, None
+        reader_task, self._reader_task = self._reader_task, None
+        if connection is not None:
+            await connection.aclose()
+        if reader_task is not None:
+            try:
+                await reader_task
+            except Exception:
+                pass  # the loop reports failures through pending futures
+
+
 class WireClient:
     """Pooled async client for one server address.
 
     Works against both server roles: clients point it at a DSSP node,
     DSSP nodes point it at their applications' home servers.
+
+    ``pipeline=N`` switches request transport from one-pooled-connection-
+    per-request to a single multiplexed connection with up to ``N``
+    requests in flight (see :class:`_PipelinedChannel`); ``None`` keeps
+    the serial pooled transport.  Subscriptions and their dedicated
+    channels are unaffected either way.
     """
 
     def __init__(
@@ -335,6 +528,7 @@ class WireClient:
         frame_observer=None,
         metrics: MetricsRegistry | None = None,
         fault_hook=None,
+        pipeline: int | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -352,6 +546,10 @@ class WireClient:
             max_frame=max_frame,
             observer=frame_observer,
             on_open=self.metrics.counter("client.connections_opened").inc,
+        )
+        self.pipeline = pipeline
+        self._channel = (
+            _PipelinedChannel(self, pipeline) if pipeline is not None else None
         )
 
     # -- public API --------------------------------------------------------
@@ -411,12 +609,23 @@ class WireClient:
         return json.loads(response.payload)
 
     async def subscribe(
-        self, node_id: str, app_ids: tuple[str, ...]
+        self,
+        node_id: str,
+        app_ids: tuple[str, ...],
+        *,
+        supports_batch: bool = False,
     ) -> Subscription:
-        """Open a dedicated invalidation-stream channel (not pooled)."""
+        """Open a dedicated invalidation-stream channel (not pooled).
+
+        ``supports_batch`` advertises that this subscriber understands
+        ``INVALIDATE_BATCH`` frames; the returned subscription's
+        ``batch_enabled`` reports whether the home agreed.
+        """
         connection = await self._pool._connect()
         try:
-            await connection.send(SubscribeRequest(node_id, app_ids))
+            await connection.send(
+                SubscribeRequest(node_id, app_ids, supports_batch=supports_batch)
+            )
             response = await connection.receive()
         except BaseException:
             await connection.aclose()
@@ -429,10 +638,16 @@ class WireClient:
             raise WireError(
                 f"expected SUBSCRIBED frame, got {type(response).__name__}"
             )
-        return Subscription(connection, response.app_ids)
+        return Subscription(
+            connection,
+            response.app_ids,
+            batch_enabled=response.batch_enabled,
+        )
 
     async def aclose(self) -> None:
-        """Close all pooled connections."""
+        """Close the pipelined channel (if any) and all pooled connections."""
+        if self._channel is not None:
+            await self._channel.aclose()
         await self._pool.aclose()
 
     # -- request machinery -------------------------------------------------
@@ -498,6 +713,8 @@ class WireClient:
     async def _exchange(
         self, frame: Frame, *, request_id: str | None = None
     ) -> Frame:
+        if self._channel is not None:
+            return await self._channel.exchange(frame, request_id=request_id)
         sent = False
         try:
             connection = await self._pool.acquire()

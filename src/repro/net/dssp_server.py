@@ -15,6 +15,10 @@ Invalidation arrives two ways, mirroring :class:`~repro.dssp.cluster.DsspCluster
   entered through other nodes.  The subscription channel reconnects with
   backoff if it drops, and on (re)connect the node flushes its cache for
   the affected applications — pushes may have been missed while detached.
+  The node advertises ``INVALIDATE_BATCH`` support on subscribe (unless
+  ``batch_invalidations=False``); a coalesced batch is applied atomically
+  — every entry invalidated in one synchronous sweep with no await in
+  between, so no query can observe a half-applied batch.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from repro.net.client import RetryPolicy, WireClient
 from repro.net.service import ConnectionContext, WireServer
 from repro.net.wire import (
     Frame,
+    InvalidationBatch,
     QueryRequest,
     QueryResponse,
     StatsRequest,
@@ -70,6 +75,9 @@ class DsspNetServer(WireServer):
             on the node.
         node_id: Stable identity on home invalidation streams.
         subscribe_retry: Backoff schedule for re-opening dropped streams.
+        batch_invalidations: Advertise ``INVALIDATE_BATCH`` support when
+            subscribing (the home still decides; False forces singleton
+            pushes on this node's streams).
     """
 
     def __init__(
@@ -83,12 +91,14 @@ class DsspNetServer(WireServer):
         home_retry: RetryPolicy | None = None,
         home_pool_size: int = 4,
         home_timeout_s: float = 30.0,
+        batch_invalidations: bool = True,
         **kwargs,
     ) -> None:
         kwargs.setdefault("server_id", node_id)
         super().__init__(host, port, **kwargs)
         self.node = node
         self.node_id = node_id
+        self._batch_invalidations = batch_invalidations
         # The node's cache and counters export through this server's
         # registry, so one STATS snapshot covers every layer of the node.
         node.stats.register_metrics(self.metrics)
@@ -246,6 +256,26 @@ class DsspNetServer(WireServer):
 
     # -- invalidation stream -----------------------------------------------
 
+    def _apply_push(
+        self, envelope, request_id: str | None, stream_ctx: dict
+    ) -> None:
+        """Invalidate for one pushed update; failures log, never kill."""
+        try:
+            self.node.invalidate_for(envelope)
+            self.stream_pushes_applied += 1
+            self.metrics.counter("dssp.stream_pushes").inc()
+        except ReproError:
+            logger.exception(
+                "invalidation push failed",
+                extra={
+                    "ctx": {
+                        **stream_ctx,
+                        "request_id": request_id,
+                        **envelope_context(envelope),
+                    }
+                },
+            )
+
     async def _stream_loop(
         self, home: tuple[str, int], app_ids: tuple[str, ...]
     ) -> None:
@@ -267,7 +297,11 @@ class DsspNetServer(WireServer):
                 "app_ids": ",".join(app_ids),
             }
             try:
-                subscription = await client.subscribe(self.node_id, app_ids)
+                subscription = await client.subscribe(
+                    self.node_id,
+                    app_ids,
+                    supports_batch=self._batch_invalidations,
+                )
             except (NetError, ConnectionError, OSError) as error:
                 logger.debug(
                     "subscribe to %s:%s failed (%s); retrying",
@@ -294,21 +328,20 @@ class DsspNetServer(WireServer):
                 self.node.cache.invalidate_app(app_id)
             self.stream_flushes += 1
             try:
-                async for push, request_id in subscription.events():
-                    try:
-                        self.node.invalidate_for(push.envelope)
-                        self.stream_pushes_applied += 1
-                        self.metrics.counter("dssp.stream_pushes").inc()
-                    except ReproError:
-                        logger.exception(
-                            "invalidation push failed",
-                            extra={
-                                "ctx": {
-                                    **stream_ctx,
-                                    "request_id": request_id,
-                                    **envelope_context(push.envelope),
-                                }
-                            },
+                async for event, request_id in subscription.events():
+                    if isinstance(event, InvalidationBatch):
+                        # Atomic on the event loop: every entry is applied
+                        # in one synchronous sweep, so no concurrently
+                        # served query can observe a half-applied batch.
+                        for entry_rid, envelope in event.entries:
+                            self._apply_push(envelope, entry_rid, stream_ctx)
+                        self.metrics.counter("dssp.stream_batches").inc()
+                        self.metrics.histogram(
+                            "dssp.stream_batch_size"
+                        ).observe(len(event.entries))
+                    else:
+                        self._apply_push(
+                            event.envelope, request_id, stream_ctx
                         )
             except (NetError, ConnectionError, OSError) as error:
                 # A garbled or error frame mid-stream must not kill this

@@ -22,6 +22,15 @@ task with a per-send timeout; a subscriber that stalls (full TCP buffer,
 dead peer) is dropped by *closing its channel*, so the node's
 reconnect-and-flush safety net restores correctness, and one stuck node can
 neither delay the update ack nor starve the other subscribers.
+
+Subscribers that advertise batching (``SubscribeRequest.supports_batch``)
+get their queue *coalesced*: whatever has accumulated behind the head
+push is drained into one ``INVALIDATE_BATCH`` frame, deduplicating
+repeated ``(app_id, opaque_id)`` entries, so a burst of updates costs a
+stalled-but-recovering subscriber one frame instead of one per update.
+Non-batching subscribers keep receiving byte-identical singleton
+``INVALIDATE`` frames — coalescing is per-channel, negotiated, and never
+changes *which* invalidations are delivered, only their framing.
 """
 
 from __future__ import annotations
@@ -31,11 +40,14 @@ import logging
 from collections import OrderedDict
 from collections.abc import Iterable
 
+from repro.crypto.envelope import UpdateEnvelope
 from repro.dssp.homeserver import HomeServer
 from repro.errors import UnknownApplicationError, WireError
+from repro.net import wire
 from repro.net.service import ConnectionContext, WireServer
 from repro.net.wire import (
     Frame,
+    InvalidationBatch,
     InvalidationPush,
     QueryRequest,
     QueryResponse,
@@ -116,10 +128,14 @@ class _Subscriber:
         app_ids: frozenset[str],
         context: ConnectionContext,
         queue_size: int,
+        *,
+        batch_enabled: bool = False,
     ) -> None:
         self.node_id = node_id
         self.app_ids = app_ids
         self.context = context
+        #: Negotiated: this channel may receive INVALIDATE_BATCH frames.
+        self.batch_enabled = batch_enabled
         #: Pending (push, request id) pairs; the id is the trace id of the
         #: update that caused the push, so invalidations stay correlatable.
         self.queue: asyncio.Queue[tuple[InvalidationPush, str | None]] = (
@@ -138,6 +154,13 @@ class HomeNetServer(WireServer):
             it is considered stalled and dropped.
         push_timeout_s: Ceiling on one push write; a subscriber whose
             socket cannot take a frame within this window is dropped.
+        batch_pushes: Master switch for coalescing; when False the home
+            answers every subscriber with ``batch_enabled=False`` and
+            sends only singleton frames, whatever the peer advertised.
+        push_coalesce_s: Optional dwell after the head push before the
+            queue is drained into a batch (0 disables).  A small dwell
+            lets a burst of independent updates land in one frame at the
+            cost of that much added push latency.
         Remaining keyword arguments are the
         :class:`~repro.net.service.WireServer` operational knobs.
     """
@@ -150,6 +173,8 @@ class HomeNetServer(WireServer):
         *,
         push_queue_size: int = 256,
         push_timeout_s: float = 5.0,
+        batch_pushes: bool = True,
+        push_coalesce_s: float = 0.0,
         update_dedup: UpdateDedup | None = None,
         **kwargs,
     ) -> None:
@@ -157,6 +182,8 @@ class HomeNetServer(WireServer):
         super().__init__(host, port, **kwargs)
         self._push_queue_size = push_queue_size
         self._push_timeout_s = push_timeout_s
+        self._batch_pushes = batch_pushes
+        self._push_coalesce_s = push_coalesce_s
         self.update_dedup = update_dedup or UpdateDedup()
         if isinstance(homes, HomeServer):
             homes = [homes]
@@ -257,11 +284,15 @@ class HomeNetServer(WireServer):
             frozenset(frame.app_ids),
             context,
             self._push_queue_size,
+            batch_enabled=frame.supports_batch and self._batch_pushes,
         )
         subscriber.sender = asyncio.create_task(self._push_loop(subscriber))
         self._subscribers.append(subscriber)
         context.on_close(lambda: self._unsubscribe(subscriber))
-        return SubscribeResponse(app_ids=tuple(sorted(subscriber.app_ids)))
+        return SubscribeResponse(
+            app_ids=tuple(sorted(subscriber.app_ids)),
+            batch_enabled=subscriber.batch_enabled,
+        )
 
     def _unsubscribe(self, subscriber: _Subscriber) -> None:
         try:
@@ -312,18 +343,62 @@ class HomeNetServer(WireServer):
                 )
                 self._drop(subscriber)
 
+    def _coalesce(
+        self, entries: list[tuple[InvalidationPush, str | None]]
+    ) -> tuple[Frame, str | None, int]:
+        """Collapse drained queue entries into one frame.
+
+        Deduplicates literal re-pushes of the same ``(app_id, opaque_id)``
+        — only exact repeats, never two distinct updates — then picks the
+        cheapest framing: a singleton ``INVALIDATE`` for one survivor
+        (byte-identical to the unbatched protocol), an
+        ``INVALIDATE_BATCH`` otherwise.  Returns the frame, the request
+        id to put in its header, and the invalidations it delivers.
+        """
+        seen: set[tuple[str, str]] = set()
+        deduped: list[tuple[str | None, UpdateEnvelope]] = []
+        for push, request_id in entries:
+            key = (push.envelope.app_id, push.envelope.opaque_id)
+            if key in seen:
+                self.metrics.counter("home.push_dedup_dropped").inc()
+                continue
+            seen.add(key)
+            deduped.append((request_id, push.envelope))
+        if len(deduped) == 1:
+            request_id, envelope = deduped[0]
+            return InvalidationPush(envelope), request_id, 1
+        return InvalidationBatch(tuple(deduped)), None, len(deduped)
+
     async def _push_loop(self, subscriber: _Subscriber) -> None:
-        """Drain one subscriber's queue onto its channel until it dies."""
+        """Drain one subscriber's queue onto its channel until it dies.
+
+        On a batching channel, everything queued behind the head push
+        (plus anything arriving during the optional coalesce dwell) goes
+        out as one frame.
+        """
         try:
             while True:
-                push, request_id = await subscriber.queue.get()
+                entries = [await subscriber.queue.get()]
+                if subscriber.batch_enabled:
+                    if self._push_coalesce_s > 0.0:
+                        await asyncio.sleep(self._push_coalesce_s)
+                    while len(entries) < wire.MAX_BATCH_ENTRIES:
+                        try:
+                            entries.append(subscriber.queue.get_nowait())
+                        except asyncio.QueueEmpty:
+                            break
+                frame, request_id, delivered = self._coalesce(entries)
                 await asyncio.wait_for(
                     self._send(
-                        subscriber.context, push, request_id=request_id
+                        subscriber.context, frame, request_id=request_id
                     ),
                     self._push_timeout_s,
                 )
-                self.metrics.counter("home.pushes_sent").inc()
+                self.metrics.counter("home.push_frames").inc()
+                self.metrics.counter("home.pushes_sent").inc(delivered)
+                self.metrics.histogram("home.push_batch_size").observe(
+                    delivered
+                )
         except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError):
             self.metrics.counter("home.subscribers_dropped").inc()
             logger.warning(

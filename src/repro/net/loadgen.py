@@ -18,13 +18,19 @@ The measured counts also yield a
 :class:`~repro.simulation.scalability.CacheBehavior`, so a measured run is
 directly cross-checkable against the analytic
 :func:`~repro.simulation.scalability.predict_p90`.
+
+``pipeline=N`` switches each virtual client from one closed loop to ``N``
+concurrent page lanes on its endpoint — an open-loop mode that keeps up
+to ``N`` pages in flight per client.  Pair it with endpoints built as
+``WireClient(pipeline=N)`` so the extra concurrency multiplexes over one
+pipelined connection instead of fanning out across the pool.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.analysis.exposure import ExposurePolicy
 from repro.crypto.envelope import EnvelopeCodec
@@ -51,6 +57,12 @@ class LoadReport:
     #: Page latencies in fixed log buckets; O(1) per observation, O(buckets)
     #: per quantile — no re-sorting the full sample list.
     latency: Histogram
+    #: Page lanes per client (1 = closed loop, N = open-loop pipelined).
+    pipeline: int = 1
+    #: Server-side invalidations this run caused, when the caller fetched
+    #: STATS around the run (see :meth:`with_invalidations`); ``None``
+    #: means "not measured", never "zero".
+    invalidations: int | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -85,17 +97,35 @@ class LoadReport:
         """99th-percentile page latency (tail behaviour under load)."""
         return self.percentile(0.99)
 
+    def with_invalidations(self, invalidations: int) -> "LoadReport":
+        """Copy of this report with the server-side invalidation count.
+
+        The client cannot observe invalidations directly; callers that
+        fetch STATS snapshots before and after the run attach the delta
+        here so :meth:`behavior` can report a real
+        ``invalidations_per_update``.
+        """
+        if invalidations < 0:
+            raise WorkloadError(
+                f"invalidation count cannot be negative: {invalidations}"
+            )
+        return replace(self, invalidations=invalidations)
+
     def behavior(self) -> CacheBehavior:
         """Measured per-page profile, for ``predict_p90`` cross-checks."""
         if not self.pages:
             raise WorkloadError("no pages completed; nothing to profile")
+        if self.updates and self.invalidations is not None:
+            invalidations_per_update = self.invalidations / self.updates
+        else:
+            invalidations_per_update = 0.0
         return CacheBehavior(
             pages=self.pages,
             queries_per_page=self.queries / self.pages,
             hits_per_page=self.hits / self.pages,
             misses_per_page=(self.queries - self.hits) / self.pages,
             updates_per_page=self.updates / self.pages,
-            invalidations_per_update=0.0,  # not observable from the client
+            invalidations_per_update=invalidations_per_update,
         )
 
     def summary(self) -> str:
@@ -112,6 +142,8 @@ class LoadReport:
         """JSON-safe report for machine consumers (CI artifacts)."""
         return {
             "clients": self.clients,
+            "pipeline": self.pipeline,
+            "invalidations": self.invalidations,
             "duration_s": self.duration_s,
             "pages": self.pages,
             "queries": self.queries,
@@ -156,6 +188,7 @@ async def run_load(
     clients: int = 8,
     pages: int | None = None,
     duration_s: float | None = None,
+    pipeline: int = 1,
     fail_fast: bool = False,
     on_page=None,
 ) -> LoadReport:
@@ -169,6 +202,9 @@ async def run_load(
         clients: Closed-loop virtual client count.
         pages: Stop after this many pages (None = until ``duration_s``).
         duration_s: Stop after this much wall-clock time.
+        pipeline: Concurrent page lanes per client (1 = closed loop);
+            client affinity to its endpoint is unchanged, the lanes just
+            keep that many pages in flight at once.
         fail_fast: Re-raise the first request error instead of counting it.
         on_page: Optional async callback awaited with the cumulative
             completed-page count after each page (chaos uses it to sever
@@ -187,6 +223,8 @@ async def run_load(
         raise WorkloadError("loadgen needs at least one DSSP endpoint")
     if pages is None and duration_s is None:
         raise WorkloadError("set a pages budget or a duration (or both)")
+    if pipeline < 1:
+        raise WorkloadError(f"pipeline must be >= 1, got {pipeline}")
     started = time.perf_counter()
     stream = _SharedStream(
         trace,
@@ -237,7 +275,13 @@ async def run_load(
                 if on_page is not None:
                     await on_page(counters["pages"])
 
-    await asyncio.gather(*(client_loop(i) for i in range(clients)))
+    await asyncio.gather(
+        *(
+            client_loop(client_id)
+            for client_id in range(clients)
+            for _ in range(pipeline)
+        )
+    )
     return LoadReport(
         clients=clients,
         duration_s=time.perf_counter() - started,
@@ -247,4 +291,5 @@ async def run_load(
         hits=counters["hits"],
         errors=counters["errors"],
         latency=latency,
+        pipeline=pipeline,
     )

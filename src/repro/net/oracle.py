@@ -178,9 +178,17 @@ class ChaosTopology:
         log: ChaosLog,
         nodes: int = 2,
         keyring: Keyring | None = None,
+        pipeline: int | None = None,
+        batch_invalidations: bool = True,
     ) -> None:
         if nodes < 1:
             raise WorkloadError("chaos topology needs at least one node")
+        #: Per-client pipelining window (None = serial pooled transport).
+        #: The oracle runner stays sequential either way; a window just
+        #: routes its operations through the multiplexed channel, so the
+        #: pending-map/reader machinery is what the faults exercise.
+        self.pipeline = pipeline
+        self.batch_invalidations = batch_invalidations
         self.app_id = app_id
         self.registry = registry
         self.policy = policy
@@ -240,6 +248,7 @@ class ChaosTopology:
                 max_backoff_s=0.1,
                 seed=self._policy_seed(20 + index),
             ),
+            batch_invalidations=self.batch_invalidations,
         )
         server.register_application(
             self.app_id, self.registry, handle.home_proxy.address
@@ -277,6 +286,7 @@ class ChaosTopology:
                     max_backoff_s=0.05,
                     seed=self._policy_seed(30 + index),
                 ),
+                pipeline=self.pipeline,
             )
         await self.wait_streams()
 
@@ -639,6 +649,8 @@ async def run_chaos(
     clients: int = 4,
     pages: int | None = None,
     keyring: Keyring | None = None,
+    pipeline: int | None = None,
+    batch_invalidations: bool = True,
 ) -> tuple[OracleReport, ChaosLog]:
     """Build a chaos topology, replay the trace, and tear everything down.
 
@@ -655,6 +667,8 @@ async def run_chaos(
         log=log,
         nodes=nodes,
         keyring=keyring,
+        pipeline=pipeline,
+        batch_invalidations=batch_invalidations,
     )
     await topology.start()
     try:

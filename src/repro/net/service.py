@@ -4,8 +4,11 @@ Both servers (:class:`~repro.net.home_server.HomeNetServer`,
 :class:`~repro.net.dssp_server.DsspNetServer`) are request/response frame
 servers with the same operational envelope:
 
-* **Concurrent connections**, sequential frames per connection (the
-  protocol is strict request→response; no pipelining ids needed).
+* **Concurrent connections** *and* concurrent requests per connection:
+  the read loop spawns a task per request frame, so many requests can be
+  in flight on one connection and responses may return out of order.
+  The wire v2 request id is the pipelining id — every response carries
+  the id of the request it answers, and the client matches on it.
 * **Bounded in-flight backpressure**: at most ``max_in_flight`` requests
   execute at once across all connections; excess requests are shed
   immediately with ``OVERLOADED`` rather than queued without bound, so a
@@ -57,14 +60,29 @@ class ConnectionContext:
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     #: Callbacks run exactly once when the connection goes away.
     close_callbacks: list = field(default_factory=list)
-    #: Trace id of the request currently being served on this connection
-    #: (frames are strictly sequential per connection, so one slot is
-    #: enough); handlers read it to propagate the id downstream.
+    #: Trace id of the request this context serves.  Requests on one
+    #: connection are dispatched concurrently, so each gets its own
+    #: context view (:meth:`for_request`) sharing the connection state;
+    #: handlers read the id to propagate it downstream.
     request_id: str | None = None
 
     def on_close(self, callback) -> None:
         """Register cleanup to run when this connection closes."""
         self.close_callbacks.append(callback)
+
+    def for_request(self, request_id: str | None) -> "ConnectionContext":
+        """Per-request view: same connection state, this request's id.
+
+        ``writer``, ``write_lock`` and ``close_callbacks`` are shared by
+        reference — a callback registered through the view still fires
+        when the underlying connection closes.
+        """
+        return ConnectionContext(
+            writer=self.writer,
+            write_lock=self.write_lock,
+            close_callbacks=self.close_callbacks,
+            request_id=request_id,
+        )
 
 
 class WireServer:
@@ -141,6 +159,7 @@ class WireServer:
     ) -> None:
         context = ConnectionContext(writer=writer)
         self._contexts.add(context)
+        tasks: set[asyncio.Task] = set()
         try:
             while not self._stopping:
                 try:
@@ -163,15 +182,42 @@ class WireServer:
                 if traced is None:  # clean EOF
                     break
                 frame, request_id = traced
-                context.request_id = request_id
-                response = await self._dispatch(frame, context)
-                if response is not None:
-                    await self._send(context, response, request_id=request_id)
+                # Pipelining: dispatch concurrently and keep reading; the
+                # semaphore in _dispatch bounds concurrency and responses
+                # go out whenever their handler finishes (out of order).
+                task = asyncio.create_task(
+                    self._serve_request(frame, context.for_request(request_id))
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except (ConnectionError, OSError):
             pass  # peer vanished; cleanups below
         finally:
+            if tasks:
+                # Let in-flight handlers finish (each is bounded by the
+                # request timeout) so their effects and responses are not
+                # lost to a racing disconnect — matching the sequential
+                # protocol, where a read-side EOF never aborted a handler.
+                await asyncio.gather(*tasks, return_exceptions=True)
             self._contexts.discard(context)
             await self._close_context(context)
+
+    async def _serve_request(
+        self, frame: Frame, context: ConnectionContext
+    ) -> None:
+        """Run one request to completion and write its response."""
+        try:
+            response = await self._dispatch(frame, context)
+            if response is not None:
+                await self._send(
+                    context, response, request_id=context.request_id
+                )
+        except (ConnectionError, OSError):
+            pass  # peer vanished; connection cleanup handles the rest
+        except WireError:
+            # Response encoding failed (e.g. oversized frame): the stream
+            # is unusable for this peer — close it rather than stall.
+            context.writer.close()
 
     async def _send(
         self,

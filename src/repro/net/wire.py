@@ -59,7 +59,9 @@ __all__ = [
     "Frame",
     "FrameType",
     "HEADER_SIZE",
+    "InvalidationBatch",
     "InvalidationPush",
+    "MAX_BATCH_ENTRIES",
     "MAX_FRAME_BYTES",
     "MAX_REQUEST_ID_BYTES",
     "QueryRequest",
@@ -89,6 +91,8 @@ HEADER_SIZE = _HEADER.size
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Ceiling on the request-id slot in the header.
 MAX_REQUEST_ID_BYTES = 64
+#: Ceiling on entries in one ``INVALIDATE_BATCH`` frame.
+MAX_BATCH_ENTRIES = 4096
 
 
 class FrameType(enum.IntEnum):
@@ -104,6 +108,7 @@ class FrameType(enum.IntEnum):
     ERROR = 8
     STATS = 9
     STATS_RESULT = 10
+    INVALIDATE_BATCH = 11
 
 
 class ErrorCode(enum.IntEnum):
@@ -146,10 +151,18 @@ class UpdateRequest:
 
 @dataclass(frozen=True)
 class SubscribeRequest:
-    """DSSP → home: open the invalidation-stream channel."""
+    """DSSP → home: open the invalidation-stream channel.
+
+    ``supports_batch`` advertises that the subscriber understands
+    ``INVALIDATE_BATCH`` frames.  It is encoded as a trailing capability
+    byte emitted *only when set*, so a subscriber that does not batch
+    produces bytes identical to the pre-batching protocol and an old
+    home simply never sees the field.
+    """
 
     node_id: str
     app_ids: tuple[str, ...]
+    supports_batch: bool = False
 
 
 @dataclass(frozen=True)
@@ -170,9 +183,15 @@ class UpdateResponse:
 
 @dataclass(frozen=True)
 class SubscribeResponse:
-    """Answer to a :class:`SubscribeRequest`; the channel stays open."""
+    """Answer to a :class:`SubscribeRequest`; the channel stays open.
+
+    ``batch_enabled`` confirms the home will coalesce pushes into
+    ``INVALIDATE_BATCH`` frames on this channel; same trailing-byte
+    encoding as :class:`SubscribeRequest.supports_batch`.
+    """
 
     app_ids: tuple[str, ...]
+    batch_enabled: bool = False
 
 
 @dataclass(frozen=True)
@@ -180,6 +199,29 @@ class InvalidationPush:
     """Home → subscribed DSSP node: a completed update to invalidate for."""
 
     envelope: UpdateEnvelope
+
+
+@dataclass(frozen=True)
+class InvalidationBatch:
+    """Home → subscribed DSSP node: several coalesced pushes, one frame.
+
+    Each entry pairs the originating request's trace id (optional) with
+    the sealed update envelope, exactly as the equivalent sequence of
+    singleton ``INVALIDATE`` frames would have carried them.  The frame's
+    own header rid slot stays empty — per-entry ids preserve tracing
+    across coalescing.
+    """
+
+    entries: tuple[tuple[str | None, UpdateEnvelope], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WireError("invalidation batch must not be empty")
+        if len(self.entries) > MAX_BATCH_ENTRIES:
+            raise WireError(
+                f"invalidation batch of {len(self.entries)} entries "
+                f"exceeds limit {MAX_BATCH_ENTRIES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -217,6 +259,7 @@ Frame = (
     | UpdateResponse
     | SubscribeResponse
     | InvalidationPush
+    | InvalidationBatch
     | ErrorResponse
     | StatsRequest
     | StatsResponse
@@ -305,6 +348,10 @@ class _Reader:
             return raw.decode()
         except UnicodeDecodeError as error:
             raise WireError(f"invalid UTF-8 in string field: {error}") from error
+
+    def at_end(self) -> bool:
+        """True when the payload is exhausted (for trailing optionals)."""
+        return self._pos == len(self._data)
 
     def done(self) -> None:
         if self._pos != len(self._data):
@@ -449,6 +496,8 @@ def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
         writer.u32(len(frame.app_ids))
         for app_id in frame.app_ids:
             writer.text(app_id)
+        if frame.supports_batch:
+            writer.u8(1)
         return FrameType.SUBSCRIBE
     if isinstance(frame, QueryResponse):
         writer.u8(1 if frame.cache_hit else 0)
@@ -462,10 +511,18 @@ def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
         writer.u32(len(frame.app_ids))
         for app_id in frame.app_ids:
             writer.text(app_id)
+        if frame.batch_enabled:
+            writer.u8(1)
         return FrameType.SUBSCRIBED
     if isinstance(frame, InvalidationPush):
         _write_update_envelope(writer, frame.envelope)
         return FrameType.INVALIDATE
+    if isinstance(frame, InvalidationBatch):
+        writer.u32(len(frame.entries))
+        for entry_rid, envelope in frame.entries:
+            writer.opt_text(entry_rid)
+            _write_update_envelope(writer, envelope)
+        return FrameType.INVALIDATE_BATCH
     if isinstance(frame, ErrorResponse):
         writer.u8(int(frame.code))
         writer.text(frame.message)
@@ -486,6 +543,21 @@ def _read_app_ids(reader: _Reader) -> tuple[str, ...]:
     return tuple(reader.text() for _ in range(count))
 
 
+def _read_capability(reader: _Reader) -> bool:
+    """Trailing optional capability byte; absent means unsupported.
+
+    Pre-batching peers end the payload here, so absence (not a zero
+    byte) is the backward-compatible "no" — and emitters only write the
+    byte when the flag is set, keeping default frames byte-identical.
+    """
+    if reader.at_end():
+        return False
+    flag = reader.u8()
+    if flag != 1:
+        raise WireError(f"bad capability byte {flag}")
+    return True
+
+
 def _decode_payload(frame_type: int, payload: bytes) -> Frame:
     reader = _Reader(payload)
     if frame_type == FrameType.QUERY:
@@ -495,16 +567,32 @@ def _decode_payload(frame_type: int, payload: bytes) -> Frame:
         frame = UpdateRequest(_read_update_envelope(reader), origin=origin)
     elif frame_type == FrameType.SUBSCRIBE:
         node_id = reader.text()
-        frame = SubscribeRequest(node_id, _read_app_ids(reader))
+        app_ids = _read_app_ids(reader)
+        frame = SubscribeRequest(
+            node_id, app_ids, supports_batch=_read_capability(reader)
+        )
     elif frame_type == FrameType.RESULT:
         cache_hit = reader.u8() != 0
         frame = QueryResponse(_read_result_envelope(reader), cache_hit)
     elif frame_type == FrameType.UPDATE_ACK:
         frame = UpdateResponse(reader.u32(), reader.u32())
     elif frame_type == FrameType.SUBSCRIBED:
-        frame = SubscribeResponse(_read_app_ids(reader))
+        app_ids = _read_app_ids(reader)
+        frame = SubscribeResponse(
+            app_ids, batch_enabled=_read_capability(reader)
+        )
     elif frame_type == FrameType.INVALIDATE:
         frame = InvalidationPush(_read_update_envelope(reader))
+    elif frame_type == FrameType.INVALIDATE_BATCH:
+        count = reader.u32()
+        if count == 0 or count > MAX_BATCH_ENTRIES:
+            raise WireError(f"implausible batch entry count {count}")
+        frame = InvalidationBatch(
+            tuple(
+                (reader.opt_text(), _read_update_envelope(reader))
+                for _ in range(count)
+            )
+        )
     elif frame_type == FrameType.ERROR:
         code_id = reader.u8()
         try:

@@ -46,7 +46,9 @@ def make_policy(registry) -> ExposurePolicy:
     )
 
 
-async def run(registry, database, plan, *, pages, clients=4, nodes=2):
+async def run(
+    registry, database, plan, *, pages, clients=4, nodes=2, pipeline=None
+):
     return await run_chaos(
         "toystore",
         registry,
@@ -57,6 +59,7 @@ async def run(registry, database, plan, *, pages, clients=4, nodes=2):
         nodes=nodes,
         clients=clients,
         pages=pages,
+        pipeline=pipeline,
     )
 
 
@@ -117,6 +120,88 @@ class TestChaosMatrix:
         )
         second_report, second_log = await run(
             simple_toystore, toystore_db, plan, pages=8
+        )
+        assert first_report.ok and second_report.ok
+        assert len(first_log) > 0
+        assert [e.to_dict() for e in first_log.canonical()] == [
+            e.to_dict() for e in second_log.canonical()
+        ]
+        assert first_report.to_dict() == second_report.to_dict()
+
+
+@pytest.mark.slow
+class TestPipelinedChaosMatrix:
+    """The PR-4 fault matrix again, with ops routed over the pipelined
+    channel (and batched fan-out live): the pending-map/reader machinery
+    must mask the same faults the serial transport does."""
+
+    PIPELINE = 4
+
+    async def test_fault_free_baseline(self, simple_toystore, toystore_db):
+        report, log = await run(
+            simple_toystore,
+            toystore_db,
+            FaultPlan(seed=0),
+            pages=12,
+            pipeline=self.PIPELINE,
+        )
+        assert report.ok, report.summary()
+        assert report.hits > 0
+        assert len(log) == 0
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan.uniform(101, 0.15),
+            FaultPlan.uniform(202, 0.3),
+            FaultPlan(seed=7, drop_rate=0.3),
+            FaultPlan(seed=8, truncate_rate=0.25),
+        ],
+        ids=["uniform-15", "uniform-30", "drops", "truncations"],
+    )
+    async def test_frame_faults_never_violate(
+        self, plan, simple_toystore, toystore_db
+    ):
+        report, log = await run(
+            simple_toystore,
+            toystore_db,
+            plan,
+            pages=10,
+            pipeline=self.PIPELINE,
+        )
+        assert report.ok, report.summary()
+        assert len(log) > 0
+
+    async def test_kills_with_faults_never_violate(
+        self, simple_toystore, toystore_db
+    ):
+        plan = FaultPlan.uniform(
+            303, 0.15, kill_every=3, kill_targets=("dssp-0", "home")
+        )
+        report, log = await run(
+            simple_toystore,
+            toystore_db,
+            plan,
+            pages=9,
+            pipeline=self.PIPELINE,
+        )
+        assert report.ok, report.summary()
+        assert report.kills == 2
+        assert log.counts().get("kill") == 2
+
+    async def test_same_seed_gives_identical_run(
+        self, simple_toystore, toystore_db
+    ):
+        plan = FaultPlan.uniform(
+            77, 0.25, kill_every=4, kill_targets=("dssp-1",)
+        )
+        first_report, first_log = await run(
+            simple_toystore, toystore_db, plan, pages=8,
+            pipeline=self.PIPELINE,
+        )
+        second_report, second_log = await run(
+            simple_toystore, toystore_db, plan, pages=8,
+            pipeline=self.PIPELINE,
         )
         assert first_report.ok and second_report.ok
         assert len(first_log) > 0

@@ -1,0 +1,79 @@
+"""LoadReport accounting: measured invalidations feed the analytic model.
+
+Regression for the ``behavior()`` hole where ``invalidations_per_update``
+was hardcoded to zero: the client cannot observe server-side
+invalidations, so the report must distinguish "not measured" (None) from
+"measured zero", accept the STATS delta via ``with_invalidations``, and
+propagate the ratio into the ``CacheBehavior`` that ``predict_p90``
+consumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.net.loadgen import LoadReport
+from repro.obs import Histogram
+from repro.simulation.scalability import SimulationParams, predict_p90
+
+
+def make_report(**overrides) -> LoadReport:
+    latency = Histogram("loadgen.page_seconds")
+    for sample in (0.01, 0.02, 0.05):
+        latency.observe(sample)
+    fields = dict(
+        clients=4,
+        duration_s=1.0,
+        pages=100,
+        queries=300,
+        updates=50,
+        hits=200,
+        errors=0,
+        latency=latency,
+    )
+    fields.update(overrides)
+    return LoadReport(**fields)
+
+
+class TestInvalidationAccounting:
+    def test_unmeasured_defaults_to_none_not_zero(self):
+        report = make_report()
+        assert report.invalidations is None
+        assert report.behavior().invalidations_per_update == 0.0
+
+    def test_with_invalidations_populates_the_ratio(self):
+        report = make_report().with_invalidations(150)
+        assert report.invalidations == 150
+        # 150 invalidations over 50 updates: 3 entries die per update.
+        assert report.behavior().invalidations_per_update == 3.0
+
+    def test_original_report_is_unchanged(self):
+        original = make_report()
+        original.with_invalidations(10)
+        assert original.invalidations is None
+
+    def test_measured_zero_is_a_real_measurement(self):
+        report = make_report().with_invalidations(0)
+        assert report.invalidations == 0
+        assert report.behavior().invalidations_per_update == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError, match="negative"):
+            make_report().with_invalidations(-1)
+
+    def test_to_dict_carries_pipeline_and_invalidations(self):
+        report = make_report(pipeline=8).with_invalidations(42)
+        payload = report.to_dict()
+        assert payload["pipeline"] == 8
+        assert payload["invalidations"] == 42
+
+    def test_predict_p90_responds_to_the_measured_ratio(self):
+        """The cross-check is only honest if the measured fan-out cost
+        actually reaches the analytic model: a heavy invalidation ratio
+        must predict a strictly slower p90 than the hardcoded zero did."""
+        params = SimulationParams()
+        cheap = make_report().behavior()
+        heavy = make_report().with_invalidations(50 * 40).behavior()
+        assert heavy.invalidations_per_update == 40.0
+        assert predict_p90(50, params, heavy) > predict_p90(50, params, cheap)

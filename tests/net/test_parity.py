@@ -45,7 +45,15 @@ def replay_in_process(registry, database, policy, trace: Trace) -> dict:
     return counts, home.database
 
 
-async def replay_networked(registry, database, policy, trace: Trace):
+async def replay_networked(
+    registry,
+    database,
+    policy,
+    trace: Trace,
+    *,
+    pipeline: int | None = None,
+    batch_invalidations: bool = True,
+):
     topology = ChaosTopology(
         "toystore",
         registry,
@@ -54,6 +62,8 @@ async def replay_networked(registry, database, policy, trace: Trace):
         plan=FaultPlan(seed=0),  # all rates zero: transport only
         log=ChaosLog(),
         nodes=NODES,
+        pipeline=pipeline,
+        batch_invalidations=batch_invalidations,
     )
     await topology.start()
     try:
@@ -100,6 +110,40 @@ class TestDeploymentParity:
         assert counts["hits"] > 0  # parity on an idle cache proves nothing
 
         # And identical master copies at the end.
+        for table in sorted(net_db.schema.table_names):
+            assert sorted(net_db.rows(table), key=repr) == sorted(
+                reference_db.rows(table), key=repr
+            ), f"table {table!r} diverged"
+
+    async def test_pipelined_batched_transport_preserves_parity(
+        self, policy, simple_toystore, toystore_db
+    ):
+        """The pipelined channel + batched fan-out are pure transport
+        changes: the same trace still produces the exact cache behavior
+        and master database of the in-process engine."""
+        trace = make_trace()
+        counts, reference_db = replay_in_process(
+            simple_toystore, toystore_db, policy, trace
+        )
+        report, net_stats, net_db = await replay_networked(
+            simple_toystore,
+            toystore_db,
+            policy,
+            trace,
+            pipeline=4,
+            batch_invalidations=True,
+        )
+
+        assert report.ok, report.summary()
+        assert report.pages == counts["pages"] == PAGES
+        assert report.queries == counts["queries"]
+        assert report.updates == counts["updates"]
+        assert report.hits == counts["hits"]
+        assert net_stats.hits == counts["hits"]
+        assert net_stats.misses == counts["misses"]
+        assert net_stats.invalidations == counts["invalidations"]
+        assert counts["hits"] > 0
+
         for table in sorted(net_db.schema.table_names):
             assert sorted(net_db.rows(table), key=repr) == sorted(
                 reference_db.rows(table), key=repr

@@ -21,6 +21,7 @@ from repro.net.wire import (
     ErrorCode,
     ErrorResponse,
     FrameType,
+    InvalidationBatch,
     InvalidationPush,
     QueryRequest,
     QueryResponse,
@@ -142,7 +143,9 @@ def frames(draw):
         return UpdateRequest(draw(update_envelopes()), origin=draw(_opt_text))
     if kind is FrameType.SUBSCRIBE:
         return SubscribeRequest(
-            draw(_text), tuple(draw(st.lists(_text, max_size=4)))
+            draw(_text),
+            tuple(draw(st.lists(_text, max_size=4))),
+            supports_batch=draw(st.booleans()),
         )
     if kind is FrameType.RESULT:
         return QueryResponse(draw(result_envelopes()), draw(st.booleans()))
@@ -151,9 +154,24 @@ def frames(draw):
             draw(st.integers(0, 2**32 - 1)), draw(st.integers(0, 2**32 - 1))
         )
     if kind is FrameType.SUBSCRIBED:
-        return SubscribeResponse(tuple(draw(st.lists(_text, max_size=4))))
+        return SubscribeResponse(
+            tuple(draw(st.lists(_text, max_size=4))),
+            batch_enabled=draw(st.booleans()),
+        )
     if kind is FrameType.INVALIDATE:
         return InvalidationPush(draw(update_envelopes()))
+    if kind is FrameType.INVALIDATE_BATCH:
+        return InvalidationBatch(
+            tuple(
+                draw(
+                    st.lists(
+                        st.tuples(_request_ids, update_envelopes()),
+                        min_size=1,
+                        max_size=4,
+                    )
+                )
+            )
+        )
     if kind is FrameType.STATS:
         return StatsRequest()
     if kind is FrameType.STATS_RESULT:
@@ -344,6 +362,76 @@ class TestRejection:
         )
         with pytest.raises(WireError, match="not a SELECT"):
             decode_frame(corrupted)
+
+
+class TestBatchCapability:
+    """The trailing capability byte must not disturb pre-batching peers."""
+
+    def test_default_subscribe_is_byte_identical_to_pre_batch_layout(self):
+        off = encode_frame(SubscribeRequest("n1", ("app",)))
+        on = encode_frame(SubscribeRequest("n1", ("app",), supports_batch=True))
+        # The flag is emitted only when set: default frames carry no
+        # trace of the capability, advertising appends exactly one byte.
+        assert on[wire.HEADER_SIZE :] == off[wire.HEADER_SIZE :] + b"\x01"
+        assert decode_frame(off) == SubscribeRequest("n1", ("app",))
+        assert decode_frame(on).supports_batch is True
+
+    def test_default_subscribed_is_byte_identical_to_pre_batch_layout(self):
+        off = encode_frame(SubscribeResponse(("app",)))
+        on = encode_frame(SubscribeResponse(("app",), batch_enabled=True))
+        assert on[wire.HEADER_SIZE :] == off[wire.HEADER_SIZE :] + b"\x01"
+        assert decode_frame(off) == SubscribeResponse(("app",))
+        assert decode_frame(on).batch_enabled is True
+
+    def test_bad_capability_byte_rejected(self):
+        encoded = bytearray(
+            encode_frame(SubscribeRequest("n1", ("app",), supports_batch=True))
+        )
+        encoded[-1] = 7
+        with pytest.raises(WireError, match="capability"):
+            decode_frame(bytes(encoded))
+
+
+class TestBatchFrame:
+    """INVALIDATE_BATCH bounds are enforced on both sides of the codec."""
+
+    ENVELOPE = UpdateEnvelope(
+        app_id="a", level=ExposureLevel.BLIND, opaque_id="u1"
+    )
+
+    def test_empty_batch_rejected_at_construction(self):
+        with pytest.raises(WireError, match="must not be empty"):
+            InvalidationBatch(())
+
+    def test_oversized_batch_rejected_at_construction(self):
+        entries = tuple(
+            (None, self.ENVELOPE)
+            for _ in range(wire.MAX_BATCH_ENTRIES + 1)
+        )
+        with pytest.raises(WireError, match="exceeds"):
+            InvalidationBatch(entries)
+
+    def test_full_batch_round_trips(self):
+        frame = InvalidationBatch(
+            (("rid-1", self.ENVELOPE), (None, self.ENVELOPE))
+        )
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_zero_count_rejected_on_decode(self):
+        payload = (0).to_bytes(4, "big")
+        header = wire._HEADER.pack(
+            wire.MAGIC, wire.VERSION, FrameType.INVALIDATE_BATCH, 0, len(payload)
+        )
+        with pytest.raises(WireError, match="batch entry count"):
+            decode_frame(header + payload)
+
+    def test_implausible_count_rejected_before_reading_entries(self):
+        payload = (2**31).to_bytes(4, "big")
+        header = wire._HEADER.pack(
+            wire.MAGIC, wire.VERSION, FrameType.INVALIDATE_BATCH, 0, len(payload)
+        )
+        with pytest.raises(WireError, match="batch entry count"):
+            decode_frame(header + payload)
 
 
 class TestErrorCodeStability:
