@@ -58,7 +58,7 @@ async def _measure_strategy(strategy, spec, trace_json: str):
             servers.append(server)
             clients.append(WireClient(*server.address))
         trace = Trace.from_json(trace_json).bind(spec.registry)
-        return await run_load(
+        report = await run_load(
             clients,
             EnvelopeCodec(keyring),
             policy,
@@ -66,6 +66,10 @@ async def _measure_strategy(strategy, spec, trace_json: str):
             clients=CLIENTS,
             pages=PAGES,
         )
+        invalidations = sum(
+            server.node.stats.invalidations for server in servers
+        )
+        return report.with_invalidations(invalidations)
     finally:
         for client in clients:
             await client.aclose()

@@ -1,0 +1,119 @@
+"""Regression gate for the sharded-cluster benchmark.
+
+Compares a freshly generated ``BENCH_sharded_cluster.json`` against the
+committed baseline and fails (exit 1) when the sharded cluster's headline
+claims regress:
+
+* the sharded hit rate must be non-decreasing in node count (within
+  ``--monotonic-slack``) — the single-logical-cache property;
+* at the largest fleet, sharded must beat partitioned by at least
+  ``--gain-floor`` hit rate (the flip from dilution to speedup), and the
+  gain must stay within ``--tolerance`` of the committed baseline's;
+* at one node, sharded and partitioned must agree (same machine).
+
+Usage::
+
+    python benchmarks/check_sharded_cluster.py BASELINE FRESH [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check(baseline: dict, fresh: dict, args) -> list[str]:
+    failures: list[str] = []
+    counts = [str(n) for n in fresh["node_counts"]]
+    sharded = [fresh["sharded"][n]["hit_rate"] for n in counts]
+    partitioned = [fresh["partitioned"][n]["hit_rate"] for n in counts]
+
+    if abs(sharded[0] - partitioned[0]) > 0.02:
+        failures.append(
+            f"single-node parity broken: sharded {sharded[0]:.3f} vs "
+            f"partitioned {partitioned[0]:.3f}"
+        )
+
+    for fewer, more, nodes in zip(sharded, sharded[1:], counts[1:]):
+        if more < fewer - args.monotonic_slack:
+            failures.append(
+                f"sharded hit rate fell to {more:.3f} at {nodes} nodes "
+                f"(was {fewer:.3f}; slack {args.monotonic_slack})"
+            )
+
+    gain = fresh["sharded_gain_at_max"]
+    if gain < args.gain_floor:
+        failures.append(
+            f"sharded gain {gain:.3f} at {counts[-1]} nodes is below the "
+            f"acceptance floor of {args.gain_floor:.3f}"
+        )
+    allowed = baseline["sharded_gain_at_max"] * args.tolerance
+    if gain < allowed:
+        failures.append(
+            f"sharded gain {gain:.3f} regressed below {allowed:.3f} "
+            f"(baseline {baseline['sharded_gain_at_max']:.3f} x tolerance "
+            f"{args.tolerance})"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "baseline", help="committed BENCH_sharded_cluster.json"
+    )
+    parser.add_argument("fresh", help="freshly generated result to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.6,
+        help="fresh gain must be >= baseline gain x this (default 0.6)",
+    )
+    parser.add_argument(
+        "--gain-floor",
+        type=float,
+        default=0.1,
+        help="absolute minimum sharded-vs-partitioned hit-rate gain at "
+        "the largest fleet (default 0.1)",
+    )
+    parser.add_argument(
+        "--monotonic-slack",
+        type=float,
+        default=0.02,
+        help="tolerated hit-rate dip between consecutive fleet sizes",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = check(baseline, fresh, args)
+
+    counts = [str(n) for n in fresh["node_counts"]]
+    print(
+        f"sharded gain at {counts[-1]} nodes: fresh "
+        f"{fresh['sharded_gain_at_max']:.3f}, baseline "
+        f"{baseline['sharded_gain_at_max']:.3f} "
+        f"(floor {args.gain_floor:.3f}, tolerance {args.tolerance})"
+    )
+    print(
+        "sharded hit rates: "
+        + " ".join(
+            f"{n}:{fresh['sharded'][n]['hit_rate']:.3f}" for n in counts
+        )
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: benchmark within regression bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -201,6 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=None, help="cache capacity (views)"
     )
     serve_dssp.add_argument("--no-constraints", action="store_true")
+    serve_dssp.add_argument(
+        "--shards",
+        default=None,
+        metavar="ID,ID,...",
+        help="comma-separated node ids of the whole sharded cluster "
+        "(must include --node-id); enables consistent-hash placement: "
+        "this node only admits keys it owns and the home narrows "
+        "invalidation fan-out to owning shards",
+    )
+    serve_dssp.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="virtual nodes per shard on the hash ring "
+        "(must match across the cluster and the load generator)",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="closed-loop load generator against live DSSP nodes"
@@ -287,6 +304,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sever every proxied connection after each N completed pages "
         "(used with --chaos-seed)",
     )
+    loadgen.add_argument(
+        "--shards",
+        default=None,
+        metavar="ID,ID,...",
+        help="route through a ShardRouter instead of partitioning clients: "
+        "comma-separated node ids, one per --dssp address in order "
+        "(must match the servers' --node-id/--shards)",
+    )
+    loadgen.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="virtual nodes per shard (must match the servers')",
+    )
 
     chaos = commands.add_parser(
         "chaos",
@@ -333,6 +365,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="MVIS",
     )
     chaos.add_argument("--scale", type=float, default=0.2)
+    chaos.add_argument(
+        "--shards",
+        action="store_true",
+        help="run the nodes as a consistent-hash sharded cluster: "
+        "placement-routed queries, no-admit gating, filtered fan-out",
+    )
+    chaos.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="virtual nodes per shard (sharded mode)",
+    )
     chaos.add_argument(
         "--seed", type=int, default=1, help="workload/trace seed"
     )
@@ -599,6 +644,15 @@ def _parse_address(text: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def _parse_shards(text: str | None) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    shards = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not shards:
+        raise SystemExit(f"bad shard list {text!r}: expected ID,ID,...")
+    return shards
+
+
 def _serve(server, banner: str, out) -> int:
     """Run a wire server until SIGINT/SIGTERM; returns an exit code."""
     import asyncio
@@ -657,6 +711,7 @@ def _cmd_serve_home(args, out) -> int:
 
 
 def _cmd_serve_dssp(args, out) -> int:
+    from repro.dssp.ring import DEFAULT_VNODES
     from repro.net.dssp_server import DsspNetServer
 
     registry = get_application(args.app).registry
@@ -664,6 +719,7 @@ def _cmd_serve_dssp(args, out) -> int:
         cache_capacity=args.capacity,
         use_integrity_constraints=not args.no_constraints,
     )
+    shards = _parse_shards(args.shards)
     server = DsspNetServer(
         node,
         args.host,
@@ -671,11 +727,14 @@ def _cmd_serve_dssp(args, out) -> int:
         node_id=args.node_id,
         max_in_flight=args.max_in_flight,
         request_timeout_s=args.timeout,
+        shards=shards,
+        vnodes=args.vnodes or DEFAULT_VNODES,
     )
     server.register_application(args.app, registry, _parse_address(args.home))
+    role = f"shard {args.node_id}/{len(shards)}" if shards else args.node_id
     return _serve(
         server,
-        f"dssp[{args.node_id}] app={args.app} home={args.home} "
+        f"dssp[{role}] app={args.app} home={args.home} "
         "listening on {host}:{port}",
         out,
     )
@@ -721,6 +780,13 @@ def _cmd_loadgen(args, out) -> int:
         chaos_plan = FaultPlan.uniform(args.chaos_seed, args.fault_rate)
         chaos_log = ChaosLog()
 
+    shard_ids = _parse_shards(args.shards)
+    if shard_ids is not None and len(shard_ids) != len(args.dssp):
+        raise SystemExit(
+            f"--shards names {len(shard_ids)} shards but --dssp gives "
+            f"{len(args.dssp)} addresses; they must pair up in order"
+        )
+
     async def run():
         endpoints = []
         proxies = []
@@ -752,9 +818,22 @@ def _cmd_loadgen(args, out) -> int:
                         for proxy in _proxies:
                             await proxy.kill_connections()
 
+        drivers = endpoints
+        if shard_ids is not None:
+            from repro.dssp.ring import DEFAULT_VNODES
+            from repro.net.router import ShardRouter
+
+            # One router fronts the whole cluster: every client lane
+            # routes by placement key instead of pinning to one node.
+            drivers = [
+                ShardRouter(
+                    dict(zip(shard_ids, endpoints)),
+                    vnodes=args.vnodes or DEFAULT_VNODES,
+                )
+            ]
         try:
             return await run_load(
-                endpoints,
+                drivers,
                 codec,
                 policy,
                 trace,
@@ -825,7 +904,10 @@ def _cmd_loadgen(args, out) -> int:
             if delta >= 0:
                 report = report.with_invalidations(delta)
     predicted = None
-    if report.pages:
+    profilable = report.pages and (
+        not report.updates or report.invalidations is not None
+    )
+    if profilable:
         behavior = report.behavior()
         predicted = predict_p90(args.clients, SimulationParams(), behavior)
         print(
@@ -833,6 +915,12 @@ def _cmd_loadgen(args, out) -> int:
             f"{predicted:.3f}s with invalidations_per_update="
             f"{behavior.invalidations_per_update:.2f} "
             f"(model WAN/SLA units, not localhost time)",
+            file=out,
+        )
+    elif report.pages:
+        print(
+            "analytic cross-check skipped: updates ran but server-side "
+            "invalidations were not measured",
             file=out,
         )
     if not args.no_server_stats:
@@ -890,6 +978,8 @@ def _cmd_chaos(args, out) -> int:
         kill_every=args.kill_every,
         kill_targets=targets if args.kill_every else (),
     )
+    from repro.dssp.ring import DEFAULT_VNODES
+
     report, log = asyncio.run(
         run_chaos(
             args.app,
@@ -901,10 +991,13 @@ def _cmd_chaos(args, out) -> int:
             nodes=args.nodes,
             clients=args.clients,
             pipeline=args.pipeline,
+            shards=args.shards,
+            vnodes=args.vnodes or DEFAULT_VNODES,
         )
     )
     print(
         f"app={args.app} strategy={strategy.name} nodes={args.nodes} "
+        f"sharded={args.shards} "
         f"clients={args.clients} pipeline={args.pipeline or 1} "
         f"fault_rate={args.fault_rate} kill_every={args.kill_every}",
         file=out,

@@ -17,7 +17,8 @@ from repro.dssp.invalidation import (
     InvalidationEngine,
     StrategyClass,
 )
-from repro.dssp.cluster import DsspCluster
+from repro.dssp.cluster import DsspCluster, ShardedDsspCluster
+from repro.dssp.ring import HashRing
 from repro.dssp.correctness import (
     CorrectnessReport,
     verify_invalidation_correctness,
@@ -41,9 +42,11 @@ __all__ = [
     "DsspCluster",
     "DsspNode",
     "DsspStats",
+    "HashRing",
     "HomeServer",
     "InvalidationEngine",
     "InvalidationInput",
+    "ShardedDsspCluster",
     "StatementInspectionStrategy",
     "StrategyClass",
     "TemplateInspectionStrategy",

@@ -48,6 +48,7 @@ from repro.net.oracle import (
     Violation,
     run_chaos,
 )
+from repro.net.router import ShardRouter
 from repro.net.wire import (
     ErrorCode,
     ErrorResponse,
@@ -89,6 +90,7 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "RetryPolicy",
+    "ShardRouter",
     "StatsRequest",
     "StatsResponse",
     "SubscribeRequest",

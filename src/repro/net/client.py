@@ -302,10 +302,14 @@ class Subscription:
         app_ids: tuple[str, ...],
         *,
         batch_enabled: bool = False,
+        shard_filtered: bool = False,
     ):
         self._connection = connection
         self.app_ids = app_ids
         self.batch_enabled = batch_enabled
+        #: The home accepted this subscriber's shard topology and narrows
+        #: invalidation fan-out to owning shards.
+        self.shard_filtered = shard_filtered
 
     async def frames(self):
         """Yield invalidation pushes until the channel closes."""
@@ -614,17 +618,28 @@ class WireClient:
         app_ids: tuple[str, ...],
         *,
         supports_batch: bool = False,
+        shards: tuple[str, ...] = (),
+        vnodes: int = 0,
     ) -> Subscription:
         """Open a dedicated invalidation-stream channel (not pooled).
 
         ``supports_batch`` advertises that this subscriber understands
         ``INVALIDATE_BATCH`` frames; the returned subscription's
         ``batch_enabled`` reports whether the home agreed.
+        ``shards``/``vnodes`` declare the subscriber's sharded topology
+        (ring membership + virtual nodes); ``shard_filtered`` on the
+        subscription reports whether the home will narrow fan-out with it.
         """
         connection = await self._pool._connect()
         try:
             await connection.send(
-                SubscribeRequest(node_id, app_ids, supports_batch=supports_batch)
+                SubscribeRequest(
+                    node_id,
+                    app_ids,
+                    supports_batch=supports_batch,
+                    shards=shards,
+                    vnodes=vnodes,
+                )
             )
             response = await connection.receive()
         except BaseException:
@@ -642,6 +657,7 @@ class WireClient:
             connection,
             response.app_ids,
             batch_enabled=response.batch_enabled,
+            shard_filtered=response.shard_filtered,
         )
 
     async def aclose(self) -> None:

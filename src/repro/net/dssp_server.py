@@ -26,7 +26,9 @@ from __future__ import annotations
 import asyncio
 import logging
 
+from repro.dssp.placement import query_placement_key
 from repro.dssp.proxy import DsspNode
+from repro.dssp.ring import DEFAULT_VNODES, HashRing
 from repro.errors import (
     HomeUnreachableError,
     NetConnectionError,
@@ -78,6 +80,14 @@ class DsspNetServer(WireServer):
         batch_invalidations: Advertise ``INVALIDATE_BATCH`` support when
             subscribing (the home still decides; False forces singleton
             pushes on this node's streams).
+        shards: Full shard membership of the cluster this node belongs to
+            (must include ``node_id``).  When set, the node only *admits*
+            entries whose placement key it owns on the consistent-hash
+            ring — misses it merely routes are served pass-through — and
+            it declares the topology on subscribe so the home can narrow
+            invalidation fan-out to owning shards.
+        vnodes: Virtual nodes per shard on the ring; must match across
+            the cluster and the router.
     """
 
     def __init__(
@@ -92,6 +102,8 @@ class DsspNetServer(WireServer):
         home_pool_size: int = 4,
         home_timeout_s: float = 30.0,
         batch_invalidations: bool = True,
+        shards: tuple[str, ...] | None = None,
+        vnodes: int = DEFAULT_VNODES,
         **kwargs,
     ) -> None:
         kwargs.setdefault("server_id", node_id)
@@ -99,6 +111,18 @@ class DsspNetServer(WireServer):
         self.node = node
         self.node_id = node_id
         self._batch_invalidations = batch_invalidations
+        self._shards: tuple[str, ...] = tuple(shards) if shards else ()
+        self._vnodes = int(vnodes)
+        self._ring: HashRing | None = None
+        if self._shards:
+            if node_id not in self._shards:
+                raise WireError(
+                    f"node {node_id!r} is not in its own shard set "
+                    f"{sorted(self._shards)}"
+                )
+            self._ring = HashRing(self._shards, vnodes=self._vnodes)
+        #: Misses served pass-through because another shard owns the key.
+        self.passthrough_misses = 0
         # The node's cache and counters export through this server's
         # registry, so one STATS snapshot covers every layer of the node.
         node.stats.register_metrics(self.metrics)
@@ -220,8 +244,21 @@ class DsspNetServer(WireServer):
                 f"forwarding miss to {client.host}:{client.port} failed: "
                 f"{error}"
             ) from error
-        self.node.admit(envelope, outcome.result)
+        if self._owns(envelope):
+            self.node.admit(envelope, outcome.result)
+        else:
+            # Serving pass-through keeps home-side shard filtering sound:
+            # the home only pushes invalidations to the owning shard, so a
+            # non-owner must never hold a copy it would not hear about.
+            self.passthrough_misses += 1
+            self.metrics.counter("dssp.passthrough_misses").inc()
         return QueryResponse(result=outcome.result, cache_hit=False)
+
+    def _owns(self, envelope) -> bool:
+        """Whether this node's shard owns the envelope's placement key."""
+        if self._ring is None:
+            return True
+        return self._ring.owner(query_placement_key(envelope)) == self.node_id
 
     async def _handle_update(
         self, frame: UpdateRequest, context: ConnectionContext
@@ -252,6 +289,9 @@ class DsspNetServer(WireServer):
         snapshot["stream_pushes_applied"] = self.stream_pushes_applied
         snapshot["stream_flushes"] = self.stream_flushes
         snapshot["applications"] = sorted(self._home_addresses)
+        if self._shards:
+            snapshot["shards"] = sorted(self._shards)
+            snapshot["passthrough_misses"] = self.passthrough_misses
         return snapshot
 
     # -- invalidation stream -----------------------------------------------
@@ -301,6 +341,8 @@ class DsspNetServer(WireServer):
                     self.node_id,
                     app_ids,
                     supports_batch=self._batch_invalidations,
+                    shards=self._shards,
+                    vnodes=self._vnodes if self._shards else 0,
                 )
             except (NetError, ConnectionError, OSError) as error:
                 logger.debug(

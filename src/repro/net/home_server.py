@@ -42,6 +42,12 @@ from collections.abc import Iterable
 
 from repro.crypto.envelope import UpdateEnvelope
 from repro.dssp.homeserver import HomeServer
+from repro.dssp.placement import (
+    TemplateAffinity,
+    policy_allows_blind_queries,
+    shards_for_update,
+)
+from repro.dssp.ring import HashRing
 from repro.errors import UnknownApplicationError, WireError
 from repro.net import wire
 from repro.net.service import ConnectionContext, WireServer
@@ -130,12 +136,16 @@ class _Subscriber:
         queue_size: int,
         *,
         batch_enabled: bool = False,
+        ring: HashRing | None = None,
     ) -> None:
         self.node_id = node_id
         self.app_ids = app_ids
         self.context = context
         #: Negotiated: this channel may receive INVALIDATE_BATCH frames.
         self.batch_enabled = batch_enabled
+        #: The subscriber's declared shard topology, when the home agreed
+        #: to narrow fan-out with it (None on unsharded channels).
+        self.ring = ring
         #: Pending (push, request id) pairs; the id is the trace id of the
         #: update that caused the push, so invalidations stay correlatable.
         self.queue: asyncio.Queue[tuple[InvalidationPush, str | None]] = (
@@ -161,6 +171,12 @@ class HomeNetServer(WireServer):
             queue is drained into a batch (0 disables).  A small dwell
             lets a burst of independent updates land in one frame at the
             cost of that much added push latency.
+        shard_filtered_pushes: Master switch for shard-aware fan-out;
+            when True (default) a subscriber that declares its cluster's
+            shard topology on subscribe only receives pushes for updates
+            whose affected template buckets it owns on the ring.  The
+            affinity used is *conservative* (integrity constraints off),
+            so a filtered push is never one the subscriber could need.
         Remaining keyword arguments are the
         :class:`~repro.net.service.WireServer` operational knobs.
     """
@@ -176,6 +192,7 @@ class HomeNetServer(WireServer):
         batch_pushes: bool = True,
         push_coalesce_s: float = 0.0,
         update_dedup: UpdateDedup | None = None,
+        shard_filtered_pushes: bool = True,
         **kwargs,
     ) -> None:
         kwargs.setdefault("server_id", "home")
@@ -184,6 +201,7 @@ class HomeNetServer(WireServer):
         self._push_timeout_s = push_timeout_s
         self._batch_pushes = batch_pushes
         self._push_coalesce_s = push_coalesce_s
+        self._shard_filtered_pushes = shard_filtered_pushes
         self.update_dedup = update_dedup or UpdateDedup()
         if isinstance(homes, HomeServer):
             homes = [homes]
@@ -193,6 +211,14 @@ class HomeNetServer(WireServer):
                 raise ValueError(f"duplicate application {home.app_id!r}")
             self._homes[home.app_id] = home
         self._subscribers: list[_Subscriber] = []
+        # Per-application fan-out filtering inputs, built lazily.  The
+        # affinity deliberately ignores integrity constraints: the home
+        # must never filter a push a constraint-less subscriber would
+        # have applied, so it always computes the *larger* affected set.
+        self._affinities: dict[str, TemplateAffinity] = {}
+        self._blind_queries: dict[str, bool] = {}
+        #: Pushes skipped because the owning shard was someone else.
+        self.pushes_filtered = 0
 
     @property
     def subscriber_count(self) -> int:
@@ -210,6 +236,20 @@ class HomeNetServer(WireServer):
             return self._homes[app_id]
         except KeyError:
             raise UnknownApplicationError(app_id) from None
+
+    def _fan_out_inputs(self, app_id: str) -> tuple[TemplateAffinity, bool]:
+        """Conservative (constraints-off) affinity + blind-query flag."""
+        affinity = self._affinities.get(app_id)
+        if affinity is None:
+            home = self._home(app_id)
+            affinity = TemplateAffinity(
+                home.registry, use_integrity_constraints=False
+            )
+            self._affinities[app_id] = affinity
+            self._blind_queries[app_id] = policy_allows_blind_queries(
+                home.policy
+            )
+        return affinity, self._blind_queries[app_id]
 
     async def handle(
         self, frame: Frame, context: ConnectionContext
@@ -267,9 +307,11 @@ class HomeNetServer(WireServer):
                 "node_id": subscriber.node_id,
                 "app_ids": sorted(subscriber.app_ids),
                 "queue_depth": subscriber.queue.qsize(),
+                "shard_filtered": subscriber.ring is not None,
             }
             for subscriber in self._subscribers
         ]
+        snapshot["pushes_filtered"] = self.pushes_filtered
         return snapshot
 
     # -- invalidation stream -----------------------------------------------
@@ -279,12 +321,21 @@ class HomeNetServer(WireServer):
     ) -> SubscribeResponse:
         for app_id in frame.app_ids:
             self._home(app_id)  # all-or-nothing validation
+        ring: HashRing | None = None
+        if frame.shards and self._shard_filtered_pushes:
+            if frame.node_id not in frame.shards:
+                raise WireError(
+                    f"subscriber {frame.node_id!r} is not in its declared "
+                    f"shard set {sorted(frame.shards)}"
+                )
+            ring = HashRing(frame.shards, vnodes=frame.vnodes)
         subscriber = _Subscriber(
             frame.node_id,
             frozenset(frame.app_ids),
             context,
             self._push_queue_size,
             batch_enabled=frame.supports_batch and self._batch_pushes,
+            ring=ring,
         )
         subscriber.sender = asyncio.create_task(self._push_loop(subscriber))
         self._subscribers.append(subscriber)
@@ -292,6 +343,7 @@ class HomeNetServer(WireServer):
         return SubscribeResponse(
             app_ids=tuple(sorted(subscriber.app_ids)),
             batch_enabled=subscriber.batch_enabled,
+            shard_filtered=ring is not None,
         )
 
     def _unsubscribe(self, subscriber: _Subscriber) -> None:
@@ -324,6 +376,10 @@ class HomeNetServer(WireServer):
                 continue
             if request.origin is not None and subscriber.node_id == request.origin:
                 continue
+            if not self._shard_may_hold(subscriber, request):
+                self.pushes_filtered += 1
+                self.metrics.counter("home.pushes_filtered").inc()
+                continue
             try:
                 subscriber.queue.put_nowait((push, request_id))
                 self.metrics.counter("home.pushes_enqueued").inc()
@@ -342,6 +398,24 @@ class HomeNetServer(WireServer):
                     },
                 )
                 self._drop(subscriber)
+
+    def _shard_may_hold(
+        self, subscriber: _Subscriber, request: UpdateRequest
+    ) -> bool:
+        """Whether a sharded subscriber can hold views this update affects.
+
+        Unsharded subscribers always qualify.  For sharded ones the home
+        asks :func:`shards_for_update` which shards own the affected
+        template buckets on *this subscriber's* declared ring; ``None``
+        (opaque update or a blind-query policy) falls back to push-to-all.
+        """
+        if subscriber.ring is None:
+            return True
+        affinity, blind = self._fan_out_inputs(request.envelope.app_id)
+        shards = shards_for_update(
+            request.envelope, subscriber.ring, affinity, blind
+        )
+        return shards is None or subscriber.node_id in shards
 
     def _coalesce(
         self, entries: list[tuple[InvalidationPush, str | None]]

@@ -59,6 +59,12 @@ class LoadReport:
     latency: Histogram
     #: Page lanes per client (1 = closed loop, N = open-loop pipelined).
     pipeline: int = 1
+    #: Pages whose lane was already in flight at the deadline and finished
+    #: after it.  They (and their operations) are excluded from the headline
+    #: counts above — a duration-bounded run would otherwise overstate
+    #: throughput at high ``pipeline``, since up to clients×pipeline lanes
+    #: can straggle past the cutoff.
+    late_pages: int = 0
     #: Server-side invalidations this run caused, when the caller fetched
     #: STATS around the run (see :meth:`with_invalidations`); ``None``
     #: means "not measured", never "zero".
@@ -112,10 +118,26 @@ class LoadReport:
         return replace(self, invalidations=invalidations)
 
     def behavior(self) -> CacheBehavior:
-        """Measured per-page profile, for ``predict_p90`` cross-checks."""
+        """Measured per-page profile, for ``predict_p90`` cross-checks.
+
+        Raises:
+            WorkloadError: if no pages completed, or if updates ran but
+                the server-side invalidation count was never attached
+                (``invalidations is None``).  Silently reporting a zero
+                ratio would feed ``predict_p90`` a fan-out cost the run
+                did not actually have; a caller without server stats must
+                either attach a measured delta via
+                :meth:`with_invalidations` or skip the profile.
+        """
         if not self.pages:
             raise WorkloadError("no pages completed; nothing to profile")
-        if self.updates and self.invalidations is not None:
+        if self.updates and self.invalidations is None:
+            raise WorkloadError(
+                f"{self.updates} updates ran but invalidations were not "
+                "measured; attach the server STATS delta with "
+                "with_invalidations() before profiling"
+            )
+        if self.updates:
             invalidations_per_update = self.invalidations / self.updates
         else:
             invalidations_per_update = 0.0
@@ -135,7 +157,7 @@ class LoadReport:
             f"p50={self.p50_s * 1000:.1f}ms p90={self.p90_s * 1000:.1f}ms "
             f"p99={self.p99_s * 1000:.1f}ms "
             f"hits={self.hits} hit_rate={self.hit_rate:.3f} "
-            f"errors={self.errors}"
+            f"errors={self.errors} late_pages={self.late_pages}"
         )
 
     def to_dict(self) -> dict:
@@ -150,6 +172,7 @@ class LoadReport:
             "updates": self.updates,
             "hits": self.hits,
             "errors": self.errors,
+            "late_pages": self.late_pages,
             "hit_rate": self.hit_rate,
             "throughput_pages_s": self.throughput_pages_s,
             "p50_s": self.p50_s,
@@ -170,13 +193,19 @@ class _SharedStream:
         self._deadline = deadline
 
     def next_page(self):
-        if self._deadline is not None and time.perf_counter() >= self._deadline:
+        if self.past_deadline():
             return None
         if self._remaining is not None:
             if self._remaining <= 0:
                 return None
             self._remaining -= 1
         return self._trace.sample_page()
+
+    def past_deadline(self) -> bool:
+        return (
+            self._deadline is not None
+            and time.perf_counter() >= self._deadline
+        )
 
 
 async def run_load(
@@ -237,6 +266,7 @@ async def run_load(
         "updates": 0,
         "hits": 0,
         "errors": 0,
+        "late_pages": 0,
     }
     latency = Histogram("loadgen.page_seconds")
 
@@ -247,6 +277,13 @@ async def run_load(
             if page is None:
                 return
             page_started = time.perf_counter()
+            # Operations always merge into the counters — they really hit
+            # the servers, and server-side counters (hits, invalidations)
+            # must stay reconcilable with the client's books.  Only the
+            # *page* is conditional: a page finishing after the deadline
+            # is excluded from ``pages`` and the latency histogram so
+            # duration-bounded throughput is not overstated.
+            local = {"queries": 0, "updates": 0, "hits": 0}
             failed = False
             for operation in page:
                 bound = operation.bound
@@ -254,26 +291,32 @@ async def run_load(
                     if operation.is_update:
                         level = policy.update_level(bound.template.name)
                         await endpoint.update(codec.seal_update(bound, level))
-                        counters["updates"] += 1
+                        local["updates"] += 1
                     else:
                         level = policy.query_level(bound.template.name)
                         outcome = await endpoint.query(
                             codec.seal_query(bound, level)
                         )
-                        counters["queries"] += 1
+                        local["queries"] += 1
                         if outcome.cache_hit:
-                            counters["hits"] += 1
+                            local["hits"] += 1
                 except NetError:
                     if fail_fast:
                         raise
                     counters["errors"] += 1
                     failed = True
                     break
-            if not failed:
-                counters["pages"] += 1
-                latency.observe(time.perf_counter() - page_started)
-                if on_page is not None:
-                    await on_page(counters["pages"])
+            for key, count in local.items():
+                counters[key] += count
+            if failed:
+                continue
+            if stream.past_deadline():
+                counters["late_pages"] += 1
+                continue
+            counters["pages"] += 1
+            latency.observe(time.perf_counter() - page_started)
+            if on_page is not None:
+                await on_page(counters["pages"])
 
     await asyncio.gather(
         *(
@@ -282,9 +325,15 @@ async def run_load(
             for _ in range(pipeline)
         )
     )
+    elapsed = time.perf_counter() - started
+    if duration_s is not None:
+        # Headline pages all finished inside the budget (stragglers are
+        # in ``late_pages``), so the matching denominator is the budget
+        # window, not the budget plus straggler drain time.
+        elapsed = min(elapsed, duration_s)
     return LoadReport(
         clients=clients,
-        duration_s=time.perf_counter() - started,
+        duration_s=elapsed,
         pages=counters["pages"],
         queries=counters["queries"],
         updates=counters["updates"],
@@ -292,4 +341,5 @@ async def run_load(
         errors=counters["errors"],
         latency=latency,
         pipeline=pipeline,
+        late_pages=counters["late_pages"],
     )

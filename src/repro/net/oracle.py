@@ -37,7 +37,15 @@ from repro.analysis.exposure import ExposurePolicy
 from repro.crypto.envelope import EnvelopeCodec
 from repro.crypto.keyring import Keyring
 from repro.dssp.homeserver import HomeServer
+from repro.dssp.placement import (
+    TemplateAffinity,
+    policy_allows_blind_queries,
+    query_placement_key,
+    shards_for_update,
+    update_routing_key,
+)
 from repro.dssp.proxy import DsspNode
+from repro.dssp.ring import DEFAULT_VNODES, HashRing
 from repro.errors import (
     HomeUnreachableError,
     NetConnectionError,
@@ -180,6 +188,8 @@ class ChaosTopology:
         keyring: Keyring | None = None,
         pipeline: int | None = None,
         batch_invalidations: bool = True,
+        shards: bool = False,
+        vnodes: int = DEFAULT_VNODES,
     ) -> None:
         if nodes < 1:
             raise WorkloadError("chaos topology needs at least one node")
@@ -208,10 +218,31 @@ class ChaosTopology:
         self.handles = [
             _NodeHandle(f"dssp-{i}", DsspNode()) for i in range(nodes)
         ]
+        #: Sharded mode: the nodes form a consistent-hash cluster, each
+        #: admitting only keys it owns, and the home narrows invalidation
+        #: fan-out to owning shards.  The topology keeps its own copy of
+        #: the ring and the home's *conservative* (constraints-off)
+        #: affinity so the oracle can predict which nodes a push reaches.
+        self.sharded = shards
+        self.vnodes = vnodes
+        self.ring: HashRing | None = None
+        self.affinity: TemplateAffinity | None = None
+        self.blind_queries = False
+        if shards:
+            self.ring = HashRing(
+                tuple(handle.name for handle in self.handles), vnodes=vnodes
+            )
+            self.affinity = TemplateAffinity(
+                registry, use_integrity_constraints=False
+            )
+            self.blind_queries = policy_allows_blind_queries(policy)
 
     @property
     def clients(self) -> list[WireClient]:
         return [handle.client for handle in self.handles]
+
+    def handle_for(self, name: str) -> _NodeHandle:
+        return next(h for h in self.handles if h.name == name)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -249,6 +280,10 @@ class ChaosTopology:
                 seed=self._policy_seed(20 + index),
             ),
             batch_invalidations=self.batch_invalidations,
+            shards=(
+                tuple(h.name for h in self.handles) if self.sharded else None
+            ),
+            vnodes=self.vnodes,
         )
         server.register_application(
             self.app_id, self.registry, handle.home_proxy.address
@@ -403,12 +438,20 @@ class ChaosRunner:
     """Replay a trace against a chaos topology, checking every answer.
 
     Client *i* pins to node ``i % nodes`` (the cluster's CDN affinity);
-    page *p* is issued by client ``p % clients``.  Queries and updates are
-    retried under one request id until they succeed — the home's
-    idempotency log is what makes retry-until-ack safe — and after each
-    acked update the runner waits until every non-origin node has either
-    applied the update's stream push or flushed its cache on a stream
-    reconnect, so the next operation observes a converged system.
+    page *p* is issued by client ``p % clients``.  On a **sharded**
+    topology the pin is overridden per operation, exactly as a
+    :class:`~repro.net.router.ShardRouter` would: queries go to the shard
+    owning their placement key, updates to the shard owning their opaque
+    id.  Queries and updates are retried under one request id until they
+    succeed — the home's idempotency log is what makes retry-until-ack
+    safe — and after each acked update the runner waits until every
+    non-origin node *the home will push to* has either applied the
+    update's stream push or flushed its cache on a stream reconnect, so
+    the next operation observes a converged system.  On a sharded
+    topology the expected recipient set is narrowed with the same
+    conservative affinity the home's fan-out filter uses; nodes outside
+    it cannot hold affected views (they never admit keys they don't own),
+    so skipping them is exactly as strong a check.
     """
 
     def __init__(
@@ -518,9 +561,14 @@ class ChaosRunner:
         self, bound, node_index: int, request_id: str, op_index: int
     ) -> None:
         topology = self.topology
-        handle = topology.handles[node_index]
         level = topology.policy.query_level(bound.template.name)
         envelope = topology.codec.seal_query(bound, level)
+        if topology.sharded:
+            handle = topology.handle_for(
+                topology.ring.owner(query_placement_key(envelope))
+            )
+        else:
+            handle = topology.handles[node_index]
         expected = self.reference.execute(bound)
         outcome = await self._attempt_until_acked(
             lambda: handle.client.query(envelope, request_id=request_id),
@@ -552,19 +600,38 @@ class ChaosRunner:
         self, bound, node_index: int, request_id: str, op_index: int
     ) -> None:
         topology = self.topology
-        origin = topology.handles[node_index]
         level = topology.policy.update_level(bound.template.name)
         envelope = topology.codec.seal_update(bound, level)
-        # Convergence baselines for every non-origin node, captured before
-        # the first attempt: if attempt 1 applies but its ack is lost, the
-        # fan-out has already happened by the time the retry is deduped.
+        if topology.sharded:
+            origin = topology.handle_for(
+                topology.ring.owner(update_routing_key(envelope))
+            )
+        else:
+            origin = topology.handles[node_index]
+        # On a sharded topology the home only pushes to shards owning an
+        # affected template bucket (None = push-to-all); waiting on the
+        # others would be a guaranteed timeout, and they cannot hold
+        # affected views anyway — the no-admit gate kept them clean.
+        recipients: frozenset[str] | None = None
+        if topology.sharded:
+            recipients = shards_for_update(
+                envelope,
+                topology.ring,
+                topology.affinity,
+                topology.blind_queries,
+            )
+        # Convergence baselines for every expected non-origin recipient,
+        # captured before the first attempt: if attempt 1 applies but its
+        # ack is lost, the fan-out has already happened by the time the
+        # retry is deduped.
         baselines = {
             handle.name: (
                 handle.server.stream_pushes_applied,
                 handle.server.stream_flushes,
             )
-            for i, handle in enumerate(topology.handles)
-            if i != node_index
+            for handle in topology.handles
+            if handle.name != origin.name
+            and (recipients is None or handle.name in recipients)
         }
         await self._attempt_until_acked(
             lambda: origin.client.update(envelope, request_id=request_id),
@@ -651,6 +718,8 @@ async def run_chaos(
     keyring: Keyring | None = None,
     pipeline: int | None = None,
     batch_invalidations: bool = True,
+    shards: bool = False,
+    vnodes: int = DEFAULT_VNODES,
 ) -> tuple[OracleReport, ChaosLog]:
     """Build a chaos topology, replay the trace, and tear everything down.
 
@@ -669,6 +738,8 @@ async def run_chaos(
         keyring=keyring,
         pipeline=pipeline,
         batch_invalidations=batch_invalidations,
+        shards=shards,
+        vnodes=vnodes,
     )
     await topology.start()
     try:

@@ -158,11 +158,20 @@ class SubscribeRequest:
     byte emitted *only when set*, so a subscriber that does not batch
     produces bytes identical to the pre-batching protocol and an old
     home simply never sees the field.
+
+    ``shards``/``vnodes`` declare the sharded topology the subscriber is
+    part of: the full ring membership plus the virtual-node count, enough
+    for the home to rebuild the placement ring and narrow its fan-out to
+    owning shards.  Encoded after the capability byte and emitted only
+    when ``shards`` is non-empty (the capability byte is then always
+    written, as 0 or 1, so the trailing fields stay unambiguous).
     """
 
     node_id: str
     app_ids: tuple[str, ...]
     supports_batch: bool = False
+    shards: tuple[str, ...] = ()
+    vnodes: int = 0
 
 
 @dataclass(frozen=True)
@@ -188,10 +197,15 @@ class SubscribeResponse:
     ``batch_enabled`` confirms the home will coalesce pushes into
     ``INVALIDATE_BATCH`` frames on this channel; same trailing-byte
     encoding as :class:`SubscribeRequest.supports_batch`.
+    ``shard_filtered`` confirms the home accepted the declared shard
+    topology and will narrow invalidation fan-out to owning shards; a
+    second trailing byte, emitted only when set (the batch byte is then
+    always written so positions stay unambiguous).
     """
 
     app_ids: tuple[str, ...]
     batch_enabled: bool = False
+    shard_filtered: bool = False
 
 
 @dataclass(frozen=True)
@@ -496,7 +510,15 @@ def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
         writer.u32(len(frame.app_ids))
         for app_id in frame.app_ids:
             writer.text(app_id)
-        if frame.supports_batch:
+        if frame.shards:
+            if frame.vnodes < 1:
+                raise WireError("shard topology requires vnodes >= 1")
+            writer.u8(1 if frame.supports_batch else 0)
+            writer.u32(frame.vnodes)
+            writer.u32(len(frame.shards))
+            for shard in frame.shards:
+                writer.text(shard)
+        elif frame.supports_batch:
             writer.u8(1)
         return FrameType.SUBSCRIBE
     if isinstance(frame, QueryResponse):
@@ -511,7 +533,10 @@ def _write_payload(writer: _Writer, frame: Frame) -> FrameType:
         writer.u32(len(frame.app_ids))
         for app_id in frame.app_ids:
             writer.text(app_id)
-        if frame.batch_enabled:
+        if frame.shard_filtered:
+            writer.u8(1 if frame.batch_enabled else 0)
+            writer.u8(1)
+        elif frame.batch_enabled:
             writer.u8(1)
         return FrameType.SUBSCRIBED
     if isinstance(frame, InvalidationPush):
@@ -547,15 +572,28 @@ def _read_capability(reader: _Reader) -> bool:
     """Trailing optional capability byte; absent means unsupported.
 
     Pre-batching peers end the payload here, so absence (not a zero
-    byte) is the backward-compatible "no" — and emitters only write the
-    byte when the flag is set, keeping default frames byte-identical.
+    byte) is the backward-compatible "no" — emitters write the byte
+    unset (0) only when a later trailing field forces its presence.
     """
     if reader.at_end():
         return False
     flag = reader.u8()
-    if flag != 1:
+    if flag not in (0, 1):
         raise WireError(f"bad capability byte {flag}")
-    return True
+    return flag == 1
+
+
+def _read_shard_topology(reader: _Reader) -> tuple[tuple[str, ...], int]:
+    """Trailing shard-topology fields; absent means unsharded."""
+    if reader.at_end():
+        return (), 0
+    vnodes = reader.u32()
+    if vnodes < 1:
+        raise WireError(f"implausible vnode count {vnodes}")
+    count = reader.u32()
+    if count == 0 or count > 4096:
+        raise WireError(f"implausible shard count {count}")
+    return tuple(reader.text() for _ in range(count)), vnodes
 
 
 def _decode_payload(frame_type: int, payload: bytes) -> Frame:
@@ -568,8 +606,14 @@ def _decode_payload(frame_type: int, payload: bytes) -> Frame:
     elif frame_type == FrameType.SUBSCRIBE:
         node_id = reader.text()
         app_ids = _read_app_ids(reader)
+        supports_batch = _read_capability(reader)
+        shards, vnodes = _read_shard_topology(reader)
         frame = SubscribeRequest(
-            node_id, app_ids, supports_batch=_read_capability(reader)
+            node_id,
+            app_ids,
+            supports_batch=supports_batch,
+            shards=shards,
+            vnodes=vnodes,
         )
     elif frame_type == FrameType.RESULT:
         cache_hit = reader.u8() != 0
@@ -578,8 +622,11 @@ def _decode_payload(frame_type: int, payload: bytes) -> Frame:
         frame = UpdateResponse(reader.u32(), reader.u32())
     elif frame_type == FrameType.SUBSCRIBED:
         app_ids = _read_app_ids(reader)
+        batch_enabled = _read_capability(reader)
         frame = SubscribeResponse(
-            app_ids, batch_enabled=_read_capability(reader)
+            app_ids,
+            batch_enabled=batch_enabled,
+            shard_filtered=_read_capability(reader),
         )
     elif frame_type == FrameType.INVALIDATE:
         frame = InvalidationPush(_read_update_envelope(reader))

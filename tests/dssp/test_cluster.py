@@ -97,6 +97,50 @@ class TestInvalidationFanOut:
             assert home.codec.open_result(outcome.result).empty
 
 
+class TestFanOutFilter:
+    """Regression: ``update`` must not charge nodes that cannot hold an
+    affected view an invalidation pass (the old code broadcast to every
+    node, inflating ``stats.updates`` and check counts fleet-wide)."""
+
+    def test_nodes_without_affected_buckets_are_skipped(self, deployment):
+        cluster, home = deployment
+        # Node 0 and 1 hold Q2 (toys) views; node 2 holds only Q3
+        # (customers), which U1 (DELETE FROM toys) provably cannot touch.
+        cluster.query(seal(home, "Q2", [5]), client_id=0)
+        cluster.query(seal(home, "Q2", [7]), client_id=1)
+        cluster.query(seal(home, "Q3", [1]), client_id=2)
+        bound = home.registry.update("U1").bind([5])
+        envelope = home.codec.seal_update(bound, home.policy.update_level("U1"))
+        outcome = cluster.update(envelope, client_id=0)
+        assert outcome.invalidated == 1  # Q2[5] on node 0, nothing else
+        stats = cluster.aggregate_stats()
+        assert stats.updates == 2  # nodes 0 and 1 ran their engines; 2 did not
+        assert cluster.node_for(2).stats.updates == 0
+        # The skipped node's cache is untouched.
+        outcome = cluster.query(seal(home, "Q3", [1]), client_id=2)
+        assert outcome.cache_hit
+
+    def test_empty_nodes_are_skipped_entirely(self, deployment):
+        cluster, home = deployment
+        bound = home.registry.update("U1").bind([5])
+        envelope = home.codec.seal_update(bound, home.policy.update_level("U1"))
+        outcome = cluster.update(envelope, client_id=0)
+        assert outcome.invalidated == 0
+        assert cluster.aggregate_stats().updates == 0
+
+    def test_filter_never_changes_invalidated_counts(self, deployment):
+        """The filter is an efficiency fix, not a semantics change: with
+        every node holding an affected view, fan-out is still complete."""
+        cluster, home = deployment
+        for client in range(3):
+            cluster.query(seal(home, "Q2", [5]), client_id=client)
+        bound = home.registry.update("U1").bind([5])
+        envelope = home.codec.seal_update(bound, home.policy.update_level("U1"))
+        outcome = cluster.update(envelope, client_id=0)
+        assert outcome.invalidated == 3
+        assert cluster.aggregate_stats().updates == 3
+
+
 class TestCacheDilution:
     def test_more_nodes_lower_fleet_hit_rate(self):
         """Partitioning dilutes caches: the home server pays for it."""

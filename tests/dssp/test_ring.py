@@ -1,0 +1,117 @@
+"""Property tests for the consistent-hash ring (hypothesis).
+
+Three properties carry the sharded tier:
+
+* **balance** — with enough virtual nodes, no shard owns a wildly
+  disproportionate share of a large key population;
+* **stable ownership** — ownership is a pure function of the membership
+  *set*: insertion order and process boundaries must not matter;
+* **minimal movement** — a join moves only keys onto the joining shard,
+  a leave moves only keys off the leaving shard; everyone else's keys
+  stay put (the fleet's warm cache survives membership changes).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dssp.ring import HashRing
+from repro.errors import CacheError
+
+KEYS = tuple(f"bookstore|Q{i}" for i in range(400))
+
+node_names = st.lists(
+    st.sampled_from([f"shard-{i}" for i in range(10)]),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+def owners(ring: HashRing) -> dict[str, str]:
+    return {key: ring.owner(key) for key in KEYS}
+
+
+class TestConstruction:
+    def test_rejects_zero_vnodes(self):
+        with pytest.raises(CacheError):
+            HashRing(["a"], vnodes=0)
+
+    def test_rejects_duplicate_member(self):
+        with pytest.raises(CacheError):
+            HashRing(["a", "a"])
+
+    def test_rejects_removing_a_stranger(self):
+        with pytest.raises(CacheError):
+            HashRing(["a"]).remove_node("b")
+
+    def test_empty_ring_owns_nothing(self):
+        with pytest.raises(CacheError):
+            HashRing().owner("key")
+
+
+class TestBalance:
+    @given(nodes=node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_every_shard_owns_a_reasonable_share(self, nodes):
+        ring = HashRing(nodes, vnodes=64)
+        counts = {node: 0 for node in nodes}
+        for owner in owners(ring).values():
+            counts[owner] += 1
+        fair = len(KEYS) / len(nodes)
+        # 64 vnodes keeps the spread loose but bounded: nobody starves,
+        # nobody hoards (factor-of-three corridor around fair share).
+        for node, count in counts.items():
+            assert count > fair / 3, (node, counts)
+            assert count < fair * 3, (node, counts)
+
+
+class TestStableOwnership:
+    @given(nodes=node_names, seed=st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_insertion_order_is_irrelevant(self, nodes, seed):
+        shuffled = list(nodes)
+        seed.shuffle(shuffled)
+        assert owners(HashRing(nodes)) == owners(HashRing(shuffled))
+
+    @given(nodes=node_names)
+    @settings(max_examples=10, deadline=None)
+    def test_two_independent_rings_agree(self, nodes):
+        # Two processes building the ring from the same membership must
+        # route identically (hashlib, not hash(): no per-process seed).
+        assert owners(HashRing(nodes)) == owners(HashRing(nodes))
+
+
+class TestMinimalMovement:
+    @given(nodes=node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_join_moves_keys_only_onto_the_joiner(self, nodes):
+        ring = HashRing(nodes)
+        before = owners(ring)
+        ring.add_node("joiner")
+        after = owners(ring)
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == "joiner", key
+
+    @given(nodes=node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_leave_moves_keys_only_off_the_leaver(self, nodes):
+        ring = HashRing(nodes + ["leaver"])
+        before = owners(ring)
+        ring.remove_node("leaver")
+        after = owners(ring)
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert before[key] == "leaver", key
+
+    @given(nodes=node_names)
+    @settings(max_examples=25, deadline=None)
+    def test_join_then_leave_is_identity(self, nodes):
+        ring = HashRing(nodes)
+        before = owners(ring)
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        assert owners(ring) == before

@@ -10,12 +10,19 @@ consumes.
 
 from __future__ import annotations
 
+import asyncio
+from types import SimpleNamespace
+
 import pytest
 
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.crypto.envelope import EnvelopeCodec
 from repro.errors import WorkloadError
-from repro.net.loadgen import LoadReport
+from repro.net.loadgen import LoadReport, run_load
 from repro.obs import Histogram
 from repro.simulation.scalability import SimulationParams, predict_p90
+from repro.workloads.trace import Trace
 
 
 def make_report(**overrides) -> LoadReport:
@@ -37,9 +44,17 @@ def make_report(**overrides) -> LoadReport:
 
 
 class TestInvalidationAccounting:
-    def test_unmeasured_defaults_to_none_not_zero(self):
+    def test_unmeasured_with_updates_refuses_to_profile(self):
+        """Updates ran but nobody measured the invalidations: a silent
+        0.0 ratio would make ``predict_p90`` optimistic, so ``behavior``
+        must refuse instead."""
         report = make_report()
         assert report.invalidations is None
+        with pytest.raises(WorkloadError, match="not.*measured"):
+            report.behavior()
+
+    def test_unmeasured_without_updates_is_a_true_zero(self):
+        report = make_report(updates=0)
         assert report.behavior().invalidations_per_update == 0.0
 
     def test_with_invalidations_populates_the_ratio(self):
@@ -73,7 +88,100 @@ class TestInvalidationAccounting:
         actually reaches the analytic model: a heavy invalidation ratio
         must predict a strictly slower p90 than the hardcoded zero did."""
         params = SimulationParams()
-        cheap = make_report().behavior()
+        cheap = make_report().with_invalidations(0).behavior()
         heavy = make_report().with_invalidations(50 * 40).behavior()
         assert heavy.invalidations_per_update == 40.0
         assert predict_p90(50, params, heavy) > predict_p90(50, params, cheap)
+
+
+class _StubEndpoint:
+    """Endpoint double: serves misses after a fixed per-operation delay."""
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.delay_s = delay_s
+
+    async def query(self, envelope):
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        return SimpleNamespace(cache_hit=False)
+
+    async def update(self, envelope):
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        return SimpleNamespace(rows_affected=1, invalidated=0)
+
+
+def _workload(simple_toystore):
+    policy = ExposurePolicy.uniform(simple_toystore, ExposureLevel.STMT)
+    codec = EnvelopeCodec(Keyring("toystore"))
+    trace = Trace(
+        application="toystore", pages=[[("query", "Q2", [5])]]
+    ).bind(simple_toystore)
+    return codec, policy, trace
+
+
+class TestDeadlineAccounting:
+    """Regression: lanes in flight at the deadline used to finish late and
+    still count toward ``pages``, overstating duration-bounded throughput
+    at high ``--pipeline``."""
+
+    async def test_page_finishing_after_deadline_is_late(self, simple_toystore):
+        codec, policy, trace = _workload(simple_toystore)
+        report = await run_load(
+            [_StubEndpoint(delay_s=0.15)],
+            codec,
+            policy,
+            trace,
+            clients=1,
+            duration_s=0.03,
+        )
+        assert report.pages == 0
+        assert report.late_pages == 1
+        # A late page's operations still count — they really hit the
+        # servers, and server-side counters must reconcile with the
+        # client's books — but the page itself stays out of ``pages``
+        # and the latency histogram.
+        assert report.queries == 1
+        assert report.latency.count == 0
+
+    async def test_every_straggling_lane_is_accounted(self, simple_toystore):
+        codec, policy, trace = _workload(simple_toystore)
+        report = await run_load(
+            [_StubEndpoint(delay_s=0.15)],
+            codec,
+            policy,
+            trace,
+            clients=2,
+            pipeline=3,
+            duration_s=0.03,
+        )
+        assert report.pages == 0
+        assert report.late_pages == 6  # one per lane: clients * pipeline
+
+    async def test_duration_is_clamped_to_the_budget(self, simple_toystore):
+        codec, policy, trace = _workload(simple_toystore)
+        report = await run_load(
+            [_StubEndpoint(delay_s=0.15)],
+            codec,
+            policy,
+            trace,
+            clients=1,
+            duration_s=0.03,
+        )
+        assert report.duration_s <= 0.03
+
+    async def test_on_time_pages_are_unaffected(self, simple_toystore):
+        codec, policy, trace = _workload(simple_toystore)
+        report = await run_load(
+            [_StubEndpoint()],
+            codec,
+            policy,
+            trace,
+            clients=2,
+            pages=6,
+            duration_s=30.0,
+        )
+        assert report.pages == 6
+        assert report.late_pages == 0
+        assert report.queries == 6
+        assert report.latency.count == 6

@@ -1,0 +1,304 @@
+"""The sharded networked cluster: placement routing, no-admit gating,
+filtered fan-out, and the chaos oracle against a sharded topology.
+
+The soundness chain under test: the router sends every query to the shard
+that owns its placement key, a non-owner never *admits* what it merely
+forwards, therefore the home may skip pushing an invalidation to shards
+that own none of the update's affected template buckets — and the oracle
+must still find zero stale reads when a shard dies mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import DsspNode, HomeServer
+from repro.dssp.invalidation import StrategyClass
+from repro.dssp.placement import bucket_key
+from repro.dssp.ring import HashRing
+from repro.errors import WireError
+from repro.net import (
+    DsspNetServer,
+    HomeNetServer,
+    ShardRouter,
+    WireClient,
+    run_chaos,
+)
+from repro.net.chaos import FaultPlan
+from repro.workloads.trace import Trace
+
+
+async def eventually(predicate, *, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached before timeout")
+        await asyncio.sleep(0.01)
+
+
+class ShardedTopology:
+    """home + N sharded DSSP nodes + a ShardRouter over their clients."""
+
+    def __init__(
+        self,
+        registry,
+        database,
+        *,
+        nodes: int = 3,
+        shard_filtered_pushes: bool = True,
+    ) -> None:
+        self.policy = ExposurePolicy.uniform(
+            registry, StrategyClass.MTIS.exposure_level
+        )
+        keyring = Keyring("toystore", b"k" * 32)
+        self.home = HomeServer(
+            "toystore", database, registry, self.policy, keyring
+        )
+        self.codec = self.home.codec
+        self.home_net = HomeNetServer(
+            self.home, shard_filtered_pushes=shard_filtered_pushes
+        )
+        self.names = tuple(f"dssp-{i}" for i in range(nodes))
+        self.ring = HashRing(self.names)
+        self.servers: list[DsspNetServer] = []
+        self.clients: dict[str, WireClient] = {}
+        self.registry = registry
+        self.router: ShardRouter | None = None
+
+    async def __aenter__(self):
+        await self.home_net.start()
+        for name in self.names:
+            server = DsspNetServer(
+                DsspNode(), node_id=name, shards=self.names
+            )
+            server.register_application(
+                "toystore", self.registry, self.home_net.address
+            )
+            await server.start()
+            self.servers.append(server)
+            host, port = server.address
+            self.clients[name] = WireClient(host, port)
+        await eventually(
+            lambda: self.home_net.subscriber_count == len(self.names)
+        )
+        self.router = ShardRouter(self.clients)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        for client in self.clients.values():
+            await client.aclose()
+        for server in self.servers:
+            await server.stop()
+        await self.home_net.stop()
+
+    def server(self, name: str) -> DsspNetServer:
+        return self.servers[self.names.index(name)]
+
+    def seal_query(self, bound):
+        return self.codec.seal_query(
+            bound, self.policy.query_level(bound.template.name)
+        )
+
+    def seal_update(self, bound):
+        return self.codec.seal_update(
+            bound, self.policy.update_level(bound.template.name)
+        )
+
+
+class TestShardedRouting:
+    async def test_router_forms_single_logical_cache(
+        self, simple_toystore, toystore_db
+    ):
+        """Routed by placement key, the second read of a view hits no
+        matter which client issued the first — the dilution the
+        client-partitioned cluster suffers cannot happen."""
+        top = ShardedTopology(simple_toystore, toystore_db.clone())
+        async with top:
+            q2_of_5 = simple_toystore.query("Q2").bind([5])
+            first = await top.router.query(top.seal_query(q2_of_5))
+            assert first.cache_hit is False
+            second = await top.router.query(top.seal_query(q2_of_5))
+            assert second.cache_hit is True
+            # The view lives exactly where the ring says it should.
+            owner = top.ring.owner(bucket_key("toystore", "Q2"))
+            assert top.router.shard_for_query(
+                top.seal_query(q2_of_5)
+            ) == owner
+
+    async def test_non_owner_serves_passthrough_without_admitting(
+        self, simple_toystore, toystore_db
+    ):
+        """A query forced onto the wrong shard is answered (via home) but
+        never cached there — the entry a filtered push could not reach
+        must not exist."""
+        top = ShardedTopology(simple_toystore, toystore_db.clone())
+        async with top:
+            q2_of_5 = simple_toystore.query("Q2").bind([5])
+            owner = top.ring.owner(bucket_key("toystore", "Q2"))
+            stranger = next(n for n in top.names if n != owner)
+            first = await top.clients[stranger].query(top.seal_query(q2_of_5))
+            second = await top.clients[stranger].query(
+                top.seal_query(q2_of_5)
+            )
+            assert first.cache_hit is False
+            assert second.cache_hit is False  # still not admitted
+            assert top.server(stranger).passthrough_misses == 2
+            # The owner, by contrast, admits normally.
+            await top.clients[owner].query(top.seal_query(q2_of_5))
+            hit = await top.clients[owner].query(top.seal_query(q2_of_5))
+            assert hit.cache_hit is True
+
+    def test_node_must_be_in_its_own_shard_set(self):
+        with pytest.raises(WireError, match="not in its own shard set"):
+            DsspNetServer(
+                DsspNode(), node_id="dssp-9", shards=("dssp-0", "dssp-1")
+            )
+
+
+class TestFilteredFanOut:
+    async def test_pushes_skip_shards_owning_no_affected_bucket(
+        self, simple_toystore, toystore_db
+    ):
+        """U1 affects Q1 and Q2: their bucket owners get the push, every
+        other shard is filtered — and a re-read still sees the delete."""
+        top = ShardedTopology(
+            simple_toystore, toystore_db.clone(), nodes=4
+        )
+        async with top:
+            q2_of_5 = simple_toystore.query("Q2").bind([5])
+            owners = {
+                top.ring.owner(bucket_key("toystore", "Q1")),
+                top.ring.owner(bucket_key("toystore", "Q2")),
+            }
+            await top.router.query(top.seal_query(q2_of_5))
+            assert (
+                await top.router.query(top.seal_query(q2_of_5))
+            ).cache_hit
+
+            origin = top.ring.owner(bucket_key("toystore", "Q2"))
+            ack = await top.clients[origin].update(
+                top.seal_update(simple_toystore.update("U1").bind([5]))
+            )
+            assert ack.rows_affected == 1
+            assert ack.invalidated == 1  # synchronous, at the origin
+
+            for name in owners - {origin}:
+                server = top.server(name)
+                await eventually(
+                    lambda s=server: s.stream_pushes_applied >= 1
+                )
+            # With 4 shards and at most 2 owners there is always at least
+            # one bystander: not the origin, owning neither bucket.
+            bystanders = set(top.names) - owners - {origin}
+            assert bystanders
+            assert top.home_net.pushes_filtered == len(bystanders)
+            for name in bystanders:
+                assert top.server(name).stream_pushes_applied == 0
+
+            re_read = await top.router.query(top.seal_query(q2_of_5))
+            assert re_read.cache_hit is False
+            assert top.codec.open_result(re_read.result).rows == ()
+
+    async def test_subscribers_negotiate_shard_filtering(
+        self, simple_toystore, toystore_db
+    ):
+        top = ShardedTopology(simple_toystore, toystore_db.clone())
+        async with top:
+            snapshot = top.home_net.stats_snapshot()
+            assert snapshot["subscribers"]
+            assert all(
+                subscriber["shard_filtered"]
+                for subscriber in snapshot["subscribers"]
+            )
+
+    async def test_home_knob_disables_filtering(
+        self, simple_toystore, toystore_db
+    ):
+        """With ``shard_filtered_pushes=False`` the home ignores declared
+        topologies: every non-origin subscriber gets every push."""
+        top = ShardedTopology(
+            simple_toystore,
+            toystore_db.clone(),
+            shard_filtered_pushes=False,
+        )
+        async with top:
+            snapshot = top.home_net.stats_snapshot()
+            assert not any(
+                subscriber["shard_filtered"]
+                for subscriber in snapshot["subscribers"]
+            )
+            origin = top.names[0]
+            await top.clients[origin].update(
+                top.seal_update(simple_toystore.update("U1").bind([5]))
+            )
+            for name in top.names[1:]:
+                server = top.server(name)
+                await eventually(
+                    lambda s=server: s.stream_pushes_applied >= 1
+                )
+            assert top.home_net.pushes_filtered == 0
+
+
+def make_trace() -> Trace:
+    return Trace(
+        application="toystore",
+        pages=[
+            [("query", "Q2", [1]), ("query", "Q2", [2]), ("query", "Q1", ["toy3"])],
+            [("query", "Q2", [1]), ("update", "U1", [5]), ("query", "Q2", [5])],
+            [("query", "Q3", [1]), ("query", "Q2", [2])],
+            [("update", "U1", [6]), ("query", "Q2", [6]), ("query", "Q2", [1])],
+            [("query", "Q2", [3]), ("query", "Q1", ["toy2"]), ("query", "Q2", [2])],
+            [("query", "Q2", [4]), ("update", "U1", [7]), ("query", "Q3", [2])],
+        ],
+    )
+
+
+class TestShardedChaosOracle:
+    async def test_fault_free_sharded_run_converges(
+        self, simple_toystore, toystore_db
+    ):
+        policy = ExposurePolicy.uniform(
+            simple_toystore, StrategyClass.MTIS.exposure_level
+        )
+        report, _ = await run_chaos(
+            "toystore",
+            simple_toystore,
+            toystore_db.clone(),
+            policy,
+            make_trace(),
+            FaultPlan(seed=11),
+            nodes=3,
+            clients=4,
+            pages=12,
+            shards=True,
+        )
+        assert report.ok, report.summary()
+        assert report.hits > 0  # placement routing makes hits possible
+
+    async def test_shard_killed_mid_run_stays_consistent(
+        self, simple_toystore, toystore_db
+    ):
+        """A shard dies (and restarts cold) mid-run: no stale reads, no
+        lost acked updates, and the home database converges."""
+        policy = ExposurePolicy.uniform(
+            simple_toystore, StrategyClass.MTIS.exposure_level
+        )
+        report, _ = await run_chaos(
+            "toystore",
+            simple_toystore,
+            toystore_db.clone(),
+            policy,
+            make_trace(),
+            FaultPlan(seed=23, kill_every=4, kill_targets=("dssp-1",)),
+            nodes=3,
+            clients=4,
+            pages=12,
+            shards=True,
+        )
+        assert report.ok, report.summary()
+        assert report.kills >= 1

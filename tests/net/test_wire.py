@@ -142,10 +142,17 @@ def frames(draw):
     if kind is FrameType.UPDATE:
         return UpdateRequest(draw(update_envelopes()), origin=draw(_opt_text))
     if kind is FrameType.SUBSCRIBE:
+        sharded = draw(st.booleans())
         return SubscribeRequest(
             draw(_text),
             tuple(draw(st.lists(_text, max_size=4))),
             supports_batch=draw(st.booleans()),
+            shards=(
+                tuple(draw(st.lists(_text, min_size=1, max_size=4)))
+                if sharded
+                else ()
+            ),
+            vnodes=draw(st.integers(1, 256)) if sharded else 0,
         )
     if kind is FrameType.RESULT:
         return QueryResponse(draw(result_envelopes()), draw(st.booleans()))
@@ -157,6 +164,7 @@ def frames(draw):
         return SubscribeResponse(
             tuple(draw(st.lists(_text, max_size=4))),
             batch_enabled=draw(st.booleans()),
+            shard_filtered=draw(st.booleans()),
         )
     if kind is FrameType.INVALIDATE:
         return InvalidationPush(draw(update_envelopes()))
@@ -390,6 +398,52 @@ class TestBatchCapability:
         encoded[-1] = 7
         with pytest.raises(WireError, match="capability"):
             decode_frame(bytes(encoded))
+
+
+class TestShardTopology:
+    """Shard declarations ride behind the capability byte, invisibly to
+    unsharded peers."""
+
+    def test_unsharded_subscribe_carries_no_topology_bytes(self):
+        plain = encode_frame(SubscribeRequest("n1", ("app",)))
+        decoded = decode_frame(plain)
+        assert decoded.shards == ()
+        assert decoded.vnodes == 0
+
+    def test_sharded_subscribe_round_trips(self):
+        frame = SubscribeRequest(
+            "dssp-0",
+            ("toystore",),
+            supports_batch=True,
+            shards=("dssp-0", "dssp-1", "dssp-2"),
+            vnodes=64,
+        )
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_sharded_subscribe_without_batch_keeps_positions(self):
+        # The capability byte must be written (as 0) when topology
+        # follows, or the decoder would read vnodes as a capability.
+        frame = SubscribeRequest(
+            "dssp-0", ("toystore",), shards=("dssp-0",), vnodes=8
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.supports_batch is False
+        assert decoded.shards == ("dssp-0",)
+        assert decoded.vnodes == 8
+
+    def test_shards_require_vnodes(self):
+        with pytest.raises(WireError, match="vnodes"):
+            encode_frame(
+                SubscribeRequest("n1", ("app",), shards=("n1",), vnodes=0)
+            )
+
+    def test_shard_filtered_response_round_trips(self):
+        frame = SubscribeResponse(
+            ("toystore",), batch_enabled=True, shard_filtered=True
+        )
+        assert decode_frame(encode_frame(frame)) == frame
+        unfiltered = SubscribeResponse(("toystore",), batch_enabled=True)
+        assert decode_frame(encode_frame(unfiltered)) == unfiltered
 
 
 class TestBatchFrame:
