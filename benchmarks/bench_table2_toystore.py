@@ -13,6 +13,7 @@ cached results each regime invalidates.  Expected (paper Table 2)::
 from repro.analysis.exposure import ExposureLevel, ExposurePolicy
 from repro.crypto import Keyring
 from repro.dssp import DsspNode, HomeServer
+from repro.storage.backends import wrap_database
 from repro.workloads import simple_toystore_spec
 
 from benchmarks.conftest import once
@@ -25,12 +26,17 @@ LEVELS = (
 )
 
 
-def _run_regime(level: ExposureLevel, update_param: int) -> tuple[int, list[str]]:
+def _run_regime(
+    level: ExposureLevel, update_param: int, backend: str = "memory"
+) -> tuple[int, list[str]]:
     spec = simple_toystore_spec()
     instance = spec.instantiate(scale=0.5, seed=7)
     policy = ExposurePolicy.uniform(spec.registry, level)
+    # Table 2's invalidation counts are storage-independent; running the
+    # regimes over the sqlite backend (--backend sqlite) demonstrates it.
+    database = wrap_database(backend, instance.database)
     home = HomeServer(
-        "toystore", instance.database, spec.registry, policy, Keyring("toystore")
+        "toystore", database, spec.registry, policy, Keyring("toystore")
     )
     node = DsspNode()
     node.register_application(home)
@@ -55,20 +61,25 @@ def _run_regime(level: ExposureLevel, update_param: int) -> tuple[int, list[str]
     return outcome.invalidated, survivors
 
 
-def test_table2_invalidation_regimes(benchmark, emit):
+def test_table2_invalidation_regimes(benchmark, emit, bench_backend):
     def experiment():
         lines = [
-            f"{'regime':<10} {'invalidated':>12}  surviving cached views",
+            f"{'regime':<10} {'invalidated':>12}  surviving cached views"
+            f"  [backend={bench_backend}]",
             "-" * 60,
         ]
         counts = {}
         for level in LEVELS:
-            invalidated, survivors = _run_regime(level, update_param=5)
+            invalidated, survivors = _run_regime(
+                level, update_param=5, backend=bench_backend
+            )
             counts[level] = invalidated
             lines.append(
                 f"{level.label:<10} {invalidated:>12}  {', '.join(survivors) or '-'}"
             )
-        invalidated, survivors = _run_regime(ExposureLevel.VIEW, update_param=3)
+        invalidated, survivors = _run_regime(
+            ExposureLevel.VIEW, update_param=3, backend=bench_backend
+        )
         lines.append(
             f"{'view U1(3)':<10} {invalidated:>12}  {', '.join(survivors) or '-'}"
         )

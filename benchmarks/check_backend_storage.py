@@ -1,0 +1,104 @@
+"""Regression gate for the storage-backend throughput benchmark.
+
+Compares a freshly generated ``BENCH_backend_storage.json`` against the
+committed baseline and fails (exit 1) when the subsystem's headline
+claims regress:
+
+* SQLite must still bulk-load the full large tier (>= ``--large-floor``
+  rows, default one million) — the durable-master capacity claim;
+* every throughput metric of every (tier, backend) cell must stay within
+  ``--tolerance`` of the committed baseline (a ratio floor, generous by
+  default because CI machines vary);
+* the memory backend must not have become slower than SQLite at point
+  queries on the small tier — the wrapped engine's indexed fast path.
+
+Usage::
+
+    python benchmarks/check_backend_storage.py BASELINE FRESH [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+METRICS = (
+    "load_rows_per_s",
+    "point_queries_per_s",
+    "ordered_queries_per_s",
+    "updates_per_s",
+)
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check(baseline: dict, fresh: dict, args) -> list[str]:
+    failures: list[str] = []
+
+    large = str(fresh["large_rows"])
+    loaded = fresh["tiers"][large]["sqlite"]["rows_loaded"]
+    if loaded < args.large_floor:
+        failures.append(
+            f"sqlite large tier loaded only {loaded:,} rows "
+            f"(floor {args.large_floor:,})"
+        )
+
+    for tier, by_kind in fresh["tiers"].items():
+        base_tier = baseline["tiers"].get(tier)
+        if base_tier is None:
+            continue  # row counts were overridden; nothing to compare
+        for kind, measured in by_kind.items():
+            for metric in METRICS:
+                floor = base_tier[kind][metric] * args.tolerance
+                if measured[metric] < floor:
+                    failures.append(
+                        f"{kind}@{tier} {metric} {measured[metric]:,.0f}/s "
+                        f"regressed below {floor:,.0f}/s (baseline "
+                        f"{base_tier[kind][metric]:,.0f} x {args.tolerance})"
+                    )
+
+    small = str(fresh["small_rows"])
+    memory_point = fresh["tiers"][small]["memory"]["point_queries_per_s"]
+    sqlite_point = fresh["tiers"][small]["sqlite"]["point_queries_per_s"]
+    if memory_point < sqlite_point * 0.5:
+        failures.append(
+            f"memory point queries ({memory_point:,.0f}/s) fell far below "
+            f"sqlite ({sqlite_point:,.0f}/s): indexed fast path broken?"
+        )
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_backend_storage.json")
+    parser.add_argument("fresh", help="freshly generated result to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="fresh throughput must be >= baseline x this (default 0.25)",
+    )
+    parser.add_argument(
+        "--large-floor",
+        type=int,
+        default=1_000_000,
+        help="minimum rows the sqlite large tier must load (default 1M)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check(_load(args.baseline), _load(args.fresh), args)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("backend-storage gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

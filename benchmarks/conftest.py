@@ -31,6 +31,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
 BENCH_PAGES = int(os.environ.get("REPRO_BENCH_PAGES", "1500"))
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="storage backend for the home's master copy, in benchmarks "
+        "that honor it (e.g. bench_table2_toystore)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_backend(request) -> str:
+    """The ``--backend`` option: which engine holds the master copy."""
+    return request.config.getoption("--backend")
+
 STRATEGY_ORDER = (
     StrategyClass.MVIS,
     StrategyClass.MSIS,

@@ -177,6 +177,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_home.add_argument("--scale", type=float, default=0.2)
     serve_home.add_argument("--seed", type=int, default=1)
     serve_home.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="master-copy storage engine (sqlite is durable with --db-path)",
+    )
+    serve_home.add_argument(
+        "--db-path",
+        default=None,
+        metavar="PATH",
+        help="SQLite database file; an existing non-empty file is resumed "
+        "as-is (restart durability) instead of regenerating data",
+    )
+    serve_home.add_argument(
         "--master",
         default="repro-demo",
         help="shared demo master secret (derives the application keyring; "
@@ -380,6 +393,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--seed", type=int, default=1, help="workload/trace seed"
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="home master-copy storage engine",
+    )
+    chaos.add_argument(
+        "--db-path",
+        default=None,
+        metavar="PATH",
+        help="SQLite file for the home's master copy (sqlite backend); "
+        "home kills then restart from the durable file",
     )
     chaos.add_argument(
         "--report",
@@ -683,14 +709,24 @@ def _serve(server, banner: str, out) -> int:
 
 def _cmd_serve_home(args, out) -> int:
     from repro.net.home_server import HomeNetServer
+    from repro.storage.backends import wrap_database
 
     strategy = StrategyClass[args.strategy]
     spec = get_application(args.app)
     instance = spec.instantiate(scale=args.scale, seed=args.seed)
     policy = ExposurePolicy.uniform(spec.registry, strategy.exposure_level)
+    # The backend seam: memory serves the generated instance directly;
+    # sqlite copies it into a durable store — unless --db-path already
+    # holds data, in which case the file's contents win (restart).
+    if args.backend == "memory":
+        database = instance.database
+    else:
+        database = wrap_database(
+            args.backend, instance.database, path=args.db_path
+        )
     home = HomeServer(
         args.app,
-        instance.database,
+        database,
         spec.registry,
         policy,
         _demo_keyring(args.app, args.master),
@@ -993,6 +1029,8 @@ def _cmd_chaos(args, out) -> int:
             pipeline=args.pipeline,
             shards=args.shards,
             vnodes=args.vnodes or DEFAULT_VNODES,
+            backend=args.backend,
+            db_path=args.db_path,
         )
     )
     print(

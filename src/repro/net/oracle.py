@@ -59,7 +59,9 @@ from repro.net.chaos import ChaosLog, ChaosProxy, FaultEvent, FaultPlan
 from repro.net.client import RetryPolicy, WireClient
 from repro.net.dssp_server import DsspNetServer
 from repro.net.home_server import HomeNetServer, UpdateDedup
+from repro.storage.backends import InMemoryBackend, wrap_database
 from repro.storage.database import Database
+from repro.storage.rows import sort_key
 from repro.templates.registry import TemplateRegistry
 from repro.workloads.trace import Trace
 
@@ -190,6 +192,8 @@ class ChaosTopology:
         batch_invalidations: bool = True,
         shards: bool = False,
         vnodes: int = DEFAULT_VNODES,
+        backend: str = "memory",
+        db_path=None,
     ) -> None:
         if nodes < 1:
             raise WorkloadError("chaos topology needs at least one node")
@@ -208,8 +212,21 @@ class ChaosTopology:
         self.codec = EnvelopeCodec(self.keyring)
         #: The live system's master copy (the caller's database is cloned,
         #: so the reference model can clone the same pristine state).
+        #: ``backend="sqlite"`` puts the master behind a durable
+        #: :class:`~repro.storage.backends.SqliteBackend` at ``db_path``;
+        #: the reference model then runs on an :class:`InMemoryBackend` so
+        #: both sides share the canonical ORDER BY/LIMIT semantics (a raw
+        #: Database reference would false-positive on tie order).
+        self.backend = backend
+        self.db_path = db_path
+        if backend == "memory":
+            home_database = database.clone()
+            self.reference_database = home_database
+        else:
+            home_database = wrap_database(backend, database, path=db_path)
+            self.reference_database = InMemoryBackend(database.clone())
         self.home = HomeServer(
-            app_id, database.clone(), registry, policy, self.keyring
+            app_id, home_database, registry, policy, self.keyring
         )
         #: Survives home restarts: models the durable idempotency log.
         self.dedup = UpdateDedup()
@@ -339,6 +356,8 @@ class ChaosTopology:
                 await handle.client_proxy.stop()
             if handle.home_proxy is not None:
                 await handle.home_proxy.stop()
+        if self.backend != "memory":
+            self.home.database.close()
 
     # -- chaos events ------------------------------------------------------
 
@@ -358,6 +377,24 @@ class ChaosTopology:
                 for handle in self.handles
             }
             await self.home_net.stop()
+            if self.backend == "sqlite" and self.db_path is not None:
+                # Model a full process death, not just a dropped listener:
+                # discard every in-memory structure and resume from what
+                # the durable file holds.  Only ``self.dedup`` survives —
+                # it stands in for the durable idempotency log.
+                old = self.home.database
+                old.close()
+                reopened = wrap_database(
+                    "sqlite", self.reference_database.database,
+                    path=self.db_path,
+                )
+                self.home = HomeServer(
+                    self.app_id,
+                    reopened,
+                    self.registry,
+                    self.policy,
+                    self.keyring,
+                )
             self.home_net = self._new_home_server()
             await self.home_net.start()
             await self.wait_streams(baselines)
@@ -407,7 +444,8 @@ class ChaosTopology:
 
         await _eventually(settled, timeout_s, "invalidation streams")
 
-    def home_database(self) -> Database:
+    def home_database(self):
+        """The live master copy (a raw :class:`Database` or a backend)."""
         return self.home.database
 
 
@@ -422,9 +460,13 @@ async def _eventually(
 
 
 class _Reference:
-    """The trusted sequential model: one database, applied in ack order."""
+    """The trusted sequential model: one database, applied in ack order.
 
-    def __init__(self, database: Database) -> None:
+    Takes a raw :class:`Database` or any backend — whatever the topology
+    says mirrors the live home's query semantics (`reference_database`).
+    """
+
+    def __init__(self, database) -> None:
         self.database = database.clone()
 
     def execute(self, bound):
@@ -470,7 +512,7 @@ class ChaosRunner:
         self.pages = pages if pages is not None else len(trace)
         self.max_attempts = max_attempts
         self.convergence_timeout_s = convergence_timeout_s
-        self.reference = _Reference(topology.home.database)
+        self.reference = _Reference(topology.reference_database)
         self.report = OracleReport(seed=topology.plan.seed)
 
     async def run(self) -> OracleReport:
@@ -681,8 +723,11 @@ class ChaosRunner:
         live = self.topology.home_database()
         reference = self.reference.database
         for table in sorted(live.schema.table_names):
-            live_rows = sorted(live.rows(table), key=repr)
-            ref_rows = sorted(reference.rows(table), key=repr)
+            # Total-order value sort, not repr: SQLite's REAL affinity can
+            # hand back 3.0 where the reference holds 3 — equal values that
+            # repr would order differently, faking a divergence.
+            live_rows = sorted(live.rows(table), key=sort_key)
+            ref_rows = sorted(reference.rows(table), key=sort_key)
             if live_rows != ref_rows:
                 self.report.violations.append(
                     Violation(
@@ -720,6 +765,8 @@ async def run_chaos(
     batch_invalidations: bool = True,
     shards: bool = False,
     vnodes: int = DEFAULT_VNODES,
+    backend: str = "memory",
+    db_path=None,
 ) -> tuple[OracleReport, ChaosLog]:
     """Build a chaos topology, replay the trace, and tear everything down.
 
@@ -740,6 +787,8 @@ async def run_chaos(
         batch_invalidations=batch_invalidations,
         shards=shards,
         vnodes=vnodes,
+        backend=backend,
+        db_path=db_path,
     )
     await topology.start()
     try:

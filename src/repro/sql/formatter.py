@@ -10,7 +10,11 @@ statements in the DSSP cache, so it must be a pure function of the AST.
 
 from __future__ import annotations
 
+import math
+from decimal import Decimal
 from functools import lru_cache
+
+from repro.errors import UnsupportedSqlError
 
 from repro.sql.ast import (
     Aggregate,
@@ -67,7 +71,30 @@ def _format_literal(literal: Literal) -> str:
     if isinstance(value, str):
         escaped = value.replace("'", "''")
         return f"'{escaped}'"
+    if isinstance(value, float):
+        return _format_float(value)
     return repr(value)
+
+
+def _format_float(value: float) -> str:
+    """Positional rendering the lexer can re-tokenize.
+
+    ``repr`` switches to exponent notation outside ``1e-4 .. 1e16``
+    (``1e-07``, ``1e+20``), which the dialect's number tokens cannot
+    express — the round-trip property test caught exactly that drift.
+    ``Decimal(repr(value))`` is the shortest decimal that round-trips to
+    ``value``, so formatting it positionally preserves the float exactly.
+    """
+    if not math.isfinite(value):
+        raise UnsupportedSqlError(
+            f"non-finite float literal {value!r} has no SQL rendering"
+        )
+    text = repr(value)
+    if "e" in text or "E" in text:
+        text = format(Decimal(text), "f")
+    if "." not in text:
+        text += ".0"  # keep it a float token; bare digits lex as an integer
+    return text
 
 
 def _format_select_item(item: SelectItem) -> str:

@@ -6,7 +6,10 @@ paper's dialect — SPJ queries with conjunctive predicates, order-by, top-k,
 aggregation and group-by — plus DML application with primary-key,
 foreign-key, NOT NULL, and modification-statement enforcement.
 
-Entry point: :class:`~repro.storage.database.Database`.
+Entry points: :class:`~repro.storage.database.Database` (the raw engine)
+and :mod:`repro.storage.backends` (the pluggable-backend seam the home
+server and CLI go through: ``memory`` wraps this engine, ``sqlite``
+compiles the same dialect to stdlib SQLite).
 """
 
 from repro.storage.database import Database

@@ -36,7 +36,13 @@ from repro.sql.ast import (
 )
 from repro.storage.rows import Row
 
-__all__ = ["apply_insert", "apply_delete", "apply_update"]
+__all__ = [
+    "apply_insert",
+    "apply_delete",
+    "apply_update",
+    "validate_insert_row",
+    "validate_update_assignments",
+]
 
 
 def _literal_value(value: Literal | Parameter, context: str) -> Scalar:
@@ -49,23 +55,16 @@ def _key_of(table: TableSchema, row: Row) -> tuple[Scalar, ...]:
     return tuple(row[table.position(column)] for column in table.primary_key)
 
 
-def apply_insert(
-    schema: Schema,
-    data: dict[str, list[Row]],
-    insert: Insert,
-    enforce_foreign_keys: bool = True,
-    indexes=None,
-) -> int:
-    """Insert one fully-specified row; returns 1 (rows affected).
+def validate_insert_row(schema: Schema, insert: Insert) -> tuple[TableSchema, Row]:
+    """Validate an INSERT's shape and values; return the coerced row.
 
-    With ``indexes`` (a :class:`~repro.storage.indexes.DatabaseIndexes`),
-    duplicate-key and parent-existence checks are O(1) instead of scans,
-    and all index structures are maintained.
+    Shared by every backend so that the column-coverage, NOT NULL, and type
+    checks — and the order they fire in — are engine-independent.
 
     Raises:
-        PrimaryKeyViolation: duplicate key.
-        ForeignKeyViolation: referenced parent row missing.
+        UnsupportedSqlError: unknown or missing columns.
         NotNullViolation: NULL in a NOT NULL or key column.
+        TypeMismatchError: value not storable in the column's type.
     """
     table = schema.table(insert.table)
     provided = dict(zip(insert.columns, insert.values))
@@ -92,7 +91,28 @@ def apply_insert(
             row_values.append(None)
         else:
             row_values.append(column.type.coerce(value))
-    row = tuple(row_values)
+    return table, tuple(row_values)
+
+
+def apply_insert(
+    schema: Schema,
+    data: dict[str, list[Row]],
+    insert: Insert,
+    enforce_foreign_keys: bool = True,
+    indexes=None,
+) -> int:
+    """Insert one fully-specified row; returns 1 (rows affected).
+
+    With ``indexes`` (a :class:`~repro.storage.indexes.DatabaseIndexes`),
+    duplicate-key and parent-existence checks are O(1) instead of scans,
+    and all index structures are maintained.
+
+    Raises:
+        PrimaryKeyViolation: duplicate key.
+        ForeignKeyViolation: referenced parent row missing.
+        NotNullViolation: NULL in a NOT NULL or key column.
+    """
+    table, row = validate_insert_row(schema, insert)
 
     if table.primary_key:
         new_key = _key_of(table, row)
@@ -218,18 +238,10 @@ def apply_update(
     if strict_model:
         _check_modification_model(table, update)
 
-    assignments: list[tuple[int, Scalar]] = []
-    for column_name, value in update.assignments:
-        column = table.column(column_name)
-        scalar = _literal_value(value, "SET clause")
-        if scalar is None:
-            if not column.nullable or table.is_key_column(column_name):
-                raise NotNullViolation(
-                    f"column {table.name}.{column_name} cannot be NULL"
-                )
-        else:
-            scalar = column.type.coerce(scalar)
-        assignments.append((table.position(column_name), scalar))
+    assignments = [
+        (table.position(column_name), scalar)
+        for column_name, scalar in validate_update_assignments(table, update)
+    ]
 
     check = _compile_predicate(table, update.where)
     rows = data.get(table.name, [])
@@ -247,6 +259,28 @@ def apply_update(
                 indexes.replace(table.name, row, replacement)
             changed += 1
     return changed
+
+
+def validate_update_assignments(
+    table: TableSchema, update: Update
+) -> tuple[tuple[str, Scalar], ...]:
+    """Validate SET values (NOT NULL, type); return coerced (column, value).
+
+    Shared by every backend, like :func:`validate_insert_row`.
+    """
+    assignments: list[tuple[str, Scalar]] = []
+    for column_name, value in update.assignments:
+        column = table.column(column_name)
+        scalar = _literal_value(value, "SET clause")
+        if scalar is None:
+            if not column.nullable or table.is_key_column(column_name):
+                raise NotNullViolation(
+                    f"column {table.name}.{column_name} cannot be NULL"
+                )
+        else:
+            scalar = column.type.coerce(scalar)
+        assignments.append((column_name, scalar))
+    return tuple(assignments)
 
 
 def _check_modification_model(table: TableSchema, update: Update) -> None:

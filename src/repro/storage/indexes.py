@@ -82,6 +82,21 @@ class PrimaryKeyIndex:
         for table in self._maps:
             self.rebuild(table, data.get(table, []))
 
+    def clone(self) -> "PrimaryKeyIndex":
+        """Copy the maps without re-deriving keys.
+
+        Rows are immutable tuples shared with the source; only the map
+        containers are fresh.  ``dict(mapping)`` is a C-level copy, so this
+        is far cheaper than :meth:`rebuild_all` re-extracting every key.
+        """
+        other = PrimaryKeyIndex.__new__(PrimaryKeyIndex)
+        other._schema = self._schema
+        other._positions = self._positions  # immutable after construction
+        other._maps = {
+            table: dict(mapping) for table, mapping in self._maps.items()
+        }
+        return other
+
     # -- queries --------------------------------------------------------------
 
     def contains(self, table: str, key: tuple) -> bool:
@@ -192,6 +207,27 @@ class DatabaseIndexes:
                     value = row[position]
                     if value is not None:
                         self._buckets[(table, column)][value].append(row)
+
+    def clone(self) -> "DatabaseIndexes":
+        """Copy every index without re-deriving it from table contents.
+
+        ``Database.clone()`` is on the oracle's hot path (one clone per
+        checked update in the view-inspection proofs), and rebuilding
+        buckets walks every column of every row in Python.  Cloning
+        instead copies the finished containers — per-bucket ``list(rows)``
+        and C-level ``dict`` copies — sharing the immutable row tuples.
+        """
+        other = DatabaseIndexes.__new__(DatabaseIndexes)
+        other._schema = self._schema
+        other.primary = self.primary.clone()
+        other._columns = self._columns  # immutable after construction
+        other._buckets = {
+            key: defaultdict(
+                list, {value: list(rows) for value, rows in bucket_map.items()}
+            )
+            for key, bucket_map in self._buckets.items()
+        }
+        return other
 
     # -- probes ---------------------------------------------------------------
 

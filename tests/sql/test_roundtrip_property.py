@@ -41,8 +41,11 @@ def identifiers():
 
 
 def scalars():
+    # Floats are finite-only: the engine never stores NaN/inf, and the
+    # dialect has no token for them (the formatter refuses them loudly).
     return st.one_of(
         st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False),
         st.text(
             alphabet=string.ascii_letters + string.digits + " '_",
             max_size=12,

@@ -1,0 +1,78 @@
+"""Shared comparison helpers for the backend differential suites.
+
+Both backends promise *observational equivalence*: identical ResultSets
+(multiset-equal, order-sensitive only under ORDER BY), identical affected
+counts, identical exception types.  The only tolerated daylight is float
+representation — SQLite's REAL affinity hands back ``3.0`` where the
+Python engine holds ``3``, and SUM/AVG may accumulate in a different
+order — so value comparison treats numbers numerically with a tight
+``isclose`` tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.storage.rows import ResultSet, sort_key
+
+__all__ = [
+    "assert_results_match",
+    "assert_states_match",
+    "rows_match",
+    "values_match",
+]
+
+
+def values_match(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    both_numbers = (
+        isinstance(a, (int, float))
+        and isinstance(b, (int, float))
+        and not isinstance(a, bool)
+        and not isinstance(b, bool)
+    )
+    if both_numbers:
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+    return a == b
+
+
+def rows_match(left, right) -> bool:
+    return len(left) == len(right) and all(
+        values_match(a, b) for a, b in zip(left, right)
+    )
+
+
+def _row_lists_match(left, right) -> bool:
+    return len(left) == len(right) and all(
+        rows_match(l, r) for l, r in zip(left, right)
+    )
+
+
+def assert_results_match(
+    memory_result: ResultSet, sqlite_result: ResultSet, context: str = ""
+) -> None:
+    """One query's answers from both engines must be equivalent."""
+    assert memory_result.columns == sqlite_result.columns, context
+    assert memory_result.ordered == sqlite_result.ordered, context
+    if memory_result.ordered:
+        left, right = list(memory_result.rows), list(sqlite_result.rows)
+    else:
+        left = sorted(memory_result.rows, key=sort_key)
+        right = sorted(sqlite_result.rows, key=sort_key)
+    assert _row_lists_match(left, right), (
+        f"{context}: {len(left)} memory rows vs {len(right)} sqlite rows; "
+        f"first rows {left[:3]!r} vs {right[:3]!r}"
+    )
+
+
+def assert_states_match(memory_backend, sqlite_backend) -> None:
+    """Both engines' full table contents must be multiset-equal."""
+    schema = memory_backend.schema
+    for table in sorted(schema.table_names):
+        left = sorted(memory_backend.rows(table), key=sort_key)
+        right = sorted(sqlite_backend.rows(table), key=sort_key)
+        assert _row_lists_match(left, right), (
+            f"table {table!r} diverged: {len(left)} memory rows vs "
+            f"{len(right)} sqlite rows"
+        )
