@@ -1,0 +1,222 @@
+"""Tracing overhead: the span recorder must be free when head-sampled.
+
+Replays the same recorded trace over the live localhost topology from
+``bench_net_pipeline`` (one home, two DSSP nodes, pipelined clients,
+injected per-request service latency so the run is latency-bound like
+the paper's deployment) twice:
+
+* **untraced** — no recorder anywhere; the baseline throughput.
+* **traced_1pct** — every process (client, both DSSP nodes, home) runs a
+  :class:`~repro.obs.trace.SpanRecorder` at 1% head sampling writing
+  JSON-lines span logs, the configuration a production fleet would run.
+
+The claim under gate: at 1% sampling the traced run keeps >= 95% of the
+untraced throughput.  Head sampling decides per trace id before any span
+object exists, so 99% of requests pay one hash and a context-variable
+read — the instrumentation must not tax the hot path it observes.
+
+The JSON artifact (``results/BENCH_tracing_overhead.json``) is committed
+and checked in CI by ``benchmarks/check_tracing_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis.exposure import ExposurePolicy
+from repro.crypto import Keyring
+from repro.crypto.envelope import EnvelopeCodec
+from repro.dssp import DsspNode, HomeServer
+from repro.dssp.invalidation import StrategyClass
+from repro.net import DsspNetServer, HomeNetServer, WireClient, run_load
+from repro.obs import SpanRecorder, SpanSink
+from repro.workloads import get_application
+from repro.workloads.trace import Trace, record_trace
+
+from benchmarks.conftest import BENCH_SCALE, once
+
+APP = "bookstore"
+PAGES = 200
+CLIENTS = 4
+NODES = 2
+PIPELINE = 8
+SAMPLE_RATE = 0.01
+#: Interleaved rounds per mode; the best round is kept.  Run-to-run
+#: drift on a shared host (several percent, monotone within a process)
+#: exceeds the effect under measurement, so a single untraced-then-
+#: traced pass would attribute the drift to the recorder.  Alternating
+#: the modes and keeping each mode's best round cancels it.
+ROUNDS = 2
+#: Injected per-request service latency at each DSSP server (seconds) —
+#: same rationale as bench_net_pipeline: localhost replay is otherwise
+#: CPU-bound and would measure the interpreter, not the recorder.
+SERVICE_LATENCY_S = 0.02
+
+
+async def _service_latency(frame, request_id):
+    await asyncio.sleep(SERVICE_LATENCY_S)
+
+
+async def _measure(spec, trace_json: str, span_dir: Path | None):
+    """One full load run; ``span_dir`` None means tracing disabled."""
+
+    def tracer(node_id: str) -> SpanRecorder | None:
+        if span_dir is None:
+            return None
+        sink = SpanSink(span_dir / f"{node_id}.spans.jsonl")
+        return SpanRecorder(node_id, sink, sample_rate=SAMPLE_RATE)
+
+    policy = ExposurePolicy.uniform(
+        spec.registry, StrategyClass.MVIS.exposure_level
+    )
+    keyring = Keyring(APP, b"b" * 32)
+    instance = spec.instantiate(scale=BENCH_SCALE, seed=1)
+    home = HomeServer(APP, instance.database, spec.registry, policy, keyring)
+    home_net = HomeNetServer(home, tracer=tracer("home"))
+    await home_net.start()
+    servers, clients = [], []
+    recorders = [home_net.tracer]
+    client_tracer = tracer("client")
+    recorders.append(client_tracer)
+    try:
+        for index in range(NODES):
+            server = DsspNetServer(
+                DsspNode(),
+                node_id=f"dssp-{index}",
+                fault_hook=_service_latency,
+                tracer=tracer(f"dssp-{index}"),
+            )
+            server.register_application(APP, spec.registry, home_net.address)
+            await server.start()
+            servers.append(server)
+            recorders.append(server.tracer)
+            clients.append(
+                WireClient(
+                    *server.address, pipeline=PIPELINE, tracer=client_tracer
+                )
+            )
+        trace = Trace.from_json(trace_json).bind(spec.registry)
+        report = await run_load(
+            clients,
+            EnvelopeCodec(keyring),
+            policy,
+            trace,
+            clients=CLIENTS,
+            pages=PAGES,
+            pipeline=PIPELINE,
+        )
+        spans = 0
+        if span_dir is not None:
+            for recorder in recorders:
+                recorder.close()
+            spans = sum(
+                len(path.read_text().splitlines())
+                for path in span_dir.glob("*.spans.jsonl")
+            )
+        return report, spans
+    finally:
+        for client in clients:
+            await client.aclose()
+        for server in servers:
+            await server.stop()
+        await home_net.stop()
+
+
+def _experiment() -> dict:
+    spec = get_application(APP)
+    recorder = spec.instantiate(scale=BENCH_SCALE, seed=1)
+    trace_json = record_trace(
+        recorder.sampler, PAGES, seed=1, application=APP
+    ).to_json()
+
+    async def run_rounds():
+        untraced_rounds, traced_rounds = [], []
+        for _ in range(ROUNDS):
+            report, _ = await _measure(spec, trace_json, None)
+            untraced_rounds.append(report)
+            with tempfile.TemporaryDirectory() as tmp:
+                report, counted = await _measure(spec, trace_json, Path(tmp))
+            traced_rounds.append((report, counted))
+        best_untraced = max(
+            untraced_rounds, key=lambda report: report.throughput_pages_s
+        )
+        best_traced, spans = max(
+            traced_rounds,
+            key=lambda pair: pair[0].throughput_pages_s,
+        )
+        return best_untraced, best_traced, spans
+
+    untraced, traced, spans = asyncio.run(run_rounds())
+    ratio = traced.throughput_pages_s / untraced.throughput_pages_s
+    return {
+        "topology": {
+            "application": APP,
+            "scale": BENCH_SCALE,
+            "pages": PAGES,
+            "clients": CLIENTS,
+            "nodes": NODES,
+            "pipeline": PIPELINE,
+            "service_latency_ms": SERVICE_LATENCY_S * 1000,
+            "sample_rate": SAMPLE_RATE,
+        },
+        "modes": {
+            "untraced": {
+                "throughput_pages_s": untraced.throughput_pages_s,
+                "p50_ms": untraced.p50_s * 1000,
+                "p99_ms": untraced.p99_s * 1000,
+                "errors": untraced.errors,
+            },
+            "traced_1pct": {
+                "throughput_pages_s": traced.throughput_pages_s,
+                "p50_ms": traced.p50_s * 1000,
+                "p99_ms": traced.p99_s * 1000,
+                "errors": traced.errors,
+                "spans_recorded": spans,
+            },
+        },
+        "throughput_ratio_traced_vs_untraced": ratio,
+        "overhead_fraction": 1.0 - ratio,
+    }
+
+
+def _render(result: dict) -> str:
+    lines = [
+        f"{'mode':<14} {'thr/s':>8} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'errors':>7} {'spans':>7}",
+        "-" * 58,
+    ]
+    for name, mode in result["modes"].items():
+        lines.append(
+            f"{name:<14} {mode['throughput_pages_s']:>8.1f} "
+            f"{mode['p50_ms']:>8.2f} {mode['p99_ms']:>8.2f} "
+            f"{mode['errors']:>7} {mode.get('spans_recorded', 0):>7}"
+        )
+    lines.append("")
+    lines.append(
+        f"traced/untraced throughput ratio: "
+        f"{result['throughput_ratio_traced_vs_untraced']:.3f} "
+        f"(overhead {result['overhead_fraction'] * 100:.1f}%)"
+    )
+    return "\n".join(lines)
+
+
+def test_tracing_overhead(benchmark, emit, results_dir):
+    result = once(benchmark, _experiment)
+    emit("tracing_overhead", _render(result))
+    artifact = results_dir / "BENCH_tracing_overhead.json"
+    artifact.write_text(json.dumps(result, indent=2) + "\n")
+
+    for mode in result["modes"].values():
+        assert mode["errors"] == 0
+    # 1% sampling really sampled: some spans, far fewer than one per
+    # request (a full-rate run would record several spans per request).
+    spans = result["modes"]["traced_1pct"]["spans_recorded"]
+    requests = PAGES * CLIENTS
+    assert 0 < spans < requests, spans
+
+    # The headline claim, asserted where it is produced: head-sampled
+    # tracing costs at most 5% of throughput on the latency-bound path.
+    assert result["overhead_fraction"] <= 0.05, result

@@ -1,0 +1,117 @@
+"""Regression gate for the tracing-overhead benchmark.
+
+Compares a freshly generated ``BENCH_tracing_overhead.json`` against the
+committed baseline and fails (exit 1) when head-sampled tracing starts
+taxing the hot path:
+
+* the traced/untraced throughput ratio must clear the absolute
+  acceptance floor (>= 0.95 by default — the PR's <= 5% overhead claim);
+* the fresh ratio must stay within ``--tolerance`` of the committed
+  baseline's ratio, so a recorder change that quietly doubles the cost
+  turns the build red even while still under the absolute floor;
+* both runs must complete with zero load-generator errors, and the
+  traced run must actually have recorded spans (a gate over a silently
+  disabled recorder measures nothing).
+
+Usage::
+
+    python benchmarks/check_tracing_overhead.py BASELINE FRESH [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check(baseline: dict, fresh: dict, args) -> list[str]:
+    failures: list[str] = []
+
+    for name, mode in fresh["modes"].items():
+        if mode["errors"]:
+            failures.append(
+                f"mode {name!r} finished with {mode['errors']} errors"
+            )
+
+    spans = fresh["modes"]["traced_1pct"]["spans_recorded"]
+    if spans <= 0:
+        failures.append(
+            "traced run recorded zero spans — the recorder was disabled, "
+            "so the overhead measurement is vacuous"
+        )
+
+    ratio = fresh["throughput_ratio_traced_vs_untraced"]
+    if ratio < args.ratio_floor:
+        failures.append(
+            f"traced/untraced throughput ratio {ratio:.3f} is below the "
+            f"acceptance floor of {args.ratio_floor:.3f} "
+            f"(overhead {100 * (1 - ratio):.1f}% > "
+            f"{100 * (1 - args.ratio_floor):.1f}%)"
+        )
+    allowed = baseline["throughput_ratio_traced_vs_untraced"] * args.tolerance
+    if ratio < allowed:
+        failures.append(
+            f"throughput ratio {ratio:.3f} regressed below {allowed:.3f} "
+            f"(baseline "
+            f"{baseline['throughput_ratio_traced_vs_untraced']:.3f} x "
+            f"tolerance {args.tolerance})"
+        )
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "baseline", help="committed BENCH_tracing_overhead.json"
+    )
+    parser.add_argument("fresh", help="freshly generated result to gate")
+    parser.add_argument(
+        "--ratio-floor",
+        type=float,
+        default=0.95,
+        help="absolute minimum traced/untraced throughput ratio "
+        "(default 0.95: the <= 5%% overhead claim)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.93,
+        help="fresh ratio must be >= baseline ratio x this (default "
+        "0.93: absorbs shared-runner noise, catches a recorder that "
+        "got expensive)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = check(baseline, fresh, args)
+
+    print(
+        f"tracing overhead: fresh ratio "
+        f"{fresh['throughput_ratio_traced_vs_untraced']:.3f} "
+        f"({100 * fresh['overhead_fraction']:.1f}% overhead), baseline "
+        f"{baseline['throughput_ratio_traced_vs_untraced']:.3f} "
+        f"(floor {args.ratio_floor:.3f}, tolerance {args.tolerance})"
+    )
+    print(
+        f"traced run recorded "
+        f"{fresh['modes']['traced_1pct']['spans_recorded']} spans at "
+        f"{fresh['topology']['sample_rate']:.0%} sampling"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: benchmark within regression bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

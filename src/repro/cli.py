@@ -18,7 +18,11 @@ Commands:
   (optionally with deterministic fault injection via ``--chaos-seed``).
 * ``chaos APP`` — stand up a chaos-proxied cluster in-process, replay a
   recorded trace through it, and run the consistency oracle.
-* ``stats HOST:PORT`` — dump a live node's STATS snapshot as JSON.
+* ``stats HOST:PORT [HOST:PORT ...]`` — dump live STATS snapshots as JSON
+  (several targets merge into a fleet view; ``--prom`` renders
+  Prometheus text exposition instead).
+* ``trace LOG [LOG ...]`` — assemble per-node span logs into trace
+  trees, print phase aggregates and critical paths.
 
 Global flags ``--log-level`` and ``--log-json`` configure structured
 logging for every command (key=value text or JSON lines on stderr).
@@ -332,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="virtual nodes per shard (must match the servers')",
     )
+    _add_trace_arguments(loadgen)
 
     chaos = commands.add_parser(
         "chaos",
@@ -413,15 +418,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the oracle report + canonical fault log as JSON",
     )
+    chaos.add_argument(
+        "--span-log",
+        default=None,
+        metavar="DIR",
+        help="write per-node span logs (one JSON-lines file per node) "
+        "into this directory",
+    )
+    chaos.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-sampling rate by trace id, 0..1",
+    )
 
     stats = commands.add_parser(
-        "stats", help="dump a live node's STATS snapshot as JSON"
+        "stats",
+        help="dump live STATS snapshots as JSON (or Prometheus text)",
     )
     stats.add_argument(
-        "address", metavar="HOST:PORT", help="any wire server (home or DSSP)"
+        "addresses",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="wire servers (home or DSSP); several merge into a fleet view",
     )
     stats.add_argument(
         "--timeout", type=float, default=5.0, help="request timeout (s)"
+    )
+    stats.add_argument(
+        "--prom",
+        action="store_true",
+        help="render the Prometheus text exposition format instead of "
+        "JSON (per-node series labeled node=..., no merging)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="assemble span logs into trace trees with critical paths",
+    )
+    trace.add_argument(
+        "logs",
+        nargs="+",
+        metavar="SPAN_LOG",
+        help="JSON-lines span log files (one per node, from --span-log)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report instead of tables",
+    )
+    trace.add_argument(
+        "--trace",
+        default=None,
+        metavar="ID",
+        help="print the span tree of one trace id",
+    )
+    trace.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="slowest traces to summarize (default 5)",
     )
     return parser
 
@@ -442,6 +500,25 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=10.0,
         help="per-request timeout in seconds",
+    )
+    _add_trace_arguments(parser)
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--span-log",
+        default=None,
+        metavar="PATH",
+        help="write sampled request spans as JSON lines to this file "
+        "(enables tracing; assemble with `repro trace`)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-sampling rate by trace id, 0..1 (must match across "
+        "the fleet so traces assemble whole)",
     )
 
 
@@ -679,6 +756,17 @@ def _parse_shards(text: str | None) -> tuple[str, ...] | None:
     return shards
 
 
+def _node_tracer(node_id: str, args):
+    """SpanRecorder for a traced process, or None when --span-log is unset."""
+    if getattr(args, "span_log", None) is None:
+        return None
+    from repro.obs import SpanRecorder, SpanSink
+
+    return SpanRecorder(
+        node_id, SpanSink(args.span_log), sample_rate=args.trace_sample
+    )
+
+
 def _serve(server, banner: str, out) -> int:
     """Run a wire server until SIGINT/SIGTERM; returns an exit code."""
     import asyncio
@@ -737,6 +825,7 @@ def _cmd_serve_home(args, out) -> int:
         args.port,
         max_in_flight=args.max_in_flight,
         request_timeout_s=args.timeout,
+        tracer=_node_tracer("home", args),
     )
     return _serve(
         server,
@@ -765,6 +854,7 @@ def _cmd_serve_dssp(args, out) -> int:
         request_timeout_s=args.timeout,
         shards=shards,
         vnodes=args.vnodes or DEFAULT_VNODES,
+        tracer=_node_tracer(args.node_id, args),
     )
     server.register_application(args.app, registry, _parse_address(args.home))
     role = f"shard {args.node_id}/{len(shards)}" if shards else args.node_id
@@ -823,13 +913,19 @@ def _cmd_loadgen(args, out) -> int:
             f"{len(args.dssp)} addresses; they must pair up in order"
         )
 
+    tracer = _node_tracer("client", args)
+
     async def run():
         endpoints = []
         proxies = []
         on_page = None
         if chaos_plan is None:
             endpoints = [
-                WireClient(*_parse_address(address), pipeline=args.pipeline)
+                WireClient(
+                    *_parse_address(address),
+                    pipeline=args.pipeline,
+                    tracer=tracer,
+                )
                 for address in args.dssp
             ]
         else:
@@ -845,7 +941,9 @@ def _cmd_loadgen(args, out) -> int:
                 host, port = await proxy.start()
                 proxies.append(proxy)
                 endpoints.append(
-                    WireClient(host, port, pipeline=args.pipeline)
+                    WireClient(
+                        host, port, pipeline=args.pipeline, tracer=tracer
+                    )
                 )
             if args.kill_every:
 
@@ -918,6 +1016,16 @@ def _cmd_loadgen(args, out) -> int:
             print(f"server stats baseline unavailable: {error}", file=out)
 
     report = asyncio.run(run())
+    if tracer is not None:
+        from repro.obs.assemble import phase_aggregates
+
+        tracer.close()
+        report = report.with_phases(
+            phase_aggregates(list(tracer.sink.spans))
+        )
+        print(
+            f"span log: {args.span_log} ({len(tracer.sink)} spans)", file=out
+        )
     print(
         f"app={args.app} strategy={strategy.name} clients={args.clients} "
         f"pipeline={args.pipeline or 1} "
@@ -1031,6 +1139,8 @@ def _cmd_chaos(args, out) -> int:
             vnodes=args.vnodes or DEFAULT_VNODES,
             backend=args.backend,
             db_path=args.db_path,
+            trace_dir=args.span_log,
+            trace_sample=args.trace_sample,
         )
     )
     print(
@@ -1044,19 +1154,25 @@ def _cmd_chaos(args, out) -> int:
     print(f"fault counts: {log.counts() or 'none'}", file=out)
     for violation in report.violations:
         print(f"VIOLATION: {violation.to_dict()}", file=out)
+    phases = None
+    if args.span_log is not None:
+        from repro.obs.assemble import load_spans, phase_aggregates
+
+        span_logs = sorted(pathlib.Path(args.span_log).glob("*.spans.jsonl"))
+        phases = phase_aggregates(load_spans(span_logs))
+        print(
+            f"span logs: {len(span_logs)} files in {args.span_log}", file=out
+        )
     if args.report is not None:
         path = pathlib.Path(args.report)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(
-                {
-                    "oracle": report.to_dict(),
-                    "fault_log": json.loads(log.to_json()),
-                },
-                indent=2,
-                default=str,
-            )
-        )
+        combined = {
+            "oracle": report.to_dict(),
+            "fault_log": json.loads(log.to_json()),
+        }
+        if phases is not None:
+            combined["phases"] = phases
+        path.write_text(json.dumps(combined, indent=2, default=str))
         print(f"report written to {args.report}", file=out)
     return 0 if report.ok else 1
 
@@ -1066,17 +1182,153 @@ def _cmd_stats(args, out) -> int:
 
     from repro.net.client import WireClient
 
-    async def fetch():
-        client = WireClient(
-            *_parse_address(args.address), request_timeout_s=args.timeout
-        )
-        try:
-            return await client.stats()
-        finally:
-            await client.aclose()
+    async def fetch_all():
+        snapshots = []
+        for address in args.addresses:
+            client = WireClient(
+                *_parse_address(address), request_timeout_s=args.timeout
+            )
+            try:
+                snapshots.append(await client.stats())
+            finally:
+                await client.aclose()
+        return snapshots
 
-    snapshot = asyncio.run(fetch())
-    print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+    snapshots = asyncio.run(fetch_all())
+    if args.prom:
+        from repro.obs import render_prometheus_fleet
+
+        parts = [
+            (
+                snapshot.get("metrics", {}),
+                {"node": str(snapshot.get("node_id", "unknown"))},
+            )
+            for snapshot in snapshots
+        ]
+        print(render_prometheus_fleet(parts), file=out, end="")
+        return 0
+    if len(snapshots) == 1:
+        print(json.dumps(snapshots[0], indent=2, sort_keys=True), file=out)
+        return 0
+    from repro.obs import merge_snapshots
+
+    combined = {
+        "nodes": snapshots,
+        "fleet": merge_snapshots(
+            *(snapshot.get("metrics", {}) for snapshot in snapshots)
+        ),
+    }
+    print(json.dumps(combined, indent=2, sort_keys=True), file=out)
+    return 0
+
+
+def _print_trace_tree(tree, out) -> None:
+    print(
+        f"trace {tree.trace_id}: {tree.duration_s * 1000:.2f}ms, "
+        f"{len(tree.spans)} spans on {len(tree.node_ids)} nodes",
+        file=out,
+    )
+
+    def walk(node, depth):
+        span = node.span
+        line = (
+            f"{'  ' * depth}{span.name} [{span.node}] "
+            f"{span.duration_s * 1000:.2f}ms"
+        )
+        if span.status != "ok":
+            line += f" status={span.status}"
+        if span.attrs:
+            details = " ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            line += f" {details}"
+        print(line, file=out)
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in sorted(tree.roots, key=lambda node: node.span.start_s):
+        walk(root, 0)
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.obs.assemble import (
+        assemble,
+        critical_path,
+        load_spans,
+        summarize,
+    )
+
+    trees = assemble(load_spans(args.logs))
+    if args.trace is not None:
+        tree = trees.get(args.trace)
+        if tree is None:
+            print(f"trace {args.trace!r} not found in span logs", file=out)
+            return 1
+        path = critical_path(tree)
+        if args.json:
+            report = {
+                "trace": tree.trace_id,
+                "duration_s": tree.duration_s,
+                "complete_update": tree.is_complete_update(),
+                "spans": [span.to_dict() for span in tree.spans],
+                "critical_path": path,
+            }
+            print(json.dumps(report, indent=2), file=out)
+            return 0
+        _print_trace_tree(tree, out)
+        print(
+            f"\ncritical path (covers {path['covered_s'] * 1000:.2f}ms of "
+            f"{path['total_s'] * 1000:.2f}ms):",
+            file=out,
+        )
+        for entry in path["entries"]:
+            print(
+                f"  {entry['name']:<22} {entry['node']:<10} "
+                f"{entry['self_s'] * 1000:>9.3f}ms "
+                f"{entry['share'] * 100:>5.1f}%",
+                file=out,
+            )
+        return 0
+    summary = summarize(trees, slowest=args.slowest)
+    if args.json:
+        print(json.dumps(summary, indent=2), file=out)
+        return 0
+    print(
+        f"traces={summary['traces']} spans={summary['spans']} "
+        f"nodes={','.join(summary['nodes']) or 'none'} "
+        f"complete_update_traces={summary['complete_update_traces']}",
+        file=out,
+    )
+    print(
+        f"\n{'phase':<22} {'count':>6} {'mean ms':>9} {'p50 ms':>9} "
+        f"{'p90 ms':>9} {'p99 ms':>9} {'max ms':>9}",
+        file=out,
+    )
+    for name, aggregate in summary["phases"].items():
+        print(
+            f"{name:<22} {aggregate['count']:>6} "
+            f"{aggregate['mean_s'] * 1000:>9.3f} "
+            f"{aggregate['p50_s'] * 1000:>9.3f} "
+            f"{aggregate['p90_s'] * 1000:>9.3f} "
+            f"{aggregate['p99_s'] * 1000:>9.3f} "
+            f"{aggregate['max_s'] * 1000:>9.3f}",
+            file=out,
+        )
+    if summary["slowest"]:
+        print("\nslowest traces (self-time critical path):", file=out)
+    for entry in summary["slowest"]:
+        print(
+            f"  {entry['trace']} {entry['duration_s'] * 1000:>8.2f}ms "
+            f"root={entry['root']} spans={entry['spans']}",
+            file=out,
+        )
+        for step in entry["critical_path"]:
+            print(
+                f"      {step['name']:<22} {step['node']:<10} "
+                f"{step['self_s'] * 1000:>8.3f}ms "
+                f"({step['share'] * 100:.0f}%)",
+                file=out,
+            )
     return 0
 
 
@@ -1095,6 +1347,7 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

@@ -17,6 +17,7 @@ from repro.crypto.envelope import (
 )
 from repro.crypto.keyring import Keyring
 from repro.errors import CacheError
+from repro.obs.trace import span as trace_span
 from repro.storage.database import Database
 from repro.templates.registry import TemplateRegistry
 
@@ -58,16 +59,23 @@ class HomeServer:
         The result is sealed at the *query template's* policy level, so the
         DSSP learns its contents only if the template is at ``view``.
         """
-        select = self.codec.open_query(envelope, self.registry)
-        result = self.database.execute(select)
+        with trace_span("home.crypto_open"):
+            select = self.codec.open_query(envelope, self.registry)
+        with trace_span("home.db_execute") as execute_span:
+            result = self.database.execute(select)
+            execute_span.set("rows", len(result))
         self.queries_served += 1
         level = self._result_level(envelope)
-        return self.codec.seal_result(result, level)
+        with trace_span("home.crypto_seal", level=level.name.lower()):
+            return self.codec.seal_result(result, level)
 
     def apply_update(self, envelope: UpdateEnvelope) -> int:
         """Apply an update to the master copy; returns rows affected."""
-        statement = self.codec.open_update(envelope, self.registry)
-        affected = self.database.apply(statement)
+        with trace_span("home.crypto_open"):
+            statement = self.codec.open_update(envelope, self.registry)
+        with trace_span("home.db_apply") as apply_span:
+            affected = self.database.apply(statement)
+            apply_span.set("rows", affected)
         self.updates_applied += 1
         return affected
 

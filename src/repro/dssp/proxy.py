@@ -22,6 +22,7 @@ from repro.dssp.homeserver import HomeServer
 from repro.dssp.invalidation import InvalidationEngine
 from repro.dssp.stats import DsspStats
 from repro.errors import CacheError, UnknownApplicationError
+from repro.obs.trace import span as trace_span
 from repro.templates.registry import TemplateRegistry
 
 __all__ = ["DsspNode", "QueryOutcome", "UpdateOutcome"]
@@ -143,9 +144,11 @@ class DsspNode:
     def lookup(self, envelope: QueryEnvelope) -> ResultEnvelope | None:
         """Phase 1 of a query: cache probe.  None means miss (go to home)."""
         self._tenant(envelope.app_id)  # validate tenancy
-        started = time.perf_counter()
-        entry = self.cache.get(envelope.cache_key)
-        self.stats.lookup_time_s += time.perf_counter() - started
+        with trace_span("dssp.cache_lookup") as lookup_span:
+            started = time.perf_counter()
+            entry = self.cache.get(envelope.cache_key)
+            self.stats.lookup_time_s += time.perf_counter() - started
+            lookup_span.set("hit", entry is not None)
         if entry is not None:
             self.stats.hits += 1
             return entry.result
@@ -170,9 +173,13 @@ class DsspNode:
     def invalidate_for(self, envelope: UpdateEnvelope) -> int:
         """Phase 2 of an update: the DSSP-side invalidation pass."""
         tenant = self._tenant(envelope.app_id)
-        started = time.perf_counter()
-        count = tenant.engine.process_update(envelope, self.cache, self.stats)
-        self.stats.invalidation_time_s += time.perf_counter() - started
+        with trace_span("dssp.invalidate") as invalidate_span:
+            started = time.perf_counter()
+            count = tenant.engine.process_update(
+                envelope, self.cache, self.stats
+            )
+            self.stats.invalidation_time_s += time.perf_counter() - started
+            invalidate_span.set("invalidated", count)
         return count
 
     # -- observability -------------------------------------------------------------

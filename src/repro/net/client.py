@@ -59,7 +59,8 @@ from repro.net.wire import (
     UpdateRequest,
     UpdateResponse,
 )
-from repro.obs import MetricsRegistry, new_request_id
+from repro.obs import MetricsRegistry, SpanRecorder, new_request_id
+from repro.obs.trace import span as trace_span
 
 __all__ = [
     "NetQueryOutcome",
@@ -533,6 +534,7 @@ class WireClient:
         metrics: MetricsRegistry | None = None,
         fault_hook=None,
         pipeline: int | None = None,
+        tracer: SpanRecorder | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -542,6 +544,10 @@ class WireClient:
         self._frame_observer = frame_observer
         self._fault_hook = fault_hook
         self.metrics = metrics or MetricsRegistry()
+        #: Span recorder for this caller's side of each request; sink-less
+        #: (disabled) by default.  A DSSP node passes its own recorder so
+        #: forwarded misses appear as nested client spans on that node.
+        self.tracer = tracer or SpanRecorder("client")
         self._pool = _ConnectionPool(
             host,
             port,
@@ -680,15 +686,21 @@ class WireClient:
         in_flight = self.metrics.gauge("client.in_flight")
         started = time.perf_counter()
         in_flight.inc()
-        try:
-            return await self._request_with_retries(
-                frame, idempotent=idempotent, request_id=request_id
-            )
-        finally:
-            in_flight.dec()
-            self.metrics.histogram("client.request_seconds").observe(
-                time.perf_counter() - started
-            )
+        with self.tracer.trace(
+            request_id, "client.request", frame=type(frame).__name__
+        ) as request_span:
+            try:
+                return await self._request_with_retries(
+                    frame, idempotent=idempotent, request_id=request_id
+                )
+            finally:
+                in_flight.dec()
+                self.metrics.histogram("client.request_seconds").observe(
+                    time.perf_counter() - started,
+                    exemplar=(
+                        request_id if request_span.recorded else None
+                    ),
+                )
 
     async def _request_with_retries(
         self,
@@ -700,7 +712,10 @@ class WireClient:
         attempt = 0
         while True:
             try:
-                response = await self._exchange(frame, request_id=request_id)
+                with trace_span("client.exchange", attempt=attempt):
+                    response = await self._exchange(
+                        frame, request_id=request_id
+                    )
             except _ExchangeFailed as failure:
                 retryable = idempotent or not failure.sent
                 if retryable and attempt + 1 < self._retry.attempts:

@@ -51,6 +51,7 @@ from repro.net.wire import (
     UpdateResponse,
 )
 from repro.obs import envelope_context
+from repro.obs.trace import span as trace_span
 from repro.templates.registry import TemplateRegistry
 
 __all__ = ["DsspNetServer"]
@@ -175,6 +176,7 @@ class DsspNetServer(WireServer):
                 retry=self._home_retry,
                 frame_observer=self._frame_observer,
                 metrics=self.metrics,
+                tracer=self.tracer,
             )
             self._home_clients[address] = client
         return client
@@ -234,9 +236,10 @@ class DsspNetServer(WireServer):
         try:
             # The client's trace id rides the forwarded hop, so the home's
             # log records correlate with the originating request.
-            outcome = await client.query(
-                envelope, request_id=context.request_id
-            )
+            with trace_span("dssp.miss_forward"):
+                outcome = await client.query(
+                    envelope, request_id=context.request_id
+                )
         except _TRANSPORT_FAILURES as error:
             # Only transport-level trouble means "home unreachable"; a
             # home-side application error travels back typed as-is.
@@ -266,11 +269,12 @@ class DsspNetServer(WireServer):
         envelope = frame.envelope
         client = self._home_client(envelope.app_id)
         try:
-            ack = await client.update(
-                envelope,
-                origin=self.node_id,
-                request_id=context.request_id,
-            )
+            with trace_span("dssp.update_forward"):
+                ack = await client.update(
+                    envelope,
+                    origin=self.node_id,
+                    request_id=context.request_id,
+                )
         except _TRANSPORT_FAILURES as error:
             raise HomeUnreachableError(
                 f"forwarding update to {client.host}:{client.port} failed: "
@@ -301,7 +305,10 @@ class DsspNetServer(WireServer):
     ) -> None:
         """Invalidate for one pushed update; failures log, never kill."""
         try:
-            self.node.invalidate_for(envelope)
+            # Per-entry trace id: the push span joins the trace of the
+            # update that caused it, on whichever node receives it.
+            with self.tracer.trace(request_id, "dssp.stream_apply"):
+                self.node.invalidate_for(envelope)
             self.stream_pushes_applied += 1
             self.metrics.counter("dssp.stream_pushes").inc()
         except ReproError:

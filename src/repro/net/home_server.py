@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from collections import OrderedDict
 from collections.abc import Iterable
 
@@ -63,6 +64,7 @@ from repro.net.wire import (
     UpdateRequest,
     UpdateResponse,
 )
+from repro.obs.trace import span as trace_span
 
 __all__ = ["HomeNetServer", "UpdateDedup"]
 
@@ -371,33 +373,39 @@ class HomeNetServer(WireServer):
         """
         app_id = request.envelope.app_id
         push = InvalidationPush(envelope=request.envelope)
-        for subscriber in list(self._subscribers):
-            if app_id not in subscriber.app_ids:
-                continue
-            if request.origin is not None and subscriber.node_id == request.origin:
-                continue
-            if not self._shard_may_hold(subscriber, request):
-                self.pushes_filtered += 1
-                self.metrics.counter("home.pushes_filtered").inc()
-                continue
-            try:
-                subscriber.queue.put_nowait((push, request_id))
-                self.metrics.counter("home.pushes_enqueued").inc()
-            except asyncio.QueueFull:
-                self.metrics.counter("home.subscribers_dropped").inc()
-                logger.warning(
-                    "subscriber stalled with %d pushes pending; dropping",
-                    subscriber.queue.qsize(),
-                    extra={
-                        "ctx": {
-                            "server": self.server_id,
-                            "node_id": subscriber.node_id,
-                            "app_id": app_id,
-                            "request_id": request_id,
-                        }
-                    },
-                )
-                self._drop(subscriber)
+        with trace_span("home.fanout_enqueue") as fanout_span:
+            enqueued = filtered = 0
+            for subscriber in list(self._subscribers):
+                if app_id not in subscriber.app_ids:
+                    continue
+                if request.origin is not None and subscriber.node_id == request.origin:
+                    continue
+                if not self._shard_may_hold(subscriber, request):
+                    self.pushes_filtered += 1
+                    filtered += 1
+                    self.metrics.counter("home.pushes_filtered").inc()
+                    continue
+                try:
+                    subscriber.queue.put_nowait((push, request_id))
+                    enqueued += 1
+                    self.metrics.counter("home.pushes_enqueued").inc()
+                except asyncio.QueueFull:
+                    self.metrics.counter("home.subscribers_dropped").inc()
+                    logger.warning(
+                        "subscriber stalled with %d pushes pending; dropping",
+                        subscriber.queue.qsize(),
+                        extra={
+                            "ctx": {
+                                "server": self.server_id,
+                                "node_id": subscriber.node_id,
+                                "app_id": app_id,
+                                "request_id": request_id,
+                            }
+                        },
+                    )
+                    self._drop(subscriber)
+            fanout_span.set("enqueued", enqueued)
+            fanout_span.set("filtered", filtered)
 
     def _shard_may_hold(
         self, subscriber: _Subscriber, request: UpdateRequest
@@ -462,11 +470,21 @@ class HomeNetServer(WireServer):
                         except asyncio.QueueEmpty:
                             break
                 frame, request_id, delivered = self._coalesce(entries)
+                send_wall = time.time()
+                send_started = time.perf_counter()
                 await asyncio.wait_for(
                     self._send(
                         subscriber.context, frame, request_id=request_id
                     ),
                     self._push_timeout_s,
+                )
+                self._record_push_spans(
+                    frame,
+                    request_id,
+                    subscriber,
+                    start_s=send_wall,
+                    duration_s=time.perf_counter() - send_started,
+                    delivered=delivered,
                 )
                 self.metrics.counter("home.push_frames").inc()
                 self.metrics.counter("home.pushes_sent").inc(delivered)
@@ -486,6 +504,38 @@ class HomeNetServer(WireServer):
                 },
             )
             self._drop(subscriber)
+
+    def _record_push_spans(
+        self,
+        frame: Frame,
+        request_id: str | None,
+        subscriber: _Subscriber,
+        *,
+        start_s: float,
+        duration_s: float,
+        delivered: int,
+    ) -> None:
+        """One ``home.push_send`` span per coalesced entry's trace.
+
+        A batched frame serves several traces at once, so the one timed
+        send is recorded against every entry's trace id — each sampled
+        trace sees the push that carried its invalidation.
+        """
+        if not self.tracer.enabled:
+            return
+        if isinstance(frame, InvalidationBatch):
+            trace_ids = [entry_rid for entry_rid, _ in frame.entries]
+        else:
+            trace_ids = [request_id]
+        for trace_id in trace_ids:
+            self.tracer.record(
+                trace_id,
+                "home.push_send",
+                start_s=start_s,
+                duration_s=duration_s,
+                subscriber=subscriber.node_id,
+                batch=delivered,
+            )
 
     def _drop(self, subscriber: _Subscriber) -> None:
         """Remove a subscriber and close its channel.

@@ -69,6 +69,10 @@ class LoadReport:
     #: STATS around the run (see :meth:`with_invalidations`); ``None``
     #: means "not measured", never "zero".
     invalidations: int | None = None
+    #: Per-phase latency breakdown sourced from the client's local span
+    #: sink (see :func:`repro.obs.assemble.phase_aggregates`), when the
+    #: run traced itself; ``None`` means "not traced".
+    phases: dict | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -117,6 +121,16 @@ class LoadReport:
             )
         return replace(self, invalidations=invalidations)
 
+    def with_phases(self, phases: dict) -> "LoadReport":
+        """Copy of this report with a per-phase latency breakdown.
+
+        The load generator itself only times whole pages; a caller that
+        ran with a local span sink attaches the per-phase aggregates
+        (``repro.obs.assemble.phase_aggregates`` over the sink's spans)
+        so the JSON report can show where page time went.
+        """
+        return replace(self, phases=dict(phases))
+
     def behavior(self) -> CacheBehavior:
         """Measured per-page profile, for ``predict_p90`` cross-checks.
 
@@ -162,7 +176,7 @@ class LoadReport:
 
     def to_dict(self) -> dict:
         """JSON-safe report for machine consumers (CI artifacts)."""
-        return {
+        report = {
             "clients": self.clients,
             "pipeline": self.pipeline,
             "invalidations": self.invalidations,
@@ -180,6 +194,9 @@ class LoadReport:
             "p99_s": self.p99_s,
             "latency": self.latency.snapshot(),
         }
+        if self.phases is not None:
+            report["phases"] = self.phases
+        return report
 
 
 class _SharedStream:

@@ -32,6 +32,7 @@ import asyncio
 import logging
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis.exposure import ExposurePolicy
 from repro.crypto.envelope import EnvelopeCodec
@@ -59,6 +60,7 @@ from repro.net.chaos import ChaosLog, ChaosProxy, FaultEvent, FaultPlan
 from repro.net.client import RetryPolicy, WireClient
 from repro.net.dssp_server import DsspNetServer
 from repro.net.home_server import HomeNetServer, UpdateDedup
+from repro.obs import SpanRecorder, SpanSink
 from repro.storage.backends import InMemoryBackend, wrap_database
 from repro.storage.database import Database
 from repro.storage.rows import sort_key
@@ -194,9 +196,17 @@ class ChaosTopology:
         vnodes: int = DEFAULT_VNODES,
         backend: str = "memory",
         db_path=None,
+        trace_dir=None,
+        trace_sample: float = 1.0,
     ) -> None:
         if nodes < 1:
             raise WorkloadError("chaos topology needs at least one node")
+        #: Span tracing: one recorder (and span-log file) per logical node,
+        #: reused across kill/restart cycles so a restarted server keeps
+        #: appending to the same log.  None = tracing off.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.trace_sample = trace_sample
+        self._tracers: dict[str, SpanRecorder] = {}
         #: Per-client pipelining window (None = serial pooled transport).
         #: The oracle runner stays sequential either way; a window just
         #: routes its operations through the multiplexed channel, so the
@@ -266,6 +276,26 @@ class ChaosTopology:
     def _policy_seed(self, salt: int) -> int:
         return self.plan.seed * 1000 + salt
 
+    def tracer(self, node_id: str) -> SpanRecorder | None:
+        """The per-node recorder (shared across restarts), or None."""
+        if self.trace_dir is None:
+            return None
+        recorder = self._tracers.get(node_id)
+        if recorder is None:
+            recorder = SpanRecorder(
+                node_id,
+                SpanSink(self.trace_dir / f"{node_id}.spans.jsonl"),
+                sample_rate=self.trace_sample,
+            )
+            self._tracers[node_id] = recorder
+        return recorder
+
+    def span_logs(self) -> list[Path]:
+        """Paths of every span log this topology wrote (may be empty)."""
+        return [
+            recorder.sink.path for recorder in self._tracers.values()
+        ]
+
     def _new_home_server(self) -> HomeNetServer:
         return HomeNetServer(
             self.home,
@@ -273,6 +303,7 @@ class ChaosTopology:
             update_dedup=self.dedup,
             request_timeout_s=5.0,
             push_timeout_s=2.0,
+            tracer=self.tracer("home"),
         )
 
     def _new_dssp_server(self, index: int) -> DsspNetServer:
@@ -301,6 +332,7 @@ class ChaosTopology:
                 tuple(h.name for h in self.handles) if self.sharded else None
             ),
             vnodes=self.vnodes,
+            tracer=self.tracer(handle.name),
         )
         server.register_application(
             self.app_id, self.registry, handle.home_proxy.address
@@ -339,6 +371,7 @@ class ChaosTopology:
                     seed=self._policy_seed(30 + index),
                 ),
                 pipeline=self.pipeline,
+                tracer=self.tracer("client"),
             )
         await self.wait_streams()
 
@@ -358,6 +391,8 @@ class ChaosTopology:
                 await handle.home_proxy.stop()
         if self.backend != "memory":
             self.home.database.close()
+        for recorder in self._tracers.values():
+            recorder.close()
 
     # -- chaos events ------------------------------------------------------
 
@@ -767,6 +802,8 @@ async def run_chaos(
     vnodes: int = DEFAULT_VNODES,
     backend: str = "memory",
     db_path=None,
+    trace_dir=None,
+    trace_sample: float = 1.0,
 ) -> tuple[OracleReport, ChaosLog]:
     """Build a chaos topology, replay the trace, and tear everything down.
 
@@ -789,6 +826,8 @@ async def run_chaos(
         vnodes=vnodes,
         backend=backend,
         db_path=db_path,
+        trace_dir=trace_dir,
+        trace_sample=trace_sample,
     )
     await topology.start()
     try:

@@ -44,7 +44,7 @@ from repro.net.wire import (
     StatsRequest,
     StatsResponse,
 )
-from repro.obs import MetricsRegistry, envelope_context
+from repro.obs import MetricsRegistry, SpanRecorder, envelope_context
 
 __all__ = ["ConnectionContext", "WireServer"]
 
@@ -100,6 +100,7 @@ class WireServer:
         server_id: str = "server",
         metrics: MetricsRegistry | None = None,
         fault_hook=None,
+        tracer: SpanRecorder | None = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -117,6 +118,9 @@ class WireServer:
         #: Stable identity in logs and STATS snapshots.
         self.server_id = server_id
         self.metrics = metrics or MetricsRegistry()
+        #: Span recorder keyed on the wire request id; sink-less (and
+        #: therefore disabled, near-zero cost) unless one is supplied.
+        self.tracer = tracer or SpanRecorder(server_id)
         self.metrics.gauge(
             "server.connections", lambda: len(self._contexts)
         )
@@ -163,11 +167,25 @@ class WireServer:
         try:
             while not self._stopping:
                 try:
-                    traced = await wire.read_traced(
-                        reader,
-                        max_frame=self.max_frame,
-                        observer=self._frame_observer,
+                    # Raw read first, then a separately-timed decode: the
+                    # span covering codec work must not also bill the idle
+                    # time spent waiting for bytes.
+                    raw = await wire.read_raw_frame(
+                        reader, max_frame=self.max_frame
                     )
+                    if raw is None:  # clean EOF
+                        break
+                    if self._frame_observer is not None:
+                        self._frame_observer(raw)
+                    _, request_id = wire.peek_raw(raw)
+                    with self.tracer.trace(
+                        request_id, "server.decode"
+                    ) as decode_span:
+                        frame, request_id = wire.decode_traced(
+                            raw, max_frame=self.max_frame
+                        )
+                        decode_span.set("bytes", len(raw))
+                        decode_span.set("frame", type(frame).__name__)
                 except WireError as error:
                     self.metrics.counter("server.bad_frames").inc()
                     logger.warning(
@@ -179,9 +197,6 @@ class WireServer:
                         context, ErrorResponse(ErrorCode.BAD_FRAME, str(error))
                     )
                     break
-                if traced is None:  # clean EOF
-                    break
-                frame, request_id = traced
                 # Pipelining: dispatch concurrently and keep reading; the
                 # semaphore in _dispatch bounds concurrency and responses
                 # go out whenever their handler finishes (out of order).
@@ -273,67 +288,84 @@ class WireServer:
             )
         in_flight = self.metrics.gauge("server.in_flight")
         started = time.perf_counter()
-        async with self._in_flight:
-            in_flight.inc()
-            try:
-                response = await asyncio.wait_for(
-                    self._handle_with_hook(frame, context),
-                    self.request_timeout_s,
-                )
-                logger.debug("request served", extra={"ctx": ctx})
-                return response
-            except (asyncio.TimeoutError, TimeoutError):
-                self.metrics.counter("server.timeouts").inc()
-                logger.warning("request timed out", extra={"ctx": ctx})
-                return ErrorResponse(
-                    ErrorCode.TIMEOUT,
-                    f"request exceeded {self.request_timeout_s}s",
-                )
-            except NetTimeoutError as error:
-                self.metrics.counter("server.timeouts").inc()
-                return ErrorResponse(ErrorCode.TIMEOUT, str(error))
-            except UnknownApplicationError as error:
-                return ErrorResponse(ErrorCode.UNKNOWN_APP, error.app_id)
-            except HomeUnreachableError as error:
-                self.metrics.counter("server.forward_failures").inc()
-                logger.warning(
-                    "home unreachable: %s", error, extra={"ctx": ctx}
-                )
-                return ErrorResponse(ErrorCode.MISS_FORWARDED, str(error))
-            except ServerOverloadedError as error:
-                # A downstream hop shed the request unprocessed: relay the
-                # code so the client keeps its retry-safety guarantee.
-                return ErrorResponse(ErrorCode.OVERLOADED, str(error))
-            except WireError as error:
-                self.metrics.counter("server.bad_frames").inc()
-                return ErrorResponse(ErrorCode.BAD_FRAME, str(error))
-            except ReproError as error:
-                # Typed library errors are expected application failures
-                # (e.g. replayed INSERTs colliding): one line, no traceback.
-                self.metrics.counter("server.internal_errors").inc()
-                logger.warning(
-                    "request failed: %s: %s",
-                    type(error).__name__,
-                    error,
-                    extra={"ctx": ctx},
-                )
-                return ErrorResponse(
-                    ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
-                )
-            except Exception as error:
-                # A handler bug must not tear down the connection without an
-                # ERROR frame — the client could misread a silently dropped
-                # connection as "update never sent".
-                self.metrics.counter("server.internal_errors").inc()
-                logger.exception("request handler crashed", extra={"ctx": ctx})
-                return ErrorResponse(
-                    ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
-                )
-            finally:
-                in_flight.dec()
-                self.metrics.histogram("server.handle_seconds").observe(
-                    time.perf_counter() - started
-                )
+        with self.tracer.trace(
+            context.request_id, "server.handle", frame=type(frame).__name__
+        ) as handle_span:
+            async with self._in_flight:
+                in_flight.inc()
+                try:
+                    response = await asyncio.wait_for(
+                        self._handle_with_hook(frame, context),
+                        self.request_timeout_s,
+                    )
+                    logger.debug("request served", extra={"ctx": ctx})
+                    return response
+                except (asyncio.TimeoutError, TimeoutError):
+                    self.metrics.counter("server.timeouts").inc()
+                    logger.warning("request timed out", extra={"ctx": ctx})
+                    handle_span.set("error", "timeout")
+                    return ErrorResponse(
+                        ErrorCode.TIMEOUT,
+                        f"request exceeded {self.request_timeout_s}s",
+                    )
+                except NetTimeoutError as error:
+                    self.metrics.counter("server.timeouts").inc()
+                    handle_span.set("error", "timeout")
+                    return ErrorResponse(ErrorCode.TIMEOUT, str(error))
+                except UnknownApplicationError as error:
+                    return ErrorResponse(ErrorCode.UNKNOWN_APP, error.app_id)
+                except HomeUnreachableError as error:
+                    self.metrics.counter("server.forward_failures").inc()
+                    logger.warning(
+                        "home unreachable: %s", error, extra={"ctx": ctx}
+                    )
+                    handle_span.set("error", "home_unreachable")
+                    return ErrorResponse(ErrorCode.MISS_FORWARDED, str(error))
+                except ServerOverloadedError as error:
+                    # A downstream hop shed the request unprocessed: relay the
+                    # code so the client keeps its retry-safety guarantee.
+                    return ErrorResponse(ErrorCode.OVERLOADED, str(error))
+                except WireError as error:
+                    self.metrics.counter("server.bad_frames").inc()
+                    return ErrorResponse(ErrorCode.BAD_FRAME, str(error))
+                except ReproError as error:
+                    # Typed library errors are expected application failures
+                    # (e.g. replayed INSERTs colliding): one line, no traceback.
+                    self.metrics.counter("server.internal_errors").inc()
+                    logger.warning(
+                        "request failed: %s: %s",
+                        type(error).__name__,
+                        error,
+                        extra={"ctx": ctx},
+                    )
+                    handle_span.set("error", type(error).__name__)
+                    return ErrorResponse(
+                        ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
+                    )
+                except Exception as error:
+                    # A handler bug must not tear down the connection without an
+                    # ERROR frame — the client could misread a silently dropped
+                    # connection as "update never sent".
+                    self.metrics.counter("server.internal_errors").inc()
+                    logger.exception(
+                        "request handler crashed", extra={"ctx": ctx}
+                    )
+                    handle_span.set("error", type(error).__name__)
+                    return ErrorResponse(
+                        ErrorCode.INTERNAL, f"{type(error).__name__}: {error}"
+                    )
+                finally:
+                    in_flight.dec()
+                    # Exemplars only for sampled requests: the linked trace
+                    # must actually exist in the span logs.
+                    self.metrics.histogram("server.handle_seconds").observe(
+                        time.perf_counter() - started,
+                        exemplar=(
+                            context.request_id
+                            if handle_span.recorded
+                            else None
+                        ),
+                    )
 
     async def _handle_with_hook(
         self, frame: Frame, context: ConnectionContext

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import secrets
 import sys
 import time
@@ -38,6 +39,23 @@ ROOT_LOGGER = "repro"
 def new_request_id() -> str:
     """A fresh 64-bit trace id, as 16 lowercase hex characters."""
     return secrets.token_hex(8)
+
+
+#: Characters that would make an unquoted key=value field ambiguous.
+_NEEDS_QUOTING = re.compile(r'[\s="\[\]\\]')
+
+
+def _field_value(value) -> str:
+    """Render one context value for text mode, quoting when ambiguous.
+
+    Plain identifiers stay bare (``request_id=ab12``); values containing
+    whitespace, ``=``, quotes, brackets, or control characters are JSON
+    string-quoted so the ``[k=v ...]`` trailer stays machine-splittable.
+    """
+    text = str(value)
+    if not text or _NEEDS_QUOTING.search(text) or not text.isprintable():
+        return json.dumps(text)
+    return text
 
 
 class StructuredFormatter(logging.Formatter):
@@ -63,7 +81,7 @@ class StructuredFormatter(logging.Formatter):
             return json.dumps(payload, separators=(",", ":"), default=str)
         stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
         fields = " ".join(
-            f"{key}={context[key]}" for key in sorted(context)
+            f"{key}={_field_value(context[key])}" for key in sorted(context)
         )
         line = f"{stamp} {record.levelname:<7} {record.name} {message}"
         if fields:

@@ -16,7 +16,7 @@ registry every layer reports into:
 
 ``snapshot()`` produces a JSON-safe dict (the ``STATS`` wire frame and the
 ``repro stats`` CLI verb serialize it as-is); :func:`merge_snapshots` sums
-two snapshots for fleet-level aggregation, mirroring
+any number of snapshots for fleet-level aggregation, mirroring
 :meth:`repro.dssp.stats.DsspStats.merge`.
 
 Exposure safety: metric *names* and *values* are the only things that ever
@@ -107,9 +107,19 @@ class Histogram:
     implicit overflow bucket catches everything beyond the last edge.
     Tracked ``min``/``max`` clamp the interpolation so quantiles never
     stray outside the observed range.
+
+    An observation may carry an *exemplar* — an identifier (in practice a
+    trace id) linking the measurement to its trace.  The histogram keeps
+    only the :data:`EXEMPLAR_LIMIT` slowest exemplars, so the snapshot of
+    a hot histogram answers "which traces explain the tail" at O(1) cost.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+    #: Slowest (value, exemplar) pairs retained per histogram.
+    EXEMPLAR_LIMIT = 8
+
+    __slots__ = (
+        "name", "bounds", "counts", "count", "sum", "min", "max", "exemplars"
+    )
 
     def __init__(
         self, name: str, bounds: Sequence[float] | None = None
@@ -123,8 +133,9 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.exemplars: list[tuple[float, str]] = []
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.sum += value
@@ -132,6 +143,17 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if exemplar is not None:
+            self._keep_exemplar(value, str(exemplar))
+
+    def _keep_exemplar(self, value: float, exemplar: str) -> None:
+        keep = self.exemplars
+        if len(keep) < self.EXEMPLAR_LIMIT:
+            keep.append((value, exemplar))
+            keep.sort(reverse=True)
+        elif value > keep[-1][0]:
+            keep[-1] = (value, exemplar)
+            keep.sort(reverse=True)
 
     @property
     def mean(self) -> float:
@@ -157,10 +179,12 @@ class Histogram:
         self.sum += other.sum
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        for value, exemplar in other.exemplars:
+            self._keep_exemplar(value, exemplar)
 
     def snapshot(self) -> dict:
         """JSON-safe form, including precomputed headline quantiles."""
-        return {
+        result = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.count else 0.0,
@@ -173,6 +197,12 @@ class Histogram:
                 "p99": self.quantile(0.99),
             },
         }
+        if self.exemplars:
+            result["exemplars"] = [
+                {"value": value, "trace_id": exemplar}
+                for value, exemplar in self.exemplars
+            ]
+        return result
 
 
 def _bucket_quantile(
@@ -271,42 +301,65 @@ class MetricsRegistry:
         }
 
 
-def merge_snapshots(left: dict, right: dict) -> dict:
-    """Sum two registry snapshots (fleet aggregation of STATS payloads).
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Sum registry snapshots (fleet aggregation of STATS payloads).
 
-    Counters, gauges, and histogram buckets add; histogram min/max widen.
-    Metrics present in only one snapshot carry over unchanged.
+    Variadic over any number of per-node snapshots — ``repro stats`` with
+    several targets merges the whole fleet in one call.  Counters, gauges,
+    and histogram buckets add; histogram min/max widen; exemplars keep the
+    slowest few across the fleet.  Metrics present in only some snapshots
+    carry over unchanged.
     """
     merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     for kind in ("counters", "gauges"):
-        names = set(left.get(kind, {})) | set(right.get(kind, {}))
+        names = {name for snap in snapshots for name in snap.get(kind, {})}
         for name in sorted(names):
-            merged[kind][name] = left.get(kind, {}).get(name, 0.0) + right.get(
-                kind, {}
-            ).get(name, 0.0)
-    names = set(left.get("histograms", {})) | set(right.get("histograms", {}))
+            merged[kind][name] = sum(
+                snap.get(kind, {}).get(name, 0.0) for snap in snapshots
+            )
+    names = {name for snap in snapshots for name in snap.get("histograms", {})}
     for name in sorted(names):
-        a = left.get("histograms", {}).get(name)
-        b = right.get("histograms", {}).get(name)
-        if a is None or b is None:
-            merged["histograms"][name] = dict(a or b)
-            continue
-        if a["bounds"] != b["bounds"]:
-            raise ValueError(f"histogram {name!r} bounds differ across snapshots")
-        combined = {
-            "count": a["count"] + b["count"],
-            "sum": a["sum"] + b["sum"],
-            "min": min(a["min"], b["min"]) if a["count"] and b["count"] else (
-                a["min"] if a["count"] else b["min"]
-            ),
-            "max": max(a["max"], b["max"]),
-            "bounds": list(a["bounds"]),
-            "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
-        }
-        combined["quantiles"] = {
-            "p50": histogram_quantile(combined, 0.50),
-            "p90": histogram_quantile(combined, 0.90),
-            "p99": histogram_quantile(combined, 0.99),
-        }
-        merged["histograms"][name] = combined
+        parts = [
+            snap["histograms"][name]
+            for snap in snapshots
+            if name in snap.get("histograms", {})
+        ]
+        merged["histograms"][name] = _merge_histogram_parts(name, parts)
     return merged
+
+
+def _merge_histogram_parts(name: str, parts: list[dict]) -> dict:
+    if len(parts) == 1:
+        return dict(parts[0])
+    bounds = parts[0]["bounds"]
+    for part in parts[1:]:
+        if part["bounds"] != bounds:
+            raise ValueError(f"histogram {name!r} bounds differ across snapshots")
+    populated = [part for part in parts if part["count"]]
+    combined = {
+        "count": sum(part["count"] for part in parts),
+        "sum": sum(part["sum"] for part in parts),
+        "min": min(part["min"] for part in populated) if populated else 0.0,
+        "max": max(part["max"] for part in parts),
+        "bounds": list(bounds),
+        "counts": [sum(column) for column in zip(*(p["counts"] for p in parts))],
+    }
+    combined["quantiles"] = {
+        "p50": histogram_quantile(combined, 0.50),
+        "p90": histogram_quantile(combined, 0.90),
+        "p99": histogram_quantile(combined, 0.99),
+    }
+    exemplars = sorted(
+        (
+            (entry["value"], entry["trace_id"])
+            for part in parts
+            for entry in part.get("exemplars", ())
+        ),
+        reverse=True,
+    )[: Histogram.EXEMPLAR_LIMIT]
+    if exemplars:
+        combined["exemplars"] = [
+            {"value": value, "trace_id": trace_id}
+            for value, trace_id in exemplars
+        ]
+    return combined

@@ -1,0 +1,116 @@
+"""Prometheus text exposition for metrics snapshots.
+
+Renders the JSON-safe registry snapshot (:meth:`~repro.obs.metrics.
+MetricsRegistry.snapshot`, also what the STATS wire frame carries) in the
+Prometheus text format, so ``repro stats --prom`` can feed a scrape
+pipeline without any new dependency.  Mapping:
+
+* counters  → ``repro_<name>_total``
+* gauges    → ``repro_<name>``
+* histograms → cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count``, converted from this module's per-bucket counts.
+
+Metric names keep the registry's dotted names with non-identifier
+characters folded to underscores; every series can carry a constant
+label set (``{node="dssp-0"}``) so one page can expose a whole fleet.
+Exposure safety is inherited: snapshots contain metric names and numbers
+only, and exemplar trace ids are opaque hex — no statement text,
+parameters, or rows exist upstream of this renderer.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus", "render_prometheus_fleet"]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_PREFIX = "repro_"
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not re.match(r"[a-zA-Z_:]", sanitized):
+        sanitized = f"_{sanitized}"
+    return f"{_PREFIX}{sanitized}{suffix}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: dict | None, extra: dict | None = None) -> str:
+    combined = {**(labels or {}), **(extra or {})}
+    if not combined:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"'
+        for key, value in sorted(combined.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:.9g}"
+
+
+def render_prometheus_fleet(parts: list[tuple[dict, dict]]) -> str:
+    """Render several (snapshot, labels) pairs into one exposition page.
+
+    ``# TYPE`` headers are emitted once per metric even when multiple
+    nodes expose it, as the format requires.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for snapshot, labels in parts:
+        for name, value in snapshot.get("counters", {}).items():
+            metric = _metric_name(name, "_total")
+            _type_line(metric, "counter")
+            lines.append(f"{metric}{_labels(labels)} {_format_value(value)}")
+        for name, value in snapshot.get("gauges", {}).items():
+            metric = _metric_name(name)
+            _type_line(metric, "gauge")
+            lines.append(f"{metric}{_labels(labels)} {_format_value(value)}")
+        for name, hist in snapshot.get("histograms", {}).items():
+            metric = _metric_name(name)
+            _type_line(metric, "histogram")
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_labels(labels, {'le': _format_bound(bound)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{metric}_bucket{_labels(labels, {'le': '+Inf'})} "
+                f"{hist['count']}"
+            )
+            lines.append(
+                f"{metric}_sum{_labels(labels)} {_format_value(hist['sum'])}"
+            )
+            lines.append(f"{metric}_count{_labels(labels)} {hist['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_prometheus(snapshot: dict, *, labels: dict | None = None) -> str:
+    """Render one registry snapshot as Prometheus text."""
+    return render_prometheus_fleet([(snapshot, labels or {})])

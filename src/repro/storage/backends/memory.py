@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.obs.trace import span as trace_span
 from repro.schema.schema import Schema
 from repro.sql.ast import Select, Statement
 from repro.storage.backends.base import CanonicalOrderer
@@ -74,18 +75,21 @@ class InMemoryBackend:
         return self.database.version
 
     def execute(self, select: Select) -> ResultSet:
-        versions = tuple(
-            self.database.table_version(ref.name) for ref in select.tables
-        )
-        key = (id(select), versions)
-        hit = self._result_memo.get(key)
-        if hit is not None and hit[0] is select:
-            return hit[1]
-        result = self._orderer.execute(select, self.database.execute)
-        if len(self._result_memo) >= self.RESULT_MEMO_LIMIT:
-            self._result_memo.clear()
-        self._result_memo[key] = (select, result)
-        return result
+        with trace_span("storage.execute", backend=self.name) as execute_span:
+            versions = tuple(
+                self.database.table_version(ref.name) for ref in select.tables
+            )
+            key = (id(select), versions)
+            hit = self._result_memo.get(key)
+            if hit is not None and hit[0] is select:
+                execute_span.set("memo_hit", True)
+                return hit[1]
+            execute_span.set("memo_hit", False)
+            result = self._orderer.execute(select, self.database.execute)
+            if len(self._result_memo) >= self.RESULT_MEMO_LIMIT:
+                self._result_memo.clear()
+            self._result_memo[key] = (select, result)
+            return result
 
     def apply(self, statement: Statement) -> int:
         return self.database.apply(statement)

@@ -37,6 +37,7 @@ from repro.errors import (
     ForeignKeyViolation,
     PrimaryKeyViolation,
 )
+from repro.obs.trace import span as trace_span
 from repro.schema.schema import Schema
 from repro.schema.table import TableSchema
 from repro.sql.ast import Delete, Insert, Select, Statement, Update
@@ -183,18 +184,21 @@ class SqliteBackend:
 
     def execute(self, select: Select) -> ResultSet:
         """Execute a fully-bound query and return its result."""
-        versions = tuple(
-            self._table_versions.get(ref.name, 0) for ref in select.tables
-        )
-        key = (id(select), versions)
-        hit = self._result_memo.get(key)
-        if hit is not None and hit[0] is select:
-            return hit[1]
-        result = self._orderer.execute(select, self._run_core)
-        if len(self._result_memo) >= self.RESULT_MEMO_LIMIT:
-            self._result_memo.clear()
-        self._result_memo[key] = (select, result)
-        return result
+        with trace_span("storage.execute", backend=self.name) as execute_span:
+            versions = tuple(
+                self._table_versions.get(ref.name, 0) for ref in select.tables
+            )
+            key = (id(select), versions)
+            hit = self._result_memo.get(key)
+            if hit is not None and hit[0] is select:
+                execute_span.set("memo_hit", True)
+                return hit[1]
+            execute_span.set("memo_hit", False)
+            result = self._orderer.execute(select, self._run_core)
+            if len(self._result_memo) >= self.RESULT_MEMO_LIMIT:
+                self._result_memo.clear()
+            self._result_memo[key] = (select, result)
+            return result
 
     def _run_core(self, core: Select) -> ResultSet:
         compiled = self._compile(core)

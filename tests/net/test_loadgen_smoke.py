@@ -83,6 +83,8 @@ def test_loadgen_smoke(tmp_path):
     artifact_dir = Path(artifacts) if artifacts else tmp_path
     artifact_dir.mkdir(parents=True, exist_ok=True)
     report_path = artifact_dir / "loadgen_report.json"
+    span_dir = artifact_dir / "spans"
+    span_dir.mkdir(parents=True, exist_ok=True)
 
     home_log = tmp_path / "home.log"
     dssp_log = tmp_path / "dssp.log"
@@ -90,6 +92,7 @@ def test_loadgen_smoke(tmp_path):
         home_log,
         "serve-home", "bookstore", "--scale", "0.05", "--strategy", "MVIS",
         "--port", "0",
+        "--span-log", str(span_dir / "home.spans.jsonl"),
     )
     dssp = None
     try:
@@ -98,6 +101,7 @@ def test_loadgen_smoke(tmp_path):
             dssp_log,
             "serve-dssp", "bookstore",
             "--home", f"{home_host}:{home_port}", "--port", "0",
+            "--span-log", str(span_dir / "dssp-0.spans.jsonl"),
         )
         dssp_host, dssp_port = _await_banner(dssp, dssp_log)
 
@@ -107,6 +111,7 @@ def test_loadgen_smoke(tmp_path):
                 "--scale", "0.05", "--strategy", "MVIS",
                 "--dssp", f"{dssp_host}:{dssp_port}", "--duration", "2",
                 "--report", str(report_path),
+                "--span-log", str(span_dir / "client.spans.jsonl"),
             ],
             capture_output=True,
             text=True,
@@ -147,6 +152,30 @@ def test_loadgen_smoke(tmp_path):
         report = json.loads(report_path.read_text())
         assert report["client"]["hits"] == client_hits
         assert report["servers"][0]["dssp"]["stats"]["hits"] == client_hits
+        # Tracing rode along: the loadgen report carries the per-phase
+        # breakdown, and the span logs of all three processes assemble
+        # into a cross-process trace report (kept as a CI artifact).
+        assert "phases" in report["client"]
+        assert "client.request" in report["client"]["phases"]
+        span_logs = sorted(span_dir.glob("*.spans.jsonl"))
+        assert len(span_logs) == 3, span_logs
+        trace = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "trace", "--json",
+                *map(str, span_logs),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=_env(),
+            timeout=60,
+        )
+        assert trace.returncode == 0, trace.stderr
+        trace_report = json.loads(trace.stdout)
+        assert trace_report["traces"] > 0
+        assert "client" in trace_report["nodes"]
+        assert "dssp-0" in trace_report["nodes"]
+        (artifact_dir / "trace_report.json").write_text(trace.stdout)
     finally:
         remnants = {}
         for name, process, log_path in (

@@ -157,3 +157,66 @@ class TestEnvelopeContext:
             context = envelope_context(codec.seal_query(bound, level))
             assert set(context) <= {"app_id", "level", "template"}
             assert "marker-toy" not in repr(context)
+
+
+class TestStructuredFormatterEdgeCases:
+    """Satellite coverage: non-serializable extras, exc_info records, and
+    key=value escaping in text mode."""
+
+    def test_json_mode_survives_non_serializable_extras(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque handle>"
+
+        line = StructuredFormatter(json_mode=True).format(
+            _record(ctx={"handle": Opaque(), "n": 1})
+        )
+        payload = json.loads(line)  # must still be one parseable object
+        assert payload["n"] == 1
+        assert "opaque" in payload["handle"]
+
+    def test_json_mode_exc_info_record_fields_intact(self):
+        try:
+            raise ValueError("structured boom")
+        except ValueError:
+            record = _record(ctx={"request_id": "r1"})
+            record.exc_info = __import__("sys").exc_info()
+        payload = json.loads(
+            StructuredFormatter(json_mode=True).format(record)
+        )
+        assert payload["request_id"] == "r1"
+        assert "ValueError: structured boom" in payload["exception"]
+        assert "Traceback" in payload["exception"]
+
+    def test_text_mode_quotes_values_with_spaces(self):
+        line = StructuredFormatter().format(
+            _record(ctx={"detail": "two words"})
+        )
+        assert 'detail="two words"' in line
+
+    def test_text_mode_quotes_values_with_equals_and_quotes(self):
+        line = StructuredFormatter().format(
+            _record(ctx={"expr": 'a="b"', "plain": "ok"})
+        )
+        assert "plain=ok" in line
+        assert 'expr="a=\\"b\\""' in line
+
+    def test_text_mode_quotes_empty_and_bracket_values(self):
+        line = StructuredFormatter().format(
+            _record(ctx={"empty": "", "listy": "[1]"})
+        )
+        assert 'empty=""' in line
+        assert 'listy="[1]"' in line
+
+    def test_text_mode_escapes_newlines_into_one_line(self):
+        line = StructuredFormatter().format(
+            _record(ctx={"multi": "line1\nline2"})
+        )
+        assert "\n" not in line
+        assert 'multi="line1\\nline2"' in line
+
+    def test_text_mode_plain_scalars_stay_bare(self):
+        line = StructuredFormatter().format(
+            _record(ctx={"count": 3, "rate": 0.5, "node": "dssp-0"})
+        )
+        assert "count=3 node=dssp-0 rate=0.5" in line

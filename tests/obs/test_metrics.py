@@ -223,3 +223,94 @@ class TestMergeSnapshots:
         right.histogram("lat", bounds=(1.0, 3.0)).observe(1.5)
         with pytest.raises(ValueError, match="bounds differ"):
             merge_snapshots(left.snapshot(), right.snapshot())
+
+
+class TestExemplars:
+    def test_observation_with_exemplar_retained(self):
+        histogram = Histogram("h")
+        histogram.observe(0.5, exemplar="a" * 16)
+        assert histogram.exemplars == [(0.5, "a" * 16)]
+
+    def test_keeps_only_the_slowest(self):
+        histogram = Histogram("h")
+        for i in range(Histogram.EXEMPLAR_LIMIT + 5):
+            histogram.observe(float(i), exemplar=f"{i:016x}")
+        assert len(histogram.exemplars) == Histogram.EXEMPLAR_LIMIT
+        values = [value for value, _ in histogram.exemplars]
+        assert values == sorted(values, reverse=True)
+        assert min(values) == 5.0  # the 5 fastest were evicted
+
+    def test_observation_without_exemplar_keeps_none(self):
+        histogram = Histogram("h")
+        histogram.observe(0.5)
+        assert histogram.exemplars == []
+        assert "exemplars" not in histogram.snapshot()  # back-compat
+
+    def test_snapshot_links_value_to_trace_id(self):
+        histogram = Histogram("h")
+        histogram.observe(0.25, exemplar="f" * 16)
+        snapshot = histogram.snapshot()
+        assert snapshot["exemplars"] == [
+            {"value": 0.25, "trace_id": "f" * 16}
+        ]
+
+    def test_merge_keeps_slowest_across_instances(self):
+        left, right = Histogram("h"), Histogram("h")
+        for i in range(Histogram.EXEMPLAR_LIMIT):
+            left.observe(float(i), exemplar=f"left-{i}")
+            right.observe(float(i) + 0.5, exemplar=f"right-{i}")
+        left.merge(right)
+        assert len(left.exemplars) == Histogram.EXEMPLAR_LIMIT
+        values = [value for value, _ in left.exemplars]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == Histogram.EXEMPLAR_LIMIT - 1 + 0.5
+
+
+class TestVariadicMerge:
+    def test_three_way_counter_sum(self):
+        snaps = [
+            {"counters": {"requests": i}, "gauges": {}, "histograms": {}}
+            for i in (1, 2, 3)
+        ]
+        merged = merge_snapshots(*snaps)
+        assert merged["counters"]["requests"] == 6
+
+    def test_single_snapshot_passes_through(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.2, exemplar="e" * 16)
+        merged = merge_snapshots(registry.snapshot())
+        assert merged["histograms"]["lat"]["count"] == 1
+        assert merged["histograms"]["lat"]["exemplars"] == [
+            {"value": 0.2, "trace_id": "e" * 16}
+        ]
+
+    def test_fleet_histogram_requantiled(self):
+        registries = [MetricsRegistry() for _ in range(3)]
+        for offset, registry in enumerate(registries):
+            for value in (0.001, 0.01, 0.1):
+                registry.histogram("lat").observe(value * (offset + 1))
+        merged = merge_snapshots(*(r.snapshot() for r in registries))
+        combined = merged["histograms"]["lat"]
+        assert combined["count"] == 9
+        assert combined["min"] == pytest.approx(0.001)
+        assert combined["max"] == pytest.approx(0.3)
+        assert combined["quantiles"]["p50"] == histogram_quantile(
+            combined, 0.50
+        )
+
+    def test_fleet_exemplars_keep_slowest(self):
+        registries = [MetricsRegistry() for _ in range(3)]
+        for offset, registry in enumerate(registries):
+            for i in range(Histogram.EXEMPLAR_LIMIT):
+                registry.histogram("lat").observe(
+                    offset * 10.0 + i, exemplar=f"node{offset}-{i}"
+                )
+        merged = merge_snapshots(*(r.snapshot() for r in registries))
+        exemplars = merged["histograms"]["lat"]["exemplars"]
+        assert len(exemplars) == Histogram.EXEMPLAR_LIMIT
+        # The slowest fleet-wide observations all come from node 2.
+        assert all(e["trace_id"].startswith("node2-") for e in exemplars)
+
+    def test_merge_of_none_is_empty(self):
+        merged = merge_snapshots()
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,81 @@
+"""Prometheus text exposition of metrics snapshots."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    MetricsRegistry,
+    render_prometheus,
+    render_prometheus_fleet,
+)
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("server.requests").inc(3)
+    registry.gauge("server.in_flight").set(2)
+    registry.histogram("server.handle_seconds").observe(0.01)
+    registry.histogram("server.handle_seconds").observe(0.02)
+    return registry
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert "repro_server_requests_total 3" in text
+
+    def test_gauge_plain(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert "# TYPE repro_server_in_flight gauge" in text
+        assert "repro_server_in_flight 2" in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert "# TYPE repro_server_handle_seconds histogram" in text
+        assert 'repro_server_handle_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_server_handle_seconds_count 2" in text
+        # Cumulative: bucket values never decrease down the page.
+        bucket_values = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_server_handle_seconds_bucket")
+        ]
+        assert bucket_values == sorted(bucket_values)
+        assert bucket_values[-1] == 2
+
+    def test_labels_escaped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = render_prometheus(
+            registry.snapshot(), labels={"node": 'ds"p-0', "app": "toy"}
+        )
+        assert 'repro_c_total{app="toy",node="ds\\"p-0"} 1' in text
+
+    def test_dotted_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("dssp.stream-pushes").inc()
+        text = render_prometheus(registry.snapshot())
+        assert "repro_dssp_stream_pushes_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestFleet:
+    def test_type_header_once_across_nodes(self):
+        parts = [
+            (make_registry().snapshot(), {"node": "dssp-0"}),
+            (make_registry().snapshot(), {"node": "dssp-1"}),
+        ]
+        text = render_prometheus_fleet(parts)
+        assert text.count("# TYPE repro_server_requests_total counter") == 1
+        assert 'repro_server_requests_total{node="dssp-0"} 3' in text
+        assert 'repro_server_requests_total{node="dssp-1"} 3' in text
+
+    def test_every_series_carries_its_node_label(self):
+        parts = [(make_registry().snapshot(), {"node": "home"})]
+        text = render_prometheus_fleet(parts)
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert 'node="home"' in line, line

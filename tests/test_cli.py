@@ -110,3 +110,114 @@ class TestCommands:
         )
         assert completed.returncode == 0
         assert "bookstore" in completed.stdout
+
+
+class TestTraceCommand:
+    @pytest.fixture
+    def span_logs(self, tmp_path):
+        """Two nodes' span logs forming one complete-ish trace."""
+        import json as json_mod
+
+        trace_id = "a" * 16
+        client = [
+            {
+                "trace": trace_id, "span": "1", "name": "client.request",
+                "node": "client", "ts": 1000.0, "dur": 0.1,
+            },
+        ]
+        dssp = [
+            {
+                "trace": trace_id, "span": "1", "name": "server.handle",
+                "node": "dssp-0", "ts": 1000.01, "dur": 0.08,
+                "attrs": {"frame": "QueryRequest"},
+            },
+            {
+                "trace": trace_id, "span": "2", "name": "dssp.cache_lookup",
+                "node": "dssp-0", "ts": 1000.02, "dur": 0.01, "parent": "1",
+                "attrs": {"hit": True},
+            },
+        ]
+        paths = []
+        for name, spans in (("client", client), ("dssp-0", dssp)):
+            path = tmp_path / f"{name}.spans.jsonl"
+            path.write_text(
+                "\n".join(json_mod.dumps(s) for s in spans) + "\n"
+            )
+            paths.append(str(path))
+        return paths
+
+    def test_summary_table(self, span_logs):
+        output = run("trace", *span_logs)
+        assert "traces=1" in output
+        assert "spans=3" in output
+        assert "client.request" in output
+        assert "dssp.cache_lookup" in output
+
+    def test_json_report(self, span_logs):
+        import json as json_mod
+
+        report = json_mod.loads(run("trace", "--json", *span_logs))
+        assert report["traces"] == 1
+        assert report["nodes"] == ["client", "dssp-0"]
+        assert "client.request" in report["phases"]
+        assert report["slowest"][0]["trace"] == "a" * 16
+
+    def test_single_trace_tree(self, span_logs):
+        output = run("trace", "--trace", "a" * 16, *span_logs)
+        assert "client.request [client]" in output
+        assert "  server.handle [dssp-0]" in output
+        assert "    dssp.cache_lookup [dssp-0]" in output
+        assert "hit=True" in output
+        assert "critical path" in output
+
+    def test_single_trace_json(self, span_logs):
+        import json as json_mod
+
+        report = json_mod.loads(
+            run("trace", "--json", "--trace", "a" * 16, *span_logs)
+        )
+        assert report["trace"] == "a" * 16
+        assert len(report["spans"]) == 3
+        assert report["critical_path"]["entries"]
+
+    def test_unknown_trace_id_fails(self, span_logs):
+        out = io.StringIO()
+        code = main(["trace", "--trace", "b" * 16, *span_logs], out=out)
+        assert code == 1
+        assert "not found" in out.getvalue()
+
+
+class TestTraceFlagsParse:
+    def test_serve_flags_accept_span_log(self):
+        args = build_parser().parse_args(
+            [
+                "serve-home", "bboard",
+                "--span-log", "/tmp/home.jsonl",
+                "--trace-sample", "0.01",
+            ]
+        )
+        assert args.span_log == "/tmp/home.jsonl"
+        assert args.trace_sample == 0.01
+
+    def test_loadgen_flags_accept_span_log(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen", "bboard", "--dssp", "127.0.0.1:9", "--span-log",
+                "/tmp/c.jsonl",
+            ]
+        )
+        assert args.span_log == "/tmp/c.jsonl"
+        assert args.trace_sample == 1.0
+
+    def test_chaos_flags_accept_span_log_dir(self):
+        args = build_parser().parse_args(
+            ["chaos", "bboard", "--span-log", "/tmp/spans"]
+        )
+        assert args.span_log == "/tmp/spans"
+
+    def test_stats_accepts_multiple_addresses_and_prom(self):
+        args = build_parser().parse_args(
+            ["stats", "127.0.0.1:1", "127.0.0.1:2", "--prom"]
+        )
+        assert args.addresses == ["127.0.0.1:1", "127.0.0.1:2"]
+        assert args.prom is True
