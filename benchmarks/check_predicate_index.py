@@ -1,0 +1,114 @@
+"""Regression gate for the predicate-index benchmark.
+
+Compares a freshly generated ``BENCH_predicate_index.json`` against the
+committed baseline and fails (exit 1) when the index's headline claims
+regress:
+
+* per strategy, the index-on arm must match the sweep arm exactly on hit
+  rate and invalidations per update — the index is a pure cost
+  optimization, any behavioral divergence is a correctness bug;
+* per strategy, the per-update check reduction must clear
+  ``--reduction-floor`` and stay within ``--tolerance`` of the committed
+  baseline's;
+* the index must have actually fired (non-zero narrowing and postings).
+
+Usage::
+
+    python benchmarks/check_predicate_index.py BASELINE FRESH [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check(baseline: dict, fresh: dict, args) -> list[str]:
+    failures: list[str] = []
+    for name, entry in fresh["strategies"].items():
+        swept, indexed = entry["sweep"], entry["indexed"]
+        if indexed["hit_rate"] != swept["hit_rate"]:
+            failures.append(
+                f"{name}: hit rate diverged (indexed "
+                f"{indexed['hit_rate']:.4f} vs sweep "
+                f"{swept['hit_rate']:.4f}) — behavioral bug, not a perf "
+                "regression"
+            )
+        if (
+            indexed["invalidations_per_update"]
+            != swept["invalidations_per_update"]
+        ):
+            failures.append(
+                f"{name}: invalidations/update diverged (indexed "
+                f"{indexed['invalidations_per_update']:.4f} vs sweep "
+                f"{swept['invalidations_per_update']:.4f})"
+            )
+        reduction = entry["check_reduction"]
+        if reduction < args.reduction_floor:
+            failures.append(
+                f"{name}: check reduction {reduction:.2f}x is below the "
+                f"acceptance floor of {args.reduction_floor:.2f}x"
+            )
+        allowed = (
+            baseline["strategies"][name]["check_reduction"] * args.tolerance
+        )
+        if reduction < allowed:
+            failures.append(
+                f"{name}: check reduction {reduction:.2f}x regressed below "
+                f"{allowed:.2f}x (baseline "
+                f"{baseline['strategies'][name]['check_reduction']:.2f}x x "
+                f"tolerance {args.tolerance})"
+            )
+        if indexed["index_narrowed"] <= 0 or indexed["index_postings"] <= 0:
+            failures.append(f"{name}: the index never narrowed anything")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "baseline", help="committed BENCH_predicate_index.json"
+    )
+    parser.add_argument("fresh", help="freshly generated result to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.6,
+        help="fresh reduction must be >= baseline x this (default 0.6)",
+    )
+    parser.add_argument(
+        "--reduction-floor",
+        type=float,
+        default=1.1,
+        help="absolute minimum per-update check reduction (default 1.1x)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = check(baseline, fresh, args)
+
+    for name, entry in fresh["strategies"].items():
+        print(
+            f"{name}: check reduction fresh {entry['check_reduction']:.2f}x, "
+            f"baseline "
+            f"{baseline['strategies'][name]['check_reduction']:.2f}x "
+            f"(floor {args.reduction_floor:.2f}x, tolerance "
+            f"{args.tolerance})"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: benchmark within regression bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

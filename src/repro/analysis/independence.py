@@ -461,19 +461,25 @@ def _modification_misses_binding(
     # predicate, so only the key columns can create a contradiction.
     old_possible = _merge_satisfiable(key_constraints, query_constraints)
 
-    # New row: key columns unchanged, modified columns take SET values.
-    new_possible = old_possible
-    if old_possible:
-        for column, value in update.assignments:
-            constraint = query_constraints.get(column)
-            if constraint is not None and not constraint.allows(
-                value.value  # type: ignore[union-attr]
-            ):
-                new_possible = False
-                break
+    # New row: modified columns take SET values; the *unmodified* key
+    # columns still carry the WHERE pins.  Computed independently of the
+    # old row: a SET can move a row the query excluded into its range
+    # (e.g. ``SET a = 7 WHERE pk = 1 AND a = 5`` vs ``WHERE a = 7``).
+    modified = {column for column, _ in update.assignments}
+    new_possible = True
+    for column, value in update.assignments:
+        constraint = query_constraints.get(column)
+        if constraint is not None and not constraint.allows(
+            value.value  # type: ignore[union-attr]
+        ):
+            new_possible = False
+            break
+    if new_possible:
+        unmodified_key = {
+            column: constraint
+            for column, constraint in key_constraints.items()
+            if column not in modified
+        }
+        new_possible = _merge_satisfiable(unmodified_key, query_constraints)
 
-    if not old_possible and not new_possible:
-        return True
-    if old_possible:
-        return False
-    return not new_possible
+    return not old_possible and not new_possible

@@ -23,6 +23,7 @@ from repro.dssp.correctness import (
     CorrectnessReport,
     verify_invalidation_correctness,
 )
+from repro.dssp.predicate_index import PredicateIndexer
 from repro.dssp.proxy import DsspNode
 from repro.dssp.stats import DsspStats
 from repro.dssp.strategies import (
@@ -46,6 +47,7 @@ __all__ = [
     "HomeServer",
     "InvalidationEngine",
     "InvalidationInput",
+    "PredicateIndexer",
     "ShardedDsspCluster",
     "StatementInspectionStrategy",
     "StrategyClass",

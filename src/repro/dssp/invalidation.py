@@ -21,12 +21,14 @@ is always invalidated.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterable
 
 from repro.analysis.constraints import constraint_implies_no_effect
 from repro.analysis.exposure import ExposureLevel
 from repro.analysis.independence import statement_independent
 from repro.crypto.envelope import UpdateEnvelope
 from repro.dssp.cache import CacheEntry, ViewCache
+from repro.dssp.predicate_index import update_pinned_values
 from repro.dssp.stats import DsspStats
 from repro.dssp.view_checks import view_allows_skip
 from repro.templates.classify import is_ignorable
@@ -75,11 +77,21 @@ class InvalidationEngine:
         registry: TemplateRegistry,
         use_integrity_constraints: bool = True,
         equality_only_independence: bool = False,
+        predicate_index: bool = False,
     ) -> None:
         self._registry = registry
         self._schema = registry.schema
         self._use_constraints = use_integrity_constraints
         self._equality_only = equality_only_independence
+        self._predicate_index = predicate_index
+        #: Which path served the most recent ``process_update`` call:
+        #: ``indexed`` (every stmt-visible bucket answered from candidate
+        #: lists), ``sweep`` (full bucket scans / bucket drops only),
+        #: ``mixed``, or ``blind`` (whole-app drop).  Exposure-safe: the
+        #: label never carries statement or parameter content.
+        self.last_path = "sweep"
+        self._used_index = False
+        self._used_sweep = False
         self._template_decision: dict[tuple[str, str], bool] = {}
         #: Memoized ``statement_independent`` outcomes keyed by the pair of
         #: envelope identities (update opaque id, entry cache key).  Both
@@ -117,6 +129,8 @@ class InvalidationEngine:
     ) -> int:
         """Invalidate everything the update may have changed; returns count."""
         app_id = envelope.app_id
+        self._used_index = False
+        self._used_sweep = False
         if stats is not None:
             stats.updates += 1
 
@@ -125,6 +139,7 @@ class InvalidationEngine:
             count = cache.invalidate_app(app_id)
             if stats is not None:
                 stats.record_invalidation(None, count)
+            self.last_path = "blind"
             return count
 
         total = 0
@@ -145,6 +160,10 @@ class InvalidationEngine:
             total += self._process_bucket(
                 envelope, cache, app_id, bucket_name, stats
             )
+        if self._used_index:
+            self.last_path = "mixed" if self._used_sweep else "indexed"
+        else:
+            self.last_path = "sweep"
         return total
 
     def _process_bucket(
@@ -160,12 +179,38 @@ class InvalidationEngine:
             count = cache.invalidate_bucket(app_id, bucket_name)
             if stats is not None:
                 stats.record_invalidation(bucket_name, count)
+            self._used_sweep = True
             return count
 
         update_statement = envelope.statement
         assert update_statement is not None
+        entries: Iterable[CacheEntry]
+        if self._predicate_index:
+            # Predicate-index fast path: visit only the entries whose
+            # bound selection values the update's pins could touch.  A
+            # non-candidate provably survives ``statement_independent``,
+            # so the invalidated set is identical to the bucket sweep's.
+            if stats is not None:
+                stats.index_lookups += 1
+            candidates = cache.predicate_candidates(
+                app_id, bucket_name, update_pinned_values(update_statement)
+            )
+            if candidates is None:
+                self._used_sweep = True
+                entries = cache.bucket(app_id, bucket_name)
+            else:
+                self._used_index = True
+                if stats is not None:
+                    stats.index_narrowed += (
+                        cache.bucket_size(app_id, bucket_name)
+                        - len(candidates)
+                    )
+                entries = candidates
+        else:
+            self._used_sweep = True
+            entries = cache.bucket(app_id, bucket_name)
         victims: list[str] = []
-        for entry in cache.bucket(app_id, bucket_name):
+        for entry in entries:
             if self._entry_survives(envelope, entry, stats):
                 continue
             victims.append(entry.key)

@@ -20,6 +20,7 @@ from repro.crypto.envelope import QueryEnvelope, ResultEnvelope, UpdateEnvelope
 from repro.dssp.cache import ViewCache
 from repro.dssp.homeserver import HomeServer
 from repro.dssp.invalidation import InvalidationEngine
+from repro.dssp.predicate_index import PredicateIndexer
 from repro.dssp.stats import DsspStats
 from repro.errors import CacheError, UnknownApplicationError
 from repro.obs.trace import span as trace_span
@@ -60,11 +61,17 @@ class DsspNode:
         cache_capacity: int | None = None,
         use_integrity_constraints: bool = True,
         equality_only_independence: bool = False,
+        predicate_index: bool = False,
     ) -> None:
         self.stats = DsspStats()
-        self.cache = ViewCache(capacity=cache_capacity, stats=self.stats)
+        self.cache = ViewCache(
+            capacity=cache_capacity,
+            stats=self.stats,
+            predicate_index=predicate_index,
+        )
         self._use_constraints = use_integrity_constraints
         self._equality_only = equality_only_independence
+        self._predicate_index = predicate_index
         self._tenants: dict[str, _Tenant] = {}
 
     # -- tenancy -------------------------------------------------------------
@@ -75,7 +82,10 @@ class DsspNode:
         """Attach an application: its home server and public template set."""
         if home.app_id in self._tenants:
             raise CacheError(f"application {home.app_id!r} already registered")
-        engine = self._build_engine(registry or home.registry)
+        resolved = registry or home.registry
+        engine = self._build_engine(resolved)
+        if self._predicate_index:
+            self.cache.register_indexer(home.app_id, PredicateIndexer(resolved))
         self._tenants[home.app_id] = _Tenant(engine=engine, home=home)
 
     def register_remote(self, app_id: str, registry: TemplateRegistry) -> None:
@@ -87,6 +97,8 @@ class DsspNode:
         """
         if app_id in self._tenants:
             raise CacheError(f"application {app_id!r} already registered")
+        if self._predicate_index:
+            self.cache.register_indexer(app_id, PredicateIndexer(registry))
         self._tenants[app_id] = _Tenant(engine=self._build_engine(registry))
 
     def is_registered(self, app_id: str) -> bool:
@@ -98,6 +110,7 @@ class DsspNode:
             registry,
             use_integrity_constraints=self._use_constraints,
             equality_only_independence=self._equality_only,
+            predicate_index=self._predicate_index,
         )
 
     def _tenant(self, app_id: str) -> _Tenant:
@@ -180,6 +193,7 @@ class DsspNode:
             )
             self.stats.invalidation_time_s += time.perf_counter() - started
             invalidate_span.set("invalidated", count)
+            invalidate_span.set("path", tenant.engine.last_path)
         return count
 
     # -- observability -------------------------------------------------------------

@@ -29,6 +29,12 @@ class DsspStats:
     decision_memo_hits: int = 0
     #: Entries dropped by capacity eviction (not by invalidation).
     evictions: int = 0
+    #: Predicate-index consultations during invalidation (one per
+    #: stmt-visible bucket the engine processed with the index enabled).
+    index_lookups: int = 0
+    #: Entries the predicate index excused from a per-entry decision
+    #: (bucket size minus candidate count, summed over indexed lookups).
+    index_narrowed: int = 0
     #: Wall-clock seconds spent probing the cache (``DsspNode.lookup``).
     lookup_time_s: float = 0.0
     #: Wall-clock seconds spent deciding + applying invalidations.
@@ -83,6 +89,8 @@ class DsspStats:
             "decision_memo_hits": self.decision_memo_hits,
             "decision_memo_rate": self.decision_memo_rate,
             "evictions": self.evictions,
+            "index_lookups": self.index_lookups,
+            "index_narrowed": self.index_narrowed,
             "lookup_time_s": self.lookup_time_s,
             "invalidation_time_s": self.invalidation_time_s,
             "eviction_time_s": self.eviction_time_s,
@@ -103,6 +111,8 @@ class DsspStats:
         registry.gauge("dssp.updates", lambda: self.updates)
         registry.gauge("dssp.invalidations", lambda: self.invalidations)
         registry.gauge("dssp.evictions", lambda: self.evictions)
+        registry.gauge("dssp.index_lookups", lambda: self.index_lookups)
+        registry.gauge("dssp.index_narrowed", lambda: self.index_narrowed)
         registry.gauge(
             "dssp.decision_memo_rate", lambda: self.decision_memo_rate
         )
@@ -116,6 +126,8 @@ class DsspStats:
         self.invalidation_checks += other.invalidation_checks
         self.decision_memo_hits += other.decision_memo_hits
         self.evictions += other.evictions
+        self.index_lookups += other.index_lookups
+        self.index_narrowed += other.index_narrowed
         self.lookup_time_s += other.lookup_time_s
         self.invalidation_time_s += other.invalidation_time_s
         self.eviction_time_s += other.eviction_time_s
@@ -133,6 +145,8 @@ class DsspStats:
         self.invalidation_checks = 0
         self.decision_memo_hits = 0
         self.evictions = 0
+        self.index_lookups = 0
+        self.index_narrowed = 0
         self.lookup_time_s = 0.0
         self.invalidation_time_s = 0.0
         self.eviction_time_s = 0.0

@@ -143,6 +143,8 @@ class DsspNetServer(WireServer):
         self.stream_pushes_applied = 0
         #: Safety flushes performed on (re)subscribe (tests/monitoring).
         self.stream_flushes = 0
+        #: Failed subscribe attempts to the home (tests/monitoring).
+        self.stream_subscribe_failures = 0
 
     # -- tenancy -----------------------------------------------------------
 
@@ -292,6 +294,7 @@ class DsspNetServer(WireServer):
         snapshot["dssp"] = self.node.snapshot()
         snapshot["stream_pushes_applied"] = self.stream_pushes_applied
         snapshot["stream_flushes"] = self.stream_flushes
+        snapshot["stream_subscribe_failures"] = self.stream_subscribe_failures
         snapshot["applications"] = sorted(self._home_addresses)
         if self._shards:
             snapshot["shards"] = sorted(self._shards)
@@ -352,6 +355,7 @@ class DsspNetServer(WireServer):
                     vnodes=self._vnodes if self._shards else 0,
                 )
             except (NetError, ConnectionError, OSError) as error:
+                self.stream_subscribe_failures += 1
                 logger.debug(
                     "subscribe to %s:%s failed (%s); retrying",
                     *home,

@@ -1,0 +1,60 @@
+"""The new-row side of UPDATE independence must be computed on its own.
+
+Regression suite for a soundness gap: when the *old* row was provably
+outside the query's predicate, the procedure used to declare the pair
+independent without asking whether the SET clause could move the row
+*into* the predicate — ``UPDATE toys SET qty = 7 WHERE toy_id = 1 AND
+qty = 5`` does change ``SELECT ... WHERE qty = 7``.  The fix evaluates
+the new row from the SET values plus only the *unmodified* WHERE pins.
+"""
+
+from repro.analysis.independence import statement_independent
+from repro.sql.parser import parse
+from repro.templates.binding import bind
+
+
+class TestSetMovesRowIntoPredicate:
+    def test_set_lands_on_query_value(self, toystore_schema):
+        # Old row excluded (qty = 5 ≠ 7), but the update moves it to 7.
+        update = bind(
+            parse("UPDATE toys SET qty = ? WHERE toy_id = ? AND qty = ?"),
+            [7, 1, 5],
+        )
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty = ?"), [7])
+        assert not statement_independent(toystore_schema, update, query)
+
+    def test_set_lands_inside_query_range(self, toystore_schema):
+        update = bind(
+            parse("UPDATE toys SET qty = ? WHERE qty = ?"), [10, 0]
+        )
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty > ?"), [5])
+        assert not statement_independent(toystore_schema, update, query)
+
+    def test_set_misses_query_value_still_independent(self, toystore_schema):
+        # Neither the old value (5) nor the new one (6) matches 7.
+        update = bind(
+            parse("UPDATE toys SET qty = ? WHERE qty = ?"), [6, 5]
+        )
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty = ?"), [7])
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_unmodified_pin_still_contradicts(self, toystore_schema):
+        # toy_id survives the update unchanged, so its pin keeps holding:
+        # the touched row is toy 1 before *and* after, never toy 2.
+        update = bind(
+            parse("UPDATE toys SET qty = ? WHERE toy_id = ?"), [7, 1]
+        )
+        query = bind(
+            parse("SELECT qty FROM toys WHERE toy_id = ? AND qty = ?"),
+            [2, 7],
+        )
+        assert statement_independent(toystore_schema, update, query)
+
+    def test_old_row_match_still_dependent(self, toystore_schema):
+        # The classic direction is untouched: old row inside the
+        # predicate → dependent, whatever the SET value.
+        update = bind(
+            parse("UPDATE toys SET qty = ? WHERE qty = ?"), [0, 7]
+        )
+        query = bind(parse("SELECT toy_id FROM toys WHERE qty = ?"), [7])
+        assert not statement_independent(toystore_schema, update, query)

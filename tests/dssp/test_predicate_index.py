@@ -1,0 +1,380 @@
+"""The predicate index's conservative-fallback taxonomy and bookkeeping.
+
+Every case where the index cannot (or must not) narrow is pinned down
+here: aggregation and group-by templates, blind entries, NULL-valued
+bound attributes, multi-attribute selections, unaccounted entries, and
+index consistency across LRU eviction, ``invalidate_app``, and sharded
+node join/leave with cold re-fill.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.exposure import ExposureLevel, ExposurePolicy
+from repro.crypto import Keyring
+from repro.dssp import (
+    DsspNode,
+    HomeServer,
+    PredicateIndexer,
+    ShardedDsspCluster,
+)
+from repro.dssp.predicate_index import update_pinned_values
+from repro.schema import Column, ColumnType, Schema, TableSchema
+from repro.storage import Database
+from repro.templates import QueryTemplate, TemplateRegistry, UpdateTemplate
+
+_SCHEMA = Schema(
+    [
+        TableSchema(
+            "items",
+            (
+                Column("item_id", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("category", ColumnType.TEXT),
+                Column("stock", ColumnType.INTEGER),
+            ),
+            primary_key=("item_id",),
+        )
+    ]
+)
+
+_REGISTRY = TemplateRegistry(
+    _SCHEMA,
+    queries=[
+        QueryTemplate.from_sql(
+            "point", "SELECT stock FROM items WHERE item_id = ?"
+        ),
+        QueryTemplate.from_sql(
+            "byname", "SELECT item_id FROM items WHERE name = ?"
+        ),
+        QueryTemplate.from_sql(
+            "multi",
+            "SELECT item_id FROM items WHERE category = ? AND name = ?",
+        ),
+        QueryTemplate.from_sql(
+            "total", "SELECT SUM(stock) FROM items WHERE name = ?"
+        ),
+        QueryTemplate.from_sql(
+            "percat",
+            "SELECT category, COUNT(*) FROM items WHERE name = ? "
+            "GROUP BY category",
+        ),
+        QueryTemplate.from_sql(
+            "instock", "SELECT item_id FROM items WHERE stock > ?"
+        ),
+    ],
+    updates=[
+        UpdateTemplate.from_sql(
+            "ins",
+            "INSERT INTO items (item_id, name, category, stock) "
+            "VALUES (?, ?, ?, ?)",
+        ),
+        UpdateTemplate.from_sql("del", "DELETE FROM items WHERE item_id = ?"),
+        UpdateTemplate.from_sql(
+            "setstock", "UPDATE items SET stock = ? WHERE item_id = ?"
+        ),
+    ],
+)
+
+_ROWS = [(i, "abc"[i % 3], "xy"[i % 2], (i * 7) % 20) for i in range(1, 13)]
+
+
+def _build(level=ExposureLevel.STMT, capacity=None, policy=None):
+    db = Database(_SCHEMA)
+    db.load("items", list(_ROWS))
+    home = HomeServer(
+        "shop",
+        db,
+        _REGISTRY,
+        policy or ExposurePolicy.uniform(_REGISTRY, level),
+        Keyring("shop", b"s" * 32),
+    )
+    node = DsspNode(cache_capacity=capacity, predicate_index=True)
+    node.register_application(home)
+    return node, home
+
+
+def _query(node, home, name, params):
+    bound = _REGISTRY.query(name).bind(params)
+    return node.query(
+        home.codec.seal_query(bound, home.policy.query_level(name))
+    )
+
+
+def _update(node, home, name, params):
+    bound = _REGISTRY.update(name).bind(params)
+    return node.update(
+        home.codec.seal_update(bound, home.policy.update_level(name))
+    )
+
+
+def _pins(name, params):
+    return update_pinned_values(_REGISTRY.update(name).bind(params).statement)
+
+
+def _assert_index_consistent(cache):
+    """Postings cover only live keys and never exceed their buckets."""
+    assert cache._predicate is not None
+    assert set(cache._postings) <= set(cache._entries)
+    for (app, template), posting in cache._predicate.items():
+        keys = cache._buckets.get((app, template), set())
+        assert 0 < posting.size <= len(keys)
+        accounted = set(posting.always)
+        for by_value in posting.by_value.values():
+            for members in by_value.values():
+                accounted |= members
+        for members in posting.nulls.values():
+            accounted |= members
+        assert accounted <= set(keys)
+
+
+class TestIndexerAnalysis:
+    def test_point_and_byname_are_indexable(self):
+        indexer = PredicateIndexer(_REGISTRY)
+        assert indexer.query_attributes("point") == {("items", "item_id")}
+        assert indexer.query_attributes("byname") == {("items", "name")}
+
+    def test_multi_attribute_selection_indexes_both(self):
+        indexer = PredicateIndexer(_REGISTRY)
+        assert indexer.query_attributes("multi") == {
+            ("items", "category"),
+            ("items", "name"),
+        }
+
+    def test_aggregate_and_group_by_refused(self):
+        indexer = PredicateIndexer(_REGISTRY)
+        assert indexer.query_attributes("total") is None
+        assert indexer.query_attributes("percat") is None
+
+    def test_range_only_template_refused(self):
+        assert PredicateIndexer(_REGISTRY).query_attributes("instock") is None
+
+    def test_unknown_template_refused(self):
+        assert PredicateIndexer(_REGISTRY).query_attributes("nope") is None
+
+    def test_entry_values_extracts_bound_literals(self):
+        indexer = PredicateIndexer(_REGISTRY)
+        bound = _REGISTRY.query("multi").bind(["x", "b"])
+        values = indexer.entry_values("multi", bound.select)
+        assert values == {
+            ("items", "category"): frozenset({"x"}),
+            ("items", "name"): frozenset({"b"}),
+        }
+
+
+class TestUpdatePinnedValues:
+    def test_insert_pins_every_column(self):
+        assert _pins("ins", [5, "a", "x", 3]) == {
+            ("items", "item_id"): frozenset({5}),
+            ("items", "name"): frozenset({"a"}),
+            ("items", "category"): frozenset({"x"}),
+            ("items", "stock"): frozenset({3}),
+        }
+
+    def test_delete_pins_where_equalities(self):
+        assert _pins("del", [7]) == {("items", "item_id"): frozenset({7})}
+
+    def test_update_set_value_joins_pinned_where_column(self):
+        # setstock: SET stock = ? WHERE item_id = ? — stock is not WHERE-
+        # pinned, so only item_id appears.
+        assert _pins("setstock", [9, 2]) == {
+            ("items", "item_id"): frozenset({2})
+        }
+        # A template pinning the SET column in WHERE must carry both the
+        # old and new locations of the modified row.
+        moved = UpdateTemplate.from_sql(
+            "move", "UPDATE items SET name = ? WHERE name = ?"
+        ).bind(["b", "a"])
+        assert update_pinned_values(moved.statement) == {
+            ("items", "name"): frozenset({"a", "b"})
+        }
+
+
+class TestFallbackTaxonomy:
+    def test_aggregate_bucket_always_sweeps(self):
+        node, home = _build()
+        _query(node, home, "total", ["a"])
+        assert (
+            node.cache.predicate_candidates("shop", "total", _pins("del", [1]))
+            is None
+        )
+        # The sweep still invalidates correctly.
+        before = len(node.cache)
+        _update(node, home, "del", [1])
+        assert len(node.cache) < before
+
+    def test_blind_entries_invalidate_wholesale(self):
+        node, home = _build(level=ExposureLevel.BLIND)
+        _query(node, home, "point", [1])
+        assert node.cache.index_postings() == 0  # blind bucket: unindexed
+        _update(node, home, "del", [9])
+        assert len(node.cache) == 0  # Property 1: everything goes
+        assert node._tenants["shop"].engine.last_path == "blind"
+
+    def test_null_valued_bound_attribute_is_always_candidate(self):
+        node, home = _build()
+        _query(node, home, "byname", [None])
+        _query(node, home, "byname", ["a"])
+        candidates = node.cache.predicate_candidates(
+            "shop", "byname", _pins("ins", [40, "b", "x", 1])
+        )
+        assert candidates is not None
+        keys = {entry.statement.where[0].right.value for entry in candidates}
+        assert keys == {None}  # the NULL entry, not the 'a' entry
+
+    def test_multi_attribute_lookup_intersects(self):
+        node, home = _build()
+        _query(node, home, "multi", ["x", "a"])
+        _query(node, home, "multi", ["x", "b"])
+        _query(node, home, "multi", ["y", "a"])
+        candidates = node.cache.predicate_candidates(
+            "shop", "multi", _pins("ins", [40, "a", "x", 1])
+        )
+        assert candidates is not None and len(candidates) == 1
+
+    def test_unpinned_attribute_declines_to_narrow(self):
+        node, home = _build()
+        _query(node, home, "byname", ["a"])
+        # setstock pins only item_id; byname indexes only name.
+        assert (
+            node.cache.predicate_candidates(
+                "shop", "byname", _pins("setstock", [5, 1])
+            )
+            is None
+        )
+
+    def test_unaccounted_entries_force_sweep(self):
+        # An indexer registered only after entries were admitted leaves
+        # them unaccounted: the size guard must refuse to narrow.
+        node, home = _build()
+        node.cache._indexers.pop("shop")
+        _query(node, home, "point", [1])
+        node.cache.register_indexer("shop", PredicateIndexer(_REGISTRY))
+        _query(node, home, "point", [2])
+        assert (
+            node.cache.predicate_candidates("shop", "point", _pins("del", [1]))
+            is None
+        )
+
+
+class TestIndexMaintenance:
+    def test_lru_eviction_retracts_postings(self):
+        node, home = _build(capacity=3)
+        for item_id in range(1, 7):
+            _query(node, home, "point", [item_id])
+        assert len(node.cache) == 3
+        assert node.cache.index_postings() == 3
+        _assert_index_consistent(node.cache)
+        # Narrowing still exact after churn: only the resident match.
+        candidates = node.cache.predicate_candidates(
+            "shop", "point", _pins("del", [6])
+        )
+        assert candidates is not None
+        assert [e.key for e in candidates] == [
+            e.key for e in node.cache.bucket("shop", "point")
+            if e.statement.where[0].right.value == 6
+        ]
+
+    def test_invalidate_app_clears_postings(self):
+        node, home = _build()
+        _query(node, home, "point", [1])
+        _query(node, home, "byname", ["a"])
+        assert node.cache.index_postings() == 2
+        node.cache.invalidate_app("shop")
+        assert node.cache.index_postings() == 0
+        assert not node.cache._postings
+
+    def test_cold_start_clears_postings(self):
+        node, home = _build()
+        _query(node, home, "point", [1])
+        node.cold_start()
+        assert node.cache.index_postings() == 0
+        # Re-fill after the cold start re-indexes.
+        _query(node, home, "point", [2])
+        assert node.cache.index_postings() == 1
+
+    def test_refresh_after_invalidation_keeps_single_posting(self):
+        node, home = _build()
+        _query(node, home, "point", [3])
+        _update(node, home, "setstock", [9, 3])
+        _query(node, home, "point", [3])
+        assert node.cache.index_postings() == 1
+        _assert_index_consistent(node.cache)
+
+    def test_stats_and_span_path(self):
+        node, home = _build()
+        _query(node, home, "point", [1])
+        _query(node, home, "point", [2])
+        _update(node, home, "del", [1])
+        engine = node._tenants["shop"].engine
+        assert engine.last_path == "indexed"
+        assert node.stats.index_lookups >= 1
+        assert node.stats.index_narrowed >= 1
+        snapshot = node.stats.to_dict()
+        assert snapshot["index_lookups"] == node.stats.index_lookups
+        assert snapshot["index_narrowed"] == node.stats.index_narrowed
+
+    def test_mixed_path_when_a_bucket_declines(self):
+        node, home = _build()
+        _query(node, home, "point", [1])
+        _query(node, home, "total", ["a"])  # refused bucket → sweep
+        _update(node, home, "del", [1])
+        assert node._tenants["shop"].engine.last_path == "mixed"
+
+
+class TestShardedColdRefill:
+    def _drive(self, cluster, home, pages=40):
+        for i in range(pages):
+            _query_cluster(cluster, home, "point", [1 + i % 12], client=i)
+            _query_cluster(cluster, home, "byname", ["abc"[i % 3]], client=i)
+            if i % 5 == 0:
+                bound = _REGISTRY.update("setstock").bind([i % 20, 1 + i % 12])
+                cluster.update(
+                    home.codec.seal_update(
+                        bound, home.policy.update_level("setstock")
+                    ),
+                    client_id=i,
+                )
+
+    def test_join_and_leave_keep_index_exact(self):
+        db = Database(_SCHEMA)
+        db.load("items", list(_ROWS))
+        home = HomeServer(
+            "shop",
+            db,
+            _REGISTRY,
+            ExposurePolicy.uniform(_REGISTRY, ExposureLevel.STMT),
+            Keyring("shop", b"s" * 32),
+        )
+        cluster = ShardedDsspCluster(nodes=2, predicate_index=True)
+        cluster.register_application(home)
+        self._drive(cluster, home)
+        joined = cluster.join()
+        for shard_id in cluster.shard_ids:
+            _assert_index_consistent(cluster.shard(shard_id).cache)
+        self._drive(cluster, home)  # cold re-fill after the join
+        assert cluster.total_cached_views() > 0
+        cluster.leave(joined)
+        self._drive(cluster, home)
+        for shard_id in cluster.shard_ids:
+            _assert_index_consistent(cluster.shard(shard_id).cache)
+        # Answers stay fresh throughout membership churn.
+        for item_id in range(1, 13):
+            bound = _REGISTRY.query("point").bind([item_id])
+            outcome = cluster.query(
+                home.codec.seal_query(
+                    bound, home.policy.query_level("point")
+                ),
+                client_id=item_id,
+            )
+            served = home.codec.open_result(outcome.result)
+            assert served.equivalent(home.database.execute(bound.select))
+
+
+def _query_cluster(cluster, home, name, params, client=0):
+    bound = _REGISTRY.query(name).bind(params)
+    return cluster.query(
+        home.codec.seal_query(bound, home.policy.query_level(name)),
+        client_id=client,
+    )

@@ -129,7 +129,7 @@ class TestChaosMatrix:
         assert first_report.to_dict() == second_report.to_dict()
 
 
-@pytest.mark.slow
+# Marked slow centrally: tests/conftest.py::SLOW_NODEID_PREFIXES.
 class TestPipelinedChaosMatrix:
     """The PR-4 fault matrix again, with ops routed over the pipelined
     channel (and batched fan-out live): the pending-map/reader machinery

@@ -182,7 +182,7 @@ class TestEndToEnd:
         dssp.register_application("toystore", simple_toystore, (host, port))
         await dssp.start()
         # Let several subscribe attempts fail while the home is down.
-        await asyncio.sleep(0.1)
+        await eventually(lambda: dssp.stream_subscribe_failures >= 2)
 
         policy = ExposurePolicy.uniform(
             simple_toystore, StrategyClass.MTIS.exposure_level
@@ -227,7 +227,9 @@ class TestEndToEnd:
             await client_a.update(
                 top.seal_update(simple_toystore.update("U1").bind([7]))
             )
-            # Give the stream a beat: node A must NOT receive its own push.
-            await asyncio.sleep(0.1)
+            # Node A must NOT receive its own push: once the fan-out has
+            # demonstrably reached node B, A's counter is authoritative.
+            await eventually(
+                lambda: top.dssp_nets[1].stream_pushes_applied == 1
+            )
             assert top.dssp_nets[0].stream_pushes_applied == 0
-            assert top.dssp_nets[1].stream_pushes_applied == 1

@@ -77,7 +77,7 @@ def _terminate(process: subprocess.Popen, log_path: Path) -> str:
     return log_path.read_text()
 
 
-@pytest.mark.slow
+# Marked slow centrally: tests/conftest.py::SLOW_NODEID_PREFIXES.
 def test_loadgen_smoke(tmp_path):
     artifacts = os.environ.get("REPRO_SMOKE_ARTIFACTS")
     artifact_dir = Path(artifacts) if artifacts else tmp_path
