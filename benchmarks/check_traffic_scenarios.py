@@ -1,0 +1,169 @@
+"""Regression gate for the open-loop traffic-scenario benchmark.
+
+Compares a freshly generated ``BENCH_traffic_scenarios.json`` against the
+committed baseline and fails (exit 1) when the traffic layer's guarantees
+break:
+
+* **reproducibility** — every steady-sweep point's arrival-schedule
+  digest must equal the baseline's *exactly*.  The schedule is a pure
+  function of (kind, rate, seed, duration); a digest drift means the
+  arrival process changed and every committed knee number is stale.
+  The in-run regeneration flag must also hold.
+* **knee detection** — the fresh sweep must detect a knee (first rate
+  held the deadline), the top rate must still blow the deadline (the
+  sweep brackets saturation), and the knee must not regress below
+  ``baseline x --tolerance``.  The tolerance is sized to absorb one
+  grid step of runner noise, not two.
+* **accounting** — every point holds ``offered == issued + dropped``
+  with zero errors: dropped arrivals are declared, never silent.
+* **fairness** — the multi-tenant smoke must shed (it is sized past
+  capacity), every tenant must get pages through, and no tenant's shed
+  rate may sit further than ``--shed-gap-ceiling`` from the fleet rate.
+
+Usage::
+
+    python benchmarks/check_traffic_scenarios.py BASELINE FRESH [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _load(path: str) -> dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def check(baseline: dict, fresh: dict, args) -> list[str]:
+    failures: list[str] = []
+
+    base_digests = {
+        f"{p['rate']:g}": p["arrival"]["digest"]
+        for p in baseline["steady_sweep"]["points"]
+    }
+    for point in fresh["steady_sweep"]["points"]:
+        rate = f"{point['rate']:g}"
+        expected = base_digests.get(rate)
+        if expected is None:
+            failures.append(f"rate {rate}/s not in the committed baseline")
+        elif point["arrival"]["digest"] != expected:
+            failures.append(
+                f"schedule digest drifted at {rate}/s: same seed no "
+                f"longer reproduces the committed arrival schedule"
+            )
+    if not fresh.get("digests_reproduced_in_run", False):
+        failures.append(
+            "in-run digest regeneration disagreed with the measured sweep"
+        )
+
+    for point in fresh["steady_sweep"]["points"]:
+        if point["offered"] != point["issued"] + point["dropped"]:
+            failures.append(
+                f"accounting identity broken at {point['rate']:g}/s: "
+                f"offered {point['offered']} != issued {point['issued']} "
+                f"+ dropped {point['dropped']}"
+            )
+        if point["errors"]:
+            failures.append(
+                f"steady sweep at {point['rate']:g}/s finished with "
+                f"{point['errors']} errors"
+            )
+
+    knee = fresh["steady_sweep"]["knee_rate_s"]
+    baseline_knee = baseline["steady_sweep"]["knee_rate_s"]
+    deadline = fresh["steady_sweep"]["deadline_s"]
+    if knee is None:
+        failures.append("no knee detected: the first rate blew the deadline")
+    elif baseline_knee and knee < baseline_knee * args.tolerance:
+        failures.append(
+            f"knee {knee:.1f}/s regressed below "
+            f"{baseline_knee * args.tolerance:.1f}/s (baseline "
+            f"{baseline_knee:.1f}/s x tolerance {args.tolerance})"
+        )
+    top = fresh["steady_sweep"]["points"][-1]
+    if top["p99_s"] <= deadline:
+        failures.append(
+            f"sweep does not bracket saturation: top rate "
+            f"{top['rate']:g}/s held the deadline (p99 "
+            f"{top['p99_s'] * 1000:.1f} ms <= {deadline * 1000:.0f} ms)"
+        )
+
+    flash = fresh["flash_crowd"]
+    if flash["arrival"]["hot_count"] <= 0:
+        failures.append("flash crowd produced no hot arrivals")
+    if flash["errors"]:
+        failures.append(
+            f"flash crowd finished with {flash['errors']} errors"
+        )
+
+    tenants = fresh["multi_tenant"]
+    if tenants["fleet_shed_rate"] <= 0:
+        failures.append(
+            "multi-tenant smoke shed nothing: it is sized past capacity, "
+            "so a shed-free run means the overload never happened"
+        )
+    if tenants["min_pages_served"] <= 0:
+        failures.append("a tenant was starved (zero pages served)")
+    if tenants["max_shed_rate_gap"] > args.shed_gap_ceiling:
+        failures.append(
+            f"per-app shed rate gap {tenants['max_shed_rate_gap']:.3f} "
+            f"exceeds the fairness ceiling {args.shed_gap_ceiling:.3f}"
+        )
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "baseline", help="committed BENCH_traffic_scenarios.json"
+    )
+    parser.add_argument("fresh", help="freshly generated result to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.45,
+        help="fresh knee must be >= baseline knee x this (default 0.45: "
+        "one grid step of runner noise passes, two fail)",
+    )
+    parser.add_argument(
+        "--shed-gap-ceiling",
+        type=float,
+        default=0.5,
+        help="max |per-app shed rate - fleet shed rate| (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = check(baseline, fresh, args)
+
+    knee = fresh["steady_sweep"]["knee_rate_s"]
+    baseline_knee = baseline["steady_sweep"]["knee_rate_s"]
+    print(
+        f"knee: fresh {knee if knee is None else f'{knee:.1f}/s'}, "
+        f"baseline {baseline_knee:.1f}/s (tolerance {args.tolerance})"
+    )
+    print(
+        f"schedule digests: {len(fresh['steady_sweep']['points'])} points "
+        f"checked against the baseline"
+    )
+    print(
+        f"multi-tenant: fleet shed rate "
+        f"{fresh['multi_tenant']['fleet_shed_rate']:.3f}, max per-app gap "
+        f"{fresh['multi_tenant']['max_shed_rate_gap']:.3f} "
+        f"(ceiling {args.shed_gap_ceiling})"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: traffic scenarios within regression bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

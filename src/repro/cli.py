@@ -243,16 +243,88 @@ def build_parser() -> argparse.ArgumentParser:
         "(must match across the cluster and the load generator)",
     )
 
+    from repro.net.scenarios import SCENARIOS
+    from repro.net.traffic import ARRIVAL_KINDS
+
     loadgen = commands.add_parser(
-        "loadgen", help="closed-loop load generator against live DSSP nodes"
+        "loadgen",
+        help="load generator against live DSSP nodes (closed-loop by "
+        "default; --arrival switches to open-loop, --scenario runs a "
+        "named in-process scenario)",
     )
-    _add_app_argument(loadgen)
+    loadgen.add_argument(
+        "app",
+        nargs="?",
+        default="bookstore",
+        choices=sorted(APPLICATIONS),
+        help="benchmark application name (default: bookstore)",
+    )
     loadgen.add_argument(
         "--dssp",
         action="append",
-        required=True,
         metavar="HOST:PORT",
-        help="DSSP node address (repeat for a fleet)",
+        help="DSSP node address (repeat for a fleet); required unless "
+        "--scenario deploys its own in-process topology",
+    )
+    loadgen.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="deploy and drive a named scenario in-process (ignores "
+        "--dssp); reports offered vs achieved rate and, with --sweep, "
+        "the knee",
+    )
+    loadgen.add_argument(
+        "--arrival",
+        choices=list(ARRIVAL_KINDS),
+        default=None,
+        help="open-loop arrival process driving the run (default: "
+        "closed loop); pages launch on the schedule regardless of "
+        "completions",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="PAGES_S",
+        help="offered arrival rate for --arrival/--scenario (pages/s)",
+    )
+    loadgen.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arrival-schedule seed (default: --seed); the report carries "
+        "the schedule's sha256 digest for byte-for-byte reproducibility",
+    )
+    loadgen.add_argument(
+        "--max-outstanding",
+        type=int,
+        default=64,
+        metavar="N",
+        help="open-loop guard: arrivals beyond N in-flight pages are "
+        "dropped and counted, not queued",
+    )
+    loadgen.add_argument(
+        "--sweep",
+        default=None,
+        metavar="R1,R2,...",
+        help="ascending offered rates for a knee sweep (scenario mode)",
+    )
+    loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="p99 deadline the knee is detected against (sweep mode)",
+    )
+    loadgen.add_argument(
+        "--service-latency",
+        type=float,
+        default=0.004,
+        metavar="SECONDS",
+        help="injected per-request service latency in scenario "
+        "deployments (stands in for the WAN/database round trip)",
     )
     loadgen.add_argument(
         "--strategy",
@@ -411,6 +483,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--seed", type=int, default=1, help="workload/trace seed"
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=["flash_crowd"],
+        default=None,
+        help="reshape the recorded trace before replay: flash_crowd "
+        "concentrates the mid-run pages on the hottest query template, "
+        "so the oracle covers hot-key invalidation at the spike",
     )
     chaos.add_argument(
         "--backend",
@@ -880,17 +960,138 @@ def _cmd_serve_dssp(args, out) -> int:
     )
 
 
+def _parse_sweep(text: str) -> list[float]:
+    try:
+        rates = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"bad sweep {text!r}: expected R1,R2,...")
+    if not rates or rates != sorted(rates):
+        raise SystemExit(f"sweep rates must ascend, got {text!r}")
+    return rates
+
+
+def _cmd_loadgen_scenario(args, out) -> int:
+    """In-process scenario run or knee sweep (``--scenario``)."""
+    import asyncio
+    import pathlib
+
+    from repro.net.scenarios import (
+        deploy_scenario,
+        run_scenario,
+        sweep_scenario,
+    )
+
+    duration = args.duration or 2.0
+    arrival_seed = (
+        args.seed if args.arrival_seed is None else args.arrival_seed
+    )
+    rates = _parse_sweep(args.sweep) if args.sweep else None
+
+    async def run():
+        deployment = await deploy_scenario(
+            args.scenario,
+            heavy_app=args.app,
+            scale=args.scale,
+            seed=args.seed,
+            trace_pages=args.trace_pages,
+            service_latency_s=args.service_latency,
+        )
+        try:
+            if rates is not None:
+                return await sweep_scenario(
+                    deployment,
+                    rates=rates,
+                    duration_s=duration,
+                    deadline_s=args.deadline,
+                    seed=arrival_seed,
+                    max_outstanding=args.max_outstanding,
+                )
+            report = await run_scenario(
+                deployment,
+                rate=args.rate,
+                duration_s=duration,
+                seed=arrival_seed,
+                max_outstanding=args.max_outstanding,
+            )
+            return report
+        finally:
+            await deployment.stop()
+
+    result = asyncio.run(run())
+    if rates is not None:
+        print(
+            f"scenario={args.scenario} app={args.app} "
+            f"deadline={args.deadline * 1000:.0f}ms "
+            f"duration={result['duration_s']:.1f}s/point",
+            file=out,
+        )
+        print(
+            f"{'offered/s':>10} {'achieved/s':>11} {'drop':>6} "
+            f"{'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8} {'errors':>7}",
+            file=out,
+        )
+        for point in result["points"]:
+            print(
+                f"{point['offered_rate_s']:>10.1f} "
+                f"{point['achieved_rate_s']:>11.1f} "
+                f"{point['drop_rate']:>6.1%} "
+                f"{point['p50_s'] * 1000:>8.1f} "
+                f"{point['p90_s'] * 1000:>8.1f} "
+                f"{point['p99_s'] * 1000:>8.1f} "
+                f"{point['errors']:>7}",
+                file=out,
+            )
+        knee = result["knee_rate_s"]
+        print(
+            "knee: "
+            + (
+                f"{knee:.1f} pages/s offered with p99 under the deadline"
+                if knee is not None
+                else "not reached (first point already over the deadline)"
+            ),
+            file=out,
+        )
+    else:
+        report = result
+        print(
+            f"scenario={args.scenario} app={args.app} "
+            f"rate={args.rate:.1f}/s seed={arrival_seed}",
+            file=out,
+        )
+        print(report.summary(), file=out)
+        print(f"arrival digest: {report.arrival['digest']}", file=out)
+        if report.per_app:
+            for app, books in sorted(report.per_app.items()):
+                print(
+                    f"  app[{app}] offered={books['offered']} "
+                    f"pages={books['pages']} dropped={books['dropped']} "
+                    f"errors={books['errors']}",
+                    file=out,
+                )
+        result = report.to_dict()
+    if args.report is not None:
+        pathlib.Path(args.report).write_text(
+            json.dumps(result, indent=2, default=str)
+        )
+        print(f"report written to {args.report}", file=out)
+    return 0
+
+
 def _cmd_loadgen(args, out) -> int:
     import asyncio
     import pathlib
 
     from repro.crypto.envelope import EnvelopeCodec
     from repro.net.client import WireClient
-    from repro.net.loadgen import run_load
+    from repro.net.loadgen import TenantWorkload, run_load, run_open_load
     from repro.simulation import SimulationParams
     from repro.simulation.scalability import predict_p90
     from repro.workloads.trace import Trace, record_trace
 
+    if args.scenario is not None:
+        return _cmd_loadgen_scenario(args, out)
+    if not args.dssp:
+        raise SystemExit("loadgen needs --dssp HOST:PORT (or --scenario)")
     if args.pages is None and args.duration is None:
         args.duration = 5.0
     strategy = StrategyClass[args.strategy]
@@ -980,6 +1181,35 @@ def _cmd_loadgen(args, out) -> int:
                 )
             ]
         try:
+            if args.arrival is not None:
+                from repro.net.scenarios import hot_query_page
+                from repro.net.traffic import make_arrivals
+
+                arrival_seed = (
+                    args.seed
+                    if args.arrival_seed is None
+                    else args.arrival_seed
+                )
+                schedule = make_arrivals(
+                    args.arrival, args.rate, arrival_seed
+                ).schedule(args.duration or 5.0)
+                hot_page = None
+                if args.arrival == "flash_crowd":
+                    hot_page = hot_query_page(trace, spec.registry)
+                tenant = TenantWorkload(
+                    app=args.app,
+                    codec=codec,
+                    policy=policy,
+                    trace=trace,
+                    hot_page=hot_page,
+                )
+                return await run_open_load(
+                    drivers,
+                    [tenant],
+                    schedule,
+                    max_outstanding=args.max_outstanding,
+                    on_page=on_page,
+                )
             return await run_load(
                 drivers,
                 codec,
@@ -1124,6 +1354,13 @@ def _cmd_chaos(args, out) -> int:
     trace = record_trace(
         instance.sampler, args.pages, seed=args.seed, application=args.app
     )
+    if args.scenario == "flash_crowd":
+        from repro.net.scenarios import flash_crowd_trace
+
+        # Same seeded reshaping the open-loop scenario uses: mid-run
+        # pages pile onto the hottest query, and the oracle's reference
+        # replay sees the identical stream.
+        trace = flash_crowd_trace(trace, spec.registry, seed=args.seed)
     if args.kill_target == "home":
         targets: tuple[str, ...] = ("home",)
     elif args.kill_target == "dssp":
@@ -1162,7 +1399,8 @@ def _cmd_chaos(args, out) -> int:
         f"app={args.app} strategy={strategy.name} nodes={args.nodes} "
         f"sharded={args.shards} predicate_index={args.predicate_index} "
         f"clients={args.clients} pipeline={args.pipeline or 1} "
-        f"fault_rate={args.fault_rate} kill_every={args.kill_every}",
+        f"fault_rate={args.fault_rate} kill_every={args.kill_every}"
+        + (f" scenario={args.scenario}" if args.scenario else ""),
         file=out,
     )
     print(report.summary(), file=out)

@@ -14,7 +14,12 @@ This package puts the *network* back between them:
 * :mod:`repro.net.client` — pooled async client with retry/backoff and
   typed error mapping;
 * :mod:`repro.net.loadgen` — closed-loop load generator for measured (not
-  analytic-model) strategy comparisons;
+  analytic-model) strategy comparisons, plus the open-loop driver that
+  issues on an arrival schedule with drop accounting;
+* :mod:`repro.net.traffic` — seeded arrival processes (Poisson, ON/OFF,
+  diurnal, flash-crowd) with byte-for-byte reproducible schedules;
+* :mod:`repro.net.scenarios` — named scenario deployments (steady,
+  flash_crowd, multi_tenant, diurnal) and the knee-curve sweep;
 * :mod:`repro.net.chaos` — seeded, fully deterministic fault injection
   (frame drops/delays/duplications/truncations via an in-process TCP
   proxy, plus node kill/restart schedules);
@@ -40,7 +45,12 @@ from repro.net.client import (
 )
 from repro.net.dssp_server import DsspNetServer
 from repro.net.home_server import HomeNetServer, UpdateDedup
-from repro.net.loadgen import LoadReport, run_load
+from repro.net.loadgen import (
+    LoadReport,
+    TenantWorkload,
+    run_load,
+    run_open_load,
+)
 from repro.net.oracle import (
     ChaosRunner,
     ChaosTopology,
@@ -49,6 +59,24 @@ from repro.net.oracle import (
     run_chaos,
 )
 from repro.net.router import ShardRouter
+from repro.net.scenarios import (
+    SCENARIOS,
+    ScenarioDeployment,
+    deploy_scenario,
+    find_knee,
+    flash_crowd_trace,
+    run_scenario,
+    sweep_scenario,
+)
+from repro.net.traffic import (
+    ARRIVAL_KINDS,
+    ArrivalSchedule,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
 from repro.net.wire import (
     ErrorCode,
     ErrorResponse,
@@ -69,21 +97,30 @@ from repro.net.wire import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSchedule",
     "ChaosLog",
     "ChaosProxy",
     "ChaosRunner",
     "ChaosTopology",
+    "DiurnalArrivals",
     "DsspNetServer",
     "ErrorCode",
     "ErrorResponse",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
+    "FlashCrowdArrivals",
     "FrameType",
     "HomeNetServer",
     "InvalidationBatch",
     "InvalidationPush",
     "LoadReport",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "SCENARIOS",
+    "ScenarioDeployment",
+    "TenantWorkload",
     "NetQueryOutcome",
     "NetUpdateOutcome",
     "OracleReport",
@@ -103,7 +140,14 @@ __all__ = [
     "WireClient",
     "decode_frame",
     "decode_traced",
+    "deploy_scenario",
     "encode_frame",
+    "find_knee",
+    "flash_crowd_trace",
+    "make_arrivals",
     "make_fault_hook",
     "run_chaos",
+    "run_open_load",
+    "run_scenario",
+    "sweep_scenario",
 ]

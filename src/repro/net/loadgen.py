@@ -20,15 +20,23 @@ directly cross-checkable against the analytic
 :func:`~repro.simulation.scalability.predict_p90`.
 
 ``pipeline=N`` switches each virtual client from one closed loop to ``N``
-concurrent page lanes on its endpoint — an open-loop mode that keeps up
-to ``N`` pages in flight per client.  Pair it with endpoints built as
+concurrent page lanes on its endpoint — a *partially* open mode that
+keeps up to ``N`` pages in flight per client but still clocks issuance
+off completions.  Pair it with endpoints built as
 ``WireClient(pipeline=N)`` so the extra concurrency multiplexes over one
 pipelined connection instead of fanning out across the pool.
+
+True open-loop measurement lives in :func:`run_open_load`: a seeded
+:class:`~repro.net.traffic.ArrivalSchedule` launches pages on its own
+clock regardless of completions, a bounded outstanding-request guard
+drops (and counts) arrivals the system cannot absorb, and the report
+carries offered vs achieved rate so overload is measured, not hidden.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, replace
 
@@ -36,11 +44,12 @@ from repro.analysis.exposure import ExposurePolicy
 from repro.crypto.envelope import EnvelopeCodec
 from repro.errors import NetError, WorkloadError
 from repro.net.client import WireClient
+from repro.net.traffic import ArrivalSchedule
 from repro.obs import Histogram
 from repro.simulation.scalability import CacheBehavior
 from repro.workloads.trace import Trace
 
-__all__ = ["LoadReport", "run_load"]
+__all__ = ["LoadReport", "TenantWorkload", "run_load", "run_open_load"]
 
 
 @dataclass(frozen=True)
@@ -60,11 +69,37 @@ class LoadReport:
     #: Page lanes per client (1 = closed loop, N = open-loop pipelined).
     pipeline: int = 1
     #: Pages whose lane was already in flight at the deadline and finished
-    #: after it.  They (and their operations) are excluded from the headline
-    #: counts above — a duration-bounded run would otherwise overstate
-    #: throughput at high ``pipeline``, since up to clients×pipeline lanes
-    #: can straggle past the cutoff.
+    #: after it.  In closed/pipelined runs they (and their operations) are
+    #: excluded from the headline counts above — a duration-bounded run
+    #: would otherwise overstate throughput at high ``pipeline``, since up
+    #: to clients×pipeline lanes can straggle past the cutoff.  In
+    #: open-loop runs (``open_loop=True``) the arrival schedule already
+    #: bounds issuance, so late pages *stay* in the headline counts and
+    #: this field just counts drain stragglers — dropping their (long)
+    #: latencies would understate the tail exactly where the knee lives.
     late_pages: int = 0
+    #: True when an arrival schedule clocked issuance
+    #: (:func:`run_open_load`); False for completion-clocked runs, even
+    #: pipelined ones — ``pipeline=N`` bounds in-flight pages but still
+    #: only issues on completion, so it can never overload the system.
+    open_loop: bool = False
+    #: Arrivals the run *offered*.  Closed/pipelined runs issue every
+    #: arrival they offer (``offered == pages + late_pages + errors``);
+    #: open-loop runs may drop some at the outstanding guard.  The
+    #: invariant either way: ``offered == issued + dropped``.  0 on
+    #: reports from callers that predate offered-load accounting.
+    offered: int = 0
+    #: Offered arrivals never issued because ``max_outstanding`` requests
+    #: were already in flight.  Always 0 for closed/pipelined runs.
+    dropped: int = 0
+    #: The arrival schedule's compact description (kind, rate, seed,
+    #: sha256 digest — see ``ArrivalSchedule.to_dict``); ``None`` for
+    #: closed-loop runs.
+    arrival: dict | None = None
+    #: Per-application books for multi-tenant runs: app id → counter dict
+    #: (offered/dropped/pages/late_pages/errors/queries/updates/hits);
+    #: ``None`` for single-tenant runs.
+    per_app: dict | None = None
     #: Server-side invalidations this run caused, when the caller fetched
     #: STATS around the run (see :meth:`with_invalidations`); ``None``
     #: means "not measured", never "zero".
@@ -87,6 +122,39 @@ class LoadReport:
         if self.duration_s <= 0:
             return 0.0
         return self.pages / self.duration_s
+
+    @property
+    def mode(self) -> str:
+        """``open`` | ``pipelined`` | ``closed`` — how issuance was clocked."""
+        if self.open_loop:
+            return "open"
+        return "pipelined" if self.pipeline > 1 else "closed"
+
+    @property
+    def issued(self) -> int:
+        """Offered arrivals that were actually launched."""
+        return self.offered - self.dropped
+
+    @property
+    def offered_rate_s(self) -> float:
+        """Offered arrivals per second (the open-loop x-axis)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.offered / self.duration_s
+
+    @property
+    def achieved_rate_s(self) -> float:
+        """Completed pages per second — diverges from ``offered_rate_s``
+        past the knee, where drops, errors, and stragglers absorb the
+        difference."""
+        return self.throughput_pages_s
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered arrivals dropped at the outstanding guard."""
+        if not self.offered:
+            return 0.0
+        return self.dropped / self.offered
 
     def percentile(self, fraction: float) -> float:
         """Page-latency percentile (0 < fraction <= 1)."""
@@ -166,21 +234,31 @@ class LoadReport:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        line = (
             f"pages={self.pages} throughput={self.throughput_pages_s:.1f}/s "
             f"p50={self.p50_s * 1000:.1f}ms p90={self.p90_s * 1000:.1f}ms "
             f"p99={self.p99_s * 1000:.1f}ms "
             f"hits={self.hits} hit_rate={self.hit_rate:.3f} "
             f"errors={self.errors} late_pages={self.late_pages}"
         )
+        if self.open_loop:
+            line += (
+                f" offered={self.offered_rate_s:.1f}/s "
+                f"achieved={self.achieved_rate_s:.1f}/s "
+                f"dropped={self.dropped} ({self.drop_rate:.1%})"
+            )
+        return line
 
     def to_dict(self) -> dict:
         """JSON-safe report for machine consumers (CI artifacts)."""
         report = {
             "clients": self.clients,
             "pipeline": self.pipeline,
+            "mode": self.mode,
             "invalidations": self.invalidations,
             "duration_s": self.duration_s,
+            "offered": self.offered,
+            "dropped": self.dropped,
             "pages": self.pages,
             "queries": self.queries,
             "updates": self.updates,
@@ -188,12 +266,19 @@ class LoadReport:
             "errors": self.errors,
             "late_pages": self.late_pages,
             "hit_rate": self.hit_rate,
+            "offered_rate_s": self.offered_rate_s,
+            "achieved_rate_s": self.achieved_rate_s,
+            "drop_rate": self.drop_rate,
             "throughput_pages_s": self.throughput_pages_s,
             "p50_s": self.p50_s,
             "p90_s": self.p90_s,
             "p99_s": self.p99_s,
             "latency": self.latency.snapshot(),
         }
+        if self.arrival is not None:
+            report["arrival"] = self.arrival
+        if self.per_app is not None:
+            report["per_app"] = self.per_app
         if self.phases is not None:
             report["phases"] = self.phases
         return report
@@ -278,6 +363,7 @@ async def run_load(
         None if duration_s is None else started + duration_s,
     )
     counters = {
+        "offered": 0,
         "pages": 0,
         "queries": 0,
         "updates": 0,
@@ -293,6 +379,12 @@ async def run_load(
             page = stream.next_page()
             if page is None:
                 return
+            # Completion-clocked issuance: every offered page is issued,
+            # so offered == pages + late_pages + errors and dropped stays
+            # 0.  Tracking it anyway keeps the open-loop accounting
+            # identity (offered == issued + dropped) checkable on every
+            # report, pipelined or not.
+            counters["offered"] += 1
             page_started = time.perf_counter()
             # Operations always merge into the counters — they really hit
             # the servers, and server-side counters (hits, invalidations)
@@ -359,4 +451,196 @@ async def run_load(
         latency=latency,
         pipeline=pipeline,
         late_pages=counters["late_pages"],
+        offered=counters["offered"],
+        dropped=0,
+    )
+
+
+@dataclass(frozen=True)
+class TenantWorkload:
+    """One application's share of an open-loop run.
+
+    ``weight`` is the tenant's share of arrivals (normalised over all
+    tenants); ``hot_page`` is a pre-bound operation list the generator
+    substitutes for arrivals the schedule marks hot (flash crowds aim
+    their surge at one template).
+    """
+
+    app: str
+    codec: EnvelopeCodec
+    policy: ExposurePolicy
+    trace: Trace
+    weight: float = 1.0
+    hot_page: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if not self.weight > 0:
+            raise WorkloadError(
+                f"tenant {self.app!r} weight must be positive, "
+                f"got {self.weight}"
+            )
+
+
+_PER_APP_KEYS = (
+    "offered",
+    "dropped",
+    "pages",
+    "late_pages",
+    "errors",
+    "queries",
+    "updates",
+    "hits",
+)
+
+
+async def run_open_load(
+    endpoints: list[WireClient],
+    tenants: list[TenantWorkload],
+    schedule: ArrivalSchedule,
+    *,
+    max_outstanding: int = 256,
+    fail_fast: bool = False,
+    on_page=None,
+) -> LoadReport:
+    """Drive a live topology open-loop: issue on the arrival schedule.
+
+    Each timestamp in ``schedule`` launches one page without waiting for
+    earlier pages — offered load is the schedule's, not the system's.
+    The only brake is ``max_outstanding``: an arrival finding that many
+    pages already in flight is *dropped* and counted, never queued, so
+    the report says how much offered load the system absorbed instead of
+    letting an unbounded task pile hide the overload (and eventually
+    falsify latencies with scheduler noise).
+
+    Tenants split arrivals by ``weight`` via a seeded choice that
+    consumes one RNG draw per arrival whether or not the arrival is
+    dropped — per-app offered counts depend only on the schedule and
+    seed, not on timing.  Arrivals the schedule marks hot use the
+    tenant's ``hot_page`` (when set) instead of advancing its trace.
+
+    Unlike :func:`run_load`, pages completing after the schedule window
+    stay in the headline counts and histogram (``late_pages`` just
+    counts them): under overload the stragglers *are* the tail, and
+    excluding them would flatter p99 exactly where the knee lives.
+
+    Returns a :class:`LoadReport` with ``open_loop=True``, offered /
+    dropped accounting, the schedule's digest under ``arrival``, and
+    per-app books when more than one tenant runs.
+    """
+    if not endpoints:
+        raise WorkloadError("open-loop loadgen needs at least one endpoint")
+    if not tenants:
+        raise WorkloadError("open-loop loadgen needs at least one tenant")
+    if max_outstanding < 1:
+        raise WorkloadError(
+            f"max_outstanding must be >= 1, got {max_outstanding}"
+        )
+    apps = [tenant.app for tenant in tenants]
+    if len(set(apps)) != len(apps):
+        raise WorkloadError(f"duplicate tenant apps: {apps}")
+    weights = [tenant.weight for tenant in tenants]
+    tenant_rng = random.Random(f"tenants:{schedule.seed}")
+    counters = {key: 0 for key in _PER_APP_KEYS}
+    per_app = {
+        tenant.app: {key: 0 for key in _PER_APP_KEYS} for tenant in tenants
+    }
+    latency = Histogram("loadgen.page_seconds")
+    outstanding: set[asyncio.Task] = set()
+    failures: list[BaseException] = []
+    started = time.perf_counter()
+    window_end = started + schedule.duration_s
+
+    async def run_page(tenant: TenantWorkload, page, endpoint) -> None:
+        books = per_app[tenant.app]
+        page_started = time.perf_counter()
+        local = {"queries": 0, "updates": 0, "hits": 0}
+        failed = False
+        for operation in page:
+            bound = operation.bound
+            try:
+                if operation.is_update:
+                    level = tenant.policy.update_level(bound.template.name)
+                    await endpoint.update(
+                        tenant.codec.seal_update(bound, level)
+                    )
+                    local["updates"] += 1
+                else:
+                    level = tenant.policy.query_level(bound.template.name)
+                    outcome = await endpoint.query(
+                        tenant.codec.seal_query(bound, level)
+                    )
+                    local["queries"] += 1
+                    if outcome.cache_hit:
+                        local["hits"] += 1
+            except NetError as error:
+                if fail_fast:
+                    failures.append(error)
+                counters["errors"] += 1
+                books["errors"] += 1
+                failed = True
+                break
+        for key, count in local.items():
+            counters[key] += count
+            books[key] += count
+        if failed:
+            return
+        finished = time.perf_counter()
+        if finished > window_end:
+            counters["late_pages"] += 1
+            books["late_pages"] += 1
+        counters["pages"] += 1
+        books["pages"] += 1
+        latency.observe(finished - page_started)
+        if on_page is not None:
+            await on_page(counters["pages"])
+
+    for index, at in enumerate(schedule.timestamps):
+        if len(tenants) == 1:
+            tenant = tenants[0]
+        else:
+            pick = tenant_rng.choices(range(len(tenants)), weights=weights)
+            tenant = tenants[pick[0]]
+        target = started + at
+        delay = target - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if failures and fail_fast:
+            break
+        counters["offered"] += 1
+        per_app[tenant.app]["offered"] += 1
+        if len(outstanding) >= max_outstanding:
+            counters["dropped"] += 1
+            per_app[tenant.app]["dropped"] += 1
+            continue
+        hot = bool(schedule.hot) and schedule.hot[index]
+        if hot and tenant.hot_page is not None:
+            page = tenant.hot_page
+        else:
+            page = tenant.trace.sample_page()
+        task = asyncio.create_task(
+            run_page(tenant, page, endpoints[index % len(endpoints)])
+        )
+        outstanding.add(task)
+        task.add_done_callback(outstanding.discard)
+
+    if outstanding:
+        await asyncio.gather(*outstanding)
+    if failures and fail_fast:
+        raise failures[0]
+    return LoadReport(
+        clients=len(endpoints),
+        duration_s=schedule.duration_s,
+        pages=counters["pages"],
+        queries=counters["queries"],
+        updates=counters["updates"],
+        hits=counters["hits"],
+        errors=counters["errors"],
+        latency=latency,
+        pipeline=1,
+        late_pages=counters["late_pages"],
+        open_loop=True,
+        offered=counters["offered"],
+        dropped=counters["dropped"],
+        arrival=schedule.to_dict(),
+        per_app=per_app if len(tenants) > 1 else None,
     )

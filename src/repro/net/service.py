@@ -278,9 +278,20 @@ class WireServer:
         assert self._in_flight is not None
         ctx = self._request_ctx(frame, context)
         self.metrics.counter("server.requests").inc()
+        # Per-application books (envelope-bearing frames only — STATS and
+        # other control frames have no tenant).  Multi-tenant fairness
+        # tests reconcile these against each client's local counts, and
+        # served-vs-shed per app is what "shedding does not starve the
+        # light tenants" is asserted on.
+        envelope = getattr(frame, "envelope", None)
+        app_id = getattr(envelope, "app_id", None)
+        if app_id is not None:
+            self.metrics.counter(f"server.app_requests.{app_id}").inc()
         if self._in_flight.locked():
             # All permits taken: shed instead of queueing without bound.
             self.metrics.counter("server.shed").inc()
+            if app_id is not None:
+                self.metrics.counter(f"server.app_shed.{app_id}").inc()
             logger.warning("shedding request under backpressure", extra={"ctx": ctx})
             return ErrorResponse(
                 ErrorCode.OVERLOADED,

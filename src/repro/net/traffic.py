@@ -1,0 +1,374 @@
+"""Seeded open-loop arrival processes for the load generator.
+
+The paper's scalability claim is a curve — users served at a latency
+target — and a curve needs offered load the system does not control.  A
+closed-loop client waits for each page before requesting the next, so
+under overload it self-throttles and the measured throughput follows the
+service rate instead of exposing the knee.  The processes here generate
+the *arrival schedule* up front, independent of completions: every
+timestamp is an offered request, whether or not the system keeps up.
+
+Every process is a pure function of ``(rate, seed, duration)``: the same
+inputs reproduce the identical timestamp tuple, and
+:meth:`ArrivalSchedule.digest` commits to it byte-for-byte so a report
+(or a CI gate) can prove two runs offered exactly the same load.
+
+Four shapes cover the ROADMAP's scenario-diversity item:
+
+- :class:`PoissonArrivals` — memoryless steady load (open-loop M/G/k).
+- :class:`OnOffArrivals` — bursty ON/OFF windows; same mean rate, but the
+  load arrives compressed into ON periods.
+- :class:`DiurnalArrivals` — a sinusoidal day-curve, thinned from a
+  homogeneous peak-rate stream (non-homogeneous Poisson).
+- :class:`FlashCrowdArrivals` — steady baseline plus a mid-run spike
+  window that multiplies the rate and concentrates a configurable
+  fraction of spike traffic on one hot template (the ``hot`` mask; the
+  load generator maps hot arrivals to a single hot page).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSchedule",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "make_arrivals",
+]
+
+#: CLI-facing names accepted by :func:`make_arrivals`.
+ARRIVAL_KINDS = ("poisson", "onoff", "diurnal", "flash_crowd")
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A concrete, fully materialised arrival plan for one run.
+
+    ``timestamps`` are seconds since run start, non-decreasing, all inside
+    ``[0, duration_s)``.  ``hot`` (when non-empty) is aligned with
+    ``timestamps`` and marks arrivals the generator should aim at the
+    scenario's hot page instead of the next trace page.
+    """
+
+    kind: str
+    rate: float
+    seed: int
+    duration_s: float
+    timestamps: tuple[float, ...]
+    hot: tuple[bool, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.hot and len(self.hot) != len(self.timestamps):
+            raise WorkloadError(
+                f"hot mask length {len(self.hot)} does not match "
+                f"{len(self.timestamps)} timestamps"
+            )
+        previous = 0.0
+        for at in self.timestamps:
+            if at < previous:
+                raise WorkloadError(
+                    f"arrival schedule is not monotonic at t={at}"
+                )
+            previous = at
+        if self.timestamps and self.timestamps[-1] >= self.duration_s:
+            raise WorkloadError(
+                f"arrival at t={self.timestamps[-1]} is outside the "
+                f"{self.duration_s}s window"
+            )
+
+    @property
+    def offered(self) -> int:
+        """How many requests this schedule offers."""
+        return len(self.timestamps)
+
+    @property
+    def offered_rate_s(self) -> float:
+        """Offered arrivals per second over the schedule window."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.offered / self.duration_s
+
+    @property
+    def hot_count(self) -> int:
+        """How many arrivals are aimed at the hot page."""
+        return sum(1 for flag in self.hot if flag)
+
+    def digest(self) -> str:
+        """Canonical sha256 over the full schedule.
+
+        Two schedules share a digest iff every timestamp (to full float
+        precision, via ``repr``-faithful JSON floats) and every hot flag
+        agree — "same seed reproduces the same schedule" is checkable
+        byte-for-byte without shipping the timestamps themselves.
+        """
+        canonical = json.dumps(
+            {
+                "kind": self.kind,
+                "rate": self.rate,
+                "seed": self.seed,
+                "duration_s": self.duration_s,
+                "timestamps": list(self.timestamps),
+                "hot": [1 if flag else 0 for flag in self.hot],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+    def to_dict(self) -> dict:
+        """Compact JSON-safe description (digest instead of timestamps)."""
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "offered_rate_s": self.offered_rate_s,
+            "hot_count": self.hot_count,
+            "digest": self.digest(),
+        }
+
+
+def _check_rate(rate: float) -> None:
+    if not rate > 0:
+        raise WorkloadError(f"arrival rate must be positive, got {rate}")
+
+
+def _check_duration(duration_s: float) -> None:
+    if not duration_s > 0:
+        raise WorkloadError(f"duration must be positive, got {duration_s}")
+
+
+def _poisson_stream(
+    rng: random.Random, rate: float, start: float, end: float
+) -> list[float]:
+    """Homogeneous Poisson arrivals at ``rate`` inside ``[start, end)``."""
+    arrivals: list[float] = []
+    at = start
+    while True:
+        at += rng.expovariate(rate)
+        if at >= end:
+            return arrivals
+        arrivals.append(at)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at a constant mean rate."""
+
+    rate: float
+    seed: int = 0
+    kind: str = field(default="poisson", init=False)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    def schedule(self, duration_s: float) -> ArrivalSchedule:
+        _check_duration(duration_s)
+        rng = random.Random(f"poisson:{self.seed}:{self.rate}")
+        return ArrivalSchedule(
+            kind=self.kind,
+            rate=self.rate,
+            seed=self.seed,
+            duration_s=duration_s,
+            timestamps=tuple(_poisson_stream(rng, self.rate, 0.0, duration_s)),
+        )
+
+
+@dataclass(frozen=True)
+class OnOffArrivals:
+    """Bursty arrivals: Poisson bursts during ON windows, silence OFF.
+
+    The mean rate over a full ON+OFF cycle equals ``rate``: during ON the
+    instantaneous rate is ``rate / duty`` where ``duty = on_s / period``.
+    """
+
+    rate: float
+    seed: int = 0
+    on_s: float = 1.0
+    off_s: float = 1.0
+    kind: str = field(default="onoff", init=False)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if not self.on_s > 0:
+            raise WorkloadError(f"on_s must be positive, got {self.on_s}")
+        if self.off_s < 0:
+            raise WorkloadError(f"off_s cannot be negative, got {self.off_s}")
+
+    def schedule(self, duration_s: float) -> ArrivalSchedule:
+        _check_duration(duration_s)
+        rng = random.Random(f"onoff:{self.seed}:{self.rate}")
+        period = self.on_s + self.off_s
+        burst_rate = self.rate * period / self.on_s
+        arrivals: list[float] = []
+        window_start = 0.0
+        while window_start < duration_s:
+            window_end = min(window_start + self.on_s, duration_s)
+            arrivals.extend(
+                _poisson_stream(rng, burst_rate, window_start, window_end)
+            )
+            window_start += period
+        return ArrivalSchedule(
+            kind=self.kind,
+            rate=self.rate,
+            seed=self.seed,
+            duration_s=duration_s,
+            timestamps=tuple(arrivals),
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """A sinusoidal day-curve with mean ``rate``.
+
+    Non-homogeneous Poisson via thinning: draw a homogeneous stream at
+    the peak rate ``rate * (1 + depth)`` and keep each arrival with
+    probability ``r(t) / peak`` where
+
+        ``r(t) = rate * (1 + depth * sin(2*pi*t/period - pi/2))``
+
+    — the run starts at the trough and peaks mid-period, so a one-period
+    run sweeps trough → peak → trough like a compressed day.
+    """
+
+    rate: float
+    seed: int = 0
+    depth: float = 0.8
+    period_s: float | None = None
+    kind: str = field(default="diurnal", init=False)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if not 0 <= self.depth <= 1:
+            raise WorkloadError(
+                f"diurnal depth must be in [0, 1], got {self.depth}"
+            )
+
+    def schedule(self, duration_s: float) -> ArrivalSchedule:
+        _check_duration(duration_s)
+        period = self.period_s if self.period_s is not None else duration_s
+        if not period > 0:
+            raise WorkloadError(f"period_s must be positive, got {period}")
+        rng = random.Random(f"diurnal:{self.seed}:{self.rate}")
+        peak = self.rate * (1 + self.depth)
+        arrivals = []
+        for at in _poisson_stream(rng, peak, 0.0, duration_s):
+            instantaneous = self.rate * (
+                1
+                + self.depth
+                * math.sin(2 * math.pi * at / period - math.pi / 2)
+            )
+            if rng.random() * peak < instantaneous:
+                arrivals.append(at)
+        return ArrivalSchedule(
+            kind=self.kind,
+            rate=self.rate,
+            seed=self.seed,
+            duration_s=duration_s,
+            timestamps=tuple(arrivals),
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals:
+    """Steady baseline plus a mid-run spike aimed at one hot template.
+
+    During ``[spike_start_frac, spike_start_frac + spike_frac)`` of the
+    run the offered rate jumps to ``rate * spike_factor``; each *extra*
+    spike arrival is marked hot with probability ``hot_fraction`` so the
+    generator concentrates that share of the surge on a single hot page
+    (baseline traffic keeps its normal page mix).
+    """
+
+    rate: float
+    seed: int = 0
+    spike_start_frac: float = 0.4
+    spike_frac: float = 0.3
+    spike_factor: float = 4.0
+    hot_fraction: float = 0.8
+    kind: str = field(default="flash_crowd", init=False)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if not 0 <= self.spike_start_frac < 1:
+            raise WorkloadError(
+                f"spike_start_frac must be in [0, 1), got "
+                f"{self.spike_start_frac}"
+            )
+        if not 0 < self.spike_frac <= 1 - self.spike_start_frac:
+            raise WorkloadError(
+                f"spike_frac={self.spike_frac} does not fit after "
+                f"spike_start_frac={self.spike_start_frac}"
+            )
+        if not self.spike_factor >= 1:
+            raise WorkloadError(
+                f"spike_factor must be >= 1, got {self.spike_factor}"
+            )
+        if not 0 <= self.hot_fraction <= 1:
+            raise WorkloadError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+
+    def spike_window(self, duration_s: float) -> tuple[float, float]:
+        """The absolute ``[start, end)`` of the spike for this duration."""
+        start = self.spike_start_frac * duration_s
+        return start, start + self.spike_frac * duration_s
+
+    def schedule(self, duration_s: float) -> ArrivalSchedule:
+        _check_duration(duration_s)
+        base_rng = random.Random(f"flash:base:{self.seed}:{self.rate}")
+        spike_rng = random.Random(f"flash:spike:{self.seed}:{self.rate}")
+        hot_rng = random.Random(f"flash:hot:{self.seed}:{self.rate}")
+        merged = [
+            (at, False)
+            for at in _poisson_stream(base_rng, self.rate, 0.0, duration_s)
+        ]
+        spike_start, spike_end = self.spike_window(duration_s)
+        extra_rate = self.rate * (self.spike_factor - 1)
+        if extra_rate > 0:
+            merged.extend(
+                (at, hot_rng.random() < self.hot_fraction)
+                for at in _poisson_stream(
+                    spike_rng, extra_rate, spike_start, spike_end
+                )
+            )
+        merged.sort(key=lambda pair: pair[0])
+        return ArrivalSchedule(
+            kind=self.kind,
+            rate=self.rate,
+            seed=self.seed,
+            duration_s=duration_s,
+            timestamps=tuple(at for at, _ in merged),
+            hot=tuple(flag for _, flag in merged),
+        )
+
+
+def make_arrivals(kind: str, rate: float, seed: int = 0, **options):
+    """Factory for the CLI's ``--arrival`` kinds.
+
+    Extra keyword options pass through to the process constructor
+    (e.g. ``spike_factor=6`` for ``flash_crowd``).
+    """
+    processes = {
+        "poisson": PoissonArrivals,
+        "onoff": OnOffArrivals,
+        "diurnal": DiurnalArrivals,
+        "flash_crowd": FlashCrowdArrivals,
+    }
+    if kind not in processes:
+        raise WorkloadError(
+            f"unknown arrival kind {kind!r}; pick one of "
+            f"{', '.join(ARRIVAL_KINDS)}"
+        )
+    return processes[kind](rate=rate, seed=seed, **options)

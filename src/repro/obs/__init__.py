@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     histogram_quantile,
     log_buckets,
     merge_snapshots,
+    per_app_counters,
 )
 from repro.obs.prom import render_prometheus, render_prometheus_fleet
 from repro.obs.trace import (
@@ -68,6 +69,7 @@ __all__ = [
     "log_buckets",
     "merge_snapshots",
     "new_request_id",
+    "per_app_counters",
     "render_prometheus",
     "render_prometheus_fleet",
     "span",

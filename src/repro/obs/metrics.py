@@ -39,6 +39,7 @@ __all__ = [
     "histogram_quantile",
     "log_buckets",
     "merge_snapshots",
+    "per_app_counters",
 ]
 
 
@@ -326,6 +327,22 @@ def merge_snapshots(*snapshots: dict) -> dict:
         ]
         merged["histograms"][name] = _merge_histogram_parts(name, parts)
     return merged
+
+
+def per_app_counters(snapshot: dict, base: str) -> dict[str, float]:
+    """Extract ``{app_id: value}`` for counters named ``<base>.<app_id>``.
+
+    The registry keeps flat string names, so per-application families
+    (``server.app_requests.bookstore`` …) are encoded as a dotted suffix;
+    this peels the family back into a mapping.  The app id is the whole
+    remainder after ``base + "."``, so ids containing dots round-trip.
+    """
+    prefix = base + "."
+    return {
+        name[len(prefix):]: value
+        for name, value in snapshot.get("counters", {}).items()
+        if name.startswith(prefix)
+    }
 
 
 def _merge_histogram_parts(name: str, parts: list[dict]) -> dict:

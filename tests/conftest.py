@@ -16,6 +16,8 @@ from repro.templates.template import Sensitivity
 SLOW_NODEID_PREFIXES = (
     "tests/net/test_chaos.py::TestPipelinedChaosMatrix",
     "tests/net/test_loadgen_smoke.py::test_loadgen_smoke",
+    "tests/net/test_multi_tenant.py",
+    "tests/net/test_scenarios.py::TestScenarioEndToEnd",
 )
 
 

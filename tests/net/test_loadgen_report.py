@@ -19,9 +19,16 @@ from repro.analysis.exposure import ExposureLevel, ExposurePolicy
 from repro.crypto import Keyring
 from repro.crypto.envelope import EnvelopeCodec
 from repro.errors import WorkloadError
-from repro.net.loadgen import LoadReport, run_load
+from repro.net.loadgen import (
+    LoadReport,
+    TenantWorkload,
+    run_load,
+    run_open_load,
+)
+from repro.net.traffic import ArrivalSchedule
 from repro.obs import Histogram
 from repro.simulation.scalability import SimulationParams, predict_p90
+from repro.workloads.base import Operation
 from repro.workloads.trace import Trace
 
 
@@ -185,3 +192,180 @@ class TestDeadlineAccounting:
         assert report.late_pages == 0
         assert report.queries == 6
         assert report.latency.count == 6
+
+
+def _schedule(timestamps, duration_s=1.0, hot=()) -> ArrivalSchedule:
+    return ArrivalSchedule(
+        kind="poisson",
+        rate=len(timestamps) / duration_s,
+        seed=0,
+        duration_s=duration_s,
+        timestamps=tuple(timestamps),
+        hot=tuple(hot),
+    )
+
+
+def _tenant(simple_toystore, app="toystore", **overrides) -> TenantWorkload:
+    codec, policy, trace = _workload(simple_toystore)
+    fields = dict(app=app, codec=codec, policy=policy, trace=trace)
+    fields.update(overrides)
+    return TenantWorkload(**fields)
+
+
+class TestClosedLoopOfferedAccounting:
+    """Regression for the offered-vs-issued hole: a pipelined run used to
+    report throughput/latency as if every arrival was issued without ever
+    saying how many arrivals there *were*.  Closed and pipelined runs now
+    carry explicit offered/dropped counts with a checkable identity."""
+
+    async def test_closed_loop_offered_identity(self, simple_toystore):
+        codec, policy, trace = _workload(simple_toystore)
+        report = await run_load(
+            [_StubEndpoint()], codec, policy, trace, clients=2, pages=6
+        )
+        assert not report.open_loop
+        assert report.mode == "closed"
+        assert report.dropped == 0
+        assert report.offered == report.issued == 6
+        assert report.offered == (
+            report.pages + report.late_pages + report.errors
+        )
+
+    async def test_pipelined_run_is_labeled_and_balanced(
+        self, simple_toystore
+    ):
+        codec, policy, trace = _workload(simple_toystore)
+        report = await run_load(
+            [_StubEndpoint(delay_s=0.05)],
+            codec,
+            policy,
+            trace,
+            clients=2,
+            pipeline=3,
+            duration_s=0.02,
+        )
+        assert report.mode == "pipelined"
+        assert not report.open_loop  # issuance is still completion-clocked
+        assert report.dropped == 0
+        # The straggling lanes are never-completed-in-window arrivals and
+        # must show up on the offered side, not vanish.
+        assert report.offered == (
+            report.pages + report.late_pages + report.errors
+        )
+        payload = report.to_dict()
+        assert payload["mode"] == "pipelined"
+        assert payload["offered"] == report.offered
+        assert payload["dropped"] == 0
+
+
+class TestOpenLoopAccounting:
+    async def test_offered_equals_issued_plus_dropped(self, simple_toystore):
+        tenant = _tenant(simple_toystore)
+        # Four near-simultaneous arrivals against one in-flight slot and a
+        # slow endpoint: the first is issued, the rest hit the guard.
+        schedule = _schedule([0.0, 0.001, 0.002, 0.003], duration_s=0.05)
+        report = await run_open_load(
+            [_StubEndpoint(delay_s=0.1)],
+            [tenant],
+            schedule,
+            max_outstanding=1,
+        )
+        assert report.open_loop and report.mode == "open"
+        assert report.offered == 4
+        assert report.dropped == 3
+        assert report.issued == 1
+        assert report.offered == report.issued + report.dropped
+        assert report.drop_rate == 0.75
+
+    async def test_late_pages_stay_in_headline_counts(self, simple_toystore):
+        tenant = _tenant(simple_toystore)
+        schedule = _schedule([0.0], duration_s=0.02)
+        report = await run_open_load(
+            [_StubEndpoint(delay_s=0.1)], [tenant], schedule
+        )
+        # Completed after the window: still a page, still in the
+        # histogram — under overload the stragglers are the tail.
+        assert report.pages == 1
+        assert report.late_pages == 1
+        assert report.latency.count == 1
+        assert report.p99_s >= 0.1
+
+    async def test_report_carries_schedule_digest(self, simple_toystore):
+        tenant = _tenant(simple_toystore)
+        schedule = _schedule([0.0, 0.01], duration_s=0.1)
+        report = await run_open_load([_StubEndpoint()], [tenant], schedule)
+        assert report.arrival["digest"] == schedule.digest()
+        assert report.arrival["offered"] == 2
+        payload = report.to_dict()
+        assert payload["arrival"]["digest"] == schedule.digest()
+        assert payload["mode"] == "open"
+
+    async def test_hot_arrivals_use_the_hot_page(self, simple_toystore):
+        hot_page = (
+            Operation.update(simple_toystore.update("U1").bind([1])),
+        )
+        tenant = _tenant(simple_toystore, hot_page=hot_page)
+        schedule = _schedule(
+            [0.0, 0.01, 0.02], duration_s=0.1, hot=[True, False, True]
+        )
+        report = await run_open_load([_StubEndpoint()], [tenant], schedule)
+        # Two hot arrivals ran the one-update hot page; the cold one
+        # advanced the trace (a one-query page).
+        assert report.updates == 2
+        assert report.queries == 1
+
+    async def test_single_tenant_has_no_per_app_books(self, simple_toystore):
+        report = await run_open_load(
+            [_StubEndpoint()],
+            [_tenant(simple_toystore)],
+            _schedule([0.0], duration_s=0.1),
+        )
+        assert report.per_app is None
+
+    async def test_per_app_books_balance_and_are_deterministic(
+        self, simple_toystore
+    ):
+        async def one_run():
+            tenants = [
+                _tenant(simple_toystore, app="heavy", weight=0.7),
+                _tenant(simple_toystore, app="light", weight=0.3),
+            ]
+            schedule = _schedule(
+                [index * 0.001 for index in range(30)], duration_s=0.5
+            )
+            return await run_open_load(
+                [_StubEndpoint()], tenants, schedule
+            )
+
+        first = await one_run()
+        second = await one_run()
+        assert set(first.per_app) == {"heavy", "light"}
+        for books in first.per_app.values():
+            assert books["offered"] == (
+                books["pages"] + books["late_pages"] + books["errors"]
+            ) + books["dropped"]
+        # The weighted tenant split is seeded by the schedule: same
+        # schedule, same split, drop or no drop.
+        assert {
+            app: books["offered"] for app, books in first.per_app.items()
+        } == {app: books["offered"] for app, books in second.per_app.items()}
+
+    async def test_validation(self, simple_toystore):
+        tenant = _tenant(simple_toystore)
+        schedule = _schedule([0.0], duration_s=0.1)
+        with pytest.raises(WorkloadError, match="at least one endpoint"):
+            await run_open_load([], [tenant], schedule)
+        with pytest.raises(WorkloadError, match="at least one tenant"):
+            await run_open_load([_StubEndpoint()], [], schedule)
+        with pytest.raises(WorkloadError, match="max_outstanding"):
+            await run_open_load(
+                [_StubEndpoint()], [tenant], schedule, max_outstanding=0
+            )
+        with pytest.raises(WorkloadError, match="duplicate tenant"):
+            await run_open_load(
+                [_StubEndpoint()],
+                [tenant, _tenant(simple_toystore)],
+                schedule,
+            )
+        with pytest.raises(WorkloadError, match="weight must be positive"):
+            _tenant(simple_toystore, weight=0.0)

@@ -1,0 +1,198 @@
+"""Property tests for the open-loop arrival processes.
+
+The arrival schedule is the experiment's independent variable, so its
+guarantees are load-bearing: same seed ⇒ byte-identical schedule (the
+reproducibility the benchmark gate relies on), mean rate near the nominal
+rate (the x-axis of the knee curve is honest), and timestamps that are
+always non-negative, monotonic, and inside the run window (the open-loop
+driver sleeps on deltas between them).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.net.traffic import (
+    ARRIVAL_KINDS,
+    ArrivalSchedule,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+rates = st.floats(min_value=5.0, max_value=300.0)
+seeds = st.integers(min_value=0, max_value=2**32)
+kinds = st.sampled_from(ARRIVAL_KINDS)
+durations = st.floats(min_value=0.5, max_value=10.0)
+
+
+class TestDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(kind=kinds, rate=rates, seed=seeds, duration=durations)
+    def test_same_seed_same_schedule(self, kind, rate, seed, duration):
+        first = make_arrivals(kind, rate, seed).schedule(duration)
+        second = make_arrivals(kind, rate, seed).schedule(duration)
+        assert first.timestamps == second.timestamps
+        assert first.hot == second.hot
+        assert first.digest() == second.digest()
+
+    @settings(max_examples=30, deadline=None)
+    @given(kind=kinds, rate=rates, seed=seeds)
+    def test_different_seed_different_schedule(self, kind, rate, seed):
+        first = make_arrivals(kind, rate, seed).schedule(5.0)
+        second = make_arrivals(kind, rate, seed + 1).schedule(5.0)
+        # Not a hard guarantee for tiny schedules, but at >= 5 s * 5/s
+        # two independent exponential streams never coincide exactly.
+        if first.offered or second.offered:
+            assert first.digest() != second.digest()
+
+    def test_digest_covers_hot_mask(self):
+        base = FlashCrowdArrivals(rate=50, seed=9).schedule(4.0)
+        flipped = ArrivalSchedule(
+            kind=base.kind,
+            rate=base.rate,
+            seed=base.seed,
+            duration_s=base.duration_s,
+            timestamps=base.timestamps,
+            hot=tuple(not flag for flag in base.hot),
+        )
+        assert flipped.digest() != base.digest()
+
+
+class TestShape:
+    @settings(max_examples=60, deadline=None)
+    @given(kind=kinds, rate=rates, seed=seeds, duration=durations)
+    def test_timestamps_sorted_nonnegative_bounded(
+        self, kind, rate, seed, duration
+    ):
+        schedule = make_arrivals(kind, rate, seed).schedule(duration)
+        assert all(at >= 0.0 for at in schedule.timestamps)
+        assert list(schedule.timestamps) == sorted(schedule.timestamps)
+        assert all(at < duration for at in schedule.timestamps)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rate=rates, seed=seeds, duration=durations)
+    def test_hot_mask_aligned_and_confined_to_spike(
+        self, rate, seed, duration
+    ):
+        process = FlashCrowdArrivals(rate=rate, seed=seed)
+        schedule = process.schedule(duration)
+        assert len(schedule.hot) == len(schedule.timestamps)
+        spike_start, spike_end = process.spike_window(duration)
+        for at, hot in zip(schedule.timestamps, schedule.hot):
+            if hot:
+                assert spike_start <= at < spike_end
+
+    @settings(max_examples=30, deadline=None)
+    @given(rate=rates, seed=seeds)
+    def test_non_spike_kinds_have_no_hot_mask(self, rate, seed):
+        for kind in ("poisson", "onoff", "diurnal"):
+            assert make_arrivals(kind, rate, seed).schedule(2.0).hot == ()
+
+
+class TestRates:
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(min_value=50.0, max_value=200.0), seed=seeds)
+    def test_poisson_interarrival_mean_near_inverse_rate(self, rate, seed):
+        # Duration sized for >= ~500 expected arrivals: the sample mean
+        # of n exponentials has stddev (1/rate)/sqrt(n), so a 25%
+        # tolerance sits more than 5 sigma out — tight enough to catch a
+        # rate bug (off by 2x), loose enough to never flake.
+        duration = 600.0 / rate
+        schedule = PoissonArrivals(rate=rate, seed=seed).schedule(duration)
+        gaps = [
+            after - before
+            for before, after in zip(
+                schedule.timestamps, schedule.timestamps[1:]
+            )
+        ]
+        assert len(gaps) > 300
+        mean_gap = sum(gaps) / len(gaps)
+        assert math.isclose(mean_gap, 1.0 / rate, rel_tol=0.25)
+
+    @settings(max_examples=15, deadline=None)
+    @given(kind=kinds, seed=seeds)
+    def test_offered_rate_near_nominal(self, kind, seed):
+        # All four shapes normalise to the same mean rate; 10 s at 80/s
+        # is ~800 arrivals, so 30% absorbs burst/curve variance.  The
+        # flash crowd intentionally offers more (the spike is extra).
+        rate = 80.0
+        schedule = make_arrivals(kind, rate, seed).schedule(10.0)
+        if kind == "flash_crowd":
+            expected = rate * (
+                1
+                + (FlashCrowdArrivals(rate=rate).spike_factor - 1)
+                * FlashCrowdArrivals(rate=rate).spike_frac
+            )
+        else:
+            expected = rate
+        assert math.isclose(
+            schedule.offered_rate_s, expected, rel_tol=0.30
+        )
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown arrival kind"):
+            make_arrivals("constant", 10, 1)
+
+    @pytest.mark.parametrize("rate", [0.0, -5.0])
+    def test_nonpositive_rate_rejected(self, rate):
+        with pytest.raises(WorkloadError, match="rate must be positive"):
+            PoissonArrivals(rate=rate)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(WorkloadError, match="duration must be positive"):
+            PoissonArrivals(rate=10, seed=1).schedule(0.0)
+
+    def test_bad_spike_geometry_rejected(self):
+        with pytest.raises(WorkloadError, match="does not fit"):
+            FlashCrowdArrivals(rate=10, spike_start_frac=0.8, spike_frac=0.5)
+
+    def test_onoff_bad_windows_rejected(self):
+        with pytest.raises(WorkloadError, match="on_s must be positive"):
+            OnOffArrivals(rate=10, on_s=0.0)
+        with pytest.raises(WorkloadError, match="off_s cannot be negative"):
+            OnOffArrivals(rate=10, off_s=-1.0)
+
+    def test_diurnal_depth_bounds(self):
+        with pytest.raises(WorkloadError, match="depth must be in"):
+            DiurnalArrivals(rate=10, depth=1.5)
+
+    def test_schedule_rejects_mismatched_hot_mask(self):
+        with pytest.raises(WorkloadError, match="hot mask length"):
+            ArrivalSchedule(
+                kind="poisson",
+                rate=1.0,
+                seed=0,
+                duration_s=1.0,
+                timestamps=(0.1, 0.2),
+                hot=(True,),
+            )
+
+    def test_schedule_rejects_non_monotonic_timestamps(self):
+        with pytest.raises(WorkloadError, match="not monotonic"):
+            ArrivalSchedule(
+                kind="poisson",
+                rate=1.0,
+                seed=0,
+                duration_s=1.0,
+                timestamps=(0.3, 0.2),
+            )
+
+    def test_schedule_rejects_timestamps_outside_window(self):
+        with pytest.raises(WorkloadError, match="outside"):
+            ArrivalSchedule(
+                kind="poisson",
+                rate=1.0,
+                seed=0,
+                duration_s=1.0,
+                timestamps=(0.5, 1.0),
+            )

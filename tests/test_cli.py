@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -221,3 +222,88 @@ class TestTraceFlagsParse:
         )
         assert args.addresses == ["127.0.0.1:1", "127.0.0.1:2"]
         assert args.prom is True
+
+
+class TestLoadgenScenario:
+    """The in-process scenario path of ``repro loadgen`` (PR 10)."""
+
+    def test_app_is_optional_and_defaults_to_bookstore(self):
+        args = build_parser().parse_args(["loadgen", "--scenario", "steady"])
+        assert args.app == "bookstore"
+        assert args.scenario == "steady"
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--scenario", "tsunami"])
+
+    def test_loadgen_without_dssp_or_scenario_exits(self):
+        with pytest.raises(SystemExit, match="--dssp"):
+            main(["loadgen", "bookstore"], out=io.StringIO())
+
+    def test_rejects_malformed_sweep(self):
+        with pytest.raises(SystemExit, match="sweep"):
+            main(
+                ["loadgen", "--scenario", "steady", "--sweep", "40,2x0"],
+                out=io.StringIO(),
+            )
+
+    def test_rejects_descending_sweep(self):
+        with pytest.raises(SystemExit, match="ascend"):
+            main(
+                ["loadgen", "--scenario", "steady", "--sweep", "40,20"],
+                out=io.StringIO(),
+            )
+
+    def test_scenario_run_reports_open_loop_books_and_digest(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        output = run(
+            "loadgen",
+            "--scenario",
+            "steady",
+            "--rate",
+            "30",
+            "--duration",
+            "0.5",
+            "--scale",
+            "0.05",
+            "--trace-pages",
+            "100",
+            "--report",
+            str(report_path),
+        )
+        assert "scenario=steady" in output
+        assert "offered=" in output and "dropped=" in output
+        assert "arrival digest:" in output
+        report = json.loads(report_path.read_text())
+        assert report["mode"] == "open"
+        assert report["offered"] == report["pages"] + report[
+            "late_pages"
+        ] + report["errors"] + report["dropped"]
+        assert report["arrival"]["kind"] == "poisson"
+        assert len(report["arrival"]["digest"]) == 64
+
+    def test_scenario_sweep_prints_knee_and_writes_report(self, tmp_path):
+        report_path = tmp_path / "sweep.json"
+        output = run(
+            "loadgen",
+            "--scenario",
+            "steady",
+            "--sweep",
+            "15,30",
+            "--duration",
+            "0.4",
+            "--deadline",
+            "0.5",
+            "--scale",
+            "0.05",
+            "--trace-pages",
+            "100",
+            "--report",
+            str(report_path),
+        )
+        assert "knee:" in output
+        sweep = json.loads(report_path.read_text())
+        assert sweep["scenario"] == "steady"
+        assert [p["rate"] for p in sweep["points"]] == [15.0, 30.0]
+        for point in sweep["points"]:
+            assert point["offered"] == point["issued"] + point["dropped"]
